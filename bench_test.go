@@ -1,0 +1,331 @@
+// Package bench is the benchmark harness of the reproduction: one
+// testing.B benchmark per experiment table (E1..E9, see DESIGN.md §4 and
+// EXPERIMENTS.md) plus micro-benchmarks of the tool-chain stages. Run:
+//
+//	go test -bench=. -benchmem .
+//
+// The experiment benchmarks report their headline metric via
+// b.ReportMetric (speedup, tightness, gap, ...), so the bench output
+// regenerates the numbers recorded in EXPERIMENTS.md; cmd/argobench
+// prints the full tables.
+package bench
+
+import (
+	"testing"
+
+	"argo/internal/adl"
+	"argo/internal/core"
+	"argo/internal/experiments"
+	"argo/internal/ir"
+	"argo/internal/lp"
+	"argo/internal/noc"
+	"argo/internal/scil"
+	"argo/internal/sim"
+	"argo/internal/usecases"
+	"argo/internal/wcet"
+	"argo/pkg/argo"
+)
+
+// BenchmarkE1WCETSpeedup regenerates the E1 table (guaranteed speedup of
+// automatic parallelization per use case and core count) and reports the
+// best speedup observed.
+func BenchmarkE1WCETSpeedup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, rows, err := experiments.E1([]int{1, 2, 4, 8})
+		if err != nil {
+			b.Fatal(err)
+		}
+		best := 0.0
+		for _, r := range rows {
+			if r.Speedup > best {
+				best = r.Speedup
+			}
+		}
+		b.ReportMetric(best, "best-speedup")
+	}
+}
+
+// BenchmarkE2Tightness regenerates the E2 table (bound vs worst simulated
+// run) and reports the worst (largest) work-tightness ratio.
+func BenchmarkE2Tightness(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, rows, err := experiments.E2(10, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		worst := 0.0
+		for _, r := range rows {
+			if r.Tightness < 1 {
+				b.Fatalf("%s unsound: %f", r.UseCase, r.Tightness)
+			}
+			if r.WorkTightness > worst {
+				worst = r.WorkTightness
+			}
+		}
+		b.ReportMetric(worst, "worst-work-tightness")
+	}
+}
+
+// BenchmarkE3Contention regenerates the E3 table (contention-aware vs
+// oblivious scheduling) and reports the mean oblivious/aware ratio.
+func BenchmarkE3Contention(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, rows, err := experiments.E3([]int{4, 8})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sum := 0.0
+		for _, r := range rows {
+			sum += r.ImprovementRatio
+		}
+		b.ReportMetric(sum/float64(len(rows)), "mean-oblivious/aware")
+	}
+}
+
+// BenchmarkE4Transforms regenerates the E4 ablation table and reports the
+// mean bound reduction of the best configuration vs none.
+func BenchmarkE4Transforms(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, rows, err := experiments.E4(4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		byUC := map[string]map[string]int64{}
+		for _, r := range rows {
+			if byUC[r.UseCase] == nil {
+				byUC[r.UseCase] = map[string]int64{}
+			}
+			byUC[r.UseCase][r.Config] = r.Bound
+		}
+		sum, n := 0.0, 0
+		for _, m := range byUC {
+			best := m["none"]
+			for _, v := range m {
+				if v < best {
+					best = v
+				}
+			}
+			sum += float64(m["none"]) / float64(best)
+			n++
+		}
+		b.ReportMetric(sum/float64(n), "mean-none/best")
+	}
+}
+
+// BenchmarkE5NoC regenerates the E5 table (analytic vs simulated NoC
+// latency) and reports the minimum bound/sim slack (must be >= 1).
+func BenchmarkE5NoC(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, rows, err := experiments.E5(20000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		minSlack := 1e18
+		for _, r := range rows {
+			if r.SimMax == 0 {
+				continue
+			}
+			s := float64(r.Bound) / float64(r.SimMax)
+			if s < minSlack {
+				minSlack = s
+			}
+		}
+		if minSlack < 1 {
+			b.Fatalf("NoC bound violated: slack %f", minSlack)
+		}
+		b.ReportMetric(minSlack, "min-bound/sim")
+	}
+}
+
+// BenchmarkE6Mapping regenerates the E6 table (heuristic vs exact
+// mapping) and reports the overall mean optimality gap.
+func BenchmarkE6Mapping(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, rows, err := experiments.E6(5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sum := 0.0
+		for _, r := range rows {
+			sum += r.MeanGap
+		}
+		b.ReportMetric(sum/float64(len(rows)), "mean-gap")
+	}
+}
+
+// BenchmarkE7Iterative regenerates the E7 table (iterative cross-layer
+// optimization) and reports the mean first/best bound improvement.
+func BenchmarkE7Iterative(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, rows, err := experiments.E7(4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		first := map[string]int64{}
+		best := map[string]int64{}
+		for _, r := range rows {
+			if _, ok := first[r.UseCase]; !ok && r.Bound > 0 {
+				first[r.UseCase] = r.Bound
+			}
+			best[r.UseCase] = r.BestSoFar
+		}
+		sum, n := 0.0, 0
+		for uc := range first {
+			sum += float64(first[uc]) / float64(best[uc])
+			n++
+		}
+		b.ReportMetric(sum/float64(n), "mean-first/best")
+	}
+}
+
+// BenchmarkE8Arbitration regenerates the E8 table (RR vs TDM bus) and
+// reports the mean TDM/RR bound ratio.
+func BenchmarkE8Arbitration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, rows, err := experiments.E8(4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sum := 0.0
+		for _, r := range rows {
+			sum += float64(r.TDMBound) / float64(r.RRBound)
+		}
+		b.ReportMetric(sum/float64(len(rows)), "mean-tdm/rr")
+	}
+}
+
+// --- micro-benchmarks of the tool-chain stages -------------------------------
+
+func BenchmarkCompilePolka(b *testing.B) {
+	u := usecases.POLKA()
+	p, err := u.Program()
+	if err != nil {
+		b.Fatal(err)
+	}
+	platform := adl.XentiumPlatform(4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Compile(p, core.DefaultOptions(u.Entry, u.Args, platform)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimulateFrame(b *testing.B) {
+	u := usecases.POLKA()
+	art, err := argo.CompileUseCase(u, argo.Platform("xentium4"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := u.Inputs(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(art.Parallel, in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLowerEGPWS(b *testing.B) {
+	u := usecases.EGPWS()
+	p, err := u.Program()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ir.Lower(p, u.Entry, u.Args); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStructuralWCET(b *testing.B) {
+	u := usecases.EGPWS()
+	p, _ := u.Program()
+	prog, err := ir.Lower(p, u.Entry, u.Args)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := wcet.ModelFor(adl.XentiumPlatform(4), 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if wcet.Structural(prog.Entry.Body, m) <= 0 {
+			b.Fatal("zero bound")
+		}
+	}
+}
+
+func BenchmarkIPETWCET(b *testing.B) {
+	src := `function r = f(v)
+  r = 0
+  for i = 1:16
+    for j = 1:16
+      if v(i, j) > 0 then
+        r = r + sqrt(v(i, j))
+      else
+        r = r - v(i, j)
+      end
+    end
+  end
+endfunction`
+	p, err := scil.Parse(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, err := ir.Lower(p, "f", []ir.ArgSpec{ir.MatrixArg(16, 16)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := wcet.ModelFor(adl.XentiumPlatform(1), 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := wcet.IPET(prog.Entry.Body, m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimplexLP(b *testing.B) {
+	prob := &lp.Problem{Obj: []float64{3, 2, 4, 1, 5}}
+	prob.AddLE([]float64{1, 1, 1, 1, 1}, 10)
+	prob.AddLE([]float64{2, 1, 0, 3, 1}, 12)
+	prob.AddLE([]float64{0, 2, 1, 0, 3}, 9)
+	prob.AddGE([]float64{1, 0, 0, 0, 1}, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if s := lp.Solve(prob); s.Status != lp.Optimal {
+			b.Fatal(s.Status)
+		}
+	}
+}
+
+func BenchmarkNoCSimulation(b *testing.B) {
+	spec := adl.Leon3TilePlatform(4, 4).NoC
+	cfg := &noc.Config{Spec: *spec, Flows: []noc.Flow{
+		{ID: 0, Src: noc.Coord{X: 0, Y: 0}, Dst: noc.Coord{X: 3, Y: 3}, PacketFlits: 4, PeriodCycles: 200},
+		{ID: 1, Src: noc.Coord{X: 1, Y: 0}, Dst: noc.Coord{X: 3, Y: 3}, PacketFlits: 8, PeriodCycles: 260},
+		{ID: 2, Src: noc.Coord{X: 0, Y: 1}, Dst: noc.Coord{X: 3, Y: 1}, PacketFlits: 4, PeriodCycles: 220},
+	}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := noc.Simulate(cfg, 5000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE9Deployment regenerates the E9 table (multi-application
+// cyclic-executive deployment) and reports the 8-core utilization.
+func BenchmarkE9Deployment(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, rows, err := experiments.E9([]string{"xentium8"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !rows[0].Schedulable {
+			b.Fatal("not schedulable")
+		}
+		b.ReportMetric(rows[0].Utilization, "utilization")
+	}
+}

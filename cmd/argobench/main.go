@@ -1,0 +1,51 @@
+// Command argobench regenerates the full experiment suite of this
+// reproduction (see DESIGN.md §4 and EXPERIMENTS.md): E1 WCET speedup,
+// E2 bound tightness, E3 contention-aware scheduling, E4 transformation
+// ablation, E5 NoC latency guarantees, E6 exact-vs-heuristic mapping,
+// E7 iterative cross-layer optimization, E8 bus arbitration policies, and
+// E9 multi-application deployment schedulability.
+//
+// Examples:
+//
+//	argobench          # run everything
+//	argobench -e e1,e5 # run a subset
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"argo/internal/experiments"
+)
+
+func main() {
+	var which = flag.String("e", "all", "comma-separated experiment ids (e1..e9) or 'all'")
+	flag.Parse()
+	sel := map[string]bool{}
+	for _, s := range strings.Split(strings.ToLower(*which), ",") {
+		sel[strings.TrimSpace(s)] = true
+	}
+	all := sel["all"]
+	run := func(id string, fn func() (*experiments.Result, error)) {
+		if !all && !sel[id] {
+			return
+		}
+		res, err := fn()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "argobench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Println(res)
+	}
+	run("e1", func() (*experiments.Result, error) { r, _, err := experiments.E1(nil); return r, err })
+	run("e2", func() (*experiments.Result, error) { r, _, err := experiments.E2(0, 0); return r, err })
+	run("e3", func() (*experiments.Result, error) { r, _, err := experiments.E3(nil); return r, err })
+	run("e4", func() (*experiments.Result, error) { r, _, err := experiments.E4(0); return r, err })
+	run("e5", func() (*experiments.Result, error) { r, _, err := experiments.E5(0); return r, err })
+	run("e6", func() (*experiments.Result, error) { r, _, err := experiments.E6(0); return r, err })
+	run("e7", func() (*experiments.Result, error) { r, _, err := experiments.E7(0); return r, err })
+	run("e8", func() (*experiments.Result, error) { r, _, err := experiments.E8(0); return r, err })
+	run("e9", func() (*experiments.Result, error) { r, _, err := experiments.E9(nil); return r, err })
+}

@@ -1,0 +1,129 @@
+// Command argocc is the ARGO tool-chain driver: it compiles a model-based
+// application (one of the built-in use cases or a scil source file) for a
+// predictable multi-core platform, producing the schedule, the WCET
+// report, the cross-layer explanation, and the generated parallel C code.
+//
+// Examples:
+//
+//	argocc -usecase polka -platform xentium4
+//	argocc -usecase egpws -platform leon3-2x2 -policy oblivious -explain
+//	argocc -usecase weaa -platform xentium8 -optimize -emit-c out.c
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"argo/pkg/argo"
+)
+
+func main() {
+	var (
+		usecase  = flag.String("usecase", "", "built-in use case: egpws, weaa, polka")
+		platform = flag.String("platform", "xentium4", "target platform (xentiumN, xentiumN-tdm, leon3-WxH) or ADL JSON file")
+		policy   = flag.String("policy", "aware", "scheduling policy: aware, oblivious, exact")
+		optimize = flag.Bool("optimize", false, "run the iterative cross-layer optimization")
+		explain  = flag.Bool("explain", false, "print the cross-layer report")
+		emitC    = flag.String("emit-c", "", "write generated parallel C code to this file")
+		adlOut   = flag.String("emit-adl", "", "write the platform ADL JSON to this file")
+	)
+	flag.Parse()
+	if *usecase == "" {
+		fmt.Fprintln(os.Stderr, "argocc: -usecase is required (egpws, weaa, polka)")
+		flag.Usage()
+		os.Exit(2)
+	}
+	uc := argo.UseCaseByName(*usecase)
+	if uc == nil {
+		fatal("unknown use case %q", *usecase)
+	}
+	plat := loadPlatform(*platform)
+	opt := argo.DefaultOptions(uc.Entry, uc.Args, plat)
+	switch *policy {
+	case "aware":
+		opt.Policy = argo.PolicyContentionAware
+	case "oblivious":
+		opt.Policy = argo.PolicyOblivious
+	case "exact":
+		opt.Policy = argo.PolicyBranchBound
+	default:
+		fatal("unknown policy %q", *policy)
+	}
+	var art *argo.Artifacts
+	prog, err := uc.Program()
+	if err != nil {
+		fatal("%v", err)
+	}
+	_ = prog
+	if *optimize {
+		res, err := argo.OptimizeUseCase(uc, plat)
+		if err != nil {
+			fatal("optimize: %v", err)
+		}
+		for _, rec := range res.History {
+			status := fmt.Sprintf("%d", rec.Bound)
+			if rec.Err != nil {
+				status = "error: " + rec.Err.Error()
+			}
+			fmt.Printf("iteration %d (%-22s): bound %s, best %d\n",
+				rec.Iteration, rec.Candidate.Name, status, rec.BestSoFar)
+		}
+		art = res.Best
+	} else {
+		a, err := argo.CompileSource(uc.Source, opt)
+		if err != nil {
+			fatal("compile: %v", err)
+		}
+		art = a
+	}
+	fmt.Println(argo.Describe(art))
+	fmt.Printf("  sequential bound: %d cycles\n", art.SequentialWCET)
+	fmt.Printf("  system bound:     %d cycles (period budget %d)\n", art.Bound(), uc.Period)
+	if *explain {
+		fmt.Println()
+		fmt.Println(argo.Explain(art))
+	}
+	if *emitC != "" {
+		if err := os.WriteFile(*emitC, []byte(argo.EmitC(art)), 0o644); err != nil {
+			fatal("write %s: %v", *emitC, err)
+		}
+		hdr := filepath.Join(filepath.Dir(*emitC), "argo_rt.h")
+		if err := os.WriteFile(hdr, []byte(argo.RuntimeHeader()), 0o644); err != nil {
+			fatal("write %s: %v", hdr, err)
+		}
+		fmt.Printf("  parallel C written to %s (+ %s)\n", *emitC, hdr)
+	}
+	if *adlOut != "" {
+		data, err := argo.EncodePlatform(plat)
+		if err != nil {
+			fatal("encode platform: %v", err)
+		}
+		if err := os.WriteFile(*adlOut, data, 0o644); err != nil {
+			fatal("write %s: %v", *adlOut, err)
+		}
+		fmt.Printf("  ADL description written to %s\n", *adlOut)
+	}
+}
+
+func loadPlatform(name string) *argo.PlatformDesc {
+	if p := argo.Platform(name); p != nil {
+		return p
+	}
+	data, err := os.ReadFile(name)
+	if err != nil {
+		fatal("platform %q is neither built-in (%v) nor a readable ADL file: %v",
+			name, argo.PlatformNames(), err)
+	}
+	p, err := argo.DecodePlatform(data)
+	if err != nil {
+		fatal("%s: %v", name, err)
+	}
+	return p
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "argocc: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,78 @@
+// Command argofmt formats scil model sources canonically (the formatter
+// the cross-layer interface uses to show users the model the compiler
+// actually sees). It also runs the subset checks, so it doubles as a
+// linter for WCET analysability.
+//
+// Examples:
+//
+//	argofmt model.sci            # print formatted source
+//	argofmt -w model.sci         # rewrite in place
+//	argofmt -usecase egpws       # print a built-in use case, formatted
+//	argofmt -check model.sci     # only lint (WCET subset rules)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"argo/internal/scil"
+	"argo/pkg/argo"
+)
+
+func main() {
+	var (
+		write   = flag.Bool("w", false, "rewrite the file in place")
+		check   = flag.Bool("check", false, "lint only (no output)")
+		usecase = flag.String("usecase", "", "format a built-in use case instead of a file")
+	)
+	flag.Parse()
+	var src, name string
+	switch {
+	case *usecase != "":
+		uc := argo.UseCaseByName(*usecase)
+		if uc == nil {
+			fatal("unknown use case %q", *usecase)
+		}
+		src, name = uc.Source, *usecase
+	case flag.NArg() == 1:
+		data, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fatal("%v", err)
+		}
+		src, name = string(data), flag.Arg(0)
+	default:
+		fmt.Fprintln(os.Stderr, "usage: argofmt [-w|-check] <file.sci> | argofmt -usecase <name>")
+		os.Exit(2)
+	}
+	prog, err := scil.Parse(src)
+	if err != nil {
+		fatal("%s: %v", name, err)
+	}
+	if errs := scil.Check(prog, scil.CheckWCET); len(errs) > 0 {
+		for _, e := range errs {
+			fmt.Fprintf(os.Stderr, "argofmt: %s: %v\n", name, e)
+		}
+		os.Exit(1)
+	}
+	if *check {
+		fmt.Printf("%s: ok (%d functions, WCET-analysable)\n", name, len(prog.Funcs))
+		return
+	}
+	out := scil.Format(prog)
+	if *write {
+		if *usecase != "" {
+			fatal("-w requires a file argument")
+		}
+		if err := os.WriteFile(flag.Arg(0), []byte(out), 0o644); err != nil {
+			fatal("%v", err)
+		}
+		return
+	}
+	fmt.Print(out)
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "argofmt: "+format+"\n", args...)
+	os.Exit(1)
+}

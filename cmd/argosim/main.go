@@ -1,0 +1,79 @@
+// Command argosim compiles a use case and executes the resulting parallel
+// program on the ARGO platform simulator over a set of input variants,
+// comparing the measured behaviour against the static WCET bounds
+// (measured must never exceed the bound — the tool exits non-zero if the
+// soundness contract is violated).
+//
+// Example:
+//
+//	argosim -usecase polka -platform xentium4 -runs 25
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"argo/internal/report"
+	"argo/internal/sim"
+	"argo/pkg/argo"
+)
+
+func main() {
+	var (
+		usecase  = flag.String("usecase", "", "built-in use case: egpws, weaa, polka")
+		platform = flag.String("platform", "xentium4", "target platform name")
+		runs     = flag.Int("runs", 10, "number of deterministic input variants")
+		gantt    = flag.Bool("gantt", false, "draw an ASCII timeline of the first run")
+	)
+	flag.Parse()
+	uc := argo.UseCaseByName(*usecase)
+	if uc == nil {
+		fmt.Fprintln(os.Stderr, "argosim: unknown or missing -usecase (egpws, weaa, polka)")
+		os.Exit(2)
+	}
+	plat := argo.Platform(*platform)
+	if plat == nil {
+		fmt.Fprintf(os.Stderr, "argosim: unknown platform %q (%v)\n", *platform, argo.PlatformNames())
+		os.Exit(2)
+	}
+	art, err := argo.CompileSource(uc.Source, argo.DefaultOptions(uc.Entry, uc.Args, plat))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "argosim: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println(argo.Describe(art))
+	tab := report.New(fmt.Sprintf("Simulated runs (bound %d cycles)", art.Bound()),
+		"seed", "makespan", "exec-span", "bus-wait", "bound-used", "ok")
+	var worst int64
+	sound := true
+	for seed := 0; seed < *runs; seed++ {
+		rep, err := argo.Simulate(art, uc.Inputs(int64(seed)))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "argosim: seed %d: %v\n", seed, err)
+			os.Exit(1)
+		}
+		if *gantt && seed == 0 {
+			fmt.Println()
+			fmt.Print(sim.RenderGantt(art.Parallel, rep, 100))
+			fmt.Println()
+		}
+		ok := "yes"
+		if err := argo.CheckBounds(art, rep); err != nil {
+			ok = "VIOLATION"
+			sound = false
+		}
+		if rep.Makespan > worst {
+			worst = rep.Makespan
+		}
+		tab.Add(seed, rep.Makespan, rep.ExecSpan, rep.BusWaitCycles,
+			fmt.Sprintf("%.1f%%", 100*float64(rep.Makespan)/float64(art.Bound())), ok)
+	}
+	fmt.Print(tab)
+	fmt.Printf("\nworst observed: %d cycles; bound: %d; tightness %.3f\n",
+		worst, art.Bound(), float64(art.Bound())/float64(worst))
+	if !sound {
+		fmt.Fprintln(os.Stderr, "argosim: SOUNDNESS VIOLATION — a run exceeded its WCET bound")
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,62 @@
+// EGPWS example: the aerospace terrain-awareness use case of the ARGO
+// project. Compiles the Enhanced Ground Proximity Warning System for two
+// target platforms, compares their guaranteed bounds against the real-time
+// period, and flies a descending approach scenario through the simulator
+// to show the alerting behaviour.
+//
+//	go run ./examples/egpws
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"argo/pkg/argo"
+)
+
+func main() {
+	uc := argo.UseCaseByName("egpws")
+	fmt.Println("EGPWS:", uc.Description)
+	fmt.Println()
+
+	// Compare the two ARGO target platform families.
+	for _, name := range []string{"xentium4", "leon3-2x2"} {
+		platform := argo.Platform(name)
+		art, err := argo.CompileUseCase(uc, platform)
+		if err != nil {
+			log.Fatal(err)
+		}
+		verdict := "MEETS"
+		if art.Bound() > uc.Period {
+			verdict = "MISSES"
+		}
+		fmt.Printf("%-12s bound %8d cycles (%.2fx vs sequential) — %s the %d-cycle period\n",
+			name, art.Bound(), art.WCETSpeedup(), verdict, uc.Period)
+	}
+	fmt.Println()
+
+	// Fly a scenario: same terrain, increasingly aggressive descent.
+	platform := argo.Platform("xentium4")
+	art, err := argo.CompileUseCase(uc, platform)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("approach scenario (same terrain, steepening descent):")
+	for _, vz := range []float64{1.0, -2.0, -4.5, -12.0} {
+		in := uc.Inputs(7)
+		in[1][2] = 700 // altitude above the highest ridges
+		in[1][5] = vz  // vertical speed
+		rep, err := argo.Simulate(art, in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := argo.CheckBounds(art, rep); err != nil {
+			log.Fatalf("bound violated: %v", err)
+		}
+		worst := rep.Results[1][0]
+		alert := int(rep.Results[2][0])
+		level := [...]string{"clear", "CAUTION", "PULL UP"}[alert]
+		fmt.Printf("  vz %+6.1f m/s: worst sector risk %8.1f  alert %-8s (makespan %d <= bound %d)\n",
+			vz, worst, level, rep.Makespan, art.Bound())
+	}
+}

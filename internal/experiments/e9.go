@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"argo/internal/adl"
+	"argo/internal/core"
+	"argo/internal/report"
+	"argo/internal/rt"
+	"argo/internal/usecases"
+)
+
+// E9Row is one platform's deployment verdict.
+type E9Row struct {
+	Platform    string
+	Utilization float64
+	Schedulable bool
+	// MinSlack is the smallest deadline margin across all job instances
+	// (only meaningful when schedulable).
+	MinSlack int64
+}
+
+// E9 evaluates the deployment scenario the guaranteed bounds exist for:
+// all three ARGO applications activated periodically on ONE shared
+// platform under a static cyclic executive. More capable platforms must
+// yield lower utilization and larger slack.
+func E9(platformNames []string) (*Result, []E9Row, error) {
+	if len(platformNames) == 0 {
+		platformNames = []string{"xentium2", "xentium4", "xentium8", "leon3-2x2"}
+	}
+	res := &Result{
+		ID:    "E9",
+		Claim: "guaranteed bounds enable verified periodic deployment of all use cases on one platform (§I, §IV)",
+	}
+	tab := report.New("Cyclic-executive deployment of egpws + weaa + polka",
+		"platform", "utilization", "schedulable", "min-slack")
+	var rows []E9Row
+	for _, name := range platformNames {
+		platform := adl.Builtin(name)
+		if platform == nil {
+			return nil, nil, fmt.Errorf("E9: unknown platform %q", name)
+		}
+		var jobs []rt.Job
+		for _, u := range usecases.All() {
+			p, err := u.Program()
+			if err != nil {
+				return nil, nil, err
+			}
+			art, err := core.Compile(p, core.DefaultOptions(u.Entry, u.Args, platform))
+			if err != nil {
+				return nil, nil, fmt.Errorf("E9 %s/%s: %v", name, u.Name, err)
+			}
+			jobs = append(jobs, rt.Job{Name: u.Name, BoundCycles: art.Bound(), PeriodCycles: u.Period})
+		}
+		r := E9Row{Platform: name, Utilization: rt.Utilization(jobs)}
+		cs, err := rt.BuildCyclicExecutive(jobs)
+		if err == nil {
+			if verr := cs.Validate(); verr != nil {
+				return nil, nil, fmt.Errorf("E9 %s: invalid executive: %v", name, verr)
+			}
+			r.Schedulable = true
+			slacks := cs.SlackReport()
+			var names []string
+			for n := range slacks {
+				names = append(names, n)
+			}
+			sort.Strings(names)
+			r.MinSlack = slacks[names[0]]
+			for _, n := range names {
+				if slacks[n] < r.MinSlack {
+					r.MinSlack = slacks[n]
+				}
+			}
+		}
+		tab.Add(name, r.Utilization, r.Schedulable, r.MinSlack)
+		rows = append(rows, r)
+	}
+	res.Tables = append(res.Tables, tab)
+	return res, rows, nil
+}

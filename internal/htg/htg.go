@@ -1,0 +1,569 @@
+// Package htg implements ARGO's Hierarchical Task Graph (paper §II-B):
+// the task-level representation extracted from the lowered IR. Loops are
+// enclosed in an additional hierarchy level, yielding a hierarchy of
+// acyclic task graphs. Task dependencies carry the variables/buffers that
+// must be communicated; task nodes carry their shared-resource access
+// bounds (list of shared variables and worst-case access counts), exactly
+// the information the scheduling/mapping and system-level WCET stages
+// need.
+package htg
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"argo/internal/ir"
+	"argo/internal/wcet"
+)
+
+// NodeKind distinguishes task node flavours.
+type NodeKind int
+
+// Node kinds.
+const (
+	// KindRegion is a straight-line (or branchy, loop-free at top level)
+	// statement region.
+	KindRegion NodeKind = iota
+	// KindLoop is a loop nest; Children holds the next hierarchy level.
+	KindLoop
+)
+
+// Node is one task of the graph.
+type Node struct {
+	ID    int
+	Label string
+	Kind  NodeKind
+	// Stmts is the IR region this task executes.
+	Stmts []ir.Stmt
+	// Children is the sub-graph of a loop body (hierarchy level below);
+	// nil for region nodes and for collapsed loop nodes.
+	Children *Graph
+	// Uses are the task's may-read/may-write sets.
+	Uses *ir.UseSets
+	// Accesses are the worst-case shared-memory access counts per
+	// variable.
+	Accesses *ir.AccessCounts
+	// Ranges are per-variable subscript intervals for the interval
+	// dependence test (chunked loops over disjoint regions of one array
+	// are recognized as independent).
+	Ranges map[*ir.Var]ir.AccessRange
+	// WCET is the isolated code-level bound per core id (filled by
+	// Annotate).
+	WCET []int64
+	// SharedAccesses bounds the task's shared-memory accesses (filled by
+	// Annotate; storage-aware).
+	SharedAccesses int64
+}
+
+// Edge is a data dependence between tasks, carrying the set of
+// communicated buffers and their total volume.
+type Edge struct {
+	From, To int
+	// Vars are the matrix variables written by From and read by To.
+	Vars []*ir.Var
+	// VolumeBytes is the worst-case communicated volume.
+	VolumeBytes int
+}
+
+// Graph is one hierarchy level: a DAG of task nodes in program order.
+type Graph struct {
+	Nodes []*Node
+	Edges []Edge
+}
+
+// Succs returns the successor node ids of node id.
+func (g *Graph) Succs(id int) []int {
+	var out []int
+	for _, e := range g.Edges {
+		if e.From == id {
+			out = append(out, e.To)
+		}
+	}
+	return out
+}
+
+// Preds returns the predecessor node ids of node id.
+func (g *Graph) Preds(id int) []int {
+	var out []int
+	for _, e := range g.Edges {
+		if e.To == id {
+			out = append(out, e.From)
+		}
+	}
+	return out
+}
+
+// EdgeBetween returns the edge from a to b, or nil.
+func (g *Graph) EdgeBetween(a, b int) *Edge {
+	for i := range g.Edges {
+		if g.Edges[i].From == a && g.Edges[i].To == b {
+			return &g.Edges[i]
+		}
+	}
+	return nil
+}
+
+// Build extracts the hierarchical task graph of a lowered program.
+// Top-level loops become loop nodes (with one hierarchy level for their
+// bodies); maximal runs of non-loop statements become region nodes.
+func Build(prog *ir.Program) *Graph {
+	return buildLevel(prog.Entry.Body, 0)
+}
+
+// maxHierarchyDepth bounds the hierarchy (paper: loops get one extra
+// level each; in practice two levels suffice for scheduling).
+const maxHierarchyDepth = 3
+
+func buildLevel(stmts []ir.Stmt, depth int) *Graph {
+	g := &Graph{}
+	var pending []ir.Stmt
+	flush := func() {
+		if len(pending) == 0 {
+			return
+		}
+		g.addNode(&Node{Kind: KindRegion, Stmts: pending})
+		pending = nil
+	}
+	for _, s := range stmts {
+		if loop, ok := s.(*ir.For); ok {
+			flush()
+			n := &Node{Kind: KindLoop, Stmts: []ir.Stmt{loop}}
+			if depth+1 < maxHierarchyDepth && len(loop.Body) > 1 {
+				n.Children = buildLevel(loop.Body, depth+1)
+			}
+			g.addNode(n)
+			continue
+		}
+		pending = append(pending, s)
+	}
+	flush()
+	g.connect()
+	return g
+}
+
+func (g *Graph) addNode(n *Node) {
+	n.ID = len(g.Nodes)
+	n.Uses = ir.ComputeUses(n.Stmts)
+	n.Accesses = ir.CountAccesses(n.Stmts)
+	n.Ranges = ir.CollectAccessRanges(n.Stmts)
+	if n.Label == "" {
+		switch n.Kind {
+		case KindLoop:
+			if f, ok := n.Stmts[0].(*ir.For); ok && f.Label != "" {
+				n.Label = "loop:" + f.Label
+			} else {
+				n.Label = fmt.Sprintf("loop%d", n.ID)
+			}
+		default:
+			n.Label = fmt.Sprintf("region%d", n.ID)
+		}
+	}
+	g.Nodes = append(g.Nodes, n)
+}
+
+// connect adds dependence edges between all conflicting node pairs in
+// program order, annotated with communicated buffers.
+//
+// Scalar registers that every using task defines before reading (loop
+// induction variables, iteration-local temporaries) are privatizable: they
+// carry no real dependence and are excluded, which is what exposes the
+// task-level parallelism between independent loop nests.
+func (g *Graph) connect() {
+	liveScalars := g.liveOutScalars()
+	for i := 0; i < len(g.Nodes); i++ {
+		for j := i + 1; j < len(g.Nodes); j++ {
+			a, b := g.Nodes[i], g.Nodes[j]
+			if !g.dependsOn(a, b, liveScalars) {
+				continue
+			}
+			e := Edge{From: a.ID, To: b.ID}
+			for v := range a.Uses.MatWrites {
+				if b.Uses.MatReads[v] || b.Uses.MatWrites[v] {
+					e.Vars = append(e.Vars, v)
+					e.VolumeBytes += v.SizeBytes()
+				}
+			}
+			sort.Slice(e.Vars, func(x, y int) bool { return e.Vars[x].Name < e.Vars[y].Name })
+			g.Edges = append(g.Edges, e)
+		}
+	}
+}
+
+// liveOutScalars returns scalars that some node reads without defining
+// first — only these carry real cross-task scalar dependences.
+func (g *Graph) liveOutScalars() map[*ir.Var]bool {
+	out := map[*ir.Var]bool{}
+	for _, n := range g.Nodes {
+		for v := range n.Uses.ScalReads {
+			if !definesScalarBeforeUse(n.Stmts, v) {
+				out[v] = true
+			}
+		}
+		// Entry results are read after the program ends: their final
+		// value matters, so writes to them must stay ordered.
+		for v := range n.Uses.ScalWrite {
+			if v.Result {
+				out[v] = true
+			}
+		}
+	}
+	return out
+}
+
+// definesScalarBeforeUse reports whether the region unconditionally
+// assigns v (by AssignScalar or as a loop induction variable) before any
+// possible read.
+func definesScalarBeforeUse(stmts []ir.Stmt, v *ir.Var) bool {
+	for _, s := range stmts {
+		if as, ok := s.(*ir.AssignScalar); ok && as.Dst == v {
+			u := ir.NewUseSets()
+			u.AddExprUses(as.Src)
+			return !u.ScalReads[v]
+		}
+		if f, ok := s.(*ir.For); ok {
+			u := ir.NewUseSets()
+			u.AddExprUses(f.Lo)
+			u.AddExprUses(f.Step)
+			u.AddExprUses(f.Hi)
+			if u.ScalReads[v] {
+				return false
+			}
+			if f.IVar == v {
+				return true
+			}
+			// Recurse: v may be defined before use inside the loop body
+			// (e.g. the induction variable of a nested loop), which makes
+			// it iteration-private there too.
+			whole := ir.ComputeUses(f.Body)
+			if !whole.ScalReads[v] && !whole.ScalWrite[v] {
+				continue
+			}
+			return definesScalarBeforeUse(f.Body, v)
+		}
+		u := ir.ComputeUses([]ir.Stmt{s})
+		if u.ScalReads[v] || u.ScalWrite[v] {
+			return false
+		}
+	}
+	return false
+}
+
+// dependsOn reports a real dependence a -> b (a precedes b in program
+// order): any matrix conflict, or a conflict on a live-out scalar.
+func (g *Graph) dependsOn(a, b *Node, live map[*ir.Var]bool) bool {
+	matConflict := func(v *ir.Var) bool {
+		// Interval dependence test: disjoint subscript ranges on some
+		// dimension prove independence (e.g. parallelized loop chunks).
+		return !a.Ranges[v].DisjointFrom(b.Ranges[v])
+	}
+	for v := range a.Uses.MatWrites {
+		if (b.Uses.MatReads[v] || b.Uses.MatWrites[v]) && matConflict(v) {
+			return true
+		}
+	}
+	for v := range b.Uses.MatWrites {
+		if a.Uses.MatReads[v] && matConflict(v) {
+			return true
+		}
+	}
+	scalarConflict := func(v *ir.Var) bool {
+		if !live[v] {
+			return false
+		}
+		return true
+	}
+	for v := range a.Uses.ScalWrite {
+		if (b.Uses.ScalReads[v] || b.Uses.ScalWrite[v]) && scalarConflict(v) {
+			return true
+		}
+	}
+	for v := range b.Uses.ScalWrite {
+		if a.Uses.ScalReads[v] && scalarConflict(v) {
+			return true
+		}
+	}
+	return false
+}
+
+// Annotate fills per-core WCET bounds and shared access counts for every
+// node, using the platform cost models.
+func Annotate(g *Graph, models []wcet.CostModel) {
+	for _, n := range g.Nodes {
+		n.WCET = make([]int64, len(models))
+		for c, m := range models {
+			n.WCET[c] = wcet.Structural(n.Stmts, m)
+		}
+		rep := wcet.Analyze(n.Stmts, models[0])
+		n.SharedAccesses = rep.SharedAccesses
+		if n.Children != nil {
+			Annotate(n.Children, models)
+		}
+	}
+}
+
+// Validate checks the graph is a DAG consistent with program order.
+func (g *Graph) Validate() error {
+	for _, e := range g.Edges {
+		if e.From >= e.To {
+			return fmt.Errorf("htg: edge %d->%d violates program order", e.From, e.To)
+		}
+		if e.From < 0 || e.To >= len(g.Nodes) {
+			return fmt.Errorf("htg: edge %d->%d out of range", e.From, e.To)
+		}
+	}
+	return nil
+}
+
+// TransitiveReduction removes edges implied by longer paths (for reports;
+// schedulers tolerate redundant edges).
+func (g *Graph) TransitiveReduction() {
+	n := len(g.Nodes)
+	reach := make([][]bool, n)
+	adj := make([][]bool, n)
+	for i := range reach {
+		reach[i] = make([]bool, n)
+		adj[i] = make([]bool, n)
+	}
+	for _, e := range g.Edges {
+		adj[e.From][e.To] = true
+	}
+	// Longest-path style reachability via >= 2 hops.
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			if adj[i][k] || reach[i][k] {
+				for j := 0; j < n; j++ {
+					if adj[k][j] || reach[k][j] {
+						reach[i][j] = true
+					}
+				}
+			}
+		}
+	}
+	var kept []Edge
+	for _, e := range g.Edges {
+		if !reach[e.From][e.To] {
+			kept = append(kept, e)
+		}
+	}
+	g.Edges = kept
+}
+
+// CriticalPathWCET returns the longest path through the graph using the
+// given core's WCET annotation (communication ignored): a lower bound on
+// any schedule's makespan and the sequential-WCET when summed.
+func (g *Graph) CriticalPathWCET(core int) int64 {
+	dist := make([]int64, len(g.Nodes))
+	var best int64
+	for _, n := range g.Nodes { // nodes are topologically ordered by ID
+		d := dist[n.ID] + n.WCET[core]
+		for _, s := range g.Succs(n.ID) {
+			if d > dist[s] {
+				dist[s] = d
+			}
+		}
+		if d > best {
+			best = d
+		}
+	}
+	return best
+}
+
+// SequentialWCET sums all node WCETs on the given core (the single-core
+// bound).
+func (g *Graph) SequentialWCET(core int) int64 {
+	var total int64
+	for _, n := range g.Nodes {
+		total += n.WCET[core]
+	}
+	return total
+}
+
+// Dump renders the graph for reports.
+func (g *Graph) Dump() string {
+	var sb strings.Builder
+	for _, n := range g.Nodes {
+		fmt.Fprintf(&sb, "task %d (%s)", n.ID, n.Label)
+		if len(n.WCET) > 0 {
+			fmt.Fprintf(&sb, " wcet=%d shared=%d", n.WCET[0], n.SharedAccesses)
+		}
+		sb.WriteString("\n")
+	}
+	for _, e := range g.Edges {
+		fmt.Fprintf(&sb, "  %d -> %d (%d bytes", e.From, e.To, e.VolumeBytes)
+		for _, v := range e.Vars {
+			fmt.Fprintf(&sb, " %s", v.Name)
+		}
+		sb.WriteString(")\n")
+	}
+	return sb.String()
+}
+
+// CoarsenChains merges single-successor/single-predecessor chains to
+// reduce graph size (granularity control). Returns the number of merges.
+func (g *Graph) CoarsenChains() int {
+	merges := 0
+	for {
+		merged := false
+		for _, e := range g.Edges {
+			if len(g.Succs(e.From)) == 1 && g.mergeLegal(e.From, e.To) {
+				g.mergeInto(e.From, e.To)
+				merges++
+				merged = true
+				break
+			}
+		}
+		if !merged {
+			return merges
+		}
+	}
+}
+
+// mergeLegal reports whether node b's statements may be moved up to run
+// right after node a's: no node strictly between them (in program order)
+// may have a dependence path into b.
+func (g *Graph) mergeLegal(a, b int) bool {
+	for m := a + 1; m < b; m++ {
+		if g.reaches(m, b) {
+			return false
+		}
+	}
+	return true
+}
+
+// reaches reports whether a dependence path x -> ... -> y exists.
+func (g *Graph) reaches(x, y int) bool {
+	if x == y {
+		return true
+	}
+	seen := map[int]bool{}
+	var dfs func(n int) bool
+	dfs = func(n int) bool {
+		if n == y {
+			return true
+		}
+		if seen[n] {
+			return false
+		}
+		seen[n] = true
+		for _, s := range g.Succs(n) {
+			if dfs(s) {
+				return true
+			}
+		}
+		return false
+	}
+	return dfs(x)
+}
+
+// MergeUntil coarsens the graph (chains first, then smallest-WCET pairs
+// linked by an edge) until at most maxNodes remain. Requires Annotate.
+func (g *Graph) MergeUntil(maxNodes int) {
+	g.CoarsenChains()
+	for len(g.Nodes) > maxNodes {
+		// Merge the edge whose endpoints have the smallest combined
+		// WCET, provided the merge keeps the graph a DAG (no other path
+		// From -> To).
+		bestIdx := -1
+		var bestCost int64
+		for i, e := range g.Edges {
+			if g.hasOtherPath(e.From, e.To) || !g.mergeLegal(e.From, e.To) {
+				continue
+			}
+			c := g.Nodes[e.From].WCET[0] + g.Nodes[e.To].WCET[0]
+			if bestIdx < 0 || c < bestCost {
+				bestIdx, bestCost = i, c
+			}
+		}
+		if bestIdx < 0 {
+			return
+		}
+		g.mergeInto(g.Edges[bestIdx].From, g.Edges[bestIdx].To)
+	}
+}
+
+// hasOtherPath reports whether a path a->...->b exists avoiding the
+// direct edge.
+func (g *Graph) hasOtherPath(a, b int) bool {
+	seen := map[int]bool{}
+	var dfs func(n int) bool
+	dfs = func(n int) bool {
+		if n == b {
+			return true
+		}
+		if seen[n] {
+			return false
+		}
+		seen[n] = true
+		for _, s := range g.Succs(n) {
+			if n == a && s == b {
+				continue // skip the direct edge
+			}
+			if dfs(s) {
+				return true
+			}
+		}
+		return false
+	}
+	return dfs(a)
+}
+
+// mergeInto merges node b into node a (a before b), rebuilding ids/edges.
+func (g *Graph) mergeInto(a, b int) {
+	na, nb := g.Nodes[a], g.Nodes[b]
+	na.Stmts = append(append([]ir.Stmt{}, na.Stmts...), nb.Stmts...)
+	na.Kind = KindRegion
+	na.Children = nil
+	na.Uses = ir.ComputeUses(na.Stmts)
+	na.Accesses = ir.CountAccesses(na.Stmts)
+	na.Ranges = ir.CollectAccessRanges(na.Stmts)
+	if na.WCET != nil && nb.WCET != nil {
+		for c := range na.WCET {
+			na.WCET[c] += nb.WCET[c]
+		}
+		na.SharedAccesses += nb.SharedAccesses
+	}
+	na.Label = na.Label + "+" + nb.Label
+	// Remap: remove b, shift ids.
+	newID := make([]int, len(g.Nodes))
+	var nodes []*Node
+	for _, n := range g.Nodes {
+		if n.ID == b {
+			newID[n.ID] = newID[a]
+			continue
+		}
+		newID[n.ID] = len(nodes)
+		nodes = append(nodes, n)
+	}
+	for _, n := range nodes {
+		n.ID = newID[n.ID]
+	}
+	seen := map[[2]int]int{} // (from,to) -> index into edges
+	var edges []Edge
+	for _, e := range g.Edges {
+		f, t := newID[e.From], newID[e.To]
+		if f == t {
+			continue
+		}
+		key := [2]int{f, t}
+		if i, ok := seen[key]; ok {
+			edges[i].VolumeBytes += e.VolumeBytes
+			edges[i].Vars = append(edges[i].Vars, e.Vars...)
+			continue
+		}
+		seen[key] = len(edges)
+		edges = append(edges, Edge{From: f, To: t, Vars: e.Vars, VolumeBytes: e.VolumeBytes})
+	}
+	g.Nodes = nodes
+	g.Edges = edges
+	g.sortEdges()
+}
+
+func (g *Graph) sortEdges() {
+	sort.Slice(g.Edges, func(i, j int) bool {
+		if g.Edges[i].From != g.Edges[j].From {
+			return g.Edges[i].From < g.Edges[j].From
+		}
+		return g.Edges[i].To < g.Edges[j].To
+	})
+}

@@ -1,0 +1,242 @@
+package ir
+
+// UseSets summarizes which variables a statement region may read and
+// write. Matrix accesses are element accesses to the variable's buffer;
+// scalar accesses are register reads/writes.
+type UseSets struct {
+	MatReads  map[*Var]bool
+	MatWrites map[*Var]bool
+	ScalReads map[*Var]bool
+	ScalWrite map[*Var]bool
+}
+
+// NewUseSets returns empty use sets.
+func NewUseSets() *UseSets {
+	return &UseSets{
+		MatReads:  map[*Var]bool{},
+		MatWrites: map[*Var]bool{},
+		ScalReads: map[*Var]bool{},
+		ScalWrite: map[*Var]bool{},
+	}
+}
+
+// AddExprUses records the variables read by one evaluation of e.
+func (u *UseSets) AddExprUses(e Expr) {
+	WalkExprs(e, func(sub Expr) {
+		switch x := sub.(type) {
+		case *VarRef:
+			u.ScalReads[x.V] = true
+		case *Index:
+			u.MatReads[x.V] = true
+		}
+	})
+}
+
+// Union merges other into u.
+func (u *UseSets) Union(other *UseSets) {
+	for v := range other.MatReads {
+		u.MatReads[v] = true
+	}
+	for v := range other.MatWrites {
+		u.MatWrites[v] = true
+	}
+	for v := range other.ScalReads {
+		u.ScalReads[v] = true
+	}
+	for v := range other.ScalWrite {
+		u.ScalWrite[v] = true
+	}
+}
+
+// ComputeUses returns the may-read / may-write sets of a statement region.
+func ComputeUses(stmts []Stmt) *UseSets {
+	u := NewUseSets()
+	WalkStmts(stmts, func(s Stmt) bool {
+		switch st := s.(type) {
+		case *AssignScalar:
+			u.AddExprUses(st.Src)
+			u.ScalWrite[st.Dst] = true
+		case *Store:
+			for _, ix := range st.Idx {
+				u.AddExprUses(ix)
+			}
+			u.AddExprUses(st.Src)
+			u.MatWrites[st.Dst] = true
+		case *For:
+			u.AddExprUses(st.Lo)
+			u.AddExprUses(st.Step)
+			u.AddExprUses(st.Hi)
+			u.ScalWrite[st.IVar] = true
+		case *While:
+			u.AddExprUses(st.Cond)
+		case *If:
+			u.AddExprUses(st.Cond)
+		}
+		return true
+	})
+	return u
+}
+
+// Conflicts reports whether two regions have a data dependence at
+// variable granularity (read/write or write/write overlap on any matrix
+// buffer or scalar register).
+func Conflicts(a, b *UseSets) bool {
+	for v := range a.MatWrites {
+		if b.MatReads[v] || b.MatWrites[v] {
+			return true
+		}
+	}
+	for v := range b.MatWrites {
+		if a.MatReads[v] {
+			return true
+		}
+	}
+	for v := range a.ScalWrite {
+		if b.ScalReads[v] || b.ScalWrite[v] {
+			return true
+		}
+	}
+	for v := range b.ScalWrite {
+		if a.ScalReads[v] {
+			return true
+		}
+	}
+	return false
+}
+
+// AccessCounts is a static worst-case count of element accesses per
+// matrix variable for one execution of a statement region: loop bodies
+// multiply by the loop's trip count (or @bound), if-branches take the
+// per-variable maximum of the two sides.
+type AccessCounts struct {
+	Reads  map[*Var]int64
+	Writes map[*Var]int64
+}
+
+// NewAccessCounts returns empty counts.
+func NewAccessCounts() *AccessCounts {
+	return &AccessCounts{Reads: map[*Var]int64{}, Writes: map[*Var]int64{}}
+}
+
+// Total returns reads+writes for variable v.
+func (c *AccessCounts) Total(v *Var) int64 { return c.Reads[v] + c.Writes[v] }
+
+// TotalAll sums all counted accesses.
+func (c *AccessCounts) TotalAll() int64 {
+	var n int64
+	for _, k := range c.Reads {
+		n += k
+	}
+	for _, k := range c.Writes {
+		n += k
+	}
+	return n
+}
+
+func (c *AccessCounts) scale(f int64) {
+	for v := range c.Reads {
+		c.Reads[v] *= f
+	}
+	for v := range c.Writes {
+		c.Writes[v] *= f
+	}
+}
+
+func (c *AccessCounts) add(other *AccessCounts) {
+	for v, k := range other.Reads {
+		c.Reads[v] += k
+	}
+	for v, k := range other.Writes {
+		c.Writes[v] += k
+	}
+}
+
+// maxInto folds other into c taking per-variable maxima.
+func (c *AccessCounts) maxInto(other *AccessCounts) *AccessCounts {
+	out := NewAccessCounts()
+	keys := map[*Var]bool{}
+	for v := range c.Reads {
+		keys[v] = true
+	}
+	for v := range other.Reads {
+		keys[v] = true
+	}
+	for v := range keys {
+		a, b := c.Reads[v], other.Reads[v]
+		if b > a {
+			a = b
+		}
+		if a > 0 {
+			out.Reads[v] = a
+		}
+	}
+	keys = map[*Var]bool{}
+	for v := range c.Writes {
+		keys[v] = true
+	}
+	for v := range other.Writes {
+		keys[v] = true
+	}
+	for v := range keys {
+		a, b := c.Writes[v], other.Writes[v]
+		if b > a {
+			a = b
+		}
+		if a > 0 {
+			out.Writes[v] = a
+		}
+	}
+	return out
+}
+
+func exprAccessCounts(e Expr, c *AccessCounts) {
+	WalkExprs(e, func(sub Expr) {
+		if ix, ok := sub.(*Index); ok {
+			c.Reads[ix.V]++
+		}
+	})
+}
+
+// CountAccesses computes worst-case element access counts for a region.
+func CountAccesses(stmts []Stmt) *AccessCounts {
+	total := NewAccessCounts()
+	for _, s := range stmts {
+		total.add(countStmtAccesses(s))
+	}
+	return total
+}
+
+func countStmtAccesses(s Stmt) *AccessCounts {
+	c := NewAccessCounts()
+	switch st := s.(type) {
+	case *AssignScalar:
+		exprAccessCounts(st.Src, c)
+	case *Store:
+		for _, ix := range st.Idx {
+			exprAccessCounts(ix, c)
+		}
+		exprAccessCounts(st.Src, c)
+		c.Writes[st.Dst]++
+	case *For:
+		exprAccessCounts(st.Lo, c)
+		exprAccessCounts(st.Step, c)
+		exprAccessCounts(st.Hi, c)
+		body := CountAccesses(st.Body)
+		body.scale(int64(st.Trip))
+		c.add(body)
+	case *While:
+		iter := NewAccessCounts()
+		exprAccessCounts(st.Cond, iter)
+		iter.add(CountAccesses(st.Body))
+		iter.scale(int64(st.Bound))
+		// The condition is evaluated once more on exit.
+		exprAccessCounts(st.Cond, iter)
+		c.add(iter)
+	case *If:
+		exprAccessCounts(st.Cond, c)
+		thenC := CountAccesses(st.Then)
+		elseC := CountAccesses(st.Else)
+		c.add(thenC.maxInto(elseC))
+	}
+	return c
+}

@@ -1,0 +1,214 @@
+package ir
+
+import (
+	"testing"
+
+	"argo/internal/scil"
+)
+
+func lower(t *testing.T, src, entry string, args ...ArgSpec) *Program {
+	t.Helper()
+	p, err := scil.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	prog, err := Lower(p, entry, args)
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	return prog
+}
+
+func TestComputeUsesSeparatesKinds(t *testing.T) {
+	prog := lower(t, `
+function r = f(m)
+  s = 1
+  r = 0
+  for i = 1:3
+    r = r + m(i, i) * s
+  end
+endfunction`, "f", MatrixArg(3, 3))
+	u := ComputeUses(prog.Entry.Body)
+	if len(u.MatReads) != 1 || len(u.MatWrites) != 0 {
+		t.Fatalf("matrix uses: reads %d writes %d", len(u.MatReads), len(u.MatWrites))
+	}
+	if len(u.ScalWrite) < 3 { // s, r, i
+		t.Fatalf("scalar writes: %d", len(u.ScalWrite))
+	}
+}
+
+func TestConflictsDetection(t *testing.T) {
+	m := &Var{Name: "m", Rows: 2, Cols: 2}
+	s := &Var{Name: "s", Scalar: true, Rows: 1, Cols: 1}
+	writer := NewUseSets()
+	writer.MatWrites[m] = true
+	reader := NewUseSets()
+	reader.MatReads[m] = true
+	if !Conflicts(writer, reader) || !Conflicts(reader, writer) {
+		t.Fatal("write/read conflict missed")
+	}
+	ww := NewUseSets()
+	ww.MatWrites[m] = true
+	if !Conflicts(writer, ww) {
+		t.Fatal("write/write conflict missed")
+	}
+	sw := NewUseSets()
+	sw.ScalWrite[s] = true
+	sr := NewUseSets()
+	sr.ScalReads[s] = true
+	if !Conflicts(sw, sr) {
+		t.Fatal("scalar conflict missed")
+	}
+	rr := NewUseSets()
+	rr.MatReads[m] = true
+	rr2 := NewUseSets()
+	rr2.MatReads[m] = true
+	if Conflicts(rr, rr2) {
+		t.Fatal("read/read is not a conflict")
+	}
+}
+
+func TestUnionMerges(t *testing.T) {
+	m := &Var{Name: "m", Rows: 2, Cols: 2}
+	a := NewUseSets()
+	a.MatReads[m] = true
+	b := NewUseSets()
+	b.MatWrites[m] = true
+	a.Union(b)
+	if !a.MatReads[m] || !a.MatWrites[m] {
+		t.Fatal("union lost entries")
+	}
+}
+
+func TestCountAccessesLoopsMultiply(t *testing.T) {
+	prog := lower(t, `
+function r = f(m)
+  r = 0
+  for i = 1:4
+    for j = 1:5
+      r = r + m(i, j)
+    end
+  end
+endfunction`, "f", MatrixArg(4, 5))
+	c := CountAccesses(prog.Entry.Body)
+	var m *Var
+	for _, v := range prog.MatrixVars() {
+		m = v
+	}
+	if c.Reads[m] != 20 {
+		t.Fatalf("reads = %d, want 20", c.Reads[m])
+	}
+	if c.Total(m) != 20 || c.TotalAll() != 20 {
+		t.Fatalf("totals: %d %d", c.Total(m), c.TotalAll())
+	}
+}
+
+func TestCountAccessesIfTakesMaximum(t *testing.T) {
+	prog := lower(t, `
+function r = f(m, x)
+  r = 0
+  if x > 0 then
+    r = m(1, 1) + m(1, 2) + m(2, 1)
+  else
+    r = m(2, 2)
+  end
+endfunction`, "f", MatrixArg(2, 2), ScalarArg())
+	c := CountAccesses(prog.Entry.Body)
+	var m *Var
+	for _, v := range prog.MatrixVars() {
+		m = v
+	}
+	// Worst branch reads 3 elements.
+	if c.Reads[m] != 3 {
+		t.Fatalf("reads = %d, want 3 (max of branches)", c.Reads[m])
+	}
+}
+
+func TestCountAccessesWhileUsesBound(t *testing.T) {
+	prog := lower(t, `
+function r = f(m, x)
+  r = 0
+  //@bound 7
+  while x > 0
+    r = r + m(1, 1)
+    x = x - 1
+  end
+endfunction`, "f", MatrixArg(1, 1), ScalarArg())
+	c := CountAccesses(prog.Entry.Body)
+	var m *Var
+	for _, v := range prog.MatrixVars() {
+		m = v
+	}
+	if c.Reads[m] != 7 {
+		t.Fatalf("reads = %d, want 7 (the @bound)", c.Reads[m])
+	}
+}
+
+func TestCountAccessesStoresCountAsWrites(t *testing.T) {
+	prog := lower(t, `
+function m = f(x)
+  m = zeros(3, 3)
+  for i = 1:3
+    m(i, i) = x
+  end
+endfunction`, "f", ScalarArg())
+	c := CountAccesses(prog.Entry.Body)
+	var total int64
+	for _, n := range c.Writes {
+		total += n
+	}
+	// 9 fill writes + 3 diagonal writes.
+	if total != 12 {
+		t.Fatalf("writes = %d, want 12", total)
+	}
+}
+
+func TestExecInspectionHelpers(t *testing.T) {
+	prog := lower(t, `
+function m = f(x)
+  m = zeros(2, 2)
+  m(1, 2) = x
+endfunction`, "f", ScalarArg())
+	ex := NewExec(prog, nil)
+	if _, err := ex.Run([][]float64{{5}}); err != nil {
+		t.Fatal(err)
+	}
+	m := prog.Entry.Results[0]
+	buf := ex.MatrixValue(m)
+	if buf == nil || buf[1] != 5 {
+		t.Fatalf("MatrixValue: %v", buf)
+	}
+	if ex.ScalarValue(prog.Entry.Params[0]) != 5 {
+		t.Fatal("ScalarValue")
+	}
+	if ex.MatrixValue(&Var{Name: "ghost", Rows: 1, Cols: 1}) != nil {
+		t.Fatal("unknown var should return nil")
+	}
+}
+
+func TestVarAndStorageStrings(t *testing.T) {
+	v := &Var{Name: "m", Rows: 2, Cols: 3, Storage: StorageSPM}
+	if v.String() != "m:2x3@spm" {
+		t.Fatalf("var string: %s", v)
+	}
+	s := &Var{Name: "x", Scalar: true}
+	if s.String() != "x:scalar" {
+		t.Fatalf("scalar string: %s", s)
+	}
+	if StorageReg.String() != "reg" || StorageShared.String() != "shared" {
+		t.Fatal("storage strings")
+	}
+}
+
+func TestExprReadsCounts(t *testing.T) {
+	m := &Var{Name: "m", Rows: 2, Cols: 2}
+	e := &Bin{Op: OpAdd,
+		X: &Index{V: m, Idx: []Expr{&Const{Val: 1}, &Const{Val: 1}}},
+		Y: &Index{V: m, Idx: []Expr{&Const{Val: 2}, &Const{Val: 2}}},
+	}
+	out := map[*Var]int{}
+	ExprReads(e, out)
+	if out[m] != 2 {
+		t.Fatalf("reads = %d", out[m])
+	}
+}

@@ -1,0 +1,438 @@
+package ir
+
+import (
+	"fmt"
+	"math"
+
+	"argo/internal/scil"
+)
+
+// Meter observes the dynamic behaviour of an IR execution. The multicore
+// simulator and the tightness experiments implement this to convert an
+// actual execution path into cycles and shared-memory traffic using the
+// same cost model as the static WCET analysis.
+type Meter interface {
+	// Ops reports n abstract ALU-operation units executed.
+	Ops(n int)
+	// Read reports a load of one element of matrix variable v.
+	Read(v *Var)
+	// Write reports a store of one element of matrix variable v.
+	Write(v *Var)
+}
+
+// ExprOpUnits returns the abstract ALU cost of evaluating e once,
+// excluding memory access latencies (those are charged per Read/Write).
+// This is the single cost definition shared by the static WCET analysis
+// and the dynamic meter, which is what makes "measured <= bound"
+// mechanically checkable.
+func ExprOpUnits(e Expr) int {
+	switch x := e.(type) {
+	case nil:
+		return 0
+	case *Const:
+		return 0
+	case *VarRef:
+		return 0
+	case *Index:
+		n := 1 // address computation
+		for _, ix := range x.Idx {
+			n += ExprOpUnits(ix)
+		}
+		return n
+	case *Bin:
+		return 1 + ExprOpUnits(x.X) + ExprOpUnits(x.Y)
+	case *Un:
+		return 1 + ExprOpUnits(x.X)
+	case *Intrinsic:
+		n := 0
+		if b := scil.LookupBuiltin(x.Name); b != nil {
+			n = b.Cost
+		} else {
+			n = 1
+		}
+		for _, a := range x.Args {
+			n += ExprOpUnits(a)
+		}
+		return n
+	}
+	return 1
+}
+
+// ExprReads counts element loads performed by one evaluation of e, per
+// matrix variable.
+func ExprReads(e Expr, out map[*Var]int) {
+	WalkExprs(e, func(sub Expr) {
+		if ix, ok := sub.(*Index); ok {
+			out[ix.V]++
+		}
+	})
+}
+
+// Exec is an IR interpreter instance.
+type Exec struct {
+	prog  *Program
+	meter Meter
+
+	scalars map[*Var]float64
+	mats    map[*Var][]float64 // row-major
+
+	fuel int
+}
+
+// ExecFuel bounds the number of executed statements per Run.
+const ExecFuel = 200_000_000
+
+// NewExec returns an interpreter for prog. meter may be nil.
+func NewExec(prog *Program, meter Meter) *Exec {
+	return &Exec{prog: prog, meter: meter}
+}
+
+// MatrixValue exposes a copy of a matrix variable's current contents
+// (row-major); nil if the variable has never been touched.
+func (ex *Exec) MatrixValue(v *Var) []float64 {
+	m, ok := ex.mats[v]
+	if !ok {
+		return nil
+	}
+	out := make([]float64, len(m))
+	copy(out, m)
+	return out
+}
+
+// ScalarValue exposes the current value of a scalar variable.
+func (ex *Exec) ScalarValue(v *Var) float64 { return ex.scalars[v] }
+
+// Run executes the program's entry function. Matrix arguments are
+// row-major slices; scalar arguments are single-element slices. Results
+// are returned in declaration order: scalars as 1-element slices,
+// matrices row-major.
+func (ex *Exec) Run(args [][]float64) ([][]float64, error) {
+	if err := ex.Init(args); err != nil {
+		return nil, err
+	}
+	if err := ex.ExecBlock(ex.prog.Entry.Body); err != nil {
+		return nil, err
+	}
+	return ex.Results(), nil
+}
+
+// Init binds the entry arguments and resets execution state. It allows
+// callers (the multi-core simulator) to execute the program region by
+// region via ExecBlock.
+func (ex *Exec) Init(args [][]float64) error {
+	f := ex.prog.Entry
+	if len(args) != len(f.Params) {
+		return fmt.Errorf("ir: entry expects %d arguments, got %d", len(f.Params), len(args))
+	}
+	ex.scalars = make(map[*Var]float64)
+	ex.mats = make(map[*Var][]float64)
+	ex.fuel = ExecFuel
+	for i, p := range f.Params {
+		if p.Scalar {
+			if len(args[i]) != 1 {
+				return fmt.Errorf("ir: argument %d (%s) must be scalar", i, p.Name)
+			}
+			ex.scalars[p] = args[i][0]
+		} else {
+			if len(args[i]) != p.Elems() {
+				return fmt.Errorf("ir: argument %d (%s) must have %d elements, got %d", i, p.Name, p.Elems(), len(args[i]))
+			}
+			buf := make([]float64, p.Elems())
+			copy(buf, args[i])
+			ex.mats[p] = buf
+		}
+	}
+	return nil
+}
+
+// SetMeter swaps the meter (used to meter each task region separately).
+func (ex *Exec) SetMeter(m Meter) { ex.meter = m }
+
+// ExecBlock executes a statement region against the current state.
+func (ex *Exec) ExecBlock(stmts []Stmt) error {
+	_, err := ex.block(stmts)
+	return err
+}
+
+// Results extracts the entry function's results from the current state.
+func (ex *Exec) Results() [][]float64 {
+	f := ex.prog.Entry
+	out := make([][]float64, len(f.Results))
+	for i, r := range f.Results {
+		if r.Scalar {
+			out[i] = []float64{ex.scalars[r]}
+		} else {
+			buf := ex.mats[r]
+			if buf == nil {
+				buf = make([]float64, r.Elems())
+			}
+			cp := make([]float64, len(buf))
+			copy(cp, buf)
+			out[i] = cp
+		}
+	}
+	return out
+}
+
+type execCtrl int
+
+const (
+	execNone execCtrl = iota
+	execBreak
+	execContinue
+)
+
+func (ex *Exec) block(stmts []Stmt) (execCtrl, error) {
+	for _, s := range stmts {
+		c, err := ex.stmt(s)
+		if err != nil {
+			return execNone, err
+		}
+		if c != execNone {
+			return c, nil
+		}
+	}
+	return execNone, nil
+}
+
+func (ex *Exec) burn() error {
+	ex.fuel--
+	if ex.fuel <= 0 {
+		return fmt.Errorf("ir: execution budget exhausted")
+	}
+	return nil
+}
+
+func (ex *Exec) ops(n int) {
+	if ex.meter != nil && n > 0 {
+		ex.meter.Ops(n)
+	}
+}
+
+func (ex *Exec) stmt(s Stmt) (execCtrl, error) {
+	if err := ex.burn(); err != nil {
+		return execNone, err
+	}
+	switch st := s.(type) {
+	case *AssignScalar:
+		v, err := ex.eval(st.Src)
+		if err != nil {
+			return execNone, err
+		}
+		ex.ops(ExprOpUnits(st.Src) + 1)
+		ex.scalars[st.Dst] = v
+		return execNone, nil
+	case *Store:
+		off, err := ex.offset(st.Dst, st.Idx)
+		if err != nil {
+			return execNone, err
+		}
+		v, err := ex.eval(st.Src)
+		if err != nil {
+			return execNone, err
+		}
+		units := 1 + ExprOpUnits(st.Src)
+		for _, ix := range st.Idx {
+			units += ExprOpUnits(ix)
+		}
+		ex.ops(units)
+		buf := ex.buffer(st.Dst)
+		buf[off] = v
+		if ex.meter != nil {
+			ex.meter.Write(st.Dst)
+		}
+		return execNone, nil
+	case *For:
+		return ex.forLoop(st)
+	case *While:
+		for iter := 0; ; iter++ {
+			if err := ex.burn(); err != nil {
+				return execNone, err
+			}
+			c, err := ex.eval(st.Cond)
+			if err != nil {
+				return execNone, err
+			}
+			ex.ops(ExprOpUnits(st.Cond) + 1)
+			if c == 0 {
+				return execNone, nil
+			}
+			if iter >= st.Bound {
+				return execNone, fmt.Errorf("ir: while loop exceeded its @bound %d", st.Bound)
+			}
+			ctl, err := ex.block(st.Body)
+			if err != nil {
+				return execNone, err
+			}
+			if ctl == execBreak {
+				return execNone, nil
+			}
+		}
+	case *If:
+		c, err := ex.eval(st.Cond)
+		if err != nil {
+			return execNone, err
+		}
+		ex.ops(ExprOpUnits(st.Cond) + 1)
+		if c != 0 {
+			return ex.block(st.Then)
+		}
+		return ex.block(st.Else)
+	case *Break:
+		return execBreak, nil
+	case *Continue:
+		return execContinue, nil
+	}
+	return execNone, fmt.Errorf("ir: unknown statement %T", s)
+}
+
+func (ex *Exec) forLoop(st *For) (execCtrl, error) {
+	lo, err := ex.eval(st.Lo)
+	if err != nil {
+		return execNone, err
+	}
+	hi, err := ex.eval(st.Hi)
+	if err != nil {
+		return execNone, err
+	}
+	step, err := ex.eval(st.Step)
+	if err != nil {
+		return execNone, err
+	}
+	ex.ops(ExprOpUnits(st.Lo) + ExprOpUnits(st.Hi) + ExprOpUnits(st.Step))
+	if step == 0 {
+		return execNone, fmt.Errorf("ir: for loop with zero step")
+	}
+	iters := 0
+	for v := lo; (step > 0 && v <= hi+1e-12) || (step < 0 && v >= hi-1e-12); v += step {
+		if err := ex.burn(); err != nil {
+			return execNone, err
+		}
+		iters++
+		if iters > st.Trip {
+			return execNone, fmt.Errorf("ir: for loop exceeded its static trip count %d", st.Trip)
+		}
+		ex.scalars[st.IVar] = v
+		ex.ops(2) // increment + branch
+		ctl, err := ex.block(st.Body)
+		if err != nil {
+			return execNone, err
+		}
+		if ctl == execBreak {
+			break
+		}
+	}
+	return execNone, nil
+}
+
+func (ex *Exec) buffer(v *Var) []float64 {
+	buf, ok := ex.mats[v]
+	if !ok {
+		buf = make([]float64, v.Elems())
+		ex.mats[v] = buf
+	}
+	return buf
+}
+
+// offset resolves 1 or 2 subscripts to a row-major element offset.
+func (ex *Exec) offset(v *Var, idx []Expr) (int, error) {
+	toInt := func(e Expr) (int, error) {
+		f, err := ex.eval(e)
+		if err != nil {
+			return 0, err
+		}
+		k := int(math.Round(f))
+		if math.Abs(f-float64(k)) > 1e-9 {
+			return 0, fmt.Errorf("ir: index %g is not an integer", f)
+		}
+		return k, nil
+	}
+	switch len(idx) {
+	case 2:
+		i, err := toInt(idx[0])
+		if err != nil {
+			return 0, err
+		}
+		j, err := toInt(idx[1])
+		if err != nil {
+			return 0, err
+		}
+		if i < 1 || i > v.Rows || j < 1 || j > v.Cols {
+			return 0, fmt.Errorf("ir: index (%d, %d) out of range for %s", i, j, v)
+		}
+		return (i-1)*v.Cols + (j - 1), nil
+	case 1:
+		k, err := toInt(idx[0])
+		if err != nil {
+			return 0, err
+		}
+		if k < 1 || k > v.Elems() {
+			return 0, fmt.Errorf("ir: linear index %d out of range for %s", k, v)
+		}
+		// Column-major linear indexing.
+		k--
+		col := k / v.Rows
+		row := k % v.Rows
+		return row*v.Cols + col, nil
+	}
+	return 0, fmt.Errorf("ir: %d subscripts", len(idx))
+}
+
+func (ex *Exec) eval(e Expr) (float64, error) {
+	switch x := e.(type) {
+	case *Const:
+		return x.Val, nil
+	case *VarRef:
+		return ex.scalars[x.V], nil
+	case *Index:
+		off, err := ex.offset(x.V, x.Idx)
+		if err != nil {
+			return 0, err
+		}
+		if ex.meter != nil {
+			ex.meter.Read(x.V)
+		}
+		return ex.buffer(x.V)[off], nil
+	case *Bin:
+		a, err := ex.eval(x.X)
+		if err != nil {
+			return 0, err
+		}
+		b, err := ex.eval(x.Y)
+		if err != nil {
+			return 0, err
+		}
+		return FoldBin(x.Op, a, b), nil
+	case *Un:
+		a, err := ex.eval(x.X)
+		if err != nil {
+			return 0, err
+		}
+		if x.Op == OpNeg {
+			return -a, nil
+		}
+		if a == 0 {
+			return 1, nil
+		}
+		return 0, nil
+	case *Intrinsic:
+		b := scil.LookupBuiltin(x.Name)
+		if b == nil {
+			return 0, fmt.Errorf("ir: unknown intrinsic %q", x.Name)
+		}
+		args := make([]scil.Value, len(x.Args))
+		for i, a := range x.Args {
+			v, err := ex.eval(a)
+			if err != nil {
+				return 0, err
+			}
+			args[i] = scil.Scalar(v)
+		}
+		v, err := b.Eval(args)
+		if err != nil {
+			return 0, err
+		}
+		return v.ScalarVal(), nil
+	}
+	return 0, fmt.Errorf("ir: unknown expression %T", e)
+}

@@ -1,0 +1,628 @@
+// Package ir defines the ARGO intermediate representation: a structured,
+// fully monomorphic imperative program over float64 scalars and
+// statically-shaped dense matrices.
+//
+// The IR is produced by lowering a scil program for one entry point
+// (package-level function Lower). Lowering
+//
+//   - resolves every matrix shape to compile-time constants,
+//   - inlines every user-function call (the call graph is acyclic),
+//   - scalarizes matrix operations into explicit loops, so every memory
+//     access in the IR is an element load or store with index expressions,
+//   - derives a static trip count for every for loop and takes while-loop
+//     bounds from //@bound pragmas.
+//
+// These properties are exactly what the downstream stages need: the WCET
+// analyses (internal/wcet, internal/syswcet) see every loop bound and
+// every shared-memory access statically; the task extractor (internal/htg)
+// computes read/write sets per statement region; the transformation engine
+// (internal/transform) rewrites loops structurally.
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Storage classifies where a variable lives on the target.
+type Storage int
+
+// Storage classes.
+const (
+	// StorageReg is a core-private register: scalar values, free to access.
+	StorageReg Storage = iota
+	// StorageShared is the shared global memory: the default home of all
+	// matrix data; accesses are shared-resource accesses for WCET.
+	StorageShared
+	// StorageSPM is the core-local scratchpad memory; accesses have a
+	// small fixed latency and do not contend.
+	StorageSPM
+)
+
+// String returns the storage class name.
+func (s Storage) String() string {
+	switch s {
+	case StorageReg:
+		return "reg"
+	case StorageShared:
+		return "shared"
+	case StorageSPM:
+		return "spm"
+	}
+	return fmt.Sprintf("storage(%d)", int(s))
+}
+
+// Var is an IR variable: a scalar register or a statically-shaped matrix
+// buffer.
+type Var struct {
+	Name       string
+	Rows, Cols int
+	Scalar     bool
+	Storage    Storage
+	Param      bool
+	Result     bool
+
+	// tempOwner marks a lowering temporary that no source name refers to
+	// yet; such values can be adopted by an assignment without a copy.
+	tempOwner bool
+}
+
+// Elems returns the number of float64 elements the variable holds.
+func (v *Var) Elems() int {
+	if v.Scalar {
+		return 1
+	}
+	return v.Rows * v.Cols
+}
+
+// SizeBytes returns the variable's memory footprint (8 bytes/element).
+func (v *Var) SizeBytes() int { return v.Elems() * 8 }
+
+// String renders the variable with its shape and storage.
+func (v *Var) String() string {
+	if v.Scalar {
+		return fmt.Sprintf("%s:scalar", v.Name)
+	}
+	return fmt.Sprintf("%s:%dx%d@%s", v.Name, v.Rows, v.Cols, v.Storage)
+}
+
+// BinOp enumerates binary scalar operators.
+type BinOp int
+
+// Binary operators.
+const (
+	OpAdd BinOp = iota
+	OpSub
+	OpMul
+	OpDiv
+	OpPow
+	OpEq
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpAnd
+	OpOr
+)
+
+var binOpNames = [...]string{"+", "-", "*", "/", "^", "==", "~=", "<", "<=", ">", ">=", "&", "|"}
+
+// String returns the operator's surface syntax.
+func (op BinOp) String() string {
+	if int(op) < len(binOpNames) {
+		return binOpNames[op]
+	}
+	return fmt.Sprintf("op(%d)", int(op))
+}
+
+// UnOp enumerates unary operators.
+type UnOp int
+
+// Unary operators.
+const (
+	OpNeg UnOp = iota
+	OpNot
+)
+
+// String returns the operator's surface syntax.
+func (op UnOp) String() string {
+	if op == OpNeg {
+		return "-"
+	}
+	return "~"
+}
+
+// Expr is a pure scalar expression.
+type Expr interface {
+	irExpr()
+}
+
+// Const is a literal value.
+type Const struct{ Val float64 }
+
+// VarRef reads a scalar register variable.
+type VarRef struct{ V *Var }
+
+// Index reads one matrix element. Idx holds 1 or 2 scalar index
+// expressions (1-based; a single index is Scilab column-major linear
+// indexing).
+type Index struct {
+	V   *Var
+	Idx []Expr
+}
+
+// Bin applies a binary operator.
+type Bin struct {
+	Op   BinOp
+	X, Y Expr
+}
+
+// Un applies a unary operator.
+type Un struct {
+	Op UnOp
+	X  Expr
+}
+
+// Intrinsic calls a scalar builtin (abs, sqrt, sin, ... from the scil
+// builtin table) on scalar arguments.
+type Intrinsic struct {
+	Name string
+	Args []Expr
+}
+
+func (*Const) irExpr()     {}
+func (*VarRef) irExpr()    {}
+func (*Index) irExpr()     {}
+func (*Bin) irExpr()       {}
+func (*Un) irExpr()        {}
+func (*Intrinsic) irExpr() {}
+
+// Stmt is a structured statement.
+type Stmt interface {
+	irStmt()
+}
+
+// AssignScalar writes a scalar register.
+type AssignScalar struct {
+	Dst *Var
+	Src Expr
+}
+
+// Store writes one matrix element; Idx as in Index.
+type Store struct {
+	Dst *Var
+	Idx []Expr
+	Src Expr
+}
+
+// For is a counted loop. Lo/Step/Hi are scalar expressions evaluated once
+// on entry; Trip is the statically-derived worst-case trip count used by
+// every analysis. IVar is the induction variable (a scalar register).
+type For struct {
+	IVar         *Var
+	Lo, Step, Hi Expr
+	Trip         int
+	Body         []Stmt
+	// Label optionally names the loop for reports and transformations.
+	Label string
+}
+
+// While is a bounded condition-controlled loop; Bound comes from the
+// //@bound pragma and upper-bounds the iteration count.
+type While struct {
+	Cond  Expr
+	Bound int
+	Body  []Stmt
+}
+
+// If branches on a scalar condition (nonzero = true).
+type If struct {
+	Cond Expr
+	Then []Stmt
+	Else []Stmt
+}
+
+// Break exits the innermost enclosing loop.
+type Break struct{}
+
+// Continue proceeds to the next iteration of the innermost loop.
+type Continue struct{}
+
+func (*AssignScalar) irStmt() {}
+func (*Store) irStmt()        {}
+func (*For) irStmt()          {}
+func (*While) irStmt()        {}
+func (*If) irStmt()           {}
+func (*Break) irStmt()        {}
+func (*Continue) irStmt()     {}
+
+// Func is the single fully-inlined entry function of an IR program.
+type Func struct {
+	Name    string
+	Params  []*Var
+	Results []*Var
+	Body    []Stmt
+}
+
+// Program is an IR compilation unit: one entry function plus the table of
+// all variables (registers and matrix buffers) it uses.
+type Program struct {
+	Entry *Func
+	Vars  []*Var
+
+	nextTemp int
+}
+
+// NewVar registers a new variable in the program. Names must be unique;
+// use FreshVar for generated temporaries.
+func (p *Program) NewVar(v *Var) *Var {
+	p.Vars = append(p.Vars, v)
+	return v
+}
+
+// FreshVar creates a uniquely-named variable with the given prefix.
+func (p *Program) FreshVar(prefix string, rows, cols int, scalar bool) *Var {
+	p.nextTemp++
+	v := &Var{
+		Name:   fmt.Sprintf("%s_t%d", prefix, p.nextTemp),
+		Rows:   rows,
+		Cols:   cols,
+		Scalar: scalar,
+	}
+	if !scalar {
+		v.Storage = StorageShared
+	}
+	return p.NewVar(v)
+}
+
+// VarByName returns the variable with the given name, or nil.
+func (p *Program) VarByName(name string) *Var {
+	for _, v := range p.Vars {
+		if v.Name == name {
+			return v
+		}
+	}
+	return nil
+}
+
+// MatrixVars returns all matrix (memory-resident) variables.
+func (p *Program) MatrixVars() []*Var {
+	var out []*Var
+	for _, v := range p.Vars {
+		if !v.Scalar {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// TotalDataBytes sums the memory footprint of all matrix variables.
+func (p *Program) TotalDataBytes() int {
+	n := 0
+	for _, v := range p.MatrixVars() {
+		n += v.SizeBytes()
+	}
+	return n
+}
+
+// --- pretty printing -------------------------------------------------------
+
+// Dump renders the program as pseudo-code for debugging and golden tests.
+func (p *Program) Dump() string {
+	var sb strings.Builder
+	f := p.Entry
+	fmt.Fprintf(&sb, "func %s(", f.Name)
+	for i, v := range f.Params {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(v.String())
+	}
+	sb.WriteString(") -> (")
+	for i, v := range f.Results {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(v.String())
+	}
+	sb.WriteString(")\n")
+	dumpBlock(&sb, f.Body, 1)
+	return sb.String()
+}
+
+func indent(sb *strings.Builder, n int) {
+	for i := 0; i < n; i++ {
+		sb.WriteString("  ")
+	}
+}
+
+func dumpBlock(sb *strings.Builder, stmts []Stmt, depth int) {
+	for _, s := range stmts {
+		dumpStmt(sb, s, depth)
+	}
+}
+
+func dumpStmt(sb *strings.Builder, s Stmt, depth int) {
+	indent(sb, depth)
+	switch st := s.(type) {
+	case *AssignScalar:
+		fmt.Fprintf(sb, "%s = %s\n", st.Dst.Name, ExprString(st.Src))
+	case *Store:
+		fmt.Fprintf(sb, "%s[%s] = %s\n", st.Dst.Name, idxString(st.Idx), ExprString(st.Src))
+	case *For:
+		fmt.Fprintf(sb, "for %s = %s : %s : %s (trip %d)\n",
+			st.IVar.Name, ExprString(st.Lo), ExprString(st.Step), ExprString(st.Hi), st.Trip)
+		dumpBlock(sb, st.Body, depth+1)
+		indent(sb, depth)
+		sb.WriteString("end\n")
+	case *While:
+		fmt.Fprintf(sb, "while %s (bound %d)\n", ExprString(st.Cond), st.Bound)
+		dumpBlock(sb, st.Body, depth+1)
+		indent(sb, depth)
+		sb.WriteString("end\n")
+	case *If:
+		fmt.Fprintf(sb, "if %s\n", ExprString(st.Cond))
+		dumpBlock(sb, st.Then, depth+1)
+		if len(st.Else) > 0 {
+			indent(sb, depth)
+			sb.WriteString("else\n")
+			dumpBlock(sb, st.Else, depth+1)
+		}
+		indent(sb, depth)
+		sb.WriteString("end\n")
+	case *Break:
+		sb.WriteString("break\n")
+	case *Continue:
+		sb.WriteString("continue\n")
+	default:
+		fmt.Fprintf(sb, "?stmt %T\n", s)
+	}
+}
+
+func idxString(idx []Expr) string {
+	parts := make([]string, len(idx))
+	for i, e := range idx {
+		parts[i] = ExprString(e)
+	}
+	return strings.Join(parts, ", ")
+}
+
+// ExprString renders an expression as pseudo-code.
+func ExprString(e Expr) string {
+	switch x := e.(type) {
+	case *Const:
+		return fmt.Sprintf("%g", x.Val)
+	case *VarRef:
+		return x.V.Name
+	case *Index:
+		return fmt.Sprintf("%s[%s]", x.V.Name, idxString(x.Idx))
+	case *Bin:
+		return fmt.Sprintf("(%s %s %s)", ExprString(x.X), x.Op, ExprString(x.Y))
+	case *Un:
+		return fmt.Sprintf("%s%s", x.Op, ExprString(x.X))
+	case *Intrinsic:
+		return fmt.Sprintf("%s(%s)", x.Name, idxString(x.Args))
+	case nil:
+		return "<nil>"
+	}
+	return fmt.Sprintf("?expr %T", e)
+}
+
+// --- structural helpers ----------------------------------------------------
+
+// WalkStmts calls fn for every statement in stmts, recursively, in program
+// order. If fn returns false the walk stops.
+func WalkStmts(stmts []Stmt, fn func(Stmt) bool) bool {
+	for _, s := range stmts {
+		if !fn(s) {
+			return false
+		}
+		switch st := s.(type) {
+		case *For:
+			if !WalkStmts(st.Body, fn) {
+				return false
+			}
+		case *While:
+			if !WalkStmts(st.Body, fn) {
+				return false
+			}
+		case *If:
+			if !WalkStmts(st.Then, fn) {
+				return false
+			}
+			if !WalkStmts(st.Else, fn) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// WalkExprs calls fn for every sub-expression of e in evaluation order.
+func WalkExprs(e Expr, fn func(Expr)) {
+	if e == nil {
+		return
+	}
+	fn(e)
+	switch x := e.(type) {
+	case *Bin:
+		WalkExprs(x.X, fn)
+		WalkExprs(x.Y, fn)
+	case *Un:
+		WalkExprs(x.X, fn)
+	case *Index:
+		for _, ix := range x.Idx {
+			WalkExprs(ix, fn)
+		}
+	case *Intrinsic:
+		for _, a := range x.Args {
+			WalkExprs(a, fn)
+		}
+	}
+}
+
+// StmtExprs returns the expressions directly evaluated by s (not
+// recursing into nested statements).
+func StmtExprs(s Stmt) []Expr {
+	switch st := s.(type) {
+	case *AssignScalar:
+		return []Expr{st.Src}
+	case *Store:
+		out := append([]Expr{}, st.Idx...)
+		return append(out, st.Src)
+	case *For:
+		return []Expr{st.Lo, st.Step, st.Hi}
+	case *While:
+		return []Expr{st.Cond}
+	case *If:
+		return []Expr{st.Cond}
+	}
+	return nil
+}
+
+// CloneStmts deep-copies a statement list. Variables are shared (they are
+// identities), structure is copied, so transformations can rewrite bodies
+// without aliasing surprises.
+func CloneStmts(stmts []Stmt) []Stmt {
+	out := make([]Stmt, len(stmts))
+	for i, s := range stmts {
+		out[i] = CloneStmt(s)
+	}
+	return out
+}
+
+// CloneStmt deep-copies one statement (variables shared).
+func CloneStmt(s Stmt) Stmt {
+	switch st := s.(type) {
+	case *AssignScalar:
+		return &AssignScalar{Dst: st.Dst, Src: CloneExpr(st.Src)}
+	case *Store:
+		return &Store{Dst: st.Dst, Idx: cloneExprs(st.Idx), Src: CloneExpr(st.Src)}
+	case *For:
+		return &For{
+			IVar: st.IVar, Lo: CloneExpr(st.Lo), Step: CloneExpr(st.Step),
+			Hi: CloneExpr(st.Hi), Trip: st.Trip, Body: CloneStmts(st.Body),
+			Label: st.Label,
+		}
+	case *While:
+		return &While{Cond: CloneExpr(st.Cond), Bound: st.Bound, Body: CloneStmts(st.Body)}
+	case *If:
+		return &If{Cond: CloneExpr(st.Cond), Then: CloneStmts(st.Then), Else: CloneStmts(st.Else)}
+	case *Break:
+		return &Break{}
+	case *Continue:
+		return &Continue{}
+	}
+	panic(fmt.Sprintf("ir.CloneStmt: unknown statement %T", s))
+}
+
+func cloneExprs(es []Expr) []Expr {
+	out := make([]Expr, len(es))
+	for i, e := range es {
+		out[i] = CloneExpr(e)
+	}
+	return out
+}
+
+// CloneExpr deep-copies an expression (variables shared).
+func CloneExpr(e Expr) Expr {
+	switch x := e.(type) {
+	case nil:
+		return nil
+	case *Const:
+		c := *x
+		return &c
+	case *VarRef:
+		r := *x
+		return &r
+	case *Index:
+		return &Index{V: x.V, Idx: cloneExprs(x.Idx)}
+	case *Bin:
+		return &Bin{Op: x.Op, X: CloneExpr(x.X), Y: CloneExpr(x.Y)}
+	case *Un:
+		return &Un{Op: x.Op, X: CloneExpr(x.X)}
+	case *Intrinsic:
+		return &Intrinsic{Name: x.Name, Args: cloneExprs(x.Args)}
+	}
+	panic(fmt.Sprintf("ir.CloneExpr: unknown expression %T", e))
+}
+
+// SubstituteVar returns e with every VarRef to v replaced by repl.
+// Index bases are not substituted (v is assumed scalar).
+func SubstituteVar(e Expr, v *Var, repl Expr) Expr {
+	switch x := e.(type) {
+	case nil:
+		return nil
+	case *Const:
+		return x
+	case *VarRef:
+		if x.V == v {
+			return CloneExpr(repl)
+		}
+		return x
+	case *Index:
+		idx := make([]Expr, len(x.Idx))
+		for i, ix := range x.Idx {
+			idx[i] = SubstituteVar(ix, v, repl)
+		}
+		return &Index{V: x.V, Idx: idx}
+	case *Bin:
+		return &Bin{Op: x.Op, X: SubstituteVar(x.X, v, repl), Y: SubstituteVar(x.Y, v, repl)}
+	case *Un:
+		return &Un{Op: x.Op, X: SubstituteVar(x.X, v, repl)}
+	case *Intrinsic:
+		args := make([]Expr, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = SubstituteVar(a, v, repl)
+		}
+		return &Intrinsic{Name: x.Name, Args: args}
+	}
+	panic(fmt.Sprintf("ir.SubstituteVar: unknown expression %T", e))
+}
+
+// SubstituteVarStmts applies SubstituteVar across a statement list in place
+// of expressions (returns a rewritten deep copy).
+func SubstituteVarStmts(stmts []Stmt, v *Var, repl Expr) []Stmt {
+	out := make([]Stmt, len(stmts))
+	for i, s := range stmts {
+		out[i] = substituteVarStmt(s, v, repl)
+	}
+	return out
+}
+
+func substituteVarStmt(s Stmt, v *Var, repl Expr) Stmt {
+	switch st := s.(type) {
+	case *AssignScalar:
+		return &AssignScalar{Dst: st.Dst, Src: SubstituteVar(st.Src, v, repl)}
+	case *Store:
+		idx := make([]Expr, len(st.Idx))
+		for i, ix := range st.Idx {
+			idx[i] = SubstituteVar(ix, v, repl)
+		}
+		return &Store{Dst: st.Dst, Idx: idx, Src: SubstituteVar(st.Src, v, repl)}
+	case *For:
+		return &For{
+			IVar:  st.IVar,
+			Lo:    SubstituteVar(st.Lo, v, repl),
+			Step:  SubstituteVar(st.Step, v, repl),
+			Hi:    SubstituteVar(st.Hi, v, repl),
+			Trip:  st.Trip,
+			Body:  SubstituteVarStmts(st.Body, v, repl),
+			Label: st.Label,
+		}
+	case *While:
+		return &While{Cond: SubstituteVar(st.Cond, v, repl), Bound: st.Bound, Body: SubstituteVarStmts(st.Body, v, repl)}
+	case *If:
+		return &If{
+			Cond: SubstituteVar(st.Cond, v, repl),
+			Then: SubstituteVarStmts(st.Then, v, repl),
+			Else: SubstituteVarStmts(st.Else, v, repl),
+		}
+	case *Break:
+		return &Break{}
+	case *Continue:
+		return &Continue{}
+	}
+	panic(fmt.Sprintf("ir.substituteVarStmt: unknown statement %T", s))
+}

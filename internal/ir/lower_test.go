@@ -1,0 +1,563 @@
+package ir
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"argo/internal/scil"
+)
+
+// compile parses, checks and lowers src for entry with the given arg specs.
+func compile(t *testing.T, src, entry string, args ...ArgSpec) *Program {
+	t.Helper()
+	p, err := scil.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if errs := scil.Check(p, scil.CheckWCET); len(errs) > 0 {
+		t.Fatalf("check: %v", errs[0])
+	}
+	prog, err := Lower(p, entry, args)
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	return prog
+}
+
+// assertEquiv runs the scil interpreter and the IR interpreter on the same
+// inputs and requires identical results.
+func assertEquiv(t *testing.T, src, entry string, specs []ArgSpec, inputs [][]float64) {
+	t.Helper()
+	p, err := scil.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if errs := scil.Check(p, scil.CheckWCET); len(errs) > 0 {
+		t.Fatalf("check: %v", errs[0])
+	}
+	prog, err := Lower(p, entry, specs)
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	// scil reference run.
+	sargs := make([]scil.Value, len(specs))
+	for i, sp := range specs {
+		if sp.Scalar {
+			sargs[i] = scil.Scalar(inputs[i][0])
+		} else {
+			sargs[i] = scil.MatrixOf(sp.Rows, sp.Cols, inputs[i])
+		}
+	}
+	want, err := scil.NewInterp(p).Call(entry, sargs...)
+	if err != nil {
+		t.Fatalf("scil run: %v", err)
+	}
+	got, err := NewExec(prog, nil).Run(inputs)
+	if err != nil {
+		t.Fatalf("ir run: %v", err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("result count: ir %d vs scil %d", len(got), len(want))
+	}
+	for i := range want {
+		w := want[i]
+		g := got[i]
+		if len(g) != w.Len() {
+			t.Fatalf("result %d: ir %d elems vs scil %d", i, len(g), w.Len())
+		}
+		for r := 1; r <= w.Rows; r++ {
+			for c := 1; c <= w.Cols; c++ {
+				wv := w.At(r, c)
+				gv := g[(r-1)*w.Cols+(c-1)]
+				if math.IsNaN(wv) && math.IsNaN(gv) {
+					continue
+				}
+				if math.Abs(wv-gv) > 1e-9*(1+math.Abs(wv)) {
+					t.Fatalf("result %d element (%d,%d): ir %g vs scil %g", i, r, c, gv, wv)
+				}
+			}
+		}
+	}
+}
+
+func TestLowerScalarArithmetic(t *testing.T) {
+	src := `
+function r = f(a, b)
+  r = (a + b) * 2 - b / 4 + a ^ 2
+endfunction`
+	assertEquiv(t, src, "f", []ArgSpec{ScalarArg(), ScalarArg()}, [][]float64{{3}, {8}})
+}
+
+func TestLowerForLoop(t *testing.T) {
+	src := `
+function r = f(x)
+  r = 0
+  for i = 1:50
+    r = r + i * x
+  end
+endfunction`
+	assertEquiv(t, src, "f", []ArgSpec{ScalarArg()}, [][]float64{{2.5}})
+}
+
+func TestLowerConstSpecializedBounds(t *testing.T) {
+	src := `
+function r = f(n, x)
+  r = 0
+  for i = 1:n
+    r = r + x
+  end
+endfunction`
+	assertEquiv(t, src, "f", []ArgSpec{ConstArg(17), ScalarArg()}, [][]float64{{17}, {3}})
+}
+
+func TestLowerNonConstBoundRejected(t *testing.T) {
+	src := `
+function r = f(n)
+  r = 0
+  for i = 1:n
+    r = r + i
+  end
+endfunction`
+	p, err := scil.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Lower(p, "f", []ArgSpec{ScalarArg()})
+	if err == nil || !strings.Contains(err.Error(), "compile-time constants") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestLowerMatrixElementwise(t *testing.T) {
+	src := `
+function r = f(a, b)
+  c = a + b .* a - 3
+  r = sum(c)
+endfunction`
+	assertEquiv(t, src, "f",
+		[]ArgSpec{MatrixArg(2, 3), MatrixArg(2, 3)},
+		[][]float64{{1, 2, 3, 4, 5, 6}, {10, 20, 30, 40, 50, 60}})
+}
+
+func TestLowerMatMul(t *testing.T) {
+	src := `
+function r = f(a, b)
+  c = a * b
+  r = c(1, 1) + c(2, 2) * 1000
+endfunction`
+	assertEquiv(t, src, "f",
+		[]ArgSpec{MatrixArg(2, 2), MatrixArg(2, 2)},
+		[][]float64{{1, 2, 3, 4}, {5, 6, 7, 8}})
+}
+
+func TestLowerMatMulRect(t *testing.T) {
+	src := `
+function r = f(a, b)
+  c = a * b
+  r = sum(c)
+endfunction`
+	assertEquiv(t, src, "f",
+		[]ArgSpec{MatrixArg(2, 3), MatrixArg(3, 4)},
+		[][]float64{
+			{1, 2, 3, 4, 5, 6},
+			{1, 0, 2, 0, 0, 1, 0, 2, 2, 0, 1, 0},
+		})
+}
+
+func TestLowerZerosOnesEye(t *testing.T) {
+	src := `
+function r = f(x)
+  z = zeros(3, 4)
+  o = ones(2, 2)
+  e = eye(3, 3)
+  z(2, 2) = x
+  r = sum(z) + sum(o) * 10 + sum(e) * 100
+endfunction`
+	assertEquiv(t, src, "f", []ArgSpec{ScalarArg()}, [][]float64{{7}})
+}
+
+func TestLowerMatrixLiteralAndIndexing(t *testing.T) {
+	src := `
+function r = f(x)
+  a = [1, 2, 3; 4, 5, 6]
+  r = a(2, 3) * 10 + a(1, 2) + x
+endfunction`
+	assertEquiv(t, src, "f", []ArgSpec{ScalarArg()}, [][]float64{{0.5}})
+}
+
+func TestLowerLinearIndexingColumnMajor(t *testing.T) {
+	src := `
+function r = f(x)
+  a = [1, 2; 3, 4]
+  v = [10, 20, 30]
+  r = a(2) * 100 + a(3) * 10 + v(2) + x
+endfunction`
+	assertEquiv(t, src, "f", []ArgSpec{ScalarArg()}, [][]float64{{0}})
+}
+
+func TestLowerLinearIndexedStore(t *testing.T) {
+	src := `
+function r = f(x)
+  a = zeros(2, 2)
+  a(3) = x
+  r = a(1, 2)
+endfunction`
+	// Column-major: linear 3 on a 2x2 is row 1, col 2.
+	assertEquiv(t, src, "f", []ArgSpec{ScalarArg()}, [][]float64{{42}})
+}
+
+func TestLowerReductions(t *testing.T) {
+	src := `
+function r = f(m)
+  r = sum(m) + prod(m) + mean(m) * 10 + minval(m) * 100 + maxval(m) * 1000
+endfunction`
+	assertEquiv(t, src, "f", []ArgSpec{MatrixArg(2, 2)}, [][]float64{{1, 2, 3, 4}})
+}
+
+func TestLowerElementwiseBuiltins(t *testing.T) {
+	src := `
+function r = f(m)
+  a = abs(m)
+  s = sqrt(a)
+  r = sum(s) + maxval(max(m, 0))
+endfunction`
+	assertEquiv(t, src, "f", []ArgSpec{MatrixArg(2, 3)},
+		[][]float64{{-1, 4, -9, 16, -25, 36}})
+}
+
+func TestLowerWhileLoop(t *testing.T) {
+	src := `
+function r = f(x)
+  r = 0
+  //@bound 64
+  while x > 1
+    x = x / 2
+    r = r + 1
+  end
+endfunction`
+	assertEquiv(t, src, "f", []ArgSpec{ScalarArg()}, [][]float64{{1000}})
+}
+
+func TestLowerIfElse(t *testing.T) {
+	src := `
+function r = f(x)
+  if x > 10 then
+    r = x * 2
+  elseif x > 5 then
+    r = x * 3
+  else
+    r = -x
+  end
+endfunction`
+	for _, in := range []float64{0, 6, 20} {
+		assertEquiv(t, src, "f", []ArgSpec{ScalarArg()}, [][]float64{{in}})
+	}
+}
+
+func TestLowerBreakContinue(t *testing.T) {
+	src := `
+function r = f(x)
+  r = 0
+  for i = 1:20
+    if i == 13 then
+      break
+    end
+    if modulo(i, 2) == 0 then
+      continue
+    end
+    r = r + i
+  end
+endfunction`
+	assertEquiv(t, src, "f", []ArgSpec{ScalarArg()}, [][]float64{{0}})
+}
+
+func TestLowerInlineUserCalls(t *testing.T) {
+	src := `
+function y = sq(v)
+  y = v * v
+endfunction
+
+function [s, m] = stats(v)
+  s = sum(v)
+  m = s / length(v)
+endfunction
+
+function r = f(a)
+  v = zeros(1, 4)
+  for i = 1:4
+    v(i) = sq(i) + a
+  end
+  [s, m] = stats(v)
+  r = s * 10 + m
+endfunction`
+	assertEquiv(t, src, "f", []ArgSpec{ScalarArg()}, [][]float64{{2}})
+}
+
+func TestLowerInlineMatrixParamCopySemantics(t *testing.T) {
+	// g writes its parameter; the caller's matrix must not change.
+	src := `
+function y = g(m)
+  m(1, 1) = 999
+  y = m(1, 1)
+endfunction
+
+function r = f(a)
+  v = [1, 2; 3, 4]
+  y = g(v)
+  r = y * 10 + v(1, 1) + a
+endfunction`
+	assertEquiv(t, src, "f", []ArgSpec{ScalarArg()}, [][]float64{{0}})
+}
+
+func TestLowerValueSemanticsOnCopy(t *testing.T) {
+	// x = y must copy: later writes to y do not affect x.
+	src := `
+function r = f(a)
+  y = [1, 2; 3, 4]
+  x = y
+  y(1, 1) = 100
+  r = x(1, 1) * 1000 + y(1, 1) + a
+endfunction`
+	assertEquiv(t, src, "f", []ArgSpec{ScalarArg()}, [][]float64{{0}})
+}
+
+func TestLowerRangeMaterialization(t *testing.T) {
+	src := `
+function r = f(a)
+  v = 1:10
+  w = 0:0.5:2
+  r = sum(v) + sum(w) * 100 + a
+endfunction`
+	assertEquiv(t, src, "f", []ArgSpec{ScalarArg()}, [][]float64{{1}})
+}
+
+func TestLowerSizeAndLengthFold(t *testing.T) {
+	src := `
+function r = f(m)
+  r = 0
+  for i = 1:size(m, 1)
+    for j = 1:size(m, 2)
+      r = r + m(i, j)
+    end
+  end
+  r = r + length(m)
+endfunction`
+	assertEquiv(t, src, "f", []ArgSpec{MatrixArg(3, 5)},
+		[][]float64{{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15}})
+}
+
+func TestLowerMatrixConditionTruthiness(t *testing.T) {
+	src := `
+function r = f(m)
+  r = 0
+  if m > 0 then
+    r = 1
+  end
+endfunction`
+	assertEquiv(t, src, "f", []ArgSpec{MatrixArg(2, 2)}, [][]float64{{1, 2, 3, 4}})
+	assertEquiv(t, src, "f", []ArgSpec{MatrixArg(2, 2)}, [][]float64{{1, 0, 3, 4}})
+}
+
+func TestLowerShapeChangeRejected(t *testing.T) {
+	src := `
+function r = f(x)
+  m = zeros(2, 2)
+  m = zeros(3, 3)
+  r = sum(m) + x
+endfunction`
+	p, _ := scil.Parse(src)
+	_, err := Lower(p, "f", []ArgSpec{ScalarArg()})
+	if err == nil || !strings.Contains(err.Error(), "changes shape") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestLowerWhileWithoutBoundRejected(t *testing.T) {
+	src := `
+function r = f(x)
+  r = x
+  while r > 1
+    r = r / 2
+  end
+endfunction`
+	p, _ := scil.Parse(src)
+	_, err := Lower(p, "f", []ArgSpec{ScalarArg()})
+	if err == nil || !strings.Contains(err.Error(), "@bound") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestLowerTripCounts(t *testing.T) {
+	prog := compile(t, `
+function r = f(x)
+  r = 0
+  for i = 1:10
+    for j = 1:2:9
+      r = r + x
+    end
+  end
+endfunction`, "f", ScalarArg())
+	var trips []int
+	WalkStmts(prog.Entry.Body, func(s Stmt) bool {
+		if f, ok := s.(*For); ok {
+			trips = append(trips, f.Trip)
+		}
+		return true
+	})
+	if len(trips) != 2 || trips[0] != 10 || trips[1] != 5 {
+		t.Fatalf("trips = %v", trips)
+	}
+}
+
+func TestLowerDump(t *testing.T) {
+	prog := compile(t, `
+function r = f(x)
+  r = 0
+  for i = 1:3
+    r = r + x * i
+  end
+endfunction`, "f", ScalarArg())
+	d := prog.Dump()
+	for _, want := range []string{"func f(", "for ", "(trip 3)", "end"} {
+		if !strings.Contains(d, want) {
+			t.Errorf("dump missing %q:\n%s", want, d)
+		}
+	}
+}
+
+func TestLowerGaussEquivProperty(t *testing.T) {
+	src := `
+function r = f(x)
+  r = 0
+  for i = 1:40
+    r = r + i * x
+  end
+endfunction`
+	p, _ := scil.Parse(src)
+	prog, err := Lower(p, "f", []ArgSpec{ScalarArg()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(x float64) bool {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return true
+		}
+		got, err := NewExec(prog, nil).Run([][]float64{{x}})
+		if err != nil {
+			return false
+		}
+		want := 0.0
+		for i := 1; i <= 40; i++ {
+			want += float64(i) * x
+		}
+		if math.IsInf(want, 0) || math.IsNaN(want) {
+			return got[0][0] == want || (math.IsNaN(want) && math.IsNaN(got[0][0]))
+		}
+		return math.Abs(got[0][0]-want) <= 1e-9*(1+math.Abs(want))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCloneStmtsIndependent(t *testing.T) {
+	prog := compile(t, `
+function r = f(x)
+  r = 0
+  for i = 1:5
+    r = r + x
+  end
+endfunction`, "f", ScalarArg())
+	orig := prog.Entry.Body
+	cl := CloneStmts(orig)
+	// Mutate the clone's loop trip and ensure the original is unchanged.
+	for _, s := range cl {
+		if f, ok := s.(*For); ok {
+			f.Trip = 99
+			f.Body = nil
+		}
+	}
+	for _, s := range orig {
+		if f, ok := s.(*For); ok {
+			if f.Trip != 5 || len(f.Body) == 0 {
+				t.Fatal("clone mutation leaked into original")
+			}
+		}
+	}
+}
+
+func TestSubstituteVar(t *testing.T) {
+	v := &Var{Name: "i", Scalar: true, Rows: 1, Cols: 1}
+	w := &Var{Name: "m", Rows: 4, Cols: 4}
+	e := &Bin{Op: OpAdd, X: &VarRef{V: v}, Y: &Index{V: w, Idx: []Expr{&VarRef{V: v}, &Const{Val: 2}}}}
+	got := SubstituteVar(e, v, &Const{Val: 7})
+	s := ExprString(got)
+	if strings.Contains(s, "i") || !strings.Contains(s, "7") {
+		t.Fatalf("substitute: %s", s)
+	}
+}
+
+type countMeter struct {
+	ops, reads, writes int
+}
+
+func (m *countMeter) Ops(n int)    { m.ops += n }
+func (m *countMeter) Read(v *Var)  { m.reads++ }
+func (m *countMeter) Write(v *Var) { m.writes++ }
+
+func TestMeterCountsAccesses(t *testing.T) {
+	prog := compile(t, `
+function r = f(m)
+  r = 0
+  for i = 1:4
+    for j = 1:4
+      r = r + m(i, j)
+    end
+  end
+endfunction`, "f", MatrixArg(4, 4))
+	meter := &countMeter{}
+	in := make([]float64, 16)
+	if _, err := NewExec(prog, meter).Run([][]float64{in}); err != nil {
+		t.Fatal(err)
+	}
+	if meter.reads != 16 {
+		t.Fatalf("reads = %d, want 16", meter.reads)
+	}
+	if meter.writes != 0 {
+		t.Fatalf("writes = %d, want 0", meter.writes)
+	}
+	if meter.ops == 0 {
+		t.Fatal("no ops recorded")
+	}
+}
+
+func TestMeterWriteCounts(t *testing.T) {
+	prog := compile(t, `
+function m = f(x)
+  m = zeros(3, 3)
+  for i = 1:3
+    m(i, i) = x
+  end
+endfunction`, "f", ScalarArg())
+	meter := &countMeter{}
+	if _, err := NewExec(prog, meter).Run([][]float64{{5}}); err != nil {
+		t.Fatal(err)
+	}
+	// 9 writes from zeros fill + 3 diagonal writes.
+	if meter.writes != 12 {
+		t.Fatalf("writes = %d, want 12", meter.writes)
+	}
+}
+
+func TestTotalDataBytes(t *testing.T) {
+	prog := compile(t, `
+function r = f(a)
+  m = zeros(10, 10)
+  r = sum(m) + a
+endfunction`, "f", ScalarArg())
+	if got := prog.TotalDataBytes(); got < 800 {
+		t.Fatalf("TotalDataBytes = %d, want >= 800", got)
+	}
+}

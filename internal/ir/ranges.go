@@ -1,0 +1,158 @@
+package ir
+
+import "math"
+
+// Interval is a conservative integer value range; Lo > Hi encodes "no
+// accesses" (empty).
+type Interval struct {
+	Lo, Hi float64
+}
+
+// Empty reports whether the interval contains nothing.
+func (iv Interval) Empty() bool { return iv.Lo > iv.Hi }
+
+// Disjoint reports whether two non-empty intervals cannot overlap.
+func (iv Interval) Disjoint(other Interval) bool {
+	if iv.Empty() || other.Empty() {
+		return true
+	}
+	return iv.Hi < other.Lo || other.Hi < iv.Lo
+}
+
+func (iv Interval) union(other Interval) Interval {
+	if iv.Empty() {
+		return other
+	}
+	if other.Empty() {
+		return iv
+	}
+	return Interval{Lo: math.Min(iv.Lo, other.Lo), Hi: math.Max(iv.Hi, other.Hi)}
+}
+
+var fullInterval = Interval{Lo: math.Inf(-1), Hi: math.Inf(1)}
+
+var emptyInterval = Interval{Lo: 1, Hi: 0}
+
+// AccessRange summarizes, per subscript dimension, the value range of all
+// element accesses a region makes to one matrix variable. It is the basis
+// of the interval dependence test: two regions are independent on v when
+// some dimension's ranges are provably disjoint (e.g. two chunks of a
+// parallelized loop writing rows 1..8 and 9..16).
+type AccessRange struct {
+	// Row and Col are the 2-D subscript ranges; linear (1-subscript)
+	// accesses widen both.
+	Row, Col Interval
+	// Any is true if the region accesses v at all.
+	Any bool
+}
+
+// DisjointFrom reports whether the two access sets cannot touch a common
+// element.
+func (a AccessRange) DisjointFrom(b AccessRange) bool {
+	if !a.Any || !b.Any {
+		return true
+	}
+	return a.Row.Disjoint(b.Row) || a.Col.Disjoint(b.Col)
+}
+
+// ivarBounds tracks the constant value range of induction variables in
+// scope.
+type ivarBounds map[*Var]Interval
+
+// exprInterval evaluates a conservative value range of an index
+// expression given the loop bounds in scope.
+func exprInterval(e Expr, scope ivarBounds) Interval {
+	switch x := e.(type) {
+	case *Const:
+		return Interval{Lo: x.Val, Hi: x.Val}
+	case *VarRef:
+		if iv, ok := scope[x.V]; ok {
+			return iv
+		}
+		return fullInterval
+	case *Bin:
+		a := exprInterval(x.X, scope)
+		b := exprInterval(x.Y, scope)
+		switch x.Op {
+		case OpAdd:
+			return Interval{Lo: a.Lo + b.Lo, Hi: a.Hi + b.Hi}
+		case OpSub:
+			return Interval{Lo: a.Lo - b.Hi, Hi: a.Hi - b.Lo}
+		case OpMul:
+			// Only the common positive-constant scaling case is refined.
+			if c, ok := x.Y.(*Const); ok && c.Val >= 0 {
+				return Interval{Lo: a.Lo * c.Val, Hi: a.Hi * c.Val}
+			}
+			if c, ok := x.X.(*Const); ok && c.Val >= 0 {
+				return Interval{Lo: b.Lo * c.Val, Hi: b.Hi * c.Val}
+			}
+			return fullInterval
+		}
+		return fullInterval
+	}
+	return fullInterval
+}
+
+// CollectAccessRanges computes per-variable access ranges of a region.
+func CollectAccessRanges(stmts []Stmt) map[*Var]AccessRange {
+	out := map[*Var]AccessRange{}
+	collectRanges(stmts, ivarBounds{}, out)
+	return out
+}
+
+func record(out map[*Var]AccessRange, v *Var, idx []Expr, scope ivarBounds) {
+	ar, ok := out[v]
+	if !ok {
+		ar = AccessRange{Row: emptyInterval, Col: emptyInterval}
+	}
+	ar.Any = true
+	if len(idx) == 2 {
+		ar.Row = ar.Row.union(exprInterval(idx[0], scope))
+		ar.Col = ar.Col.union(exprInterval(idx[1], scope))
+	} else {
+		ar.Row = fullInterval
+		ar.Col = fullInterval
+	}
+	out[v] = ar
+}
+
+func rangesInExpr(e Expr, scope ivarBounds, out map[*Var]AccessRange) {
+	WalkExprs(e, func(sub Expr) {
+		if ix, ok := sub.(*Index); ok {
+			record(out, ix.V, ix.Idx, scope)
+		}
+	})
+}
+
+func collectRanges(stmts []Stmt, scope ivarBounds, out map[*Var]AccessRange) {
+	for _, s := range stmts {
+		switch st := s.(type) {
+		case *AssignScalar:
+			rangesInExpr(st.Src, scope, out)
+		case *Store:
+			for _, ix := range st.Idx {
+				rangesInExpr(ix, scope, out)
+			}
+			rangesInExpr(st.Src, scope, out)
+			record(out, st.Dst, st.Idx, scope)
+		case *If:
+			rangesInExpr(st.Cond, scope, out)
+			collectRanges(st.Then, scope, out)
+			collectRanges(st.Else, scope, out)
+		case *While:
+			rangesInExpr(st.Cond, scope, out)
+			collectRanges(st.Body, scope, out)
+		case *For:
+			rangesInExpr(st.Lo, scope, out)
+			rangesInExpr(st.Step, scope, out)
+			rangesInExpr(st.Hi, scope, out)
+			iv := exprInterval(st.Lo, scope).union(exprInterval(st.Hi, scope))
+			inner := ivarBounds{}
+			for k, v := range scope {
+				inner[k] = v
+			}
+			inner[st.IVar] = iv
+			collectRanges(st.Body, inner, out)
+		}
+	}
+}

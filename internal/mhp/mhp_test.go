@@ -1,0 +1,120 @@
+package mhp
+
+import (
+	"testing"
+
+	"argo/internal/adl"
+	"argo/internal/sched"
+)
+
+// fixedSchedule builds a hand-written schedule for direct MHP testing.
+func fixedSchedule(p *adl.Platform, placements []sched.Placement, deps []sched.Dep, shared []int64) (*sched.Input, *sched.Schedule) {
+	in := &sched.Input{Platform: p}
+	for i := range placements {
+		t := sched.Task{ID: i, WCET: make([]int64, p.NumCores())}
+		for c := range t.WCET {
+			t.WCET[c] = placements[i].Finish - placements[i].Start
+		}
+		if shared != nil {
+			t.SharedAccesses = shared[i]
+		}
+		in.Tasks = append(in.Tasks, t)
+	}
+	in.Deps = deps
+	s := &sched.Schedule{Placements: placements, Cores: p.NumCores()}
+	for _, pl := range placements {
+		if pl.Finish > s.Makespan {
+			s.Makespan = pl.Finish
+		}
+	}
+	return in, s
+}
+
+func TestWindowOverlapDetection(t *testing.T) {
+	p := adl.XentiumPlatform(3)
+	in, s := fixedSchedule(p, []sched.Placement{
+		{Task: 0, Core: 0, Start: 0, Finish: 100},
+		{Task: 1, Core: 1, Start: 50, Finish: 150},  // overlaps 0
+		{Task: 2, Core: 2, Start: 100, Finish: 200}, // touches 0's end only
+	}, nil, nil)
+	an := New(in, s)
+	if !an.MayHappenInParallel(0, 1, nil, nil) {
+		t.Fatal("overlapping windows on distinct cores must be MHP")
+	}
+	// Half-open windows: [0,100) and [100,200) do not overlap.
+	if an.MayHappenInParallel(0, 2, nil, nil) {
+		t.Fatal("back-to-back windows must not be MHP")
+	}
+	if !an.MayHappenInParallel(1, 2, nil, nil) {
+		t.Fatal("1 and 2 overlap")
+	}
+}
+
+func TestSameCoreNeverParallel(t *testing.T) {
+	p := adl.XentiumPlatform(2)
+	in, s := fixedSchedule(p, []sched.Placement{
+		{Task: 0, Core: 0, Start: 0, Finish: 100},
+		{Task: 1, Core: 0, Start: 100, Finish: 200},
+	}, nil, nil)
+	an := New(in, s)
+	if an.MayHappenInParallel(0, 1, nil, nil) {
+		t.Fatal("same-core tasks flagged parallel")
+	}
+}
+
+func TestDependencePathRefutesParallelism(t *testing.T) {
+	p := adl.XentiumPlatform(3)
+	// Overlapping windows (deliberately inconsistent with the deps —
+	// MHP must use the dependence refutation regardless).
+	in, s := fixedSchedule(p, []sched.Placement{
+		{Task: 0, Core: 0, Start: 0, Finish: 100},
+		{Task: 1, Core: 1, Start: 0, Finish: 100},
+		{Task: 2, Core: 2, Start: 0, Finish: 100},
+	}, []sched.Dep{{From: 0, To: 1}, {From: 1, To: 2}}, nil)
+	an := New(in, s)
+	if !an.Ordered(0, 1) || !an.Ordered(0, 2) {
+		t.Fatal("transitive order missing")
+	}
+	if an.MayHappenInParallel(0, 2, nil, nil) {
+		t.Fatal("transitively ordered tasks must not be MHP")
+	}
+}
+
+func TestWindowOverride(t *testing.T) {
+	p := adl.XentiumPlatform(2)
+	in, s := fixedSchedule(p, []sched.Placement{
+		{Task: 0, Core: 0, Start: 0, Finish: 10},
+		{Task: 1, Core: 1, Start: 100, Finish: 110},
+	}, nil, nil)
+	an := New(in, s)
+	if an.MayHappenInParallel(0, 1, nil, nil) {
+		t.Fatal("disjoint static windows")
+	}
+	// Inflated windows (from the interference fixpoint) overlap.
+	start := []int64{0, 50}
+	finish := []int64{60, 160}
+	if !an.MayHappenInParallel(0, 1, start, finish) {
+		t.Fatal("overridden windows must be used")
+	}
+}
+
+func TestContenderCoresCountsDistinctCoresWithSharedTraffic(t *testing.T) {
+	p := adl.XentiumPlatform(4)
+	in, s := fixedSchedule(p, []sched.Placement{
+		{Task: 0, Core: 0, Start: 0, Finish: 100},
+		{Task: 1, Core: 1, Start: 0, Finish: 100},
+		{Task: 2, Core: 1, Start: 100, Finish: 200}, // same core as 1, later
+		{Task: 3, Core: 2, Start: 0, Finish: 100},   // no shared accesses
+		{Task: 4, Core: 3, Start: 0, Finish: 100},
+	}, nil, []int64{10, 10, 10, 0, 10})
+	an := New(in, s)
+	// Task 0's contenders: core 1 (task 1 overlaps) and core 3 (task 4);
+	// core 2 hosts only a task with no shared traffic.
+	if got := an.ContenderCores(0, nil, nil); got != 2 {
+		t.Fatalf("contenders = %d, want 2", got)
+	}
+	ps := an.ParallelSet(0, nil, nil)
+	if len(ps) != 3 { // tasks 1, 3, 4 overlap on other cores
+		t.Fatalf("parallel set: %v", ps)
+	}
+}

@@ -1,0 +1,234 @@
+package noc
+
+import (
+	"testing"
+
+	"argo/internal/adl"
+)
+
+func spec() adl.NoCSpec {
+	return adl.NoCSpec{
+		Width: 4, Height: 4, LinkCycles: 2, RouterCycles: 3,
+		FlitBytes: 8, WRRWeight: 4, MaxPacketFlits: 16,
+	}
+}
+
+func TestRouteXY(t *testing.T) {
+	r := Route(Coord{0, 0}, Coord{2, 1})
+	if len(r) != 3 {
+		t.Fatalf("route length %d, want 3", len(r))
+	}
+	// X first, then Y.
+	if r[0].to != (Coord{1, 0}) || r[1].to != (Coord{2, 0}) || r[2].to != (Coord{2, 1}) {
+		t.Fatalf("route: %+v", r)
+	}
+	if Hops(Coord{0, 0}, Coord{2, 1}) != 3 {
+		t.Fatal("hops")
+	}
+}
+
+func TestValidateRejectsBadFlows(t *testing.T) {
+	cases := []Config{
+		{Spec: spec(), Flows: []Flow{{ID: 0, Src: Coord{0, 0}, Dst: Coord{9, 0}, PacketFlits: 2, PeriodCycles: 100}}},
+		{Spec: spec(), Flows: []Flow{{ID: 0, Src: Coord{0, 0}, Dst: Coord{0, 0}, PacketFlits: 2, PeriodCycles: 100}}},
+		{Spec: spec(), Flows: []Flow{{ID: 0, Src: Coord{0, 0}, Dst: Coord{1, 0}, PacketFlits: 99, PeriodCycles: 100}}},
+		{Spec: spec(), Flows: []Flow{{ID: 0, Src: Coord{0, 0}, Dst: Coord{1, 0}, PacketFlits: 2, PeriodCycles: 0}}},
+	}
+	for i, c := range cases {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+}
+
+func TestWorstCaseLatencyIsolatedFlow(t *testing.T) {
+	c := &Config{Spec: spec(), Flows: []Flow{
+		{ID: 0, Src: Coord{0, 0}, Dst: Coord{3, 0}, PacketFlits: 4, PeriodCycles: 1000},
+	}}
+	wc, err := c.WorstCaseLatency(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 hops, no competition: per hop 4 flits * 2 + 3 router = 11.
+	if wc != 33 {
+		t.Fatalf("latency bound = %d, want 33", wc)
+	}
+}
+
+func TestWorstCaseLatencyGrowsWithCompetition(t *testing.T) {
+	base := &Config{Spec: spec(), Flows: []Flow{
+		{ID: 0, Src: Coord{0, 0}, Dst: Coord{3, 0}, PacketFlits: 4, PeriodCycles: 1000},
+	}}
+	wc0, _ := base.WorstCaseLatency(0)
+	crowded := &Config{Spec: spec(), Flows: []Flow{
+		{ID: 0, Src: Coord{0, 0}, Dst: Coord{3, 0}, PacketFlits: 4, PeriodCycles: 1000},
+		{ID: 1, Src: Coord{1, 0}, Dst: Coord{3, 0}, PacketFlits: 4, PeriodCycles: 1000},
+		{ID: 2, Src: Coord{2, 0}, Dst: Coord{3, 0}, PacketFlits: 4, PeriodCycles: 1000},
+	}}
+	wc1, _ := crowded.WorstCaseLatency(0)
+	if wc1 <= wc0 {
+		t.Fatalf("competition should raise the bound: %d vs %d", wc1, wc0)
+	}
+}
+
+func TestWorstCaseLatencyOnlySharedLinksCount(t *testing.T) {
+	// A flow on a disjoint row must not affect flow 0's bound.
+	base := &Config{Spec: spec(), Flows: []Flow{
+		{ID: 0, Src: Coord{0, 0}, Dst: Coord{3, 0}, PacketFlits: 4, PeriodCycles: 1000},
+		{ID: 1, Src: Coord{0, 2}, Dst: Coord{3, 2}, PacketFlits: 4, PeriodCycles: 1000},
+	}}
+	wc, _ := base.WorstCaseLatency(0)
+	if wc != 33 {
+		t.Fatalf("disjoint flow changed the bound: %d", wc)
+	}
+}
+
+func TestSimulateDeliversIsolatedFlow(t *testing.T) {
+	c := &Config{Spec: spec(), Flows: []Flow{
+		{ID: 0, Src: Coord{0, 0}, Dst: Coord{3, 0}, PacketFlits: 4, PeriodCycles: 200},
+	}}
+	res, err := Simulate(c, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered[0] < 20 {
+		t.Fatalf("delivered %d packets", res.Delivered[0])
+	}
+	wc, _ := c.WorstCaseLatency(0)
+	if res.MaxLatency[0] > wc {
+		t.Fatalf("simulated max %d exceeds bound %d", res.MaxLatency[0], wc)
+	}
+	if res.MaxLatency[0] <= 0 {
+		t.Fatal("no latency recorded")
+	}
+}
+
+func TestSimulatedMaxWithinBoundUnderContention(t *testing.T) {
+	flows := []Flow{
+		{ID: 0, Src: Coord{0, 0}, Dst: Coord{3, 3}, PacketFlits: 4, PeriodCycles: 300},
+		{ID: 1, Src: Coord{1, 0}, Dst: Coord{3, 3}, PacketFlits: 8, PeriodCycles: 400},
+		{ID: 2, Src: Coord{2, 0}, Dst: Coord{3, 3}, PacketFlits: 2, PeriodCycles: 250},
+		{ID: 3, Src: Coord{0, 1}, Dst: Coord{3, 1}, PacketFlits: 4, PeriodCycles: 350},
+	}
+	c := &Config{Spec: spec(), Flows: flows}
+	res, err := Simulate(c, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range flows {
+		if res.Delivered[f.ID] == 0 {
+			t.Fatalf("flow %d delivered nothing", f.ID)
+		}
+		wc, err := c.WorstCaseLatency(f.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.MaxLatency[f.ID] > wc {
+			t.Fatalf("flow %d: simulated max %d exceeds bound %d", f.ID, res.MaxLatency[f.ID], wc)
+		}
+	}
+}
+
+func TestSimulateContentionRaisesObservedLatency(t *testing.T) {
+	solo := &Config{Spec: spec(), Flows: []Flow{
+		{ID: 0, Src: Coord{0, 0}, Dst: Coord{3, 0}, PacketFlits: 8, PeriodCycles: 100},
+	}}
+	rSolo, _ := Simulate(solo, 20000)
+	crowd := &Config{Spec: spec(), Flows: []Flow{
+		{ID: 0, Src: Coord{0, 0}, Dst: Coord{3, 0}, PacketFlits: 8, PeriodCycles: 100},
+		{ID: 1, Src: Coord{0, 0}, Dst: Coord{3, 0}, PacketFlits: 8, PeriodCycles: 100},
+		{ID: 2, Src: Coord{1, 0}, Dst: Coord{3, 0}, PacketFlits: 8, PeriodCycles: 100},
+	}}
+	rCrowd, _ := Simulate(crowd, 20000)
+	if rCrowd.MaxLatency[0] <= rSolo.MaxLatency[0] {
+		t.Fatalf("contention should raise observed latency: %d vs %d", rCrowd.MaxLatency[0], rSolo.MaxLatency[0])
+	}
+}
+
+func TestMeanLatencyBelowMax(t *testing.T) {
+	c := &Config{Spec: spec(), Flows: []Flow{
+		{ID: 0, Src: Coord{0, 0}, Dst: Coord{2, 2}, PacketFlits: 4, PeriodCycles: 150},
+		{ID: 1, Src: Coord{1, 0}, Dst: Coord{2, 2}, PacketFlits: 4, PeriodCycles: 170},
+	}}
+	res, err := Simulate(c, 30000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := 0; id <= 1; id++ {
+		if res.MeanLatency(id) > float64(res.MaxLatency[id]) {
+			t.Fatalf("flow %d mean %f > max %d", id, res.MeanLatency(id), res.MaxLatency[id])
+		}
+	}
+}
+
+func TestWRRWeightImprovesOwnLatencyBound(t *testing.T) {
+	mk := func(w int) int64 {
+		c := &Config{Spec: spec(), Flows: []Flow{
+			{ID: 0, Src: Coord{0, 0}, Dst: Coord{3, 0}, PacketFlits: 8, PeriodCycles: 500, Weight: w},
+			{ID: 1, Src: Coord{0, 0}, Dst: Coord{3, 0}, PacketFlits: 8, PeriodCycles: 500},
+		}}
+		wc, err := c.WorstCaseLatency(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return wc
+	}
+	if mk(8) >= mk(1) {
+		t.Fatalf("higher weight should lower the bound: w8=%d w1=%d", mk(8), mk(1))
+	}
+}
+
+func TestSegmentTransfer(t *testing.T) {
+	s := spec() // flit 8 bytes, max 16 flits/packet
+	cases := []struct {
+		bytes          int
+		packets, flits int
+	}{
+		{0, 0, 0},
+		{8, 1, 16},
+		{128, 1, 16}, // exactly one max packet
+		{129, 2, 16}, // spills into a second packet
+		{1024, 8, 16},
+	}
+	for _, c := range cases {
+		p, f := SegmentTransfer(s, c.bytes)
+		if p != c.packets || (c.packets > 0 && f != c.flits) {
+			t.Errorf("SegmentTransfer(%d) = (%d, %d), want (%d, %d)", c.bytes, p, f, c.packets, c.flits)
+		}
+	}
+}
+
+func TestWorstCaseTransferLatencyScalesWithSize(t *testing.T) {
+	c := &Config{Spec: spec(), Flows: []Flow{
+		{ID: 0, Src: Coord{0, 0}, Dst: Coord{3, 0}, PacketFlits: 4, PeriodCycles: 500},
+	}}
+	small, err := c.WorstCaseTransferLatency(Coord{0, 1}, Coord{3, 1}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := c.WorstCaseTransferLatency(Coord{0, 1}, Coord{3, 1}, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small <= 0 || big <= small {
+		t.Fatalf("transfer bounds: %d vs %d", small, big)
+	}
+	// 4096 bytes = 512 flits = 32 packets; linear in packets.
+	if big != 32*small {
+		t.Fatalf("expected linear segmentation: %d vs 32*%d", big, small)
+	}
+	// Crossing the competing flow's row costs more than a quiet row.
+	quiet, _ := c.WorstCaseTransferLatency(Coord{0, 2}, Coord{3, 2}, 1024)
+	busy, _ := c.WorstCaseTransferLatency(Coord{0, 0}, Coord{3, 0}, 1024)
+	if busy <= quiet {
+		t.Fatalf("competition must raise the transfer bound: %d vs %d", busy, quiet)
+	}
+}
+
+func TestWorstCaseTransferZeroBytes(t *testing.T) {
+	c := &Config{Spec: spec()}
+	got, err := c.WorstCaseTransferLatency(Coord{0, 0}, Coord{1, 0}, 0)
+	if err != nil || got != 0 {
+		t.Fatalf("got %d, %v", got, err)
+	}
+}

@@ -1,0 +1,53 @@
+package par
+
+// RuntimeHeader is the C header of the WCET-aware programming model the
+// generated code targets (argo_rt.h): time-triggered release, counting
+// signals, DMA staging, barriers, and the math intrinsics. On the real
+// platforms these map to the board support package; the reference
+// implementation below is plain C so the generated code is inspectable
+// and compilable off-target.
+const RuntimeHeader = `/* argo_rt.h — ARGO WCET-aware programming model runtime interface. */
+#ifndef ARGO_RT_H
+#define ARGO_RT_H
+
+#include <math.h>
+
+/* Column-major linear indexing helper (Scilab semantics). */
+#define ARGO_LIN(buf, rows, cols, k) \
+    ((buf)[((k) - 1) % (rows)][((k) - 1) / (rows)])
+
+/* Synchronization: one counting signal per cross-core dependence. */
+void argo_signal(int sig);
+void argo_wait(int sig);
+
+/* All cores rendezvous (used around the DMA staging phases). */
+void argo_barrier(void);
+
+/* Time-triggered release: spin until the core-local cycle counter
+ * reaches the statically computed release time. */
+void argo_release_at(long long cycles);
+
+/* DMA staging between shared memory and the core-local scratchpad. */
+void argo_dma_in(void *buf, int bytes);
+void argo_dma_out(void *buf, int bytes);
+
+/* Math intrinsics with fixed worst-case latency on the target cores. */
+static inline double argo_abs(double x)    { return fabs(x); }
+static inline double argo_sqrt(double x)   { return sqrt(x); }
+static inline double argo_floor(double x)  { return floor(x); }
+static inline double argo_ceil(double x)   { return ceil(x); }
+static inline double argo_round(double x)  { return round(x); }
+static inline double argo_sign(double x)   { return (x > 0) - (x < 0); }
+static inline double argo_sin(double x)    { return sin(x); }
+static inline double argo_cos(double x)    { return cos(x); }
+static inline double argo_tan(double x)    { return tan(x); }
+static inline double argo_exp(double x)    { return exp(x); }
+static inline double argo_log(double x)    { return log(x); }
+static inline double argo_atan(double x)   { return atan(x); }
+static inline double argo_atan2(double y, double x) { return atan2(y, x); }
+static inline double argo_min(double a, double b)   { return a < b ? a : b; }
+static inline double argo_max(double a, double b)   { return a > b ? a : b; }
+static inline double argo_modulo(double a, double b) { return fmod(a, b); }
+
+#endif /* ARGO_RT_H */
+`

@@ -1,0 +1,52 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tab := New("Title line", "name", "value", "ratio")
+	tab.Add("short", 1, 1.5)
+	tab.Add("a-much-longer-name", 123456, 0.333333)
+	s := tab.String()
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if lines[0] != "Title line" {
+		t.Fatalf("title: %q", lines[0])
+	}
+	// Header, separator and rows must share the same width.
+	w := len(lines[1])
+	for i := 2; i < len(lines); i++ {
+		if len(strings.TrimRight(lines[i], " ")) > w {
+			t.Fatalf("row %d wider than header:\n%s", i, s)
+		}
+	}
+	if !strings.Contains(s, "a-much-longer-name") || !strings.Contains(s, "123456") {
+		t.Fatalf("content missing:\n%s", s)
+	}
+	// Floats format with three decimals.
+	if !strings.Contains(s, "0.333") {
+		t.Fatalf("float formatting:\n%s", s)
+	}
+}
+
+func TestTableWithoutTitle(t *testing.T) {
+	tab := New("", "a", "b")
+	tab.Add(1, 2)
+	s := tab.String()
+	if strings.HasPrefix(s, "\n") {
+		t.Fatalf("leading blank line:\n%q", s)
+	}
+	if !strings.HasPrefix(s, "a") {
+		t.Fatalf("should start with header:\n%q", s)
+	}
+}
+
+func TestSeparatorMatchesHeaders(t *testing.T) {
+	tab := New("t", "col", "x")
+	tab.Add("yyyyyyyy", 1)
+	s := tab.String()
+	if !strings.Contains(s, "--------") {
+		t.Fatalf("separator should widen to data:\n%s", s)
+	}
+}

@@ -1,0 +1,184 @@
+// Package rt adds the periodic real-time layer on top of the ARGO
+// tool-chain: applications compiled to a system-level WCET bound run
+// periodically (the use cases are activated per frame / per control
+// cycle), and multiple applications can share one platform under a static
+// cyclic executive — the classic deployment model for time-triggered
+// avionics and industrial controllers, and the context in which the
+// paper's guaranteed bounds are consumed.
+//
+// The package computes utilization, builds a non-preemptive
+// earliest-deadline-first cyclic executive over the hyperperiod, and
+// validates the result (all instances scheduled, no overlap, deadlines
+// met).
+package rt
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Job is one periodically activated application.
+type Job struct {
+	Name string
+	// BoundCycles is the application's system-level WCET bound.
+	BoundCycles int64
+	// PeriodCycles is the activation period (== relative deadline).
+	PeriodCycles int64
+}
+
+// Utilization returns the total processor demand of the job set.
+func Utilization(jobs []Job) float64 {
+	u := 0.0
+	for _, j := range jobs {
+		u += float64(j.BoundCycles) / float64(j.PeriodCycles)
+	}
+	return u
+}
+
+func gcd(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+func lcm(a, b int64) int64 { return a / gcd(a, b) * b }
+
+// Hyperperiod returns the LCM of all periods.
+func Hyperperiod(jobs []Job) int64 {
+	h := int64(1)
+	for _, j := range jobs {
+		h = lcm(h, j.PeriodCycles)
+	}
+	return h
+}
+
+// Slot is one scheduled job instance in the cyclic executive.
+type Slot struct {
+	Job      int
+	Instance int
+	Release  int64
+	Deadline int64
+	Start    int64
+	Finish   int64
+}
+
+// CyclicSchedule is a static timeline over one hyperperiod.
+type CyclicSchedule struct {
+	Jobs        []Job
+	Hyperperiod int64
+	Slots       []Slot
+}
+
+// BuildCyclicExecutive constructs a non-preemptive EDF timeline over the
+// hyperperiod. It fails when a deadline cannot be met (non-preemptive EDF
+// is not optimal, but for the frame-based workloads ARGO targets —
+// bounds well below periods — it is effective and the result is
+// verifiable).
+func BuildCyclicExecutive(jobs []Job) (*CyclicSchedule, error) {
+	if len(jobs) == 0 {
+		return nil, fmt.Errorf("rt: empty job set")
+	}
+	for _, j := range jobs {
+		if j.BoundCycles <= 0 || j.PeriodCycles <= 0 {
+			return nil, fmt.Errorf("rt: job %q has non-positive bound or period", j.Name)
+		}
+		if j.BoundCycles > j.PeriodCycles {
+			return nil, fmt.Errorf("rt: job %q bound %d exceeds its period %d", j.Name, j.BoundCycles, j.PeriodCycles)
+		}
+	}
+	if u := Utilization(jobs); u > 1 {
+		return nil, fmt.Errorf("rt: utilization %.3f > 1", u)
+	}
+	h := Hyperperiod(jobs)
+	// Generate all instances over the hyperperiod.
+	var pending []Slot
+	for ji, j := range jobs {
+		for k := int64(0); k*j.PeriodCycles < h; k++ {
+			pending = append(pending, Slot{
+				Job: ji, Instance: int(k),
+				Release:  k * j.PeriodCycles,
+				Deadline: (k + 1) * j.PeriodCycles,
+			})
+		}
+	}
+	cs := &CyclicSchedule{Jobs: jobs, Hyperperiod: h}
+	var now int64
+	for len(pending) > 0 {
+		// Among released instances, pick earliest deadline; if none
+		// released, advance to the next release.
+		best := -1
+		var nextRelease int64 = 1<<62 - 1
+		for i, p := range pending {
+			if p.Release <= now {
+				if best < 0 || p.Deadline < pending[best].Deadline ||
+					(p.Deadline == pending[best].Deadline && p.Job < pending[best].Job) {
+					best = i
+				}
+			} else if p.Release < nextRelease {
+				nextRelease = p.Release
+			}
+		}
+		if best < 0 {
+			now = nextRelease
+			continue
+		}
+		p := pending[best]
+		p.Start = now
+		p.Finish = now + jobs[p.Job].BoundCycles
+		if p.Finish > p.Deadline {
+			return nil, fmt.Errorf("rt: job %q instance %d misses its deadline (%d > %d) — set not schedulable non-preemptively",
+				jobs[p.Job].Name, p.Instance, p.Finish, p.Deadline)
+		}
+		now = p.Finish
+		cs.Slots = append(cs.Slots, p)
+		pending = append(pending[:best], pending[best+1:]...)
+	}
+	sort.Slice(cs.Slots, func(i, j int) bool { return cs.Slots[i].Start < cs.Slots[j].Start })
+	return cs, nil
+}
+
+// Validate re-checks every structural property of the timeline.
+func (cs *CyclicSchedule) Validate() error {
+	counts := make(map[int]int)
+	var prevFinish int64
+	for i, s := range cs.Slots {
+		j := cs.Jobs[s.Job]
+		if s.Start < s.Release {
+			return fmt.Errorf("rt: slot %d starts before release", i)
+		}
+		if s.Finish-s.Start != j.BoundCycles {
+			return fmt.Errorf("rt: slot %d duration %d != bound %d", i, s.Finish-s.Start, j.BoundCycles)
+		}
+		if s.Finish > s.Deadline {
+			return fmt.Errorf("rt: slot %d misses deadline", i)
+		}
+		if s.Start < prevFinish {
+			return fmt.Errorf("rt: slot %d overlaps its predecessor", i)
+		}
+		prevFinish = s.Finish
+		counts[s.Job]++
+	}
+	for ji, j := range cs.Jobs {
+		want := int(cs.Hyperperiod / j.PeriodCycles)
+		if counts[ji] != want {
+			return fmt.Errorf("rt: job %q scheduled %d times, want %d", j.Name, counts[ji], want)
+		}
+	}
+	return nil
+}
+
+// SlackReport summarizes per-job margin: the minimum (deadline - finish)
+// over all instances, i.e. how much the bound could grow before the
+// timeline breaks.
+func (cs *CyclicSchedule) SlackReport() map[string]int64 {
+	out := map[string]int64{}
+	for _, s := range cs.Slots {
+		name := cs.Jobs[s.Job].Name
+		slack := s.Deadline - s.Finish
+		if cur, ok := out[name]; !ok || slack < cur {
+			out[name] = slack
+		}
+	}
+	return out
+}

@@ -1,0 +1,156 @@
+package rt
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"argo/internal/adl"
+	"argo/internal/core"
+	"argo/internal/usecases"
+)
+
+func TestHyperperiodAndUtilization(t *testing.T) {
+	jobs := []Job{
+		{Name: "a", BoundCycles: 10, PeriodCycles: 40},
+		{Name: "b", BoundCycles: 30, PeriodCycles: 120},
+	}
+	if h := Hyperperiod(jobs); h != 120 {
+		t.Fatalf("hyperperiod = %d", h)
+	}
+	if u := Utilization(jobs); u != 0.5 {
+		t.Fatalf("utilization = %f", u)
+	}
+}
+
+func TestHarmonicSetSchedulable(t *testing.T) {
+	jobs := []Job{
+		{Name: "fast", BoundCycles: 20, PeriodCycles: 100},
+		{Name: "mid", BoundCycles: 50, PeriodCycles: 200},
+		{Name: "slow", BoundCycles: 100, PeriodCycles: 400},
+	}
+	cs, err := BuildCyclicExecutive(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cs.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// fast runs 4x, mid 2x, slow 1x per hyperperiod 400.
+	if len(cs.Slots) != 7 {
+		t.Fatalf("slots = %d", len(cs.Slots))
+	}
+}
+
+func TestOverloadRejected(t *testing.T) {
+	jobs := []Job{
+		{Name: "a", BoundCycles: 80, PeriodCycles: 100},
+		{Name: "b", BoundCycles: 50, PeriodCycles: 100},
+	}
+	if _, err := BuildCyclicExecutive(jobs); err == nil || !strings.Contains(err.Error(), "utilization") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestBoundExceedingPeriodRejected(t *testing.T) {
+	jobs := []Job{{Name: "a", BoundCycles: 200, PeriodCycles: 100}}
+	if _, err := BuildCyclicExecutive(jobs); err == nil {
+		t.Fatal("expected rejection")
+	}
+}
+
+func TestNonPreemptiveBlockingDetected(t *testing.T) {
+	// A very long low-rate job can block a short high-rate one past its
+	// deadline under non-preemptive EDF; the builder must refuse rather
+	// than emit an invalid timeline.
+	jobs := []Job{
+		{Name: "hog", BoundCycles: 190, PeriodCycles: 200},
+		{Name: "tick", BoundCycles: 5, PeriodCycles: 50},
+	}
+	cs, err := BuildCyclicExecutive(jobs)
+	if err == nil {
+		if verr := cs.Validate(); verr != nil {
+			t.Fatalf("builder emitted invalid schedule: %v", verr)
+		}
+		t.Fatal("expected non-schedulable verdict for the blocking set")
+	}
+}
+
+func TestSlackReport(t *testing.T) {
+	jobs := []Job{
+		{Name: "a", BoundCycles: 30, PeriodCycles: 100},
+		{Name: "b", BoundCycles: 20, PeriodCycles: 100},
+	}
+	cs, err := BuildCyclicExecutive(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slack := cs.SlackReport()
+	if slack["a"] <= 0 || slack["b"] <= 0 {
+		t.Fatalf("slack: %v", slack)
+	}
+}
+
+// Property: any schedule the builder emits validates, for random
+// low-utilization harmonic-ish job sets.
+func TestBuilderSoundnessProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		periods := []int64{100, 200, 400, 800}
+		n := 1 + rng.Intn(4)
+		var jobs []Job
+		for i := 0; i < n; i++ {
+			p := periods[rng.Intn(len(periods))]
+			jobs = append(jobs, Job{
+				Name:         string(rune('a' + i)),
+				BoundCycles:  1 + int64(rng.Intn(int(p/4))),
+				PeriodCycles: p,
+			})
+		}
+		cs, err := BuildCyclicExecutive(jobs)
+		if err != nil {
+			return true // refusing is allowed; emitting garbage is not
+		}
+		return cs.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestARGOUseCasesShareOnePlatform is the integration scenario: all three
+// ARGO applications, compiled to their system bounds on one multi-core,
+// run under a single cyclic executive within their real-time periods.
+func TestARGOUseCasesShareOnePlatform(t *testing.T) {
+	platform := adl.XentiumPlatform(8)
+	var jobs []Job
+	for _, u := range usecases.All() {
+		p, err := u.Program()
+		if err != nil {
+			t.Fatal(err)
+		}
+		art, err := core.Compile(p, core.DefaultOptions(u.Entry, u.Args, platform))
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, Job{Name: u.Name, BoundCycles: art.Bound(), PeriodCycles: u.Period})
+	}
+	u := Utilization(jobs)
+	if u >= 1 {
+		t.Fatalf("platform overloaded: utilization %.3f", u)
+	}
+	cs, err := BuildCyclicExecutive(jobs)
+	if err != nil {
+		t.Fatalf("ARGO job set not schedulable: %v (utilization %.3f)", err, u)
+	}
+	if err := cs.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for name, slack := range cs.SlackReport() {
+		if slack < 0 {
+			t.Fatalf("%s negative slack", name)
+		}
+	}
+	t.Logf("utilization %.3f over hyperperiod %d with %d slots", u, cs.Hyperperiod, len(cs.Slots))
+}

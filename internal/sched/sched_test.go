@@ -1,0 +1,334 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"argo/internal/adl"
+)
+
+// mkInput builds a scheduling problem with uniform task WCETs.
+func mkInput(p *adl.Platform, wcets []int64, deps []Dep, shared []int64) *Input {
+	in := &Input{Platform: p}
+	for i, w := range wcets {
+		t := Task{ID: i, WCET: make([]int64, p.NumCores())}
+		for c := range t.WCET {
+			t.WCET[c] = w
+		}
+		if shared != nil {
+			t.SharedAccesses = shared[i]
+		}
+		in.Tasks = append(in.Tasks, t)
+	}
+	in.Deps = deps
+	return in
+}
+
+func TestIndependentTasksSpread(t *testing.T) {
+	p := adl.XentiumPlatform(4)
+	in := mkInput(p, []int64{100, 100, 100, 100}, nil, nil)
+	s, err := Run(in, ListOblivious)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(in); err != nil {
+		t.Fatal(err)
+	}
+	if s.Makespan != 100 {
+		t.Fatalf("makespan = %d, want 100 (perfect spread)", s.Makespan)
+	}
+	used := map[int]bool{}
+	for _, pl := range s.Placements {
+		used[pl.Core] = true
+	}
+	if len(used) != 4 {
+		t.Fatalf("used %d cores", len(used))
+	}
+}
+
+func TestChainStaysSequential(t *testing.T) {
+	p := adl.XentiumPlatform(4)
+	in := mkInput(p, []int64{50, 60, 70}, []Dep{{From: 0, To: 1}, {From: 1, To: 2}}, nil)
+	s, err := Run(in, ListOblivious)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(in); err != nil {
+		t.Fatal(err)
+	}
+	if s.Makespan != 180 {
+		t.Fatalf("makespan = %d, want 180", s.Makespan)
+	}
+	// Zero-volume chain: everything should land on one core (no comm
+	// advantage in moving).
+	c0 := s.Placements[0].Core
+	for _, pl := range s.Placements {
+		if pl.Core != c0 {
+			t.Fatalf("chain split across cores: %+v", s.Placements)
+		}
+	}
+}
+
+func TestCommunicationCostRespected(t *testing.T) {
+	p := adl.XentiumPlatform(2)
+	// Producer -> consumer with a large buffer: scheduling the consumer
+	// on the other core must include DMA cycles in its start.
+	in := mkInput(p, []int64{100, 100}, []Dep{{From: 0, To: 1, VolumeBytes: 1 << 16}}, nil)
+	s, err := Run(in, ListOblivious)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(in); err != nil {
+		t.Fatal(err)
+	}
+	if s.Placements[1].Core != s.Placements[0].Core {
+		t.Fatal("with huge comm cost the consumer should stay on the producer's core")
+	}
+}
+
+func TestForkJoinSpeedup(t *testing.T) {
+	p := adl.XentiumPlatform(4)
+	// 0 -> {1,2,3,4} -> 5 diamond.
+	deps := []Dep{
+		{From: 0, To: 1}, {From: 0, To: 2}, {From: 0, To: 3}, {From: 0, To: 4},
+		{From: 1, To: 5}, {From: 2, To: 5}, {From: 3, To: 5}, {From: 4, To: 5},
+	}
+	in := mkInput(p, []int64{10, 100, 100, 100, 100, 10}, deps, nil)
+	s, err := Run(in, ListOblivious)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(in); err != nil {
+		t.Fatal(err)
+	}
+	// Sequential would be 420; 4 cores should be 120.
+	if s.Makespan != 120 {
+		t.Fatalf("makespan = %d, want 120", s.Makespan)
+	}
+}
+
+func TestContentionAwareAvoidsOverlappingHeavyTasks(t *testing.T) {
+	p := adl.XentiumPlatform(4)
+	// Four independent tasks, all hammering shared memory. Oblivious
+	// spreads them maximally (4-way overlap); the aware scheduler should
+	// accept some serialization to reduce contenders.
+	shared := []int64{1000, 1000, 1000, 1000}
+	in := mkInput(p, []int64{100, 100, 100, 100}, nil, shared)
+	obl, _ := Run(in, ListOblivious)
+	aware, _ := Run(in, ListContentionAware)
+	if err := aware.Validate(in); err != nil {
+		t.Fatal(err)
+	}
+	overlapCores := func(s *Schedule) int {
+		// Count max simultaneous distinct cores running heavy tasks.
+		best := 0
+		for _, pl := range s.Placements {
+			n := 0
+			seen := map[int]bool{}
+			for _, q := range s.Placements {
+				if q.Start < pl.Finish && pl.Start < q.Finish && !seen[q.Core] {
+					seen[q.Core] = true
+					n++
+				}
+			}
+			if n > best {
+				best = n
+			}
+		}
+		return best
+	}
+	if overlapCores(aware) >= overlapCores(obl) {
+		t.Fatalf("aware overlap %d should be < oblivious %d", overlapCores(aware), overlapCores(obl))
+	}
+}
+
+func TestBranchBoundNeverWorseThanHeuristic(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		p := adl.XentiumPlatform(2 + rng.Intn(2))
+		n := 4 + rng.Intn(5)
+		wcets := make([]int64, n)
+		for i := range wcets {
+			wcets[i] = int64(20 + rng.Intn(200))
+		}
+		var deps []Dep
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < 0.3 {
+					deps = append(deps, Dep{From: i, To: j, VolumeBytes: rng.Intn(256)})
+				}
+			}
+		}
+		in := mkInput(p, wcets, deps, nil)
+		h, err := Run(in, ListContentionAware)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Run(in, BranchBound)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Validate(in); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if b.Makespan > h.Makespan {
+			t.Fatalf("trial %d: B&B %d worse than heuristic %d", trial, b.Makespan, h.Makespan)
+		}
+	}
+}
+
+func TestBranchBoundFindsOptimum(t *testing.T) {
+	p := adl.XentiumPlatform(2)
+	// Partition problem in disguise: {8, 7, 6, 5, 4} on 2 cores; optimum
+	// makespan is 15 (8+7 | 6+5+4).
+	in := mkInput(p, []int64{8, 7, 6, 5, 4}, nil, nil)
+	s, err := Run(in, BranchBound)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Makespan != 15 {
+		t.Fatalf("makespan = %d, want 15", s.Makespan)
+	}
+}
+
+func TestValidateCatchesViolations(t *testing.T) {
+	p := adl.XentiumPlatform(2)
+	in := mkInput(p, []int64{10, 10}, []Dep{{From: 0, To: 1}}, nil)
+	s, err := Run(in, ListOblivious)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt: start consumer before producer finishes.
+	s.Placements[1].Start = 0
+	s.Placements[1].Finish = 10
+	if err := s.Validate(in); err == nil {
+		t.Fatal("corrupted schedule must fail validation")
+	}
+}
+
+func TestSingleCoreIsSequential(t *testing.T) {
+	p := adl.XentiumPlatform(1)
+	in := mkInput(p, []int64{10, 20, 30}, nil, nil)
+	for _, pol := range []Policy{ListOblivious, ListContentionAware, BranchBound} {
+		s, err := Run(in, pol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Makespan != 60 {
+			t.Fatalf("%v: makespan = %d, want 60", pol, s.Makespan)
+		}
+		if err := s.Validate(in); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestInputValidation(t *testing.T) {
+	p := adl.XentiumPlatform(2)
+	in := mkInput(p, []int64{10, 10}, []Dep{{From: 1, To: 0}}, nil)
+	if _, err := Run(in, ListOblivious); err == nil {
+		t.Fatal("backward dependence must be rejected")
+	}
+	in2 := &Input{Platform: p, Tasks: []Task{{ID: 0, WCET: []int64{1}}}}
+	if _, err := Run(in2, ListOblivious); err == nil {
+		t.Fatal("wrong WCET arity must be rejected")
+	}
+}
+
+// Property: every policy yields a valid schedule on random DAGs, and
+// more cores never hurt the list schedulers' makespan... (not guaranteed
+// for HEFT in theory, so we only check validity plus makespan >= critical
+// path lower bound).
+func TestSchedulesValidOnRandomDAGsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 1 + rng.Intn(4)
+		p := adl.XentiumPlatform(k)
+		n := 2 + rng.Intn(8)
+		wcets := make([]int64, n)
+		for i := range wcets {
+			wcets[i] = int64(1 + rng.Intn(100))
+		}
+		var deps []Dep
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < 0.25 {
+					deps = append(deps, Dep{From: i, To: j, VolumeBytes: rng.Intn(64)})
+				}
+			}
+		}
+		in := mkInput(p, wcets, deps, nil)
+		// Critical path (no comm) is a lower bound for any schedule.
+		dist := make([]int64, n)
+		var cp int64
+		for i := 0; i < n; i++ {
+			d := dist[i] + wcets[i]
+			for _, dep := range deps {
+				if dep.From == i && d > dist[dep.To] {
+					dist[dep.To] = d
+				}
+			}
+			if d > cp {
+				cp = d
+			}
+		}
+		for _, pol := range []Policy{ListOblivious, ListContentionAware, BranchBound} {
+			s, err := Run(in, pol)
+			if err != nil {
+				return false
+			}
+			if s.Validate(in) != nil {
+				return false
+			}
+			if s.Makespan < cp {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPolicyStrings(t *testing.T) {
+	if ListOblivious.String() == "" || ListContentionAware.String() == "" || BranchBound.String() == "" {
+		t.Fatal("policy names")
+	}
+}
+
+func TestHeterogeneousMappingPrefersFastCores(t *testing.T) {
+	p := adl.Builtin("hetero-1f3s")
+	// One long task and three short ones; per-core WCETs reflect core speed.
+	in := &Input{Platform: p}
+	long := Task{ID: 0, WCET: []int64{300, 900, 900, 900}}
+	in.Tasks = append(in.Tasks, long)
+	for i := 1; i < 4; i++ {
+		in.Tasks = append(in.Tasks, Task{ID: i, WCET: []int64{50, 150, 150, 150}})
+	}
+	for _, pol := range []Policy{ListOblivious, ListContentionAware, BranchBound} {
+		s, err := Run(in, pol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Validate(in); err != nil {
+			t.Fatal(err)
+		}
+		if s.Placements[0].Core != 0 {
+			t.Fatalf("%v: long task on slow core %d", pol, s.Placements[0].Core)
+		}
+	}
+	// And a heterogeneous platform must beat an all-slow one.
+	allSlow := adl.Builtin("hetero-0f4s")
+	inSlow := &Input{Platform: allSlow}
+	inSlow.Tasks = append(inSlow.Tasks, Task{ID: 0, WCET: []int64{900, 900, 900, 900}})
+	for i := 1; i < 4; i++ {
+		inSlow.Tasks = append(inSlow.Tasks, Task{ID: i, WCET: []int64{150, 150, 150, 150}})
+	}
+	sh, _ := Run(in, BranchBound)
+	ss, _ := Run(inSlow, BranchBound)
+	if sh.Makespan >= ss.Makespan {
+		t.Fatalf("hetero %d should beat all-slow %d", sh.Makespan, ss.Makespan)
+	}
+}

@@ -1,0 +1,151 @@
+package scil
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Format renders a program back to canonical scil source. The output
+// round-trips: Parse(Format(p)) produces a structurally identical AST
+// (modulo positions). Used by tooling (the cross-layer interface shows
+// users the model the compiler actually sees) and tested as a
+// parser/printer consistency property.
+func Format(p *Program) string {
+	var sb strings.Builder
+	for i, f := range p.Funcs {
+		if i > 0 {
+			sb.WriteString("\n")
+		}
+		formatFunc(&sb, f)
+	}
+	return sb.String()
+}
+
+func formatFunc(sb *strings.Builder, f *FuncDecl) {
+	for _, pr := range f.Pragmas {
+		fmt.Fprintf(sb, "//%s\n", pr)
+	}
+	sb.WriteString("function ")
+	switch len(f.Results) {
+	case 0:
+	case 1:
+		fmt.Fprintf(sb, "%s = ", f.Results[0])
+	default:
+		fmt.Fprintf(sb, "[%s] = ", strings.Join(f.Results, ", "))
+	}
+	fmt.Fprintf(sb, "%s(%s)\n", f.Name, strings.Join(f.Params, ", "))
+	formatBlock(sb, f.Body, 1)
+	sb.WriteString("endfunction\n")
+}
+
+func formatBlock(sb *strings.Builder, stmts []Stmt, depth int) {
+	ind := strings.Repeat("  ", depth)
+	for _, s := range stmts {
+		switch st := s.(type) {
+		case *AssignStmt:
+			if len(st.LHS) > 1 {
+				names := make([]string, len(st.LHS))
+				for i, lv := range st.LHS {
+					names[i] = lv.Name
+				}
+				fmt.Fprintf(sb, "%s[%s] = %s\n", ind, strings.Join(names, ", "), formatExpr(st.RHS))
+				continue
+			}
+			lv := st.LHS[0]
+			if lv.Index == nil {
+				fmt.Fprintf(sb, "%s%s = %s\n", ind, lv.Name, formatExpr(st.RHS))
+			} else {
+				idx := make([]string, len(lv.Index))
+				for i, e := range lv.Index {
+					idx[i] = formatExpr(e)
+				}
+				fmt.Fprintf(sb, "%s%s(%s) = %s\n", ind, lv.Name, strings.Join(idx, ", "), formatExpr(st.RHS))
+			}
+		case *ForStmt:
+			if st.Step == nil {
+				fmt.Fprintf(sb, "%sfor %s = %s:%s\n", ind, st.Var, formatExpr(st.Lo), formatExpr(st.Hi))
+			} else {
+				fmt.Fprintf(sb, "%sfor %s = %s:%s:%s\n", ind, st.Var, formatExpr(st.Lo), formatExpr(st.Step), formatExpr(st.Hi))
+			}
+			formatBlock(sb, st.Body, depth+1)
+			fmt.Fprintf(sb, "%send\n", ind)
+		case *WhileStmt:
+			if st.Bound > 0 {
+				fmt.Fprintf(sb, "%s//@bound %d\n", ind, st.Bound)
+			}
+			fmt.Fprintf(sb, "%swhile %s\n", ind, formatExpr(st.Cond))
+			formatBlock(sb, st.Body, depth+1)
+			fmt.Fprintf(sb, "%send\n", ind)
+		case *IfStmt:
+			fmt.Fprintf(sb, "%sif %s then\n", ind, formatExpr(st.Cond))
+			formatBlock(sb, st.Then, depth+1)
+			formatElse(sb, st.Else, depth)
+			fmt.Fprintf(sb, "%send\n", ind)
+		case *ExprStmt:
+			fmt.Fprintf(sb, "%s%s\n", ind, formatExpr(st.X))
+		case *BreakStmt:
+			fmt.Fprintf(sb, "%sbreak\n", ind)
+		case *ContinueStmt:
+			fmt.Fprintf(sb, "%scontinue\n", ind)
+		case *ReturnStmt:
+			fmt.Fprintf(sb, "%sreturn\n", ind)
+		}
+	}
+}
+
+// formatElse renders else / elseif chains without extra nesting.
+func formatElse(sb *strings.Builder, els []Stmt, depth int) {
+	ind := strings.Repeat("  ", depth)
+	if len(els) == 0 {
+		return
+	}
+	if len(els) == 1 {
+		if inner, ok := els[0].(*IfStmt); ok {
+			fmt.Fprintf(sb, "%selseif %s then\n", ind, formatExpr(inner.Cond))
+			formatBlock(sb, inner.Then, depth+1)
+			formatElse(sb, inner.Else, depth)
+			return
+		}
+	}
+	fmt.Fprintf(sb, "%selse\n", ind)
+	formatBlock(sb, els, depth+1)
+}
+
+func formatExpr(e Expr) string {
+	switch x := e.(type) {
+	case *NumberLit:
+		return fmt.Sprintf("%g", x.Value)
+	case *StringLit:
+		return fmt.Sprintf("%q", x.Value)
+	case *Ident:
+		return x.Name
+	case *CallExpr:
+		args := make([]string, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = formatExpr(a)
+		}
+		return fmt.Sprintf("%s(%s)", x.Name, strings.Join(args, ", "))
+	case *BinExpr:
+		return fmt.Sprintf("(%s %s %s)", formatExpr(x.X), x.Op, formatExpr(x.Y))
+	case *UnExpr:
+		return fmt.Sprintf("%s(%s)", x.Op, formatExpr(x.X))
+	case *MatrixLit:
+		rows := make([]string, len(x.Rows))
+		for i, row := range x.Rows {
+			cells := make([]string, len(row))
+			for j, el := range row {
+				cells[j] = formatExpr(el)
+			}
+			rows[i] = strings.Join(cells, ", ")
+		}
+		return "[" + strings.Join(rows, "; ") + "]"
+	case *RangeExpr:
+		// Parenthesized so a range nested in a larger expression
+		// re-parses with the same extent.
+		if x.Step == nil {
+			return fmt.Sprintf("(%s:%s)", formatExpr(x.Lo), formatExpr(x.Hi))
+		}
+		return fmt.Sprintf("(%s:%s:%s)", formatExpr(x.Lo), formatExpr(x.Step), formatExpr(x.Hi))
+	}
+	return "?"
+}

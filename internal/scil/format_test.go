@@ -1,0 +1,132 @@
+package scil
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestFormatRoundTripCorpus: parse -> format -> parse -> format must be a
+// fixed point, and both parses must behave identically.
+func TestFormatRoundTripCorpus(t *testing.T) {
+	corpus := []string{
+		`function r = f(a, b)
+  r = (a + b) * 2 - b / 4 + a ^ 2
+endfunction`,
+		`function [q, m] = g(v)
+  q = 0
+  for i = 1:2:9
+    if v(1, i) > 0 then
+      q = q + sqrt(v(1, i))
+    elseif v(1, i) < -10 then
+      q = q - 1
+    else
+      continue
+    end
+  end
+  m = [1, 2; 3, 4]
+  m(2, 1) = q
+endfunction`,
+		`//@entry
+function r = h(x)
+  r = x
+  //@bound 16
+  while r > 1
+    r = r / 2
+    if r < 0 then
+      break
+    end
+  end
+endfunction`,
+		`function r = k(n)
+  v = (1:10)
+  w = (0:0.5:2)
+  r = sum(v) + sum(w) + length(v)
+  return
+endfunction`,
+	}
+	for i, src := range corpus {
+		p1, err := Parse(src)
+		if err != nil {
+			t.Fatalf("case %d: parse: %v", i, err)
+		}
+		f1 := Format(p1)
+		p2, err := Parse(f1)
+		if err != nil {
+			t.Fatalf("case %d: reparse: %v\n%s", i, err, f1)
+		}
+		f2 := Format(p2)
+		if f1 != f2 {
+			t.Fatalf("case %d: format not a fixed point:\n--- first\n%s\n--- second\n%s", i, f1, f2)
+		}
+	}
+}
+
+// TestFormatRoundTripRandom: generated programs round-trip and the
+// reparsed program computes identically.
+func TestFormatRoundTripRandom(t *testing.T) {
+	cfg := DefaultGenConfig()
+	for seed := 0; seed < 30; seed++ {
+		rng := rand.New(rand.NewSource(int64(seed)))
+		p1 := Generate(rng, cfg)
+		f1 := Format(p1)
+		p2, err := Parse(f1)
+		if err != nil {
+			t.Fatalf("seed %d: reparse: %v\n%s", seed, err, f1)
+		}
+		if errs := Check(p2, CheckWCET); len(errs) > 0 {
+			t.Fatalf("seed %d: recheck: %v", seed, errs[0])
+		}
+		if f2 := Format(p2); f1 != f2 {
+			t.Fatalf("seed %d: not a fixed point", seed)
+		}
+		// Behavioural equality on one input.
+		arg := NewMatrix(cfg.Rows, cfg.Cols)
+		for k := range arg.Data {
+			arg.Data[k] = float64(k%7) - 3
+		}
+		out1, err1 := NewInterp(p1).Call("fuzz", arg)
+		out2, err2 := NewInterp(p2).Call("fuzz", arg)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("seed %d: error divergence: %v vs %v", seed, err1, err2)
+		}
+		if err1 != nil {
+			continue
+		}
+		for ri := range out1 {
+			for k := range out1[ri].Data {
+				if out1[ri].Data[k] != out2[ri].Data[k] {
+					t.Fatalf("seed %d: result %d elem %d differs", seed, ri, k)
+				}
+			}
+		}
+	}
+}
+
+// TestFormatPreservesBoundsAndPragmas checks the analysis-relevant
+// annotations survive formatting.
+func TestFormatPreservesBoundsAndPragmas(t *testing.T) {
+	src := `//@period 10ms
+function r = f(x)
+  r = x
+  //@bound 32
+  while r > 1
+    r = r / 2
+  end
+endfunction`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Parse(Format(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := p2.Func("f")
+	if len(f.Pragmas) != 1 || f.Pragmas[0] != "@period 10ms" {
+		t.Fatalf("pragmas: %v", f.Pragmas)
+	}
+	w, ok := f.Body[1].(*WhileStmt)
+	if !ok || w.Bound != 32 {
+		t.Fatalf("bound lost: %+v", f.Body[1])
+	}
+}

@@ -1,0 +1,227 @@
+package scil
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// GenConfig controls random program generation for differential testing.
+type GenConfig struct {
+	// MaxDepth bounds statement nesting.
+	MaxDepth int
+	// MaxStmts bounds statements per block.
+	MaxStmts int
+	// Matrices is the number of matrix locals to pre-allocate.
+	Matrices int
+	// Rows/Cols are the (fixed) matrix dimensions.
+	Rows, Cols int
+}
+
+// DefaultGenConfig returns the standard fuzzing configuration.
+func DefaultGenConfig() GenConfig {
+	return GenConfig{MaxDepth: 3, MaxStmts: 4, Matrices: 3, Rows: 4, Cols: 5}
+}
+
+// Generate produces a random program in the WCET-analysable subset: one
+// entry function "fuzz(m0)" over a Rows x Cols matrix parameter, with
+// statically bounded loops, branches, indexed reads/writes, scalar
+// arithmetic and builtin calls. Every generated program passes
+// Check(CheckWCET) and lowers successfully; the differential tests execute
+// it through the interpreter, the IR and the transformation pipeline and
+// require identical results.
+//
+// The generator is careful to keep values tame (indices from induction
+// variables only, guarded divisions) so results stay finite and
+// comparable.
+func Generate(rng *rand.Rand, cfg GenConfig) *Program {
+	g := &generator{rng: rng, cfg: cfg}
+	src := g.program()
+	prog, err := Parse(src)
+	if err != nil {
+		panic(fmt.Sprintf("scil.Generate: generated source failed to parse: %v\n%s", err, src))
+	}
+	if errs := Check(prog, CheckWCET); len(errs) > 0 {
+		panic(fmt.Sprintf("scil.Generate: generated source failed checks: %v\n%s", errs[0], src))
+	}
+	return prog
+}
+
+// GenerateSource is Generate returning the source text (for debugging).
+func GenerateSource(rng *rand.Rand, cfg GenConfig) string {
+	g := &generator{rng: rng, cfg: cfg}
+	return g.program()
+}
+
+type generator struct {
+	rng *rand.Rand
+	cfg GenConfig
+	sb  strings.Builder
+	ind int
+	// scalars in scope (always readable), loop ivar depth for naming.
+	scalars []string
+	ivars   []string
+	loopN   int
+}
+
+func (g *generator) w(format string, args ...any) {
+	for i := 0; i < g.ind; i++ {
+		g.sb.WriteString("  ")
+	}
+	fmt.Fprintf(&g.sb, format, args...)
+	g.sb.WriteString("\n")
+}
+
+func (g *generator) program() string {
+	g.w("function [r, out] = fuzz(m0)")
+	g.ind++
+	// Pre-allocate matrices and seed scalars.
+	for i := 1; i < g.cfg.Matrices; i++ {
+		g.w("m%d = zeros(%d, %d)", i, g.cfg.Rows, g.cfg.Cols)
+	}
+	g.w("r = 0")
+	g.w("s0 = 1.5")
+	g.w("s1 = -2")
+	g.w("t0 = 0")
+	g.w("t1 = 0.25")
+	g.w("t2 = 3")
+	// The scalar pool is fixed and fully initialized up front so that
+	// branch-local definitions can never leave a variable undefined on
+	// some path (the interpreter would fault where the IR reads zero).
+	g.scalars = []string{"r", "s0", "s1", "t0", "t1", "t2"}
+	g.block(g.cfg.MaxDepth)
+	g.w("out = zeros(%d, %d)", g.cfg.Rows, g.cfg.Cols)
+	g.w("for gi = 1:%d", g.cfg.Rows)
+	g.w("  for gj = 1:%d", g.cfg.Cols)
+	g.w("    out(gi, gj) = m%d(gi, gj)", g.rng.Intn(g.cfg.Matrices))
+	g.w("  end")
+	g.w("end")
+	g.ind--
+	g.w("endfunction")
+	return g.sb.String()
+}
+
+func (g *generator) block(depth int) {
+	n := 1 + g.rng.Intn(g.cfg.MaxStmts)
+	for i := 0; i < n; i++ {
+		g.stmt(depth)
+	}
+}
+
+func (g *generator) stmt(depth int) {
+	choices := 4
+	if depth > 0 {
+		choices = 7
+	}
+	switch g.rng.Intn(choices) {
+	case 0, 1: // scalar assignment
+		name := g.scalars[g.rng.Intn(len(g.scalars))]
+		g.w("%s = %s", name, g.expr(2))
+	case 2: // indexed store (only inside loops with 2 ivars; else const idx)
+		mi := g.rng.Intn(g.cfg.Matrices)
+		g.w("m%d(%s, %s) = %s", mi, g.idx(g.cfg.Rows), g.idx(g.cfg.Cols), g.expr(2))
+	case 3: // accumulate
+		g.w("r = r + %s", g.expr(1))
+	case 4: // for loop
+		iv := fmt.Sprintf("i%d", g.loopN)
+		g.loopN++
+		g.ivars = append(g.ivars, iv)
+		lo := 1 + g.rng.Intn(2)
+		hi := lo + g.rng.Intn(4)
+		step := 1
+		if g.rng.Float64() < 0.25 {
+			step = 2
+		}
+		if step == 1 {
+			g.w("for %s = %d:%d", iv, lo, hi)
+		} else {
+			g.w("for %s = %d:%d:%d", iv, lo, step, hi)
+		}
+		g.ind++
+		g.block(depth - 1)
+		g.ind--
+		g.w("end")
+		g.ivars = g.ivars[:len(g.ivars)-1]
+	case 5: // if/else
+		g.w("if %s > %s then", g.expr(1), g.expr(1))
+		g.ind++
+		g.block(depth - 1)
+		g.ind--
+		if g.rng.Float64() < 0.6 {
+			g.w("else")
+			g.ind++
+			g.block(depth - 1)
+			g.ind--
+		}
+		g.w("end")
+	case 6: // bounded while (structured to terminate quickly)
+		cnt := fmt.Sprintf("w%d", g.loopN)
+		g.loopN++
+		limit := 1 + g.rng.Intn(4)
+		g.w("%s = 0", cnt)
+		g.w("//@bound %d", limit+1)
+		g.w("while %s < %d", cnt, limit)
+		g.ind++
+		g.w("%s = %s + 1", cnt, cnt)
+		g.block(depth - 1)
+		g.ind--
+		g.w("end")
+	}
+}
+
+// idx produces a valid 1-based subscript expression bounded by limit.
+func (g *generator) idx(limit int) string {
+	if len(g.ivars) > 0 && g.rng.Float64() < 0.7 {
+		iv := g.ivars[g.rng.Intn(len(g.ivars))]
+		// Loop ranges stay within 1..5; clamp into the limit.
+		return fmt.Sprintf("min(%s, %d)", iv, limit)
+	}
+	return fmt.Sprintf("%d", 1+g.rng.Intn(limit))
+}
+
+// expr produces a tame scalar expression.
+func (g *generator) expr(depth int) string {
+	if depth <= 0 {
+		return g.atom()
+	}
+	switch g.rng.Intn(6) {
+	case 0:
+		return g.atom()
+	case 1:
+		return fmt.Sprintf("(%s + %s)", g.expr(depth-1), g.expr(depth-1))
+	case 2:
+		return fmt.Sprintf("(%s - %s)", g.expr(depth-1), g.expr(depth-1))
+	case 3:
+		return fmt.Sprintf("(%s * %s)", g.expr(depth-1), g.atom())
+	case 4:
+		// Guarded division keeps values finite.
+		return fmt.Sprintf("(%s / (2 + abs(%s)))", g.expr(depth-1), g.atom())
+	default:
+		fns := []string{"abs", "sqrt", "floor", "min", "max"}
+		fn := fns[g.rng.Intn(len(fns))]
+		if fn == "min" || fn == "max" {
+			return fmt.Sprintf("%s(%s, %s)", fn, g.expr(depth-1), g.atom())
+		}
+		if fn == "sqrt" {
+			return fmt.Sprintf("sqrt(abs(%s))", g.expr(depth-1))
+		}
+		return fmt.Sprintf("%s(%s)", fn, g.expr(depth-1))
+	}
+}
+
+func (g *generator) atom() string {
+	switch g.rng.Intn(4) {
+	case 0:
+		return fmt.Sprintf("%d", g.rng.Intn(7)-3)
+	case 1:
+		return g.scalars[g.rng.Intn(len(g.scalars))]
+	case 2:
+		if len(g.ivars) > 0 {
+			return g.ivars[g.rng.Intn(len(g.ivars))]
+		}
+		return fmt.Sprintf("%g", float64(g.rng.Intn(10))/4)
+	default:
+		mi := g.rng.Intn(g.cfg.Matrices)
+		return fmt.Sprintf("m%d(%s, %s)", mi, g.idx(g.cfg.Rows), g.idx(g.cfg.Cols))
+	}
+}

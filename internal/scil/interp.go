@@ -1,0 +1,466 @@
+package scil
+
+import (
+	"fmt"
+	"math"
+)
+
+// Interp is the reference interpreter for scil programs. It is the
+// semantic oracle of the tool-chain: the IR lowering and every program
+// transformation must preserve interpreter-observable results.
+type Interp struct {
+	prog *Program
+	// Fuel bounds the total number of executed statements, protecting
+	// tests against unbounded while loops. Zero means the default.
+	Fuel int
+
+	used int
+}
+
+// DefaultFuel is the default statement budget for one Call.
+const DefaultFuel = 50_000_000
+
+// NewInterp returns an interpreter for prog.
+func NewInterp(prog *Program) *Interp { return &Interp{prog: prog, Fuel: DefaultFuel} }
+
+type ctrl int
+
+const (
+	ctrlNone ctrl = iota
+	ctrlBreak
+	ctrlContinue
+	ctrlReturn
+)
+
+type env struct {
+	vars map[string]Value
+}
+
+// Call invokes the named function with the given arguments and returns its
+// results in declaration order.
+func (in *Interp) Call(name string, args ...Value) ([]Value, error) {
+	in.used = 0
+	return in.call(name, args, 0)
+}
+
+// StmtsExecuted reports how many statements the last Call executed; the
+// simulator uses this as the architecture-independent path length.
+func (in *Interp) StmtsExecuted() int { return in.used }
+
+func (in *Interp) call(name string, args []Value, depth int) ([]Value, error) {
+	if depth > 64 {
+		return nil, fmt.Errorf("scil: call depth limit exceeded in %q (recursion?)", name)
+	}
+	f := in.prog.Func(name)
+	if f == nil {
+		return nil, fmt.Errorf("scil: undefined function %q", name)
+	}
+	if len(args) != len(f.Params) {
+		return nil, fmt.Errorf("scil: %s expects %d arguments, got %d", name, len(f.Params), len(args))
+	}
+	e := &env{vars: make(map[string]Value, len(f.Params)+len(f.Results)+8)}
+	for i, p := range f.Params {
+		e.vars[p] = args[i].Clone()
+	}
+	if _, err := in.block(f.Body, e, depth); err != nil {
+		return nil, err
+	}
+	out := make([]Value, len(f.Results))
+	for i, r := range f.Results {
+		v, ok := e.vars[r]
+		if !ok {
+			return nil, fmt.Errorf("scil: %s: result variable %q never assigned", name, r)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func (in *Interp) block(stmts []Stmt, e *env, depth int) (ctrl, error) {
+	for _, s := range stmts {
+		c, err := in.stmt(s, e, depth)
+		if err != nil {
+			return ctrlNone, err
+		}
+		if c != ctrlNone {
+			return c, nil
+		}
+	}
+	return ctrlNone, nil
+}
+
+func (in *Interp) burn(pos Pos) error {
+	in.used++
+	fuel := in.Fuel
+	if fuel <= 0 {
+		fuel = DefaultFuel
+	}
+	if in.used > fuel {
+		return errf(pos, "execution budget exhausted (possible unbounded loop)")
+	}
+	return nil
+}
+
+func (in *Interp) stmt(s Stmt, e *env, depth int) (ctrl, error) {
+	if err := in.burn(s.StmtPos()); err != nil {
+		return ctrlNone, err
+	}
+	switch st := s.(type) {
+	case *AssignStmt:
+		return ctrlNone, in.assign(st, e, depth)
+	case *ExprStmt:
+		_, err := in.eval(st.X, e, depth)
+		return ctrlNone, err
+	case *IfStmt:
+		c, err := in.eval(st.Cond, e, depth)
+		if err != nil {
+			return ctrlNone, err
+		}
+		if c.Truthy() {
+			return in.block(st.Then, e, depth)
+		}
+		return in.block(st.Else, e, depth)
+	case *ForStmt:
+		return in.forLoop(st, e, depth)
+	case *WhileStmt:
+		for iter := 0; ; iter++ {
+			if err := in.burn(st.Pos); err != nil {
+				return ctrlNone, err
+			}
+			c, err := in.eval(st.Cond, e, depth)
+			if err != nil {
+				return ctrlNone, err
+			}
+			if !c.Truthy() {
+				return ctrlNone, nil
+			}
+			if st.Bound > 0 && iter >= st.Bound {
+				return ctrlNone, errf(st.Pos, "while loop exceeded its declared @bound %d", st.Bound)
+			}
+			ctl, err := in.block(st.Body, e, depth)
+			if err != nil {
+				return ctrlNone, err
+			}
+			switch ctl {
+			case ctrlBreak:
+				return ctrlNone, nil
+			case ctrlReturn:
+				return ctrlReturn, nil
+			}
+		}
+	case *BreakStmt:
+		return ctrlBreak, nil
+	case *ContinueStmt:
+		return ctrlContinue, nil
+	case *ReturnStmt:
+		return ctrlReturn, nil
+	}
+	return ctrlNone, errf(s.StmtPos(), "unknown statement type %T", s)
+}
+
+func (in *Interp) forLoop(st *ForStmt, e *env, depth int) (ctrl, error) {
+	lo, err := in.eval(st.Lo, e, depth)
+	if err != nil {
+		return ctrlNone, err
+	}
+	hi, err := in.eval(st.Hi, e, depth)
+	if err != nil {
+		return ctrlNone, err
+	}
+	step := 1.0
+	if st.Step != nil {
+		sv, err := in.eval(st.Step, e, depth)
+		if err != nil {
+			return ctrlNone, err
+		}
+		step = sv.ScalarVal()
+	}
+	if step == 0 {
+		return ctrlNone, errf(st.Pos, "for loop with zero step")
+	}
+	for v := lo.ScalarVal(); (step > 0 && v <= hi.ScalarVal()+1e-12) || (step < 0 && v >= hi.ScalarVal()-1e-12); v += step {
+		if err := in.burn(st.Pos); err != nil {
+			return ctrlNone, err
+		}
+		e.vars[st.Var] = Scalar(v)
+		ctl, err := in.block(st.Body, e, depth)
+		if err != nil {
+			return ctrlNone, err
+		}
+		switch ctl {
+		case ctrlBreak:
+			return ctrlNone, nil
+		case ctrlReturn:
+			return ctrlReturn, nil
+		}
+	}
+	return ctrlNone, nil
+}
+
+func (in *Interp) assign(st *AssignStmt, e *env, depth int) error {
+	if len(st.LHS) > 1 {
+		call, ok := st.RHS.(*CallExpr)
+		if !ok {
+			return errf(st.Pos, "multi-assignment requires a function call")
+		}
+		if in.prog.Func(call.Name) == nil {
+			return errf(call.Pos, "multi-assignment from non-function %q", call.Name)
+		}
+		args, err := in.evalArgs(call.Args, e, depth)
+		if err != nil {
+			return err
+		}
+		results, err := in.call(call.Name, args, depth+1)
+		if err != nil {
+			return err
+		}
+		if len(results) < len(st.LHS) {
+			return errf(st.Pos, "function %q returns %d values, %d requested", call.Name, len(results), len(st.LHS))
+		}
+		for i, lv := range st.LHS {
+			if lv.Index != nil {
+				return errf(lv.Pos, "indexed targets not allowed in multi-assignment")
+			}
+			e.vars[lv.Name] = results[i]
+		}
+		return nil
+	}
+	rhs, err := in.eval(st.RHS, e, depth)
+	if err != nil {
+		return err
+	}
+	lv := st.LHS[0]
+	if lv.Index == nil {
+		e.vars[lv.Name] = rhs
+		return nil
+	}
+	return in.indexedStore(lv, rhs, e, depth)
+}
+
+func (in *Interp) indexedStore(lv *LValue, rhs Value, e *env, depth int) error {
+	cur, ok := e.vars[lv.Name]
+	if !ok {
+		return errf(lv.Pos, "indexed assignment to undefined variable %q (pre-allocate with zeros)", lv.Name)
+	}
+	idx, err := in.evalArgs(lv.Index, e, depth)
+	if err != nil {
+		return err
+	}
+	if !rhs.IsScalar && rhs.Len() != 1 {
+		return errf(lv.Pos, "indexed assignment requires a scalar right-hand side")
+	}
+	x := rhs.Data[0]
+	v := cur.Clone()
+	switch len(idx) {
+	case 1:
+		k, err := checkIndex(lv.Pos, idx[0], v.Len(), "linear index")
+		if err != nil {
+			return err
+		}
+		v.SetLin(k, x)
+	case 2:
+		i, err := checkIndex(lv.Pos, idx[0], v.Rows, "row index")
+		if err != nil {
+			return err
+		}
+		j, err := checkIndex(lv.Pos, idx[1], v.Cols, "column index")
+		if err != nil {
+			return err
+		}
+		v.Set(i, j, x)
+	default:
+		return errf(lv.Pos, "indexing supports 1 or 2 subscripts, got %d", len(idx))
+	}
+	e.vars[lv.Name] = v
+	return nil
+}
+
+func checkIndex(pos Pos, v Value, limit int, what string) (int, error) {
+	if v.Len() != 1 {
+		return 0, errf(pos, "%s must be scalar", what)
+	}
+	f := v.ScalarVal()
+	k := int(math.Round(f))
+	if math.Abs(f-float64(k)) > 1e-9 {
+		return 0, errf(pos, "%s %g is not an integer", what, f)
+	}
+	if k < 1 || k > limit {
+		return 0, errf(pos, "%s %d out of range [1, %d]", what, k, limit)
+	}
+	return k, nil
+}
+
+func (in *Interp) evalArgs(args []Expr, e *env, depth int) ([]Value, error) {
+	out := make([]Value, len(args))
+	for i, a := range args {
+		v, err := in.eval(a, e, depth)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func (in *Interp) eval(ex Expr, e *env, depth int) (Value, error) {
+	switch x := ex.(type) {
+	case *NumberLit:
+		return Scalar(x.Value), nil
+	case *StringLit:
+		return Value{}, errf(x.Pos, "string values are not supported in expressions")
+	case *Ident:
+		v, ok := e.vars[x.Name]
+		if !ok {
+			return Value{}, errf(x.Pos, "undefined variable %q", x.Name)
+		}
+		return v, nil
+	case *UnExpr:
+		v, err := in.eval(x.X, e, depth)
+		if err != nil {
+			return Value{}, err
+		}
+		out := v.Clone()
+		for i := range out.Data {
+			if x.Op == MINUS {
+				out.Data[i] = -out.Data[i]
+			} else {
+				out.Data[i] = bool2f(out.Data[i] == 0)
+			}
+		}
+		return out, nil
+	case *BinExpr:
+		a, err := in.eval(x.X, e, depth)
+		if err != nil {
+			return Value{}, err
+		}
+		b, err := in.eval(x.Y, e, depth)
+		if err != nil {
+			return Value{}, err
+		}
+		v, err := applyBin(x.Op, a, b)
+		if err != nil {
+			return Value{}, errf(x.Pos, "%v", err)
+		}
+		return v, nil
+	case *MatrixLit:
+		return in.matrixLit(x, e, depth)
+	case *RangeExpr:
+		return in.rangeVal(x, e, depth)
+	case *CallExpr:
+		return in.callExpr(x, e, depth)
+	}
+	return Value{}, errf(ex.ExprPos(), "unknown expression type %T", ex)
+}
+
+func (in *Interp) matrixLit(x *MatrixLit, e *env, depth int) (Value, error) {
+	if len(x.Rows) == 0 {
+		return NewMatrix(0, 0), nil
+	}
+	cols := len(x.Rows[0])
+	v := NewMatrix(len(x.Rows), cols)
+	for i, row := range x.Rows {
+		if len(row) != cols {
+			return Value{}, errf(x.Pos, "ragged matrix literal: row %d has %d elements, expected %d", i+1, len(row), cols)
+		}
+		for j, el := range row {
+			ev, err := in.eval(el, e, depth)
+			if err != nil {
+				return Value{}, err
+			}
+			if ev.Len() != 1 {
+				return Value{}, errf(el.ExprPos(), "matrix literal elements must be scalar")
+			}
+			v.Set(i+1, j+1, ev.ScalarVal())
+		}
+	}
+	return v, nil
+}
+
+func (in *Interp) rangeVal(x *RangeExpr, e *env, depth int) (Value, error) {
+	lo, err := in.eval(x.Lo, e, depth)
+	if err != nil {
+		return Value{}, err
+	}
+	hi, err := in.eval(x.Hi, e, depth)
+	if err != nil {
+		return Value{}, err
+	}
+	step := 1.0
+	if x.Step != nil {
+		sv, err := in.eval(x.Step, e, depth)
+		if err != nil {
+			return Value{}, err
+		}
+		step = sv.ScalarVal()
+	}
+	if step == 0 {
+		return Value{}, errf(x.Pos, "range with zero step")
+	}
+	var vals []float64
+	for v := lo.ScalarVal(); (step > 0 && v <= hi.ScalarVal()+1e-12) || (step < 0 && v >= hi.ScalarVal()-1e-12); v += step {
+		vals = append(vals, v)
+		if len(vals) > 10_000_000 {
+			return Value{}, errf(x.Pos, "range too large")
+		}
+	}
+	return MatrixOf(1, len(vals), vals), nil
+}
+
+func (in *Interp) callExpr(x *CallExpr, e *env, depth int) (Value, error) {
+	// Indexing takes precedence: a local variable shadows functions.
+	if base, ok := e.vars[x.Name]; ok {
+		idx, err := in.evalArgs(x.Args, e, depth)
+		if err != nil {
+			return Value{}, err
+		}
+		switch len(idx) {
+		case 1:
+			k, err := checkIndex(x.Pos, idx[0], base.Len(), "linear index")
+			if err != nil {
+				return Value{}, err
+			}
+			return Scalar(base.Lin(k)), nil
+		case 2:
+			i, err := checkIndex(x.Pos, idx[0], base.Rows, "row index")
+			if err != nil {
+				return Value{}, err
+			}
+			j, err := checkIndex(x.Pos, idx[1], base.Cols, "column index")
+			if err != nil {
+				return Value{}, err
+			}
+			return Scalar(base.At(i, j)), nil
+		default:
+			return Value{}, errf(x.Pos, "indexing supports 1 or 2 subscripts, got %d", len(x.Args))
+		}
+	}
+	if b := LookupBuiltin(x.Name); b != nil {
+		if len(x.Args) < b.MinArgs || len(x.Args) > b.MaxArgs {
+			return Value{}, errf(x.Pos, "builtin %q expects %d..%d arguments, got %d", x.Name, b.MinArgs, b.MaxArgs, len(x.Args))
+		}
+		args, err := in.evalArgs(x.Args, e, depth)
+		if err != nil {
+			return Value{}, err
+		}
+		v, err := b.Eval(args)
+		if err != nil {
+			return Value{}, errf(x.Pos, "builtin %q: %v", x.Name, err)
+		}
+		return v, nil
+	}
+	if in.prog.Func(x.Name) != nil {
+		args, err := in.evalArgs(x.Args, e, depth)
+		if err != nil {
+			return Value{}, err
+		}
+		results, err := in.call(x.Name, args, depth+1)
+		if err != nil {
+			return Value{}, err
+		}
+		if len(results) == 0 {
+			return Value{}, errf(x.Pos, "function %q returns no value", x.Name)
+		}
+		return results[0], nil
+	}
+	return Value{}, errf(x.Pos, "undefined variable or function %q", x.Name)
+}

@@ -1,0 +1,375 @@
+package scil
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func run1(t *testing.T, src, fn string, args ...Value) Value {
+	t.Helper()
+	p := mustParse(t, src)
+	if errs := Check(p, CheckBasic); len(errs) > 0 {
+		t.Fatalf("check: %v", errs[0])
+	}
+	out, err := NewInterp(p).Call(fn, args...)
+	if err != nil {
+		t.Fatalf("call: %v", err)
+	}
+	if len(out) != 1 {
+		t.Fatalf("want 1 result, got %d", len(out))
+	}
+	return out[0]
+}
+
+func TestInterpArithmetic(t *testing.T) {
+	v := run1(t, `
+function r = f(a, b)
+  r = (a + b) * 2 - b / 4 + a ^ 2
+endfunction`, "f", Scalar(3), Scalar(8))
+	want := (3.0+8.0)*2 - 8.0/4 + 9.0
+	if v.ScalarVal() != want {
+		t.Fatalf("got %g, want %g", v.ScalarVal(), want)
+	}
+}
+
+func TestInterpForLoopSum(t *testing.T) {
+	v := run1(t, `
+function r = f(n)
+  r = 0
+  for i = 1:n
+    r = r + i
+  end
+endfunction`, "f", Scalar(100))
+	if v.ScalarVal() != 5050 {
+		t.Fatalf("got %g", v.ScalarVal())
+	}
+}
+
+func TestInterpForLoopStepAndDown(t *testing.T) {
+	v := run1(t, `
+function r = f(n)
+  r = 0
+  for i = n:-1:1
+    r = r + i
+  end
+  for j = 0:2:10
+    r = r + j
+  end
+endfunction`, "f", Scalar(4))
+	if v.ScalarVal() != 10+30 {
+		t.Fatalf("got %g", v.ScalarVal())
+	}
+}
+
+func TestInterpMatrixOps(t *testing.T) {
+	v := run1(t, `
+function r = f(n)
+  m = zeros(n, n)
+  for i = 1:n
+    for j = 1:n
+      m(i, j) = i * 10 + j
+    end
+  end
+  r = m(2, 3) + sum(m) / 100
+endfunction`, "f", Scalar(3))
+	// m = [11 12 13; 21 22 23; 31 32 33]; sum = 198; m(2,3)=23
+	if v.ScalarVal() != 23+1.98 {
+		t.Fatalf("got %g", v.ScalarVal())
+	}
+}
+
+func TestInterpMatrixProduct(t *testing.T) {
+	v := run1(t, `
+function r = f(x)
+  a = [1, 2; 3, 4]
+  b = [5, 6; 7, 8]
+  c = a * b
+  r = c(1, 1) + c(2, 2)
+endfunction`, "f", Scalar(0))
+	// a*b = [19 22; 43 50]
+	if v.ScalarVal() != 19+50 {
+		t.Fatalf("got %g", v.ScalarVal())
+	}
+}
+
+func TestInterpElementwiseVsMatrixMul(t *testing.T) {
+	v := run1(t, `
+function r = f(x)
+  a = [1, 2; 3, 4]
+  c = a .* a
+  r = c(2, 2)
+endfunction`, "f", Scalar(0))
+	if v.ScalarVal() != 16 {
+		t.Fatalf("got %g", v.ScalarVal())
+	}
+}
+
+func TestInterpWhileAndBreak(t *testing.T) {
+	v := run1(t, `
+function r = f(x)
+  r = 0
+  //@bound 100
+  while x > 1
+    x = x / 2
+    r = r + 1
+  end
+  for i = 1:10
+    if i == 4 then
+      break
+    end
+    r = r + 100
+  end
+endfunction`, "f", Scalar(64))
+	if v.ScalarVal() != 6+300 {
+		t.Fatalf("got %g", v.ScalarVal())
+	}
+}
+
+func TestInterpWhileBoundViolation(t *testing.T) {
+	p := mustParse(t, `
+function r = f(x)
+  r = 0
+  //@bound 3
+  while x > 0
+    r = r + 1
+  end
+endfunction`)
+	_, err := NewInterp(p).Call("f", Scalar(1))
+	if err == nil || !strings.Contains(err.Error(), "@bound") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestInterpUserCallsAndMultiAssign(t *testing.T) {
+	v := run1(t, `
+function [q, r] = divmod(a, b)
+  q = floor(a / b)
+  r = a - q * b
+endfunction
+
+function y = f(x)
+  [d, m] = divmod(x, 7)
+  y = d * 1000 + m
+endfunction`, "f", Scalar(53))
+	if v.ScalarVal() != 7*1000+4 {
+		t.Fatalf("got %g", v.ScalarVal())
+	}
+}
+
+func TestInterpBuiltins(t *testing.T) {
+	v := run1(t, `
+function r = f(x)
+  r = abs(-3) + sqrt(16) + max(2, 9) + min(2, 9) + floor(2.7) + modulo(17, 5)
+endfunction`, "f", Scalar(0))
+	if v.ScalarVal() != 3+4+9+2+2+2 {
+		t.Fatalf("got %g", v.ScalarVal())
+	}
+}
+
+func TestInterpTrig(t *testing.T) {
+	v := run1(t, `
+function r = f(x)
+  r = sin(x)^2 + cos(x)^2
+endfunction`, "f", Scalar(0.7))
+	if math.Abs(v.ScalarVal()-1) > 1e-12 {
+		t.Fatalf("got %g", v.ScalarVal())
+	}
+}
+
+func TestInterpRangeVector(t *testing.T) {
+	v := run1(t, `
+function r = f(n)
+  v = 1:n
+  r = sum(v) + length(v)
+endfunction`, "f", Scalar(10))
+	if v.ScalarVal() != 55+10 {
+		t.Fatalf("got %g", v.ScalarVal())
+	}
+}
+
+func TestInterpLinearIndexingColumnMajor(t *testing.T) {
+	// Scilab linear indexing is column-major: for [1 2; 3 4], a(2) == 3.
+	v := run1(t, `
+function r = f(x)
+  a = [1, 2; 3, 4]
+  r = a(2) * 10 + a(3)
+endfunction`, "f", Scalar(0))
+	if v.ScalarVal() != 3*10+2 {
+		t.Fatalf("got %g", v.ScalarVal())
+	}
+}
+
+func TestInterpConditionTruthiness(t *testing.T) {
+	v := run1(t, `
+function r = f(a, b)
+  r = 0
+  if a > 1 & b > 1 then
+    r = r + 1
+  end
+  if a > 100 | b > 1 then
+    r = r + 10
+  end
+  if ~(a == b) then
+    r = r + 100
+  end
+endfunction`, "f", Scalar(2), Scalar(3))
+	if v.ScalarVal() != 111 {
+		t.Fatalf("got %g", v.ScalarVal())
+	}
+}
+
+func TestInterpErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		args []Value
+		want string
+	}{
+		{`function r = f(x)
+r = y + 1
+endfunction`, []Value{Scalar(1)}, "undefined"},
+		{`function r = f(x)
+m = zeros(2, 2)
+r = m(5, 1)
+endfunction`, []Value{Scalar(1)}, "out of range"},
+		{`function r = f(x)
+m(1) = 3
+r = 0
+endfunction`, []Value{Scalar(1)}, "undefined variable"},
+		{`function r = f(x)
+a = [1, 2]
+b = [1, 2, 3]
+r = sum(a + b)
+endfunction`, []Value{Scalar(1)}, "shape mismatch"},
+	}
+	for _, tc := range cases {
+		p, err := Parse(tc.src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", tc.src, err)
+		}
+		_, err = NewInterp(p).Call("f", tc.args...)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("src %q: err = %v, want containing %q", tc.src, err, tc.want)
+		}
+	}
+}
+
+func TestInterpRecursionDepthLimit(t *testing.T) {
+	p := mustParse(t, `
+function r = f(x)
+  r = f(x)
+endfunction`)
+	_, err := NewInterp(p).Call("f", Scalar(1))
+	if err == nil || !strings.Contains(err.Error(), "depth") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// Property: sum over 1..n equals n(n+1)/2 for the interpreted program.
+func TestInterpGaussProperty(t *testing.T) {
+	p := mustParse(t, `
+function r = gauss(n)
+  r = 0
+  for i = 1:n
+    r = r + i
+  end
+endfunction`)
+	in := NewInterp(p)
+	f := func(n uint8) bool {
+		m := int(n % 200)
+		out, err := in.Call("gauss", Scalar(float64(m)))
+		if err != nil {
+			return false
+		}
+		return out[0].ScalarVal() == float64(m*(m+1)/2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: matrix transpose-free sum invariance — summing a matrix built
+// from (i, j) products is symmetric in construction order.
+func TestInterpSumOrderProperty(t *testing.T) {
+	srcRow := `
+function r = f(n)
+  m = zeros(n, n)
+  for i = 1:n
+    for j = 1:n
+      m(i, j) = i * j
+    end
+  end
+  r = sum(m)
+endfunction`
+	srcCol := `
+function r = f(n)
+  m = zeros(n, n)
+  for j = 1:n
+    for i = 1:n
+      m(i, j) = i * j
+    end
+  end
+  r = sum(m)
+endfunction`
+	pr := mustParse(t, srcRow)
+	pc := mustParse(t, srcCol)
+	f := func(n uint8) bool {
+		m := float64(1 + n%12)
+		a, err1 := NewInterp(pr).Call("f", Scalar(m))
+		b, err2 := NewInterp(pc).Call("f", Scalar(m))
+		return err1 == nil && err2 == nil && a[0].ScalarVal() == b[0].ScalarVal()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValueLinearIndexRoundTrip(t *testing.T) {
+	f := func(r8, c8 uint8) bool {
+		r := 1 + int(r8%6)
+		c := 1 + int(c8%6)
+		v := NewMatrix(r, c)
+		n := 0.0
+		for k := 1; k <= r*c; k++ {
+			v.SetLin(k, n)
+			if v.Lin(k) != n {
+				return false
+			}
+			n++
+		}
+		// All elements visited exactly once.
+		seen := map[float64]bool{}
+		for _, x := range v.Data {
+			if seen[x] {
+				return false
+			}
+			seen[x] = true
+		}
+		return len(seen) == r*c
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStmtsExecutedCounts(t *testing.T) {
+	p := mustParse(t, `
+function r = f(n)
+  r = 0
+  for i = 1:n
+    r = r + 1
+  end
+endfunction`)
+	in := NewInterp(p)
+	if _, err := in.Call("f", Scalar(5)); err != nil {
+		t.Fatal(err)
+	}
+	small := in.StmtsExecuted()
+	if _, err := in.Call("f", Scalar(50)); err != nil {
+		t.Fatal(err)
+	}
+	if in.StmtsExecuted() <= small {
+		t.Fatalf("longer input should execute more statements: %d vs %d", in.StmtsExecuted(), small)
+	}
+}

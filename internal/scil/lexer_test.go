@@ -1,0 +1,172 @@
+package scil
+
+import "testing"
+
+func kinds(ts []Token) []Kind {
+	out := make([]Kind, len(ts))
+	for i, t := range ts {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func TestLexBasicTokens(t *testing.T) {
+	ts, err := LexAll("x = a + b*2 - c/4 ^ 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Kind{IDENT, ASSIGN, IDENT, PLUS, IDENT, STAR, NUMBER, MINUS, IDENT, SLASH, NUMBER, CARET, NUMBER, EOF}
+	got := kinds(ts)
+	if len(got) != len(want) {
+		t.Fatalf("got %d tokens %v, want %d", len(got), got, len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d: got %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexKeywordsAndIdents(t *testing.T) {
+	ts, err := LexAll("function endfunction for while if then else elseif end foo end2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Kind{KWFUNCTION, KWENDFUNCTION, KWFOR, KWWHILE, KWIF, KWTHEN, KWELSE, KWELSEIF, KWEND, IDENT, IDENT, EOF}
+	got := kinds(ts)
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d: got %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexNumbers(t *testing.T) {
+	cases := map[string]string{
+		"42":      "42",
+		"3.25":    "3.25",
+		"1e6":     "1e6",
+		"2.5e-3":  "2.5e-3",
+		"7d2":     "7e2", // Scilab d-exponent normalized to e
+		"1E+4":    "1e+4",
+		".5":      ".5",
+		"0.125e2": "0.125e2",
+	}
+	for src, lit := range cases {
+		ts, err := LexAll(src)
+		if err != nil {
+			t.Fatalf("%q: %v", src, err)
+		}
+		if ts[0].Kind != NUMBER || ts[0].Lit != lit {
+			t.Errorf("%q: got %s %q, want NUMBER %q", src, ts[0].Kind, ts[0].Lit, lit)
+		}
+	}
+}
+
+func TestLexNumberBeforeKeyword(t *testing.T) {
+	// "1:4 end": the 4 must not swallow 'end' as an exponent.
+	ts, err := LexAll("for i = 1:4 end")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Kind{KWFOR, IDENT, ASSIGN, NUMBER, COLON, NUMBER, KWEND, EOF}
+	got := kinds(ts)
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d: got %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexOperators(t *testing.T) {
+	ts, err := LexAll("a == b ~= c <= d >= e < f > g & h | ~i .* j ./ k <> m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ops []Kind
+	for _, tok := range ts {
+		switch tok.Kind {
+		case IDENT, EOF:
+		default:
+			ops = append(ops, tok.Kind)
+		}
+	}
+	want := []Kind{EQ, NEQ, LE, GE, LT, GT, AND, OR, NOT, DOTSTAR, DOTSLASH, NEQ}
+	if len(ops) != len(want) {
+		t.Fatalf("got ops %v", ops)
+	}
+	for i := range want {
+		if ops[i] != want[i] {
+			t.Errorf("op %d: got %s, want %s", i, ops[i], want[i])
+		}
+	}
+}
+
+func TestLexCommentsAndPragmas(t *testing.T) {
+	ts, err := LexAll("x = 1 // plain comment\n//@bound 12\ny = 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pragmas []string
+	for _, tok := range ts {
+		if tok.Kind == PRAGMA {
+			pragmas = append(pragmas, tok.Lit)
+		}
+	}
+	if len(pragmas) != 1 || pragmas[0] != "@bound 12" {
+		t.Fatalf("pragmas = %v", pragmas)
+	}
+}
+
+func TestLexStrings(t *testing.T) {
+	ts, err := LexAll(`s = "hello ""world"" ok"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts[2].Kind != STRING || ts[2].Lit != `hello "world" ok` {
+		t.Fatalf("got %q", ts[2].Lit)
+	}
+}
+
+func TestLexLineContinuation(t *testing.T) {
+	ts, err := LexAll("x = 1 + ..\n 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tok := range ts {
+		if tok.Kind == NEWLINE {
+			t.Fatalf("line continuation should swallow the newline: %v", kinds(ts))
+		}
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, src := range []string{"x = $", `s = "unterminated`, "y = 1 .. 2"} {
+		if _, err := LexAll(src); err == nil {
+			t.Errorf("%q: expected lex error", src)
+		}
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	ts, err := LexAll("a\nbb\n  c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a at 1:1, newline, bb at 2:1, newline, c at 3:3
+	if ts[0].Pos.Line != 1 || ts[0].Pos.Col != 1 {
+		t.Errorf("a at %v", ts[0].Pos)
+	}
+	if ts[2].Pos.Line != 2 || ts[2].Pos.Col != 1 {
+		t.Errorf("bb at %v", ts[2].Pos)
+	}
+	if ts[4].Pos.Line != 3 || ts[4].Pos.Col != 3 {
+		t.Errorf("c at %v", ts[4].Pos)
+	}
+}

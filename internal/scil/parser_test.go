@@ -1,0 +1,305 @@
+package scil
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustParse(t *testing.T, src string) *Program {
+	t.Helper()
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return p
+}
+
+func TestParseFunctionForms(t *testing.T) {
+	p := mustParse(t, `
+function [a, b] = two(x, y)
+  a = x
+  b = y
+endfunction
+
+function r = one(x)
+  r = x + 1
+endfunction
+
+function noresult(x)
+  y = x
+endfunction
+`)
+	if len(p.Funcs) != 3 {
+		t.Fatalf("got %d functions", len(p.Funcs))
+	}
+	two := p.Func("two")
+	if two == nil || len(two.Results) != 2 || len(two.Params) != 2 {
+		t.Fatalf("two: %+v", two)
+	}
+	one := p.Func("one")
+	if one == nil || len(one.Results) != 1 || one.Results[0] != "r" {
+		t.Fatalf("one: %+v", one)
+	}
+	nr := p.Func("noresult")
+	if nr == nil || len(nr.Results) != 0 {
+		t.Fatalf("noresult: %+v", nr)
+	}
+}
+
+func TestParseForLoop(t *testing.T) {
+	p := mustParse(t, `
+function r = f(n)
+  r = 0
+  for i = 1:10
+    r = r + i
+  end
+  for j = 1:2:9 do
+    r = r + j
+  end
+endfunction
+`)
+	body := p.Func("f").Body
+	f1, ok := body[1].(*ForStmt)
+	if !ok {
+		t.Fatalf("stmt 1 is %T", body[1])
+	}
+	if f1.Var != "i" || f1.Step != nil {
+		t.Fatalf("for1: %+v", f1)
+	}
+	f2 := body[2].(*ForStmt)
+	if f2.Step == nil {
+		t.Fatal("for2 should have a step")
+	}
+	if n, ok := f2.Step.(*NumberLit); !ok || n.Value != 2 {
+		t.Fatalf("for2 step: %v", FormatExpr(f2.Step))
+	}
+}
+
+func TestParseIfElseChain(t *testing.T) {
+	p := mustParse(t, `
+function r = f(x)
+  if x > 2 then
+    r = 1
+  elseif x > 1 then
+    r = 2
+  elseif x > 0 then
+    r = 3
+  else
+    r = 4
+  end
+endfunction
+`)
+	ifs, ok := p.Func("f").Body[0].(*IfStmt)
+	if !ok {
+		t.Fatalf("not an if: %T", p.Func("f").Body[0])
+	}
+	depth := 0
+	for ifs != nil {
+		depth++
+		if len(ifs.Else) == 1 {
+			if inner, ok := ifs.Else[0].(*IfStmt); ok {
+				ifs = inner
+				continue
+			}
+		}
+		break
+	}
+	if depth != 3 {
+		t.Fatalf("elseif chain depth = %d, want 3", depth)
+	}
+}
+
+func TestParseWhileWithBound(t *testing.T) {
+	p := mustParse(t, `
+function r = f(x)
+  r = x
+  //@bound 32
+  while r > 1
+    r = r / 2
+  end
+endfunction
+`)
+	w, ok := p.Func("f").Body[1].(*WhileStmt)
+	if !ok {
+		t.Fatalf("not a while: %T", p.Func("f").Body[1])
+	}
+	if w.Bound != 32 {
+		t.Fatalf("bound = %d, want 32", w.Bound)
+	}
+}
+
+func TestParseMultiAssign(t *testing.T) {
+	p := mustParse(t, `
+function [q, r] = divmod(a, b)
+  q = floor(a / b)
+  r = a - q * b
+endfunction
+
+function y = g(x)
+  [d, m] = divmod(x, 3)
+  y = d + m
+endfunction
+`)
+	as, ok := p.Func("g").Body[0].(*AssignStmt)
+	if !ok || len(as.LHS) != 2 {
+		t.Fatalf("multi-assign: %+v", p.Func("g").Body[0])
+	}
+	if as.LHS[0].Name != "d" || as.LHS[1].Name != "m" {
+		t.Fatalf("targets: %v %v", as.LHS[0].Name, as.LHS[1].Name)
+	}
+}
+
+func TestParseMatrixLiteralStmtVsMultiAssign(t *testing.T) {
+	// "[1, 2]" as a statement is a matrix-literal expression statement,
+	// not a multi-assignment.
+	p := mustParse(t, `
+function f(x)
+  y = [1, 2; 3, 4]
+  z = y(2, 1)
+endfunction
+`)
+	as := p.Func("f").Body[0].(*AssignStmt)
+	ml, ok := as.RHS.(*MatrixLit)
+	if !ok {
+		t.Fatalf("RHS is %T", as.RHS)
+	}
+	if len(ml.Rows) != 2 || len(ml.Rows[0]) != 2 {
+		t.Fatalf("matrix shape: %dx%d", len(ml.Rows), len(ml.Rows[0]))
+	}
+}
+
+func TestParseIndexedAssignment(t *testing.T) {
+	p := mustParse(t, `
+function m = f(n)
+  m = zeros(n, n)
+  m(1, 2) = 7
+  m(3) = 8
+endfunction
+`)
+	a1 := p.Func("f").Body[1].(*AssignStmt)
+	if len(a1.LHS[0].Index) != 2 {
+		t.Fatalf("2-d indexed assignment: %+v", a1.LHS[0])
+	}
+	a2 := p.Func("f").Body[2].(*AssignStmt)
+	if len(a2.LHS[0].Index) != 1 {
+		t.Fatalf("linear indexed assignment: %+v", a2.LHS[0])
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	p := mustParse(t, `
+function r = f(a, b, c)
+  r = a + b * c ^ 2
+endfunction
+`)
+	rhs := p.Func("f").Body[0].(*AssignStmt).RHS
+	got := FormatExpr(rhs)
+	want := "(a + (b * (c ^ 2)))"
+	if got != want {
+		t.Fatalf("got %s, want %s", got, want)
+	}
+}
+
+func TestParseLogicalPrecedence(t *testing.T) {
+	p := mustParse(t, `
+function r = f(a, b, c)
+  r = a < b & b < c | ~ (a == c)
+endfunction
+`)
+	rhs := p.Func("f").Body[0].(*AssignStmt).RHS
+	top, ok := rhs.(*BinExpr)
+	if !ok || top.Op != OR {
+		t.Fatalf("top op: %v", FormatExpr(rhs))
+	}
+}
+
+func TestParseRangeExpr(t *testing.T) {
+	p := mustParse(t, `
+function r = f(n)
+  v = 1:n
+  w = 0:2:10
+  r = sum(v) + sum(w)
+endfunction
+`)
+	v := p.Func("f").Body[0].(*AssignStmt).RHS
+	if _, ok := v.(*RangeExpr); !ok {
+		t.Fatalf("v: %T", v)
+	}
+	w := p.Func("f").Body[1].(*AssignStmt).RHS.(*RangeExpr)
+	if w.Step == nil {
+		t.Fatal("w should have step")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"", // no functions
+		"function f(x) endfunction function f(y) endfunction", // redefined
+		"function f(x) for i = end endfunction",               // bad for
+		"function f(x) if x then endfunction",                 // unterminated if
+		"function f(x) [a, b] = 3 endfunction",                // multi-assign non-call
+		"x = 3",                                               // statement outside function
+		"function f(x) y = (1 + endfunction",                  // bad expr
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("%q: expected parse error", src)
+		}
+	}
+}
+
+func TestParseSeparators(t *testing.T) {
+	// Statements can be separated by newline, ';' or ','.
+	p := mustParse(t, "function r = f(x); r = x; r = r + 1, r = r * 2\nendfunction")
+	if n := len(p.Func("f").Body); n != 3 {
+		t.Fatalf("got %d statements, want 3", n)
+	}
+}
+
+func TestParseReturnBreakContinue(t *testing.T) {
+	p := mustParse(t, `
+function r = f(x)
+  r = 0
+  for i = 1:10
+    if i > 5 then
+      break
+    end
+    if i == 2 then
+      continue
+    end
+    r = r + i
+  end
+  return
+endfunction
+`)
+	body := p.Func("f").Body
+	if _, ok := body[len(body)-1].(*ReturnStmt); !ok {
+		t.Fatalf("last stmt: %T", body[len(body)-1])
+	}
+}
+
+func TestParseFunctionPragmas(t *testing.T) {
+	p := mustParse(t, `
+//@entry
+//@period 10ms
+function r = step(x)
+  r = x
+endfunction
+`)
+	f := p.Func("step")
+	if len(f.Pragmas) != 2 || f.Pragmas[0] != "@entry" {
+		t.Fatalf("pragmas: %v", f.Pragmas)
+	}
+}
+
+func TestFormatExprRoundTrips(t *testing.T) {
+	p := mustParse(t, `
+function r = f(a, b)
+  r = -a * (b + 2)
+endfunction
+`)
+	s := FormatExpr(p.Func("f").Body[0].(*AssignStmt).RHS)
+	if !strings.Contains(s, "-a") || !strings.Contains(s, "(b + 2)") {
+		t.Fatalf("format: %s", s)
+	}
+}

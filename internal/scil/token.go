@@ -1,0 +1,134 @@
+// Package scil implements the ARGO behavioural language: a statically
+// analysable subset of Scilab used to describe the behaviour of Xcos blocks
+// and whole model-based applications.
+//
+// The subset is chosen so that programs are amenable to static WCET
+// analysis after lowering to the ARGO IR:
+//
+//   - values are float64 scalars and dense 2-D matrices,
+//   - indexing is 1-based with parentheses, as in Scilab,
+//   - "for" loops iterate over affine ranges lo:hi or lo:step:hi,
+//   - "while" loops must carry a //@bound N pragma giving a worst-case
+//     iteration bound,
+//   - recursion is rejected by the semantic checker.
+//
+// The package provides a lexer, a recursive-descent parser producing an
+// AST, a semantic checker, and a reference interpreter used as the
+// semantic oracle for the compiler pipeline (transformations must preserve
+// interpreter-observable behaviour).
+package scil
+
+import "fmt"
+
+// Kind enumerates lexical token kinds.
+type Kind int
+
+// Token kinds.
+const (
+	EOF Kind = iota
+	NEWLINE
+	IDENT
+	NUMBER
+	STRING
+
+	// Punctuation and operators.
+	LPAREN    // (
+	RPAREN    // )
+	LBRACKET  // [
+	RBRACKET  // ]
+	COMMA     // ,
+	SEMICOLON // ;
+	COLON     // :
+	ASSIGN    // =
+	PLUS      // +
+	MINUS     // -
+	STAR      // *
+	SLASH     // /
+	CARET     // ^
+	EQ        // ==
+	NEQ       // ~= or <>
+	LT        // <
+	LE        // <=
+	GT        // >
+	GE        // >=
+	AND       // &
+	OR        // |
+	NOT       // ~
+	DOTSTAR   // .* (element-wise multiply; same as * for our dense model)
+	DOTSLASH  // ./
+
+	// Keywords.
+	KWFUNCTION
+	KWENDFUNCTION
+	KWFOR
+	KWWHILE
+	KWIF
+	KWTHEN
+	KWELSE
+	KWELSEIF
+	KWEND
+	KWDO
+	KWBREAK
+	KWCONTINUE
+	KWRETURN
+
+	// PRAGMA is a //@... comment carrying analysis annotations.
+	PRAGMA
+)
+
+var kindNames = map[Kind]string{
+	EOF: "eof", NEWLINE: "newline", IDENT: "identifier", NUMBER: "number",
+	STRING: "string", LPAREN: "(", RPAREN: ")", LBRACKET: "[", RBRACKET: "]",
+	COMMA: ",", SEMICOLON: ";", COLON: ":", ASSIGN: "=", PLUS: "+",
+	MINUS: "-", STAR: "*", SLASH: "/", CARET: "^", EQ: "==", NEQ: "~=",
+	LT: "<", LE: "<=", GT: ">", GE: ">=", AND: "&", OR: "|", NOT: "~",
+	DOTSTAR: ".*", DOTSLASH: "./",
+	KWFUNCTION: "function", KWENDFUNCTION: "endfunction", KWFOR: "for",
+	KWWHILE: "while", KWIF: "if", KWTHEN: "then", KWELSE: "else",
+	KWELSEIF: "elseif", KWEND: "end", KWDO: "do", KWBREAK: "break",
+	KWCONTINUE: "continue", KWRETURN: "return", PRAGMA: "pragma",
+}
+
+// String returns a human-readable name for the token kind.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+var keywords = map[string]Kind{
+	"function": KWFUNCTION, "endfunction": KWENDFUNCTION, "for": KWFOR,
+	"while": KWWHILE, "if": KWIF, "then": KWTHEN, "else": KWELSE,
+	"elseif": KWELSEIF, "end": KWEND, "do": KWDO, "break": KWBREAK,
+	"continue": KWCONTINUE, "return": KWRETURN,
+}
+
+// Pos is a source position (1-based line and column).
+type Pos struct {
+	Line int
+	Col  int
+}
+
+// String renders the position as "line:col".
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is one lexical token with its source position and literal text.
+type Token struct {
+	Kind Kind
+	Lit  string
+	Pos  Pos
+}
+
+// Error is a front-end diagnostic anchored at a source position.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string { return fmt.Sprintf("scil:%s: %s", e.Pos, e.Msg) }
+
+func errf(pos Pos, format string, args ...any) *Error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,195 @@
+package scil
+
+import (
+	"fmt"
+	"math"
+)
+
+// Value is a runtime value: a scalar or a dense 2-D matrix of float64.
+// Scalars are represented as 1x1 matrices with IsScalar set, matching
+// Scilab's "everything is a matrix" model while letting the compiler treat
+// scalars specially.
+type Value struct {
+	Rows, Cols int
+	Data       []float64
+	IsScalar   bool
+}
+
+// Scalar wraps a float64 as a scalar value.
+func Scalar(v float64) Value {
+	return Value{Rows: 1, Cols: 1, Data: []float64{v}, IsScalar: true}
+}
+
+// NewMatrix allocates a rows x cols zero matrix value.
+func NewMatrix(rows, cols int) Value {
+	return Value{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// MatrixOf builds a matrix value from row-major data; the data slice is
+// copied.
+func MatrixOf(rows, cols int, data []float64) Value {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("scil: MatrixOf %dx%d with %d elements", rows, cols, len(data)))
+	}
+	v := NewMatrix(rows, cols)
+	copy(v.Data, data)
+	return v
+}
+
+// Clone returns a deep copy of v.
+func (v Value) Clone() Value {
+	out := v
+	out.Data = make([]float64, len(v.Data))
+	copy(out.Data, v.Data)
+	return out
+}
+
+// ScalarVal returns the scalar payload; it is valid for any 1x1 value.
+func (v Value) ScalarVal() float64 { return v.Data[0] }
+
+// At returns element (i, j) with 1-based Scilab indexing.
+func (v Value) At(i, j int) float64 { return v.Data[(i-1)*v.Cols+(j-1)] }
+
+// Set writes element (i, j) with 1-based Scilab indexing.
+func (v *Value) Set(i, j int, x float64) { v.Data[(i-1)*v.Cols+(j-1)] = x }
+
+// Lin returns the k-th element in column-major order with 1-based
+// indexing, matching Scilab's linear indexing a(k).
+func (v Value) Lin(k int) float64 {
+	k--
+	col := k / v.Rows
+	row := k % v.Rows
+	return v.Data[row*v.Cols+col]
+}
+
+// SetLin writes the k-th element in column-major order (1-based).
+func (v *Value) SetLin(k int, x float64) {
+	k--
+	col := k / v.Rows
+	row := k % v.Rows
+	v.Data[row*v.Cols+col] = x
+}
+
+// Len returns the number of elements.
+func (v Value) Len() int { return v.Rows * v.Cols }
+
+// Truthy reports whether the value is "true" in a condition: nonzero
+// scalar, or all-nonzero matrix (Scilab semantics for if on matrices).
+func (v Value) Truthy() bool {
+	if v.Len() == 0 {
+		return false
+	}
+	for _, x := range v.Data {
+		if x == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// SameShape reports whether two values have identical dimensions.
+func (v Value) SameShape(w Value) bool { return v.Rows == w.Rows && v.Cols == w.Cols }
+
+// String renders the value compactly for diagnostics.
+func (v Value) String() string {
+	if v.IsScalar || (v.Rows == 1 && v.Cols == 1) {
+		return fmt.Sprintf("%g", v.Data[0])
+	}
+	return fmt.Sprintf("matrix(%dx%d)", v.Rows, v.Cols)
+}
+
+func bool2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// elementwise applies op pairwise with scalar broadcasting.
+func elementwise(x, y Value, op func(a, b float64) float64) (Value, error) {
+	switch {
+	case x.IsScalar && y.IsScalar:
+		return Scalar(op(x.ScalarVal(), y.ScalarVal())), nil
+	case x.IsScalar:
+		out := y.Clone()
+		out.IsScalar = false
+		a := x.ScalarVal()
+		for i := range out.Data {
+			out.Data[i] = op(a, y.Data[i])
+		}
+		return out, nil
+	case y.IsScalar:
+		out := x.Clone()
+		out.IsScalar = false
+		b := y.ScalarVal()
+		for i := range out.Data {
+			out.Data[i] = op(x.Data[i], b)
+		}
+		return out, nil
+	default:
+		if !x.SameShape(y) {
+			return Value{}, fmt.Errorf("shape mismatch %dx%d vs %dx%d", x.Rows, x.Cols, y.Rows, y.Cols)
+		}
+		out := x.Clone()
+		for i := range out.Data {
+			out.Data[i] = op(x.Data[i], y.Data[i])
+		}
+		return out, nil
+	}
+}
+
+// matMul is standard matrix multiplication; scalar operands broadcast.
+func matMul(x, y Value) (Value, error) {
+	if x.IsScalar || y.IsScalar {
+		return elementwise(x, y, func(a, b float64) float64 { return a * b })
+	}
+	if x.Cols != y.Rows {
+		return Value{}, fmt.Errorf("matrix product dimension mismatch %dx%d * %dx%d", x.Rows, x.Cols, y.Rows, y.Cols)
+	}
+	out := NewMatrix(x.Rows, y.Cols)
+	for i := 1; i <= x.Rows; i++ {
+		for j := 1; j <= y.Cols; j++ {
+			s := 0.0
+			for k := 1; k <= x.Cols; k++ {
+				s += x.At(i, k) * y.At(k, j)
+			}
+			out.Set(i, j, s)
+		}
+	}
+	return out, nil
+}
+
+// applyBin evaluates a binary operator on values.
+func applyBin(op Kind, x, y Value) (Value, error) {
+	switch op {
+	case PLUS:
+		return elementwise(x, y, func(a, b float64) float64 { return a + b })
+	case MINUS:
+		return elementwise(x, y, func(a, b float64) float64 { return a - b })
+	case STAR:
+		return matMul(x, y)
+	case DOTSTAR:
+		return elementwise(x, y, func(a, b float64) float64 { return a * b })
+	case SLASH, DOTSLASH:
+		return elementwise(x, y, func(a, b float64) float64 { return a / b })
+	case CARET:
+		return elementwise(x, y, math.Pow)
+	case EQ:
+		return elementwise(x, y, func(a, b float64) float64 { return bool2f(a == b) })
+	case NEQ:
+		return elementwise(x, y, func(a, b float64) float64 { return bool2f(a != b) })
+	case LT:
+		return elementwise(x, y, func(a, b float64) float64 { return bool2f(a < b) })
+	case LE:
+		return elementwise(x, y, func(a, b float64) float64 { return bool2f(a <= b) })
+	case GT:
+		return elementwise(x, y, func(a, b float64) float64 { return bool2f(a > b) })
+	case GE:
+		return elementwise(x, y, func(a, b float64) float64 { return bool2f(a >= b) })
+	case AND:
+		return elementwise(x, y, func(a, b float64) float64 { return bool2f(a != 0 && b != 0) })
+	case OR:
+		return elementwise(x, y, func(a, b float64) float64 { return bool2f(a != 0 || b != 0) })
+	}
+	return Value{}, fmt.Errorf("unsupported binary operator %s", op)
+}

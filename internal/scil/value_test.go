@@ -1,0 +1,124 @@
+package scil
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestValueTruthy(t *testing.T) {
+	if !Scalar(1).Truthy() || Scalar(0).Truthy() {
+		t.Fatal("scalar truthiness")
+	}
+	all := MatrixOf(2, 2, []float64{1, 2, 3, 4})
+	some := MatrixOf(2, 2, []float64{1, 0, 3, 4})
+	if !all.Truthy() || some.Truthy() {
+		t.Fatal("matrix truthiness is all-nonzero")
+	}
+	empty := NewMatrix(0, 0)
+	if empty.Truthy() {
+		t.Fatal("empty matrix is falsy")
+	}
+}
+
+func TestValueCloneIndependence(t *testing.T) {
+	a := MatrixOf(2, 2, []float64{1, 2, 3, 4})
+	b := a.Clone()
+	b.Set(1, 1, 99)
+	if a.At(1, 1) != 1 {
+		t.Fatal("clone shares storage")
+	}
+}
+
+func TestElementwiseBroadcast(t *testing.T) {
+	m := MatrixOf(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	out, err := elementwise(Scalar(10), m, func(a, b float64) float64 { return a * b })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.At(2, 3) != 60 || out.IsScalar {
+		t.Fatalf("broadcast: %+v", out)
+	}
+	if _, err := elementwise(MatrixOf(1, 2, []float64{1, 2}), MatrixOf(2, 1, []float64{1, 2}),
+		func(a, b float64) float64 { return a + b }); err == nil {
+		t.Fatal("shape mismatch must error")
+	}
+}
+
+func TestMatMulErrors(t *testing.T) {
+	a := MatrixOf(2, 3, make([]float64, 6))
+	b := MatrixOf(2, 3, make([]float64, 6))
+	if _, err := matMul(a, b); err == nil || !strings.Contains(err.Error(), "dimension") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestApplyBinComparisonsAndLogic(t *testing.T) {
+	check := func(op Kind, a, b, want float64) {
+		t.Helper()
+		out, err := applyBin(op, Scalar(a), Scalar(b))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.ScalarVal() != want {
+			t.Fatalf("op %v (%g, %g) = %g, want %g", op, a, b, out.ScalarVal(), want)
+		}
+	}
+	check(EQ, 2, 2, 1)
+	check(NEQ, 2, 2, 0)
+	check(LT, 1, 2, 1)
+	check(LE, 2, 2, 1)
+	check(GT, 3, 2, 1)
+	check(GE, 1, 2, 0)
+	check(AND, 1, 0, 0)
+	check(AND, 2, 3, 1)
+	check(OR, 0, 0, 0)
+	check(OR, 0, 5, 1)
+}
+
+// Property: At/Set round-trips for arbitrary in-range coordinates.
+func TestAtSetRoundTripProperty(t *testing.T) {
+	f := func(r8, c8 uint8, v float64) bool {
+		rows := 1 + int(r8%7)
+		cols := 1 + int(c8%7)
+		m := NewMatrix(rows, cols)
+		i := 1 + int(r8)%rows
+		j := 1 + int(c8)%cols
+		m.Set(i, j, v)
+		return m.At(i, j) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: elementwise addition commutes (same shapes).
+func TestElementwiseCommutesProperty(t *testing.T) {
+	f := func(data [6]float64, data2 [6]float64) bool {
+		a := MatrixOf(2, 3, data[:])
+		b := MatrixOf(2, 3, data2[:])
+		x, err1 := applyBin(PLUS, a, b)
+		y, err2 := applyBin(PLUS, b, a)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		for k := range x.Data {
+			if x.Data[k] != y.Data[k] && !(x.Data[k] != x.Data[k] && y.Data[k] != y.Data[k]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValueString(t *testing.T) {
+	if Scalar(2.5).String() != "2.5" {
+		t.Fatalf("scalar string: %s", Scalar(2.5))
+	}
+	if NewMatrix(3, 4).String() != "matrix(3x4)" {
+		t.Fatalf("matrix string: %s", NewMatrix(3, 4))
+	}
+}

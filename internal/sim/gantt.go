@@ -1,0 +1,64 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+
+	"argo/internal/par"
+)
+
+// RenderGantt draws an ASCII timeline of one simulated run: one row per
+// core, one column block per time bucket, with task ids in their actual
+// execution windows and the static bound marked. Used by argosim -gantt
+// and the cross-layer inspection workflow.
+func RenderGantt(p *par.Program, rep *Report, width int) string {
+	if width < 20 {
+		width = 80
+	}
+	span := rep.ExecSpan
+	if span <= 0 {
+		return "(empty timeline)\n"
+	}
+	scale := float64(width) / float64(span)
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "timeline: %d cycles across %d columns (one '·' ≈ %.0f cycles)\n",
+		span, width, 1/scale)
+	for c := 0; c < p.Platform.NumCores(); c++ {
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = '.'
+		}
+		for t := range p.Input.Tasks {
+			if p.Schedule.Placements[t].Core != c {
+				continue
+			}
+			lo := int(float64(rep.TaskStart[t]) * scale)
+			hi := int(float64(rep.TaskFinish[t]) * scale)
+			if hi >= width {
+				hi = width - 1
+			}
+			label := fmt.Sprintf("%d", t)
+			for i := lo; i <= hi && i < width; i++ {
+				row[i] = '#'
+			}
+			for i, ch := range label {
+				if lo+i <= hi && lo+i < width {
+					row[lo+i] = byte(ch)
+				}
+			}
+		}
+		fmt.Fprintf(&sb, "core %d |%s|\n", c, string(row))
+	}
+	// Bound marker line.
+	marker := make([]byte, width)
+	for i := range marker {
+		marker[i] = ' '
+	}
+	pos := int(float64(p.System.Makespan) * scale)
+	if pos >= width {
+		pos = width - 1
+	}
+	marker[pos] = '^'
+	fmt.Fprintf(&sb, "bound  |%s| (system bound %d)\n", string(marker), p.System.Makespan)
+	return sb.String()
+}

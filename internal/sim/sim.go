@@ -1,0 +1,355 @@
+// Package sim is the ARGO multi-core platform simulator: a
+// discrete-event, trace-driven simulator that executes an explicitly
+// parallel program (internal/par) on an ADL platform model with
+// scratchpads, a shared-memory interconnect with round-robin/TDM/NoC-port
+// arbitration, time-triggered task release, signal/wait synchronization,
+// and serialized DMA staging phases.
+//
+// It substitutes for the project's FPGA-prototyped Xentium and Leon3/iNoC
+// platforms (see DESIGN.md): the machine model is exactly the one the
+// static analyses assume, so simulated behaviour is directly comparable
+// to the WCET bounds — measured makespan must never exceed the bound,
+// which experiment E2 quantifies as tightness.
+package sim
+
+import (
+	"fmt"
+
+	"argo/internal/adl"
+	"argo/internal/ir"
+	"argo/internal/par"
+	"argo/internal/wcet"
+)
+
+// segment is one step of a task's isolated execution trace: compute for
+// Gap cycles, then (unless last) one shared-memory access.
+type segment struct {
+	Gap    int64
+	Access bool
+}
+
+// traceMeter builds a task's segment trace during functional execution.
+type traceMeter struct {
+	model wcet.CostModel
+	gap   int64
+	segs  []segment
+}
+
+func (tm *traceMeter) Ops(n int) { tm.gap += int64(n) * int64(tm.model.OpCycles) }
+
+func (tm *traceMeter) touch(v *ir.Var) {
+	if v.Storage == ir.StorageSPM {
+		tm.gap += int64(tm.model.SPMLatency)
+		return
+	}
+	tm.segs = append(tm.segs, segment{Gap: tm.gap, Access: true})
+	tm.gap = 0
+}
+
+func (tm *traceMeter) Read(v *ir.Var)  { tm.touch(v) }
+func (tm *traceMeter) Write(v *ir.Var) { tm.touch(v) }
+
+func (tm *traceMeter) finish() []segment {
+	segs := append(tm.segs, segment{Gap: tm.gap})
+	tm.segs = nil
+	tm.gap = 0
+	return segs
+}
+
+// arbiter models the shared-memory interconnect's arbitration.
+type arbiter interface {
+	// access serves one access requested by core at reqTime and returns
+	// its completion time.
+	access(core int, reqTime int64) int64
+}
+
+// rrBus is a round-robin (FIFO under conservative event order) bus.
+type rrBus struct {
+	platform *adl.Platform
+	free     int64
+	waits    *int64
+}
+
+func (b *rrBus) access(core int, reqTime int64) int64 {
+	grant := reqTime
+	if b.free > grant {
+		grant = b.free
+	}
+	*b.waits += grant - reqTime
+	b.free = grant + int64(b.platform.Bus.SlotCycles)
+	return grant + int64(b.platform.SharedAccessIsolated(core))
+}
+
+// tdmBus grants each core only its own periodic slot.
+type tdmBus struct {
+	platform *adl.Platform
+	waits    *int64
+}
+
+func (b *tdmBus) access(core int, reqTime int64) int64 {
+	slot := int64(b.platform.Bus.SlotCycles)
+	k := int64(b.platform.NumCores())
+	period := slot * k
+	// Next time >= reqTime with (t/slot) mod k == core.
+	base := (reqTime / period) * period
+	grant := base + int64(core)*slot
+	for grant < reqTime {
+		grant += period
+	}
+	*b.waits += grant - reqTime
+	return grant + int64(b.platform.SharedAccessIsolated(core))
+}
+
+// nocPort models the shared-memory controller port of the mesh: WRR
+// service quantum per contender, like a bus with a WRR-weight slot.
+type nocPort struct {
+	platform *adl.Platform
+	free     int64
+	waits    *int64
+}
+
+func (b *nocPort) access(core int, reqTime int64) int64 {
+	grant := reqTime
+	if b.free > grant {
+		grant = b.free
+	}
+	*b.waits += grant - reqTime
+	b.free = grant + int64(b.platform.NoC.WRRWeight*b.platform.NoC.LinkCycles)
+	return grant + int64(b.platform.SharedAccessIsolated(core))
+}
+
+// Report is the outcome of one simulation run.
+type Report struct {
+	// Results are the program's outputs (same shape as ir.Exec.Run).
+	Results [][]float64
+	// Makespan is the total simulated time including DMA phases.
+	Makespan int64
+	// ExecSpan is the task-phase span (comparable to syswcet.Makespan).
+	ExecSpan int64
+	// TaskStart / TaskFinish are actual per-task times (task phase,
+	// relative to the end of the DMA prologue).
+	TaskStart, TaskFinish []int64
+	// BusWaitCycles accumulates arbitration waiting.
+	BusWaitCycles int64
+	// PrologueCycles / EpilogueCycles are the simulated DMA phases.
+	PrologueCycles, EpilogueCycles int64
+}
+
+// Run simulates the parallel program on the given inputs.
+func Run(p *par.Program, args [][]float64) (*Report, error) {
+	nTasks := len(p.Input.Tasks)
+	rep := &Report{
+		TaskStart:  make([]int64, nTasks),
+		TaskFinish: make([]int64, nTasks),
+	}
+
+	// Phase 0: functional execution in dependence (program) order to
+	// compute results and extract each task's isolated trace.
+	ex := ir.NewExec(p.IR, nil)
+	if err := ex.Init(args); err != nil {
+		return nil, err
+	}
+	traces := make([][]segment, nTasks)
+	for _, n := range p.Graph.Nodes {
+		core := p.Schedule.Placements[n.ID].Core
+		tm := &traceMeter{model: wcet.ModelFor(p.Platform, core)}
+		ex.SetMeter(tm)
+		if err := ex.ExecBlock(n.Stmts); err != nil {
+			return nil, fmt.Errorf("sim: task %d: %v", n.ID, err)
+		}
+		traces[n.ID] = tm.finish()
+	}
+	ex.SetMeter(nil)
+	rep.Results = ex.Results()
+
+	// Phase 1: DMA prologue (serialized on the shared DMA engine).
+	var dmaTime int64
+	for _, op := range p.DMAIns {
+		dmaTime += int64(p.Platform.DMACycles(op.Core, op.Bytes))
+	}
+	rep.PrologueCycles = dmaTime
+
+	// Phase 2: conservative discrete-event execution of the core
+	// programs (times relative to the end of the prologue).
+	var busWaits int64
+	var arb arbiter
+	switch {
+	case p.Platform.Bus != nil && p.Platform.Bus.Arbitration == adl.ArbTDM:
+		arb = &tdmBus{platform: p.Platform, waits: &busWaits}
+	case p.Platform.Bus != nil:
+		arb = &rrBus{platform: p.Platform, waits: &busWaits}
+	default:
+		arb = &nocPort{platform: p.Platform, waits: &busWaits}
+	}
+	type coreState struct {
+		time    int64
+		entries []par.Entry
+		idx     int
+		segs    []segment
+		segIdx  int
+		inTask  int // task id when executing segments, else -1
+		// pendingAccess marks that the core has issued a bus request at
+		// its current time; serving it is a separate event so the global
+		// min-time order equals the bus request order.
+		pendingAccess bool
+	}
+	cores := make([]*coreState, p.Platform.NumCores())
+	for c := range cores {
+		cores[c] = &coreState{entries: p.CoreEntries[c], inTask: -1}
+	}
+	signalTime := make(map[int]int64)
+	posted := make(map[int]bool)
+	for {
+		// Pick the runnable core with minimal time (conservative DES).
+		best := -1
+		for c, cs := range cores {
+			if cs.idx >= len(cs.entries) && cs.inTask < 0 {
+				continue
+			}
+			if cs.inTask < 0 && cs.entries[cs.idx].Kind == par.EntryWait {
+				if !posted[cs.entries[cs.idx].Sig] {
+					continue // blocked
+				}
+			}
+			if best < 0 || cs.time < cores[best].time {
+				best = c
+			}
+		}
+		if best < 0 {
+			// All done or deadlock.
+			done := true
+			for _, cs := range cores {
+				if cs.idx < len(cs.entries) || cs.inTask >= 0 {
+					done = false
+				}
+			}
+			if !done {
+				return nil, fmt.Errorf("sim: deadlock (waiting on never-posted signal)")
+			}
+			break
+		}
+		cs := cores[best]
+		if cs.inTask >= 0 {
+			if cs.pendingAccess {
+				// Serve the previously issued bus request.
+				cs.time = arb.access(best, cs.time)
+				cs.pendingAccess = false
+				cs.segIdx++
+				if cs.segIdx == len(cs.segs) {
+					rep.TaskFinish[cs.inTask] = cs.time
+					cs.inTask = -1
+				}
+				continue
+			}
+			// Execute one compute segment; a trailing access becomes a
+			// pending request at the segment's end time.
+			seg := cs.segs[cs.segIdx]
+			cs.time += seg.Gap
+			if seg.Access {
+				cs.pendingAccess = true
+				continue
+			}
+			cs.segIdx++
+			if cs.segIdx == len(cs.segs) {
+				rep.TaskFinish[cs.inTask] = cs.time
+				cs.inTask = -1
+			}
+			continue
+		}
+		e := cs.entries[cs.idx]
+		switch e.Kind {
+		case par.EntryWait:
+			if t := signalTime[e.Sig]; t > cs.time {
+				cs.time = t
+			}
+			cs.idx++
+		case par.EntrySignal:
+			posted[e.Sig] = true
+			if cur, ok := signalTime[e.Sig]; !ok || cs.time > cur {
+				signalTime[e.Sig] = cs.time
+			}
+			cs.idx++
+		case par.EntryCompute:
+			if e.Release > cs.time {
+				cs.time = e.Release // time-triggered release
+			}
+			rep.TaskStart[e.Task] = cs.time
+			cs.inTask = e.Task
+			cs.segs = traces[e.Task]
+			cs.segIdx = 0
+			cs.idx++
+		}
+	}
+	for _, cs := range cores {
+		if cs.time > rep.ExecSpan {
+			rep.ExecSpan = cs.time
+		}
+	}
+	rep.BusWaitCycles = busWaits
+
+	// Phase 3: DMA epilogue.
+	var epi int64
+	for _, op := range p.DMAOuts {
+		epi += int64(p.Platform.DMACycles(op.Core, op.Bytes))
+	}
+	rep.EpilogueCycles = epi
+	rep.Makespan = rep.PrologueCycles + rep.ExecSpan + rep.EpilogueCycles
+	return rep, nil
+}
+
+// CheckAgainstBounds verifies the soundness contract: every task ran
+// within its analyzed window and the measured spans are below the bounds.
+func CheckAgainstBounds(p *par.Program, rep *Report) error {
+	for t := range p.Input.Tasks {
+		if rep.TaskStart[t] < p.System.Start[t] {
+			return fmt.Errorf("sim: task %d started at %d before release %d", t, rep.TaskStart[t], p.System.Start[t])
+		}
+		if rep.TaskFinish[t] > p.System.Finish[t] {
+			return fmt.Errorf("sim: task %d finished at %d after bound %d", t, rep.TaskFinish[t], p.System.Finish[t])
+		}
+	}
+	if rep.ExecSpan > p.System.Makespan {
+		return fmt.Errorf("sim: exec span %d exceeds system bound %d", rep.ExecSpan, p.System.Makespan)
+	}
+	if rep.Makespan > p.BoundMakespan() {
+		return fmt.Errorf("sim: makespan %d exceeds total bound %d", rep.Makespan, p.BoundMakespan())
+	}
+	return nil
+}
+
+// PeriodicReport summarizes a back-to-back frame stream execution.
+type PeriodicReport struct {
+	Frames    int
+	Period    int64
+	Makespans []int64
+	// Overruns counts frames whose makespan exceeded the period (a
+	// deadline miss in a frame-based deployment).
+	Overruns   int
+	WorstFrame int64
+}
+
+// RunPeriodic executes `frames` activations of the parallel program, one
+// per period, with per-frame inputs from inputsFor. Since the program is
+// time-triggered and stateless across activations, frames are
+// independent; the report captures the deadline behaviour of the stream
+// (the deployment model of internal/rt).
+func RunPeriodic(p *par.Program, period int64, frames int, inputsFor func(frame int) [][]float64) (*PeriodicReport, error) {
+	rep := &PeriodicReport{Frames: frames, Period: period}
+	for f := 0; f < frames; f++ {
+		r, err := Run(p, inputsFor(f))
+		if err != nil {
+			return nil, fmt.Errorf("sim: frame %d: %v", f, err)
+		}
+		if err := CheckAgainstBounds(p, r); err != nil {
+			return nil, fmt.Errorf("sim: frame %d: %v", f, err)
+		}
+		rep.Makespans = append(rep.Makespans, r.Makespan)
+		if r.Makespan > rep.WorstFrame {
+			rep.WorstFrame = r.Makespan
+		}
+		if r.Makespan > period {
+			rep.Overruns++
+		}
+	}
+	return rep, nil
+}

@@ -1,0 +1,223 @@
+package syswcet
+
+import (
+	"testing"
+
+	"argo/internal/adl"
+	"argo/internal/mhp"
+	"argo/internal/sched"
+)
+
+func mkInput(p *adl.Platform, wcets []int64, deps []sched.Dep, shared []int64) *sched.Input {
+	in := &sched.Input{Platform: p}
+	for i, w := range wcets {
+		t := sched.Task{ID: i, WCET: make([]int64, p.NumCores())}
+		for c := range t.WCET {
+			t.WCET[c] = w
+		}
+		if shared != nil {
+			t.SharedAccesses = shared[i]
+		}
+		in.Tasks = append(in.Tasks, t)
+	}
+	in.Deps = deps
+	return in
+}
+
+func schedule(t *testing.T, in *sched.Input, pol sched.Policy) *sched.Schedule {
+	t.Helper()
+	s, err := sched.Run(in, pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(in); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNoSharedAccessesNoInflation(t *testing.T) {
+	p := adl.XentiumPlatform(4)
+	in := mkInput(p, []int64{100, 100, 100, 100}, nil, nil)
+	s := schedule(t, in, sched.ListOblivious)
+	r, err := Analyze(in, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Makespan != s.Makespan {
+		t.Fatalf("makespan inflated without shared accesses: %d vs %d", r.Makespan, s.Makespan)
+	}
+	if r.TotalInterference() != 0 {
+		t.Fatalf("interference: %d", r.TotalInterference())
+	}
+}
+
+func TestParallelSharedTasksInflate(t *testing.T) {
+	p := adl.XentiumPlatform(2)
+	in := mkInput(p, []int64{100, 100}, nil, []int64{10, 10})
+	s := schedule(t, in, sched.ListOblivious)
+	// Both tasks run in parallel on 2 cores, each with 10 accesses.
+	r, err := Analyze(in, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perAccess := int64(p.AccessInterferenceDelay(1))
+	want := s.Makespan + 10*perAccess
+	if r.Makespan != want {
+		t.Fatalf("makespan = %d, want %d", r.Makespan, want)
+	}
+	for tsk := 0; tsk < 2; tsk++ {
+		if r.Contenders[tsk] != 1 {
+			t.Fatalf("task %d contenders = %d", tsk, r.Contenders[tsk])
+		}
+	}
+}
+
+func TestSequentializedTasksDoNotInterfere(t *testing.T) {
+	p := adl.XentiumPlatform(2)
+	// Dependent chain: never parallel, no inflation even with shared
+	// accesses.
+	in := mkInput(p, []int64{100, 100}, []sched.Dep{{From: 0, To: 1}}, []int64{50, 50})
+	s := schedule(t, in, sched.ListOblivious)
+	r, err := Analyze(in, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.TotalInterference() != 0 {
+		t.Fatalf("chain should not self-interfere: %d", r.TotalInterference())
+	}
+}
+
+func TestMoreContendersMoreDelayRR(t *testing.T) {
+	mk := func(cores int) int64 {
+		p := adl.XentiumPlatform(cores)
+		wcets := make([]int64, cores)
+		shared := make([]int64, cores)
+		for i := range wcets {
+			wcets[i] = 100
+			shared[i] = 20
+		}
+		in := mkInput(p, wcets, nil, shared)
+		s, _ := sched.Run(in, sched.ListOblivious)
+		r, err := Analyze(in, s)
+		if err != nil {
+			panic(err)
+		}
+		return r.Makespan
+	}
+	if !(mk(2) < mk(4) && mk(4) < mk(8)) {
+		t.Fatalf("RR inflation should grow with cores: %d %d %d", mk(2), mk(4), mk(8))
+	}
+}
+
+func TestTDMIndependentOfContention(t *testing.T) {
+	p := adl.XentiumTDMPlatform(4)
+	// TDM grants only at slot starts: even a lonely task pays the full
+	// period per access (fully composable, load-independent).
+	in := mkInput(p, []int64{100}, nil, []int64{10})
+	s := schedule(t, in, sched.ListOblivious)
+	r, err := Analyze(in, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perAccess := int64(4 * p.Bus.SlotCycles)
+	if r.TotalInterference() != 10*perAccess {
+		t.Fatalf("single task: %d, want %d", r.TotalInterference(), 10*perAccess)
+	}
+	// And the charge does not grow with contention.
+	in2 := mkInput(p, []int64{100, 100}, nil, []int64{10, 10})
+	s2 := schedule(t, in2, sched.ListOblivious)
+	r2, err := Analyze(in2, s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.InterferencePerTask[0] != 10*perAccess {
+		t.Fatalf("tdm interference = %d, want %d", r2.InterferencePerTask[0], 10*perAccess)
+	}
+}
+
+func TestFixpointConvergesAndIsMonotone(t *testing.T) {
+	p := adl.XentiumPlatform(4)
+	// Staggered tasks where inflation extends windows into new overlaps:
+	// t0 [0,100) core0; t1 [0,100) core1 -> both inflate; t2 starts at
+	// 100 on core0 and may newly overlap t1's inflated window.
+	in := mkInput(p, []int64{100, 100, 100}, []sched.Dep{{From: 0, To: 2}}, []int64{50, 50, 50})
+	s := schedule(t, in, sched.ListOblivious)
+	r, err := Analyze(in, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Iterations < 2 {
+		t.Fatalf("expected multi-round fixpoint, got %d", r.Iterations)
+	}
+	if r.Makespan < s.Makespan {
+		t.Fatal("system bound below schedule makespan")
+	}
+	// Windows must cover the schedule's.
+	for i := range in.Tasks {
+		if r.Start[i] < s.Placements[i].Start {
+			t.Fatalf("task %d start shrank", i)
+		}
+		if r.Finish[i]-r.Start[i] < s.Placements[i].Finish-s.Placements[i].Start {
+			t.Fatalf("task %d duration shrank", i)
+		}
+	}
+}
+
+func TestContentionAwareBeatsObliviousSystemBound(t *testing.T) {
+	p := adl.XentiumPlatform(4)
+	// Many independent, memory-heavy tasks: the aware scheduler should
+	// yield a lower system-level bound than the oblivious one.
+	n := 8
+	wcets := make([]int64, n)
+	shared := make([]int64, n)
+	for i := range wcets {
+		wcets[i] = 200
+		shared[i] = 400
+	}
+	in := mkInput(p, wcets, nil, shared)
+	obl := schedule(t, in, sched.ListOblivious)
+	aware := schedule(t, in, sched.ListContentionAware)
+	rObl, err := Analyze(in, obl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rAware, err := Analyze(in, aware)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rAware.Makespan >= rObl.Makespan {
+		t.Fatalf("aware %d should beat oblivious %d", rAware.Makespan, rObl.Makespan)
+	}
+}
+
+func TestMHPBasics(t *testing.T) {
+	p := adl.XentiumPlatform(2)
+	in := mkInput(p, []int64{100, 100, 100}, []sched.Dep{{From: 0, To: 2}}, []int64{1, 1, 1})
+	s := schedule(t, in, sched.ListOblivious)
+	an := mhp.New(in, s)
+	if an.MayHappenInParallel(0, 2, nil, nil) {
+		t.Fatal("dependent tasks cannot be parallel")
+	}
+	if an.MayHappenInParallel(0, 0, nil, nil) {
+		t.Fatal("task parallel with itself")
+	}
+	// Same-core tasks never parallel.
+	for a := 0; a < 3; a++ {
+		for b := a + 1; b < 3; b++ {
+			if s.Placements[a].Core == s.Placements[b].Core && an.MayHappenInParallel(a, b, nil, nil) {
+				t.Fatalf("same-core tasks %d,%d flagged parallel", a, b)
+			}
+		}
+	}
+}
+
+func TestMHPTransitiveOrdering(t *testing.T) {
+	p := adl.XentiumPlatform(4)
+	in := mkInput(p, []int64{10, 10, 10}, []sched.Dep{{From: 0, To: 1}, {From: 1, To: 2}}, nil)
+	s := schedule(t, in, sched.ListOblivious)
+	an := mhp.New(in, s)
+	if !an.Ordered(0, 2) {
+		t.Fatal("transitive dependence not detected")
+	}
+}

@@ -1,0 +1,130 @@
+package transform
+
+import (
+	"testing"
+
+	"argo/internal/adl"
+	"argo/internal/ir"
+	"argo/internal/wcet"
+)
+
+func TestElideDeadInitsRemovesOverwrittenFill(t *testing.T) {
+	src := `
+function out = f(img)
+  h = size(img, 1)
+  w = size(img, 2)
+  out = zeros(h, w)
+  for i = 1:h
+    for j = 1:w
+      out(i, j) = img(i, j) * 2
+    end
+  end
+endfunction`
+	orig := compile(t, src, "f", ir.MatrixArg(6, 6))
+	x := cloneProg(orig)
+	n := ElideDeadInits(x)
+	if n != 1 {
+		t.Fatalf("elided %d fills, want 1", n)
+	}
+	assertSameBehaviour(t, orig, x)
+	m := wcet.ModelFor(adl.XentiumPlatform(1), 0)
+	if after, before := wcet.Structural(x.Entry.Body, m), wcet.Structural(orig.Entry.Body, m); after >= before {
+		t.Fatalf("elision did not reduce the bound: %d -> %d", before, after)
+	}
+}
+
+func TestElideKeepsPartialCoverInit(t *testing.T) {
+	// The writer skips the borders: the zero borders are visible in the
+	// result, so the init must stay.
+	src := `
+function out = f(img)
+  h = size(img, 1)
+  w = size(img, 2)
+  out = zeros(h, w)
+  for i = 2:h-1
+    for j = 2:w-1
+      out(i, j) = img(i, j) * 2
+    end
+  end
+endfunction`
+	orig := compile(t, src, "f", ir.MatrixArg(6, 6))
+	x := cloneProg(orig)
+	if n := ElideDeadInits(x); n != 0 {
+		t.Fatalf("elided %d fills of a partially covered matrix", n)
+	}
+	assertSameBehaviour(t, orig, x)
+}
+
+func TestElideKeepsInitReadBeforeRewrite(t *testing.T) {
+	// The accumulation reads tmp before the final full rewrite.
+	src := `
+function out = f(img)
+  h = size(img, 1)
+  w = size(img, 2)
+  tmp = zeros(h, w)
+  out = zeros(h, w)
+  for i = 1:h
+    for j = 1:w
+      out(i, j) = tmp(i, j) + img(i, j)
+    end
+  end
+  for i = 1:h
+    for j = 1:w
+      tmp(i, j) = 1
+    end
+  end
+endfunction`
+	orig := compile(t, src, "f", ir.MatrixArg(4, 4))
+	x := cloneProg(orig)
+	ElideDeadInits(x)
+	assertSameBehaviour(t, orig, x)
+}
+
+func TestElideKeepsConditionalWriter(t *testing.T) {
+	// Writers under an if leave some init values live.
+	src := `
+function out = f(img)
+  h = size(img, 1)
+  w = size(img, 2)
+  out = zeros(h, w)
+  for i = 1:h
+    for j = 1:w
+      if img(i, j) > 0 then
+        out(i, j) = img(i, j)
+      end
+    end
+  end
+endfunction`
+	orig := compile(t, src, "f", ir.MatrixArg(5, 5))
+	x := cloneProg(orig)
+	if n := ElideDeadInits(x); n != 0 {
+		t.Fatalf("elided %d fills with a conditional writer", n)
+	}
+	assertSameBehaviour(t, orig, x)
+}
+
+func TestElideOnUseCasesPreservesBehaviourAndHelps(t *testing.T) {
+	src := `
+function [a, b] = f(img)
+  h = size(img, 1)
+  w = size(img, 2)
+  a = zeros(h, w)
+  b = zeros(h, w)
+  for i = 1:h
+    for j = 1:w
+      a(i, j) = img(i, j) + 1
+    end
+  end
+  for i = 1:h
+    for j = 1:w
+      b(i, j) = a(i, j) * 2
+    end
+  end
+endfunction`
+	orig := compile(t, src, "f", ir.MatrixArg(8, 8))
+	x := cloneProg(orig)
+	if n := ElideDeadInits(x); n != 2 {
+		t.Fatalf("elided %d, want both inits", n)
+	}
+	assertSameBehaviour(t, orig, x)
+}

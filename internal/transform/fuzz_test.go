@@ -1,0 +1,101 @@
+package transform
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"argo/internal/ir"
+	"argo/internal/scil"
+)
+
+// TestDifferentialRandomPrograms is the front-end fuzzing battery: random
+// programs in the analysable subset are executed through (1) the scil
+// reference interpreter, (2) the lowered IR, and (3) the IR after every
+// transformation configuration — all three must agree exactly.
+func TestDifferentialRandomPrograms(t *testing.T) {
+	cfgs := []Options{
+		{Fold: true},
+		{Fission: true},
+		{Fold: true, Fission: true},
+		{UnrollFactor: 2},
+		{TileI: 2, TileJ: 3},
+		{ParallelChunks: 3},
+		{Fold: true, Fission: true, ParallelChunks: 2, UnrollFactor: 3},
+		{Fusion: true, Fold: true},
+		{ElideInits: true},
+		{Fold: true, Hoist: true, ElideInits: true, Fission: true, ParallelChunks: 2},
+	}
+	seeds := 60
+	if testing.Short() {
+		seeds = 15
+	}
+	for seed := 0; seed < seeds; seed++ {
+		rng := rand.New(rand.NewSource(int64(seed)))
+		prog := scil.Generate(rng, scil.DefaultGenConfig())
+		cfg := scil.DefaultGenConfig()
+
+		// Inputs: a deterministic matrix argument.
+		in := make([]float64, cfg.Rows*cfg.Cols)
+		for i := range in {
+			in[i] = math.Round(rng.Float64()*40-20) / 2
+		}
+		sArg := scil.MatrixOf(cfg.Rows, cfg.Cols, in)
+		want, err := scil.NewInterp(prog).Call("fuzz", sArg)
+		if err != nil {
+			t.Fatalf("seed %d: scil run: %v\n%s", seed, err, scil.GenerateSource(rand.New(rand.NewSource(int64(seed))), cfg))
+		}
+		irProg, err := ir.Lower(prog, "fuzz", []ir.ArgSpec{ir.MatrixArg(cfg.Rows, cfg.Cols)})
+		if err != nil {
+			t.Fatalf("seed %d: lower: %v\n%s", seed, err, scil.GenerateSource(rand.New(rand.NewSource(int64(seed))), cfg))
+		}
+		check := func(label string, p *ir.Program) {
+			got, err := ir.NewExec(p, nil).Run([][]float64{in})
+			if err != nil {
+				t.Fatalf("seed %d %s: ir run: %v", seed, label, err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("seed %d %s: %d results vs %d", seed, label, len(got), len(want))
+			}
+			for ri := range want {
+				w := want[ri]
+				for r := 1; r <= w.Rows; r++ {
+					for c := 1; c <= w.Cols; c++ {
+						wv := w.At(r, c)
+						gv := got[ri][(r-1)*w.Cols+(c-1)]
+						if math.IsNaN(wv) && math.IsNaN(gv) {
+							continue
+						}
+						if wv != gv && math.Abs(wv-gv) > 1e-9*(1+math.Abs(wv)) {
+							t.Fatalf("seed %d %s: result %d (%d,%d): ir %g vs scil %g\n%s",
+								seed, label, ri, r, c, gv, wv,
+								scil.GenerateSource(rand.New(rand.NewSource(int64(seed))), cfg))
+						}
+					}
+				}
+			}
+		}
+		check("plain", irProg)
+		for ci, topt := range cfgs {
+			x := &ir.Program{Vars: irProg.Vars}
+			entry := *irProg.Entry
+			entry.Body = ir.CloneStmts(irProg.Entry.Body)
+			x.Entry = &entry
+			Apply(x, topt)
+			check(rcfg(topt)+"#"+string(rune('a'+ci)), x)
+		}
+	}
+}
+
+// TestFuzzGeneratorAlwaysAnalysable ensures every generated program
+// survives the WCET-mode checker and the lowering's static requirements.
+func TestFuzzGeneratorAlwaysAnalysable(t *testing.T) {
+	for seed := 100; seed < 160; seed++ {
+		rng := rand.New(rand.NewSource(int64(seed)))
+		prog := scil.Generate(rng, scil.DefaultGenConfig()) // panics on check failure
+		cfg := scil.DefaultGenConfig()
+		if _, err := ir.Lower(prog, "fuzz", []ir.ArgSpec{ir.MatrixArg(cfg.Rows, cfg.Cols)}); err != nil {
+			t.Fatalf("seed %d: lower: %v", seed, err)
+		}
+	}
+}

@@ -1,0 +1,157 @@
+package transform
+
+import (
+	"argo/internal/ir"
+)
+
+// HoistInvariants performs loop-invariant code motion on scalar
+// assignments: a top-level assignment in a loop body whose right-hand
+// side depends on nothing the loop writes is moved in front of the loop,
+// removing its cost from the trip-count multiplier (a direct WCET
+// reduction on the deterministic core model). Returns the number of
+// statements hoisted.
+//
+// Hoisting conditions (all checked):
+//   - the loop has at least one guaranteed iteration (static Trip >= 1)
+//     and contains no loose break/continue,
+//   - the assignment's source reads no scalar written anywhere in the
+//     loop (including the induction variable) and no matrix the loop
+//     writes,
+//   - its destination is written nowhere else in the loop and is not
+//     read by any statement preceding the assignment.
+func HoistInvariants(prog *ir.Program) int {
+	n := 0
+	prog.Entry.Body = hoistBlock(prog.Entry.Body, &n)
+	return n
+}
+
+func hoistBlock(stmts []ir.Stmt, n *int) []ir.Stmt {
+	var out []ir.Stmt
+	for _, s := range stmts {
+		switch st := s.(type) {
+		case *ir.For:
+			st.Body = hoistBlock(st.Body, n)
+			hoisted, rest := hoistFromLoop(st)
+			*n += len(hoisted)
+			out = append(out, hoisted...)
+			st.Body = rest
+			out = append(out, st)
+		case *ir.While:
+			st.Body = hoistBlock(st.Body, n)
+			out = append(out, st)
+		case *ir.If:
+			st.Then = hoistBlock(st.Then, n)
+			st.Else = hoistBlock(st.Else, n)
+			out = append(out, st)
+		default:
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// hoistFromLoop extracts hoistable assignments from the loop body.
+func hoistFromLoop(loop *ir.For) (hoisted, rest []ir.Stmt) {
+	if loop.Trip < 1 || hasLooseJumps(loop.Body) {
+		return nil, loop.Body
+	}
+	bodyUses := ir.ComputeUses(loop.Body)
+	writtenScalars := map[*ir.Var]bool{loop.IVar: true}
+	for v := range bodyUses.ScalWrite {
+		writtenScalars[v] = true
+	}
+	// Count scalar writes per variable to enforce single assignment.
+	writeCount := map[*ir.Var]int{}
+	ir.WalkStmts(loop.Body, func(s ir.Stmt) bool {
+		switch st := s.(type) {
+		case *ir.AssignScalar:
+			writeCount[st.Dst]++
+		case *ir.For:
+			writeCount[st.IVar] += 2 // loops rebind their ivar repeatedly
+		}
+		return true
+	})
+	readBefore := map[*ir.Var]bool{}
+	for _, s := range loop.Body {
+		as, isAssign := s.(*ir.AssignScalar)
+		movable := false
+		if isAssign && writeCount[as.Dst] == 1 && !readBefore[as.Dst] {
+			srcUses := ir.NewUseSets()
+			srcUses.AddExprUses(as.Src)
+			movable = true
+			for v := range srcUses.ScalReads {
+				if writtenScalars[v] {
+					movable = false
+				}
+			}
+			for v := range srcUses.MatReads {
+				if bodyUses.MatWrites[v] {
+					movable = false
+				}
+			}
+		}
+		if movable {
+			hoisted = append(hoisted, as)
+		} else {
+			rest = append(rest, s)
+		}
+		// Track reads occurring from this statement on.
+		u := ir.ComputeUses([]ir.Stmt{s})
+		for v := range u.ScalReads {
+			readBefore[v] = true
+		}
+	}
+	return hoisted, rest
+}
+
+// Interchange swaps the two outermost loops of a perfect 2-deep (or
+// deeper) nest when every matrix written in the nest is
+// iteration-private, making all iteration orders equivalent. Returns the
+// new outer loop and true, or nil and false.
+func Interchange(loop *ir.For) (*ir.For, bool) {
+	nest := perfectNest(loop)
+	if len(nest.loops) < 2 {
+		return nil, false
+	}
+	outer, inner := nest.loops[0], nest.loops[1]
+	body := inner.Body
+	if hasLooseJumps(body) {
+		return nil, false
+	}
+	// Bounds of the inner loop must not depend on the outer ivar.
+	hdr := ir.NewUseSets()
+	hdr.AddExprUses(inner.Lo)
+	hdr.AddExprUses(inner.Step)
+	hdr.AddExprUses(inner.Hi)
+	if hdr.ScalReads[outer.IVar] {
+		return nil, false
+	}
+	ivars := map[*ir.Var]bool{}
+	for _, l := range nest.loops {
+		ivars[l.IVar] = true
+	}
+	uses := ir.ComputeUses(body)
+	for v := range uses.MatWrites {
+		if !fullRankPrivate(body, v, ivars) {
+			return nil, false
+		}
+	}
+	for v := range uses.ScalWrite {
+		if ivars[v] {
+			continue
+		}
+		if uses.ScalReads[v] && !definesBeforeUse(body, v) {
+			return nil, false
+		}
+	}
+	newInner := &ir.For{
+		IVar: outer.IVar, Lo: ir.CloneExpr(outer.Lo), Step: ir.CloneExpr(outer.Step),
+		Hi: ir.CloneExpr(outer.Hi), Trip: outer.Trip, Body: ir.CloneStmts(body),
+	}
+	newOuter := &ir.For{
+		IVar: inner.IVar, Lo: ir.CloneExpr(inner.Lo), Step: ir.CloneExpr(inner.Step),
+		Hi: ir.CloneExpr(inner.Hi), Trip: inner.Trip, Body: []ir.Stmt{newInner},
+		Label: loop.Label,
+	}
+	return newOuter, true
+}

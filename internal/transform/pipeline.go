@@ -1,0 +1,177 @@
+package transform
+
+import (
+	"fmt"
+
+	"argo/internal/ir"
+)
+
+// Options selects which predictability transformations the pipeline
+// applies, in the fixed order: fold, fission, fusion, unroll, tile, SPM.
+type Options struct {
+	Fold bool
+	// Hoist moves loop-invariant scalar assignments out of loops
+	// (a direct WCET reduction: their cost leaves the trip multiplier).
+	Hoist   bool
+	Fission bool
+	Fusion  bool
+	// UnrollFactor unrolls every innermost loop by this factor when > 1.
+	UnrollFactor int
+	// TileI/TileJ tile 2-deep perfect nests when both are > 0.
+	TileI, TileJ int
+	// ElideInits removes initialization sweeps that are fully
+	// overwritten before any read (dead zeros()/ones() fills).
+	ElideInits bool
+	// ParallelChunks chunks data-parallel top-level loops into up to
+	// this many index-set pieces (the task-parallel decomposition knob;
+	// typically set to the core count).
+	ParallelChunks int
+	// SPM enables scratchpad promotion with the given options.
+	SPM *SPMOptions
+}
+
+// DefaultOptions is the tool-chain's standard predictability pipeline:
+// constant folding + loop fission (fine-grain task decomposition).
+// Scratchpad promotion is added by the driver once platform numbers are
+// known.
+func DefaultOptions() Options {
+	return Options{Fold: true, Fission: true}
+}
+
+// Report summarizes what the pipeline did.
+type Report struct {
+	Folded        int
+	Hoisted       int
+	ElidedInits   int
+	FissionSplits int
+	Fusions       int
+	Unrolled      int
+	Tiled         int
+	Chunked       int
+	SPM           SPMDecision
+}
+
+// String renders the report compactly.
+func (r Report) String() string {
+	return fmt.Sprintf("fold=%d hoist=%d elide=%d fission=%d fusion=%d unroll=%d tile=%d chunked=%d spm={vars=%d bytes=%d gain=%d}",
+		r.Folded, r.Hoisted, r.ElidedInits, r.FissionSplits, r.Fusions, r.Unrolled, r.Tiled, r.Chunked,
+		len(r.SPM.Promoted), r.SPM.BytesUsed, r.SPM.GainCycles)
+}
+
+// Apply runs the selected transformations on prog in place.
+func Apply(prog *ir.Program, opt Options) Report {
+	var rep Report
+	if opt.Fold {
+		rep.Folded = FoldConstants(prog)
+	}
+	if opt.Hoist {
+		rep.Hoisted = HoistInvariants(prog)
+	}
+	if opt.Fission {
+		rep.FissionSplits = FissionAll(prog)
+	}
+	if opt.ElideInits {
+		rep.ElidedInits = ElideDeadInits(prog)
+	}
+	if opt.Fusion {
+		rep.Fusions = FuseAll(prog)
+	}
+	if opt.UnrollFactor > 1 {
+		rep.Unrolled = UnrollInnermost(prog, opt.UnrollFactor)
+	}
+	if opt.TileI > 0 && opt.TileJ > 0 {
+		rep.Tiled = TileTopLevel(prog, opt.TileI, opt.TileJ)
+	}
+	if opt.ParallelChunks > 1 {
+		rep.Chunked = ParallelizeLoops(prog, opt.ParallelChunks)
+	}
+	if opt.SPM != nil {
+		rep.SPM = PromoteScratchpad(prog, *opt.SPM)
+	}
+	return rep
+}
+
+// UnrollInnermost unrolls every innermost for loop of the entry function
+// by factor k, returning the number of loops unrolled.
+func UnrollInnermost(prog *ir.Program, k int) int {
+	n := 0
+	prog.Entry.Body = unrollBlock(prog.Entry.Body, k, &n)
+	return n
+}
+
+func unrollBlock(stmts []ir.Stmt, k int, n *int) []ir.Stmt {
+	var out []ir.Stmt
+	for _, s := range stmts {
+		switch st := s.(type) {
+		case *ir.For:
+			if isInnermost(st) {
+				if repl, ok := Unroll(st, k); ok {
+					*n++
+					out = append(out, repl...)
+					continue
+				}
+				out = append(out, st)
+				continue
+			}
+			st.Body = unrollBlock(st.Body, k, n)
+			out = append(out, st)
+		case *ir.While:
+			st.Body = unrollBlock(st.Body, k, n)
+			out = append(out, st)
+		case *ir.If:
+			st.Then = unrollBlock(st.Then, k, n)
+			st.Else = unrollBlock(st.Else, k, n)
+			out = append(out, st)
+		default:
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// isInnermost reports whether loop contains no nested loops.
+func isInnermost(loop *ir.For) bool {
+	inner := false
+	ir.WalkStmts(loop.Body, func(s ir.Stmt) bool {
+		switch s.(type) {
+		case *ir.For, *ir.While:
+			inner = true
+			return false
+		}
+		return true
+	})
+	return !inner
+}
+
+// TileTopLevel tiles every top-level 2-deep perfect nest of the entry
+// function, returning the number of nests tiled.
+func TileTopLevel(prog *ir.Program, ti, tj int) int {
+	n := 0
+	var out []ir.Stmt
+	for _, s := range prog.Entry.Body {
+		if loop, ok := s.(*ir.For); ok {
+			if tiled, did := Tile(loop, ti, tj, prog); did {
+				n++
+				out = append(out, tiled)
+				continue
+			}
+		}
+		out = append(out, s)
+	}
+	prog.Entry.Body = out
+	return n
+}
+
+// LabelLoops assigns stable labels L0, L1, ... to every loop of the entry
+// function in program order (used by reports and by the cross-layer
+// explanation artifacts).
+func LabelLoops(prog *ir.Program) {
+	n := 0
+	ir.WalkStmts(prog.Entry.Body, func(s ir.Stmt) bool {
+		if f, ok := s.(*ir.For); ok && f.Label == "" {
+			f.Label = fmt.Sprintf("L%d", n)
+			n++
+		}
+		return true
+	})
+}

@@ -1,0 +1,250 @@
+package usecases
+
+import (
+	"testing"
+
+	"argo/internal/adl"
+	"argo/internal/core"
+	"argo/internal/ir"
+	"argo/internal/sim"
+	"argo/internal/wcet"
+)
+
+func TestAllUseCasesParseCheckAndLower(t *testing.T) {
+	for _, u := range All() {
+		t.Run(u.Name, func(t *testing.T) {
+			p, err := u.Program()
+			if err != nil {
+				t.Fatal(err)
+			}
+			prog, err := ir.Lower(p, u.Entry, u.Args)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if prog.TotalDataBytes() == 0 {
+				t.Fatal("no data")
+			}
+		})
+	}
+}
+
+func TestUseCaseInputsDeterministic(t *testing.T) {
+	for _, u := range All() {
+		a := u.Inputs(42)
+		b := u.Inputs(42)
+		c := u.Inputs(43)
+		if len(a) != len(u.Args) {
+			t.Fatalf("%s: %d inputs for %d args", u.Name, len(a), len(u.Args))
+		}
+		differs := false
+		for i := range a {
+			if len(a[i]) != len(b[i]) {
+				t.Fatalf("%s: nondeterministic input sizes", u.Name)
+			}
+			for k := range a[i] {
+				if a[i][k] != b[i][k] {
+					t.Fatalf("%s: nondeterministic inputs", u.Name)
+				}
+				if a[i][k] != c[i][k] {
+					differs = true
+				}
+			}
+		}
+		if !differs {
+			t.Fatalf("%s: seed has no effect", u.Name)
+		}
+	}
+}
+
+func TestUseCasesExecuteMeaningfully(t *testing.T) {
+	for _, u := range All() {
+		t.Run(u.Name, func(t *testing.T) {
+			p, err := u.Program()
+			if err != nil {
+				t.Fatal(err)
+			}
+			prog, err := ir.Lower(p, u.Entry, u.Args)
+			if err != nil {
+				t.Fatal(err)
+			}
+			nonzero := false
+			for seed := int64(0); seed < 5; seed++ {
+				out, err := ir.NewExec(prog, nil).Run(u.Inputs(seed))
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				for _, res := range out {
+					for _, v := range res {
+						if v != 0 {
+							nonzero = true
+						}
+					}
+				}
+			}
+			if !nonzero {
+				t.Fatal("all outputs were zero across seeds — generator or model broken")
+			}
+		})
+	}
+}
+
+func TestEGPWSAlertsOnDescentIntoTerrain(t *testing.T) {
+	u := EGPWS()
+	p, err := u.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := ir.Lower(p, u.Entry, u.Args)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := u.Inputs(1)
+	// Force a steep descent close to the ground: alert must trip.
+	in[1][2] = 120 // low altitude
+	in[1][5] = -12 // steep descent
+	out, err := ir.NewExec(prog, nil).Run(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alert := out[2][0]
+	if alert < 1 {
+		t.Fatalf("no alert on steep low descent (worst=%g)", out[1][0])
+	}
+	// And a high cruise must be quieter than the dive.
+	in2 := u.Inputs(1)
+	in2[1][2] = 2000
+	in2[1][5] = 0.5
+	out2, err := ir.NewExec(prog, nil).Run(in2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out2[1][0] >= out[1][0] {
+		t.Fatalf("cruise risk %g should be below dive risk %g", out2[1][0], out[1][0])
+	}
+}
+
+func TestWEAAPicksLowestScore(t *testing.T) {
+	u := WEAA()
+	p, err := u.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := ir.Lower(p, u.Entry, u.Args)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ir.NewExec(prog, nil).Run(u.Inputs(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores, best, minhaz := out[0], out[1][0], out[2][0]
+	bi := int(best) - 1
+	if bi < 0 || bi >= len(scores) {
+		t.Fatalf("best index %g", best)
+	}
+	for _, s := range scores {
+		if scores[bi] > s {
+			t.Fatalf("best %g is not minimal: %v", scores[bi], scores)
+		}
+	}
+	if minhaz != scores[bi] {
+		t.Fatalf("minhaz %g != best score %g", minhaz, scores[bi])
+	}
+}
+
+func TestPOLKADetectsStressedRegion(t *testing.T) {
+	u := POLKA()
+	p, err := u.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := ir.Lower(p, u.Entry, u.Args)
+	if err != nil {
+		t.Fatal(err)
+	}
+	detected := 0
+	for seed := int64(0); seed < 6; seed++ {
+		out, err := ir.NewExec(prog, nil).Run(u.Inputs(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		peak := out[2][0]
+		if peak <= 0 {
+			t.Fatalf("seed %d: zero peak DoLP", seed)
+		}
+		if out[1][0] > 0 {
+			detected++
+		}
+	}
+	if detected == 0 {
+		t.Fatal("stress never detected across seeds")
+	}
+}
+
+func TestUseCasesCompileAndSimulateWithinBounds(t *testing.T) {
+	platform := adl.XentiumPlatform(4)
+	for _, u := range All() {
+		t.Run(u.Name, func(t *testing.T) {
+			p, err := u.Program()
+			if err != nil {
+				t.Fatal(err)
+			}
+			art, err := core.Compile(p, core.DefaultOptions(u.Entry, u.Args, platform))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for seed := int64(0); seed < 3; seed++ {
+				rep, err := sim.Run(art.Parallel, u.Inputs(seed))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := sim.CheckAgainstBounds(art.Parallel, rep); err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+			}
+			if art.Bound() > u.Period {
+				t.Logf("note: %s bound %d exceeds period %d on this platform", u.Name, art.Bound(), u.Period)
+			}
+		})
+	}
+}
+
+func TestByName(t *testing.T) {
+	if ByName("egpws") == nil || ByName("weaa") == nil || ByName("polka") == nil {
+		t.Fatal("lookup failed")
+	}
+	if ByName("nope") != nil {
+		t.Fatal("unknown name")
+	}
+}
+
+// TestPerTaskStructuralEqualsIPETOnUseCases cross-checks the two
+// code-level analyses on every task of every compiled use case — the
+// strongest end-to-end consistency check of the WCET machinery.
+func TestPerTaskStructuralEqualsIPETOnUseCases(t *testing.T) {
+	platform := adl.XentiumPlatform(2)
+	for _, u := range All() {
+		t.Run(u.Name, func(t *testing.T) {
+			p, err := u.Program()
+			if err != nil {
+				t.Fatal(err)
+			}
+			art, err := core.Compile(p, core.DefaultOptions(u.Entry, u.Args, platform))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, n := range art.Graph.Nodes {
+				c := art.Schedule.Placements[n.ID].Core
+				m := wcet.ModelFor(platform, c)
+				st := wcet.Structural(n.Stmts, m)
+				ip, err := wcet.IPET(n.Stmts, m)
+				if err != nil {
+					t.Fatalf("task %d: IPET: %v", n.ID, err)
+				}
+				if st != ip {
+					t.Fatalf("task %d (%s): structural %d != IPET %d", n.ID, n.Label, st, ip)
+				}
+			}
+		})
+	}
+}

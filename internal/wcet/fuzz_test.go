@@ -1,0 +1,80 @@
+package wcet
+
+import (
+	"math/rand"
+	"testing"
+
+	"argo/internal/ir"
+	"argo/internal/scil"
+)
+
+// TestFuzzStructuralEqualsIPET cross-checks the two independent
+// code-level analyses on randomly generated programs: on structured code
+// they must agree exactly, for every core model.
+func TestFuzzStructuralEqualsIPET(t *testing.T) {
+	models := []CostModel{
+		{OpCycles: 1, SPMLatency: 2, SharedLatency: 18},
+		{OpCycles: 2, SPMLatency: 1, SharedLatency: 12},
+	}
+	seeds := 40
+	if testing.Short() {
+		seeds = 10
+	}
+	cfg := scil.DefaultGenConfig()
+	for seed := 0; seed < seeds; seed++ {
+		rng := rand.New(rand.NewSource(int64(1000 + seed)))
+		prog := scil.Generate(rng, cfg)
+		irProg, err := ir.Lower(prog, "fuzz", []ir.ArgSpec{ir.MatrixArg(cfg.Rows, cfg.Cols)})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for mi, m := range models {
+			st := Structural(irProg.Entry.Body, m)
+			ip, err := IPET(irProg.Entry.Body, m)
+			if err != nil {
+				t.Fatalf("seed %d model %d: IPET: %v", seed, mi, err)
+			}
+			if st != ip {
+				t.Fatalf("seed %d model %d: structural %d != IPET %d\n%s",
+					seed, mi, st, ip,
+					scil.GenerateSource(rand.New(rand.NewSource(int64(1000+seed))), cfg))
+			}
+		}
+	}
+}
+
+// TestFuzzMeasuredWithinBound executes every generated program on random
+// inputs and requires the metered cycles to stay within the structural
+// bound — the soundness contract, fuzzed.
+func TestFuzzMeasuredWithinBound(t *testing.T) {
+	m := CostModel{OpCycles: 1, SPMLatency: 2, SharedLatency: 18}
+	cfg := scil.DefaultGenConfig()
+	seeds := 40
+	if testing.Short() {
+		seeds = 10
+	}
+	for seed := 0; seed < seeds; seed++ {
+		rng := rand.New(rand.NewSource(int64(2000 + seed)))
+		prog := scil.Generate(rng, cfg)
+		irProg, err := ir.Lower(prog, "fuzz", []ir.ArgSpec{ir.MatrixArg(cfg.Rows, cfg.Cols)})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		bound := Structural(irProg.Entry.Body, m)
+		for trial := 0; trial < 4; trial++ {
+			in := make([]float64, cfg.Rows*cfg.Cols)
+			for i := range in {
+				in[i] = rng.Float64()*30 - 10
+			}
+			meter := &CycleMeter{Model: m}
+			if _, err := ir.NewExec(irProg, meter).Run([][]float64{in}); err != nil {
+				t.Fatalf("seed %d trial %d: %v", seed, trial, err)
+			}
+			if meter.Cycles > bound {
+				t.Fatalf("seed %d trial %d: measured %d > bound %d\n%s",
+					seed, trial, meter.Cycles, bound,
+					scil.GenerateSource(rand.New(rand.NewSource(int64(2000+seed))), cfg))
+			}
+		}
+	}
+}

@@ -1,0 +1,326 @@
+package wcet
+
+import (
+	"math/rand"
+	"testing"
+
+	"argo/internal/adl"
+	"argo/internal/ir"
+	"argo/internal/scil"
+)
+
+func compile(t *testing.T, src, entry string, args ...ir.ArgSpec) *ir.Program {
+	t.Helper()
+	p, err := scil.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if errs := scil.Check(p, scil.CheckWCET); len(errs) > 0 {
+		t.Fatalf("check: %v", errs[0])
+	}
+	prog, err := ir.Lower(p, entry, args)
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	return prog
+}
+
+func defaultModel() CostModel {
+	return CostModel{OpCycles: 1, SPMLatency: 2, SharedLatency: 18}
+}
+
+var analysisCorpus = []struct {
+	name string
+	src  string
+	args []ir.ArgSpec
+	ins  [][]float64
+}{
+	{
+		name: "straightline",
+		src: `function r = f(a, b)
+  r = a * b + a - b / 2
+endfunction`,
+		args: []ir.ArgSpec{ir.ScalarArg(), ir.ScalarArg()},
+		ins:  [][]float64{{3}, {4}},
+	},
+	{
+		name: "forloop",
+		src: `function r = f(v)
+  r = 0
+  for i = 1:12
+    r = r + v(1, i)
+  end
+endfunction`,
+		args: []ir.ArgSpec{ir.MatrixArg(1, 12)},
+		ins:  [][]float64{make([]float64, 12)},
+	},
+	{
+		name: "nested",
+		src: `function r = f(m)
+  r = 0
+  for i = 1:6
+    for j = 1:5
+      r = r + m(i, j) * 2
+    end
+  end
+endfunction`,
+		args: []ir.ArgSpec{ir.MatrixArg(6, 5)},
+		ins:  [][]float64{make([]float64, 30)},
+	},
+	{
+		name: "branches",
+		src: `function r = f(v)
+  r = 0
+  for i = 1:10
+    if v(1, i) > 0 then
+      r = r + sqrt(v(1, i))
+    else
+      r = r - v(1, i)
+    end
+  end
+endfunction`,
+		args: []ir.ArgSpec{ir.MatrixArg(1, 10)},
+		ins:  [][]float64{{1, -2, 3, -4, 5, -6, 7, -8, 9, -10}},
+	},
+	{
+		name: "while",
+		src: `function r = f(x)
+  r = 0
+  //@bound 40
+  while x > 1
+    x = x / 2
+    r = r + 1
+  end
+endfunction`,
+		args: []ir.ArgSpec{ir.ScalarArg()},
+		ins:  [][]float64{{1e9}},
+	},
+	{
+		name: "breakcontinue",
+		src: `function r = f(v)
+  r = 0
+  for i = 1:10
+    if v(1, i) < 0 then
+      continue
+    end
+    if v(1, i) > 100 then
+      break
+    end
+    r = r + v(1, i)
+  end
+endfunction`,
+		args: []ir.ArgSpec{ir.MatrixArg(1, 10)},
+		ins:  [][]float64{{1, -1, 2, 300, 4, 5, 6, 7, 8, 9}},
+	},
+	{
+		name: "matrixops",
+		src: `function r = f(a, b)
+  c = a * b
+  d = c + a .* b
+  r = sum(d) + maxval(c)
+endfunction`,
+		args: []ir.ArgSpec{ir.MatrixArg(4, 4), ir.MatrixArg(4, 4)},
+		ins:  [][]float64{make([]float64, 16), make([]float64, 16)},
+	},
+}
+
+// TestStructuralEqualsIPET cross-checks the two independent code-level
+// analyses: on structured programs they must agree exactly.
+func TestStructuralEqualsIPET(t *testing.T) {
+	m := defaultModel()
+	for _, tc := range analysisCorpus {
+		t.Run(tc.name, func(t *testing.T) {
+			prog := compile(t, tc.src, "f", tc.args...)
+			st := Structural(prog.Entry.Body, m)
+			ip, err := IPET(prog.Entry.Body, m)
+			if err != nil {
+				t.Fatalf("IPET: %v", err)
+			}
+			if st != ip {
+				t.Fatalf("structural %d != IPET %d", st, ip)
+			}
+			if st <= 0 {
+				t.Fatalf("non-positive WCET %d", st)
+			}
+		})
+	}
+}
+
+// TestMeasuredNeverExceedsBound runs each corpus program on random inputs
+// and checks measured cycles <= structural bound.
+func TestMeasuredNeverExceedsBound(t *testing.T) {
+	m := defaultModel()
+	rng := rand.New(rand.NewSource(7))
+	for _, tc := range analysisCorpus {
+		t.Run(tc.name, func(t *testing.T) {
+			prog := compile(t, tc.src, "f", tc.args...)
+			bound := Structural(prog.Entry.Body, m)
+			for trial := 0; trial < 10; trial++ {
+				var args [][]float64
+				for _, p := range prog.Entry.Params {
+					buf := make([]float64, p.Elems())
+					for i := range buf {
+						buf[i] = rng.Float64()*100 - 30
+					}
+					args = append(args, buf)
+				}
+				meter := &CycleMeter{Model: m}
+				if _, err := ir.NewExec(prog, meter).Run(args); err != nil {
+					t.Fatalf("run: %v", err)
+				}
+				if meter.Cycles > bound {
+					t.Fatalf("trial %d: measured %d > bound %d", trial, meter.Cycles, bound)
+				}
+				if meter.Cycles <= 0 {
+					t.Fatalf("no cycles measured")
+				}
+			}
+		})
+	}
+}
+
+// TestBoundTightOnStraightLineCode: on branch-free, input-independent
+// code the bound must be exact.
+func TestBoundTightOnStraightLineCode(t *testing.T) {
+	m := defaultModel()
+	prog := compile(t, `function r = f(v)
+  r = 0
+  for i = 1:8
+    r = r + v(1, i) * 2
+  end
+endfunction`, "f", ir.MatrixArg(1, 8))
+	bound := Structural(prog.Entry.Body, m)
+	meter := &CycleMeter{Model: m}
+	if _, err := ir.NewExec(prog, meter).Run([][]float64{make([]float64, 8)}); err != nil {
+		t.Fatal(err)
+	}
+	if meter.Cycles != bound {
+		t.Fatalf("measured %d != bound %d on deterministic code", meter.Cycles, bound)
+	}
+}
+
+func TestSPMPromotionReducesWCET(t *testing.T) {
+	m := defaultModel()
+	src := `function r = f(v)
+  r = 0
+  for i = 1:32
+    r = r + v(1, i)
+  end
+endfunction`
+	prog := compile(t, src, "f", ir.MatrixArg(1, 32))
+	before := Structural(prog.Entry.Body, m)
+	for _, v := range prog.MatrixVars() {
+		v.Storage = ir.StorageSPM
+	}
+	after := Structural(prog.Entry.Body, m)
+	if after >= before {
+		t.Fatalf("SPM should reduce WCET: %d -> %d", before, after)
+	}
+	want := before - 32*int64(m.SharedLatency-m.SPMLatency)
+	if after != want {
+		t.Fatalf("after = %d, want %d", after, want)
+	}
+}
+
+func TestModelFor(t *testing.T) {
+	p := adl.XentiumPlatform(4)
+	m := ModelFor(p, 0)
+	if m.OpCycles != 1 || m.SPMLatency != 2 || m.SharedLatency != 18 {
+		t.Fatalf("model: %+v", m)
+	}
+	q := adl.Leon3TilePlatform(2, 2)
+	m0 := ModelFor(q, 0)
+	m3 := ModelFor(q, 3)
+	if m3.SharedLatency <= m0.SharedLatency {
+		t.Fatalf("far tile should have higher shared latency: %d vs %d", m3.SharedLatency, m0.SharedLatency)
+	}
+}
+
+func TestAnalyzeAccessCounts(t *testing.T) {
+	prog := compile(t, `function r = f(m)
+  r = 0
+  for i = 1:4
+    for j = 1:4
+      r = r + m(i, j)
+    end
+  end
+endfunction`, "f", ir.MatrixArg(4, 4))
+	rep := Analyze(prog.Entry.Body, defaultModel())
+	if rep.SharedAccesses != 16 {
+		t.Fatalf("shared accesses = %d, want 16", rep.SharedAccesses)
+	}
+	if rep.SPMAccesses != 0 {
+		t.Fatalf("spm accesses = %d", rep.SPMAccesses)
+	}
+	// Promote and re-analyze.
+	for _, v := range prog.MatrixVars() {
+		v.Storage = ir.StorageSPM
+	}
+	rep2 := Analyze(prog.Entry.Body, defaultModel())
+	if rep2.SPMAccesses != 16 || rep2.SharedAccesses != 0 {
+		t.Fatalf("after promotion: %+v", rep2)
+	}
+	if rep2.Cycles >= rep.Cycles {
+		t.Fatal("promotion should lower the bound")
+	}
+}
+
+func TestWhileBoundDominatesCost(t *testing.T) {
+	m := defaultModel()
+	mk := func(bound int) int64 {
+		src := `function r = f(x)
+  r = 0
+  //@bound ` + itoa(bound) + `
+  while x > 0
+    x = x - 1
+    r = r + 1
+  end
+endfunction`
+		prog := compile(t, src, "f", ir.ScalarArg())
+		return Structural(prog.Entry.Body, m)
+	}
+	if mk(10) >= mk(100) {
+		t.Fatal("larger @bound must give larger WCET")
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var digits []byte
+	for n > 0 {
+		digits = append([]byte{byte('0' + n%10)}, digits...)
+		n /= 10
+	}
+	return string(digits)
+}
+
+func TestIPETZeroTripLoop(t *testing.T) {
+	// A loop with zero trips contributes only its header cost.
+	prog := compile(t, `function r = f(x)
+  r = x
+  for i = 1:0
+    r = r + 1000
+  end
+endfunction`, "f", ir.ScalarArg())
+	m := defaultModel()
+	st := Structural(prog.Entry.Body, m)
+	ip, err := IPET(prog.Entry.Body, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != ip {
+		t.Fatalf("structural %d != ipet %d", st, ip)
+	}
+	if st > 20 {
+		t.Fatalf("zero-trip loop cost too high: %d", st)
+	}
+}
+
+func TestIPETOnEmptyRegion(t *testing.T) {
+	got, err := IPET(nil, defaultModel())
+	if err != nil || got != 0 {
+		t.Fatalf("got %d, %v", got, err)
+	}
+}

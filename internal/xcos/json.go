@@ -1,0 +1,28 @@
+package xcos
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// EncodeJSON serializes a diagram to the on-disk model format (the
+// open-diagram exchange format of this tool-chain, standing in for Xcos'
+// XML model files).
+func EncodeJSON(d *Diagram) ([]byte, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return json.MarshalIndent(d, "", "  ")
+}
+
+// DecodeJSON parses and validates a diagram model file.
+func DecodeJSON(data []byte) (*Diagram, error) {
+	var d Diagram
+	if err := json.Unmarshal(data, &d); err != nil {
+		return nil, fmt.Errorf("xcos: %v", err)
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return &d, nil
+}

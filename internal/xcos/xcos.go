@@ -1,0 +1,393 @@
+// Package xcos implements ARGO's model-based design front-end (paper
+// §II-A): a dataflow block-diagram model in the spirit of the open-source
+// Xcos framework. The behaviour of every block in the library is itself
+// described in the scil language, so a diagram both *is* a model and
+// *has* a complete high-level functional specification — the extensible
+// dual view the paper describes.
+//
+// Flatten compiles a diagram into a single scil program: one function per
+// block behaviour plus a generated top-level entry that wires the blocks
+// in topological order. The result feeds directly into the rest of the
+// tool-chain (ir.Lower and onward).
+package xcos
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"argo/internal/scil"
+)
+
+// BlockType describes one library block kind.
+type BlockType struct {
+	Kind string
+	// Inputs is the number of signal input ports.
+	Inputs int
+	// Params names the scalar parameters appended to the behaviour call.
+	Params []string
+	// Behaviour is the scil source of the block's behaviour function,
+	// named block_<kind>, taking the input signals then the parameters,
+	// returning one signal.
+	Behaviour string
+}
+
+// library is the built-in block set.
+var library = map[string]*BlockType{}
+
+func registerBlock(bt *BlockType) {
+	if _, dup := library[bt.Kind]; dup {
+		panic("xcos: duplicate block kind " + bt.Kind)
+	}
+	library[bt.Kind] = bt
+}
+
+func init() {
+	registerBlock(&BlockType{Kind: "gain", Inputs: 1, Params: []string{"k"}, Behaviour: `
+function y = block_gain(u, k)
+  y = u .* k
+endfunction`})
+	registerBlock(&BlockType{Kind: "offset", Inputs: 1, Params: []string{"c"}, Behaviour: `
+function y = block_offset(u, c)
+  y = u + c
+endfunction`})
+	registerBlock(&BlockType{Kind: "sum", Inputs: 2, Behaviour: `
+function y = block_sum(a, b)
+  y = a + b
+endfunction`})
+	registerBlock(&BlockType{Kind: "sub", Inputs: 2, Behaviour: `
+function y = block_sub(a, b)
+  y = a - b
+endfunction`})
+	registerBlock(&BlockType{Kind: "mul", Inputs: 2, Behaviour: `
+function y = block_mul(a, b)
+  y = a .* b
+endfunction`})
+	registerBlock(&BlockType{Kind: "matmul", Inputs: 2, Behaviour: `
+function y = block_matmul(a, b)
+  y = a * b
+endfunction`})
+	registerBlock(&BlockType{Kind: "abs", Inputs: 1, Behaviour: `
+function y = block_abs(u)
+  y = abs(u)
+endfunction`})
+	registerBlock(&BlockType{Kind: "sqrt", Inputs: 1, Behaviour: `
+function y = block_sqrt(u)
+  y = sqrt(abs(u))
+endfunction`})
+	registerBlock(&BlockType{Kind: "square", Inputs: 1, Behaviour: `
+function y = block_square(u)
+  y = u .* u
+endfunction`})
+	registerBlock(&BlockType{Kind: "threshold", Inputs: 1, Params: []string{"t"}, Behaviour: `
+function y = block_threshold(u, t)
+  y = u > t
+endfunction`})
+	registerBlock(&BlockType{Kind: "saturate", Inputs: 1, Params: []string{"lo", "hi"}, Behaviour: `
+function y = block_saturate(u, lo, hi)
+  y = min(max(u, lo), hi)
+endfunction`})
+	registerBlock(&BlockType{Kind: "smooth3", Inputs: 1, Behaviour: `
+function y = block_smooth3(u)
+  h = size(u, 1)
+  w = size(u, 2)
+  y = zeros(h, w)
+  for i = 1:h
+    for j = 1:w
+      acc = 0
+      cnt = 0
+      for di = -1:1
+        for dj = -1:1
+          ii = i + di
+          jj = j + dj
+          if ii >= 1 & ii <= h & jj >= 1 & jj <= w then
+            acc = acc + u(ii, jj)
+            cnt = cnt + 1
+          end
+        end
+      end
+      y(i, j) = acc / cnt
+    end
+  end
+endfunction`})
+	registerBlock(&BlockType{Kind: "gradmag", Inputs: 1, Behaviour: `
+function y = block_gradmag(u)
+  h = size(u, 1)
+  w = size(u, 2)
+  y = zeros(h, w)
+  for i = 2:h-1
+    for j = 2:w-1
+      gx = u(i, j + 1) - u(i, j - 1)
+      gy = u(i + 1, j) - u(i - 1, j)
+      y(i, j) = sqrt(gx * gx + gy * gy)
+    end
+  end
+endfunction`})
+	registerBlock(&BlockType{Kind: "meanpool2", Inputs: 1, Behaviour: `
+function y = block_meanpool2(u)
+  h = size(u, 1) / 2
+  w = size(u, 2) / 2
+  y = zeros(h, w)
+  for i = 1:h
+    for j = 1:w
+      y(i, j) = (u(2 * i - 1, 2 * j - 1) + u(2 * i - 1, 2 * j) + u(2 * i, 2 * j - 1) + u(2 * i, 2 * j)) / 4
+    end
+  end
+endfunction`})
+	registerBlock(&BlockType{Kind: "sumall", Inputs: 1, Behaviour: `
+function y = block_sumall(u)
+  y = sum(u)
+endfunction`})
+	registerBlock(&BlockType{Kind: "maxall", Inputs: 1, Behaviour: `
+function y = block_maxall(u)
+  y = maxval(u)
+endfunction`})
+	registerBlock(&BlockType{Kind: "hypot", Inputs: 2, Behaviour: `
+function y = block_hypot(a, b)
+  y = sqrt(a .* a + b .* b)
+endfunction`})
+}
+
+// LookupBlockType returns a library block kind, or nil.
+func LookupBlockType(kind string) *BlockType { return library[kind] }
+
+// BlockKinds lists the library block kinds, sorted.
+func BlockKinds() []string {
+	out := make([]string, 0, len(library))
+	for k := range library {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Block is one block instance in a diagram.
+type Block struct {
+	Name   string
+	Kind   string
+	Params map[string]float64
+}
+
+// Link connects a producer to one input port of a consumer. Producers
+// are block names or diagram input names.
+type Link struct {
+	From string
+	To   string
+	// Port is the consumer's input port index (0-based).
+	Port int
+}
+
+// Diagram is a dataflow model.
+type Diagram struct {
+	Name string
+	// Inputs are the external input signal names, in order.
+	Inputs []string
+	Blocks []Block
+	Links  []Link
+	// Outputs are the block names whose signals are the diagram outputs,
+	// in order.
+	Outputs []string
+}
+
+// Validate checks structural consistency: known kinds, unique names,
+// fully connected ports, no cycles, outputs exist.
+func (d *Diagram) Validate() error {
+	if d.Name == "" {
+		return fmt.Errorf("xcos: diagram has no name")
+	}
+	names := map[string]bool{}
+	for _, in := range d.Inputs {
+		if names[in] {
+			return fmt.Errorf("xcos: duplicate name %q", in)
+		}
+		names[in] = true
+	}
+	blockByName := map[string]*Block{}
+	for i := range d.Blocks {
+		b := &d.Blocks[i]
+		if names[b.Name] {
+			return fmt.Errorf("xcos: duplicate name %q", b.Name)
+		}
+		names[b.Name] = true
+		bt := LookupBlockType(b.Kind)
+		if bt == nil {
+			return fmt.Errorf("xcos: block %q has unknown kind %q", b.Name, b.Kind)
+		}
+		for _, p := range bt.Params {
+			if _, ok := b.Params[p]; !ok {
+				return fmt.Errorf("xcos: block %q missing parameter %q", b.Name, p)
+			}
+		}
+		blockByName[b.Name] = b
+	}
+	// Port connectivity.
+	conn := map[string][]string{} // block -> producer per port
+	for _, b := range d.Blocks {
+		conn[b.Name] = make([]string, LookupBlockType(b.Kind).Inputs)
+	}
+	for _, l := range d.Links {
+		if !names[l.From] {
+			return fmt.Errorf("xcos: link from unknown signal %q", l.From)
+		}
+		tgt, ok := conn[l.To]
+		if !ok {
+			return fmt.Errorf("xcos: link to unknown block %q", l.To)
+		}
+		if l.Port < 0 || l.Port >= len(tgt) {
+			return fmt.Errorf("xcos: block %q has no input port %d", l.To, l.Port)
+		}
+		if tgt[l.Port] != "" {
+			return fmt.Errorf("xcos: block %q port %d connected twice", l.To, l.Port)
+		}
+		tgt[l.Port] = l.From
+	}
+	for name, ports := range conn {
+		for i, p := range ports {
+			if p == "" {
+				return fmt.Errorf("xcos: block %q input port %d unconnected", name, i)
+			}
+		}
+	}
+	for _, out := range d.Outputs {
+		if _, ok := blockByName[out]; !ok {
+			return fmt.Errorf("xcos: output %q is not a block", out)
+		}
+	}
+	if len(d.Outputs) == 0 {
+		return fmt.Errorf("xcos: diagram has no outputs")
+	}
+	if _, err := d.topoOrder(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// topoOrder returns block names in dataflow order.
+func (d *Diagram) topoOrder() ([]string, error) {
+	producers := map[string][]string{}
+	for _, b := range d.Blocks {
+		producers[b.Name] = nil
+	}
+	for _, l := range d.Links {
+		if _, isBlock := producers[l.From]; isBlock || containsStr(d.Inputs, l.From) {
+			producers[l.To] = append(producers[l.To], l.From)
+		}
+	}
+	state := map[string]int{}
+	var order []string
+	var visit func(n string) error
+	visit = func(n string) error {
+		if containsStr(d.Inputs, n) {
+			return nil
+		}
+		switch state[n] {
+		case 1:
+			return fmt.Errorf("xcos: cycle through block %q (dataflow diagrams must be acyclic)", n)
+		case 2:
+			return nil
+		}
+		state[n] = 1
+		deps := append([]string{}, producers[n]...)
+		sort.Strings(deps)
+		for _, dep := range deps {
+			if err := visit(dep); err != nil {
+				return err
+			}
+		}
+		state[n] = 2
+		order = append(order, n)
+		return nil
+	}
+	var blockNames []string
+	for _, b := range d.Blocks {
+		blockNames = append(blockNames, b.Name)
+	}
+	for _, n := range blockNames {
+		if err := visit(n); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}
+
+func containsStr(xs []string, s string) bool {
+	for _, x := range xs {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+// Flatten compiles the diagram to a scil program whose entry function is
+// named after the diagram.
+func (d *Diagram) Flatten() (*scil.Program, string, error) {
+	if err := d.Validate(); err != nil {
+		return nil, "", err
+	}
+	var sb strings.Builder
+	kinds := map[string]bool{}
+	for _, b := range d.Blocks {
+		kinds[b.Kind] = true
+	}
+	var kindList []string
+	for k := range kinds {
+		kindList = append(kindList, k)
+	}
+	sort.Strings(kindList)
+	for _, k := range kindList {
+		sb.WriteString(strings.TrimSpace(library[k].Behaviour))
+		sb.WriteString("\n\n")
+	}
+	// Entry function.
+	order, err := d.topoOrder()
+	if err != nil {
+		return nil, "", err
+	}
+	blockByName := map[string]Block{}
+	for _, b := range d.Blocks {
+		blockByName[b.Name] = b
+	}
+	conn := map[string][]string{}
+	for _, b := range d.Blocks {
+		conn[b.Name] = make([]string, LookupBlockType(b.Kind).Inputs)
+	}
+	for _, l := range d.Links {
+		conn[l.To][l.Port] = l.From
+	}
+	outs := make([]string, len(d.Outputs))
+	for i, o := range d.Outputs {
+		outs[i] = "out_" + o
+	}
+	fmt.Fprintf(&sb, "function [%s] = %s(%s)\n", strings.Join(outs, ", "), d.Name, strings.Join(d.Inputs, ", "))
+	sigName := func(producer string) string {
+		if containsStr(d.Inputs, producer) {
+			return producer
+		}
+		return "sig_" + producer
+	}
+	for _, name := range order {
+		b := blockByName[name]
+		bt := LookupBlockType(b.Kind)
+		args := make([]string, 0, bt.Inputs+len(bt.Params))
+		for _, p := range conn[name] {
+			args = append(args, sigName(p))
+		}
+		for _, pname := range bt.Params {
+			args = append(args, fmt.Sprintf("%g", b.Params[pname]))
+		}
+		fmt.Fprintf(&sb, "  sig_%s = block_%s(%s)\n", name, b.Kind, strings.Join(args, ", "))
+	}
+	for i, o := range d.Outputs {
+		fmt.Fprintf(&sb, "  %s = sig_%s\n", outs[i], o)
+	}
+	sb.WriteString("endfunction\n")
+	prog, err := scil.Parse(sb.String())
+	if err != nil {
+		return nil, "", fmt.Errorf("xcos: generated source failed to parse: %v\n%s", err, sb.String())
+	}
+	if errs := scil.Check(prog, scil.CheckWCET); len(errs) > 0 {
+		return nil, "", fmt.Errorf("xcos: generated source failed checks: %v", errs[0])
+	}
+	return prog, d.Name, nil
+}

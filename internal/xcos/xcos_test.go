@@ -1,0 +1,275 @@
+package xcos
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"argo/internal/ir"
+	"argo/internal/scil"
+)
+
+// polka2 is a small polarization-ish diagram: smooth -> gradient ->
+// threshold, plus a scaled copy.
+func testDiagram() *Diagram {
+	return &Diagram{
+		Name:   "inspect",
+		Inputs: []string{"img"},
+		Blocks: []Block{
+			{Name: "pre", Kind: "smooth3"},
+			{Name: "edges", Kind: "gradmag"},
+			{Name: "mask", Kind: "threshold", Params: map[string]float64{"t": 10}},
+			{Name: "scaled", Kind: "gain", Params: map[string]float64{"k": 0.5}},
+		},
+		Links: []Link{
+			{From: "img", To: "pre", Port: 0},
+			{From: "pre", To: "edges", Port: 0},
+			{From: "edges", To: "mask", Port: 0},
+			{From: "pre", To: "scaled", Port: 0},
+		},
+		Outputs: []string{"mask", "scaled"},
+	}
+}
+
+func TestValidateAcceptsGoodDiagram(t *testing.T) {
+	if err := testDiagram().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsBadDiagrams(t *testing.T) {
+	mk := func(mut func(*Diagram)) *Diagram {
+		d := testDiagram()
+		mut(d)
+		return d
+	}
+	cases := map[string]*Diagram{
+		"unknown kind":     mk(func(d *Diagram) { d.Blocks[0].Kind = "nosuch" }),
+		"missing param":    mk(func(d *Diagram) { delete(d.Blocks[2].Params, "t") }),
+		"unconnected port": mk(func(d *Diagram) { d.Links = d.Links[:len(d.Links)-1] }),
+		"double connect":   mk(func(d *Diagram) { d.Links = append(d.Links, Link{From: "img", To: "pre", Port: 0}) }),
+		"unknown output":   mk(func(d *Diagram) { d.Outputs = []string{"ghost"} }),
+		"no outputs":       mk(func(d *Diagram) { d.Outputs = nil }),
+		"duplicate name":   mk(func(d *Diagram) { d.Blocks[1].Name = "pre"; d.Links[1].To = "pre" }),
+		"bad link target":  mk(func(d *Diagram) { d.Links[0].To = "ghost" }),
+	}
+	for name, d := range cases {
+		if err := d.Validate(); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestValidateRejectsCycle(t *testing.T) {
+	d := &Diagram{
+		Name:   "cyc",
+		Inputs: []string{"x"},
+		Blocks: []Block{
+			{Name: "a", Kind: "sum"},
+			{Name: "b", Kind: "gain", Params: map[string]float64{"k": 2}},
+		},
+		Links: []Link{
+			{From: "x", To: "a", Port: 0},
+			{From: "b", To: "a", Port: 1},
+			{From: "a", To: "b", Port: 0},
+		},
+		Outputs: []string{"b"},
+	}
+	if err := d.Validate(); err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestFlattenProducesCheckedProgram(t *testing.T) {
+	prog, entry, err := testDiagram().Flatten()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if entry != "inspect" {
+		t.Fatalf("entry = %q", entry)
+	}
+	if prog.Func("inspect") == nil || prog.Func("block_smooth3") == nil {
+		t.Fatal("missing functions in flattened program")
+	}
+}
+
+func TestFlattenedDiagramComputes(t *testing.T) {
+	prog, entry, err := testDiagram().Flatten()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 8x8 image with a bright square in the middle.
+	img := scil.NewMatrix(8, 8)
+	for i := 3; i <= 5; i++ {
+		for j := 3; j <= 5; j++ {
+			img.Set(i, j, 100)
+		}
+	}
+	out, err := scil.NewInterp(prog).Call(entry, img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("outputs: %d", len(out))
+	}
+	mask, scaled := out[0], out[1]
+	if mask.Rows != 8 || scaled.Rows != 8 {
+		t.Fatalf("shapes: %v %v", mask, scaled)
+	}
+	// The mask must fire somewhere around the square's edge.
+	fired := 0.0
+	for _, v := range mask.Data {
+		fired += v
+	}
+	if fired == 0 {
+		t.Fatal("threshold mask never fired")
+	}
+	// scaled = smooth * 0.5: max should be about 50.
+	maxScaled := 0.0
+	for _, v := range scaled.Data {
+		maxScaled = math.Max(maxScaled, v)
+	}
+	if maxScaled <= 10 || maxScaled > 60 {
+		t.Fatalf("scaled max = %f", maxScaled)
+	}
+}
+
+func TestFlattenedDiagramLowers(t *testing.T) {
+	prog, entry, err := testDiagram().Flatten()
+	if err != nil {
+		t.Fatal(err)
+	}
+	irProg, err := ir.Lower(prog, entry, []ir.ArgSpec{ir.MatrixArg(8, 8)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// IR and scil agree.
+	in := make([]float64, 64)
+	for i := range in {
+		in[i] = float64(i % 13)
+	}
+	got, err := ir.NewExec(irProg, nil).Run([][]float64{in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sIn := scil.MatrixOf(8, 8, in)
+	want, err := scil.NewInterp(prog).Call(entry, sIn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		for k := 1; k <= want[i].Len(); k++ {
+			w := want[i].Lin(k)
+			r := (k - 1) % want[i].Rows
+			c := (k - 1) / want[i].Rows
+			g := got[i][r*want[i].Cols+c]
+			if math.Abs(w-g) > 1e-9 {
+				t.Fatalf("output %d elem %d: %g vs %g", i, k, g, w)
+			}
+		}
+	}
+}
+
+func TestBlockLibraryComplete(t *testing.T) {
+	kinds := BlockKinds()
+	if len(kinds) < 12 {
+		t.Fatalf("library too small: %v", kinds)
+	}
+	for _, k := range kinds {
+		bt := LookupBlockType(k)
+		if bt.Inputs < 1 || bt.Behaviour == "" {
+			t.Errorf("block %q malformed", k)
+		}
+		// Behaviour must parse and check in isolation.
+		p, err := scil.Parse(bt.Behaviour)
+		if err != nil {
+			t.Errorf("block %q behaviour: %v", k, err)
+			continue
+		}
+		f := p.Func("block_" + k)
+		if f == nil {
+			t.Errorf("block %q: behaviour function misnamed", k)
+			continue
+		}
+		if len(f.Params) != bt.Inputs+len(bt.Params) {
+			t.Errorf("block %q: %d params, want %d", k, len(f.Params), bt.Inputs+len(bt.Params))
+		}
+	}
+}
+
+func TestMatMulDiagram(t *testing.T) {
+	d := &Diagram{
+		Name:   "mm",
+		Inputs: []string{"a", "b"},
+		Blocks: []Block{{Name: "prod", Kind: "matmul"}},
+		Links: []Link{
+			{From: "a", To: "prod", Port: 0},
+			{From: "b", To: "prod", Port: 1},
+		},
+		Outputs: []string{"prod"},
+	}
+	prog, entry, err := d.Flatten()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := scil.MatrixOf(2, 2, []float64{1, 2, 3, 4})
+	b := scil.MatrixOf(2, 2, []float64{5, 6, 7, 8})
+	out, err := scil.NewInterp(prog).Call(entry, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].At(1, 1) != 19 || out[0].At(2, 2) != 50 {
+		t.Fatalf("matmul: %v", out[0].Data)
+	}
+}
+
+func TestDiagramJSONRoundTrip(t *testing.T) {
+	d := testDiagram()
+	data, err := EncodeJSON(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := DecodeJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Name != d.Name || len(d2.Blocks) != len(d.Blocks) || len(d2.Links) != len(d.Links) {
+		t.Fatalf("round trip: %+v", d2)
+	}
+	// The decoded model must flatten and behave identically.
+	p1, _, err := d.Flatten()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, _, err := d2.Flatten()
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := scil.NewMatrix(8, 8)
+	img.Set(4, 4, 50)
+	o1, err1 := scil.NewInterp(p1).Call("inspect", img)
+	o2, err2 := scil.NewInterp(p2).Call("inspect", img)
+	if err1 != nil || err2 != nil {
+		t.Fatalf("%v %v", err1, err2)
+	}
+	for i := range o1 {
+		for k := range o1[i].Data {
+			if o1[i].Data[k] != o2[i].Data[k] {
+				t.Fatal("behaviour changed through JSON")
+			}
+		}
+	}
+}
+
+func TestDecodeJSONRejectsInvalid(t *testing.T) {
+	cases := []string{
+		`not json`,
+		`{}`,
+		`{"Name":"d","Inputs":["x"],"Blocks":[{"Name":"g","Kind":"nosuch"}],"Outputs":["g"]}`,
+	}
+	for _, c := range cases {
+		if _, err := DecodeJSON([]byte(c)); err == nil {
+			t.Errorf("DecodeJSON(%q) should fail", c)
+		}
+	}
+}

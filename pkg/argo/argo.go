@@ -1,0 +1,186 @@
+// Package argo is the public API of the ARGO WCET-aware parallelization
+// tool-chain (DATE 2017, "WCET-Aware Parallelization of Model-Based
+// Applications for Multi-Cores: the ARGO Approach").
+//
+// The tool-chain compiles model-based applications — Xcos-style dataflow
+// diagrams and/or programs in a statically analysable Scilab subset —
+// into explicitly parallel programs for predictable multi-core platforms,
+// together with guaranteed worst-case execution time bounds:
+//
+//	platform := argo.Platform("xentium4")
+//	uc := argo.UseCaseByName("polka")
+//	art, err := argo.CompileUseCase(uc, platform)
+//	fmt.Println(art.Bound(), art.WCETSpeedup())
+//	rep, err := argo.Simulate(art, uc.Inputs(1))
+//
+// The heavy lifting lives in the internal packages (scil, ir, transform,
+// htg, sched, wcet, mhp, syswcet, par, noc, sim, core); this package is a
+// stable façade over them.
+package argo
+
+import (
+	"fmt"
+
+	"argo/internal/adl"
+	"argo/internal/core"
+	"argo/internal/ir"
+	"argo/internal/par"
+	"argo/internal/sched"
+	"argo/internal/scil"
+	"argo/internal/sim"
+	"argo/internal/transform"
+	"argo/internal/usecases"
+	"argo/internal/xcos"
+)
+
+// Re-exported types: the façade uses aliases so values flow freely
+// between the public API and the internal packages.
+type (
+	// PlatformDesc is an ADL platform description.
+	PlatformDesc = adl.Platform
+	// Options configures a compilation.
+	Options = core.Options
+	// Artifacts is everything a compilation produces.
+	Artifacts = core.Artifacts
+	// OptimizeResult is the outcome of the iterative optimization.
+	OptimizeResult = core.OptimizeResult
+	// Candidate is one configuration of the iterative optimizer.
+	Candidate = core.Candidate
+	// UseCase is one of the ARGO validation applications.
+	UseCase = usecases.UseCase
+	// SimReport is a platform-simulation result.
+	SimReport = sim.Report
+	// ArgSpec describes one entry argument.
+	ArgSpec = ir.ArgSpec
+	// Diagram is an Xcos-style dataflow model.
+	Diagram = xcos.Diagram
+	// Block is a dataflow block instance.
+	Block = xcos.Block
+	// Link is a dataflow connection.
+	Link = xcos.Link
+	// TransformOptions selects predictability transformations.
+	TransformOptions = transform.Options
+	// ParallelProgram is the explicitly parallel program model.
+	ParallelProgram = par.Program
+)
+
+// Scheduling policies.
+const (
+	PolicyOblivious       = sched.ListOblivious
+	PolicyContentionAware = sched.ListContentionAware
+	PolicyBranchBound     = sched.BranchBound
+)
+
+// Argument spec helpers.
+var (
+	// ScalarArg declares a runtime scalar entry argument.
+	ScalarArg = ir.ScalarArg
+	// ConstArg declares a compile-time-constant scalar argument.
+	ConstArg = ir.ConstArg
+	// MatrixArg declares a rows x cols matrix argument.
+	MatrixArg = ir.MatrixArg
+)
+
+// Platform returns a built-in platform by name ("xentium4",
+// "xentium8-tdm", "leon3-4x4", ...) or nil.
+func Platform(name string) *PlatformDesc { return adl.Builtin(name) }
+
+// PlatformNames lists the built-in platform names.
+func PlatformNames() []string { return adl.BuiltinNames() }
+
+// DecodePlatform parses a JSON ADL description.
+func DecodePlatform(data []byte) (*PlatformDesc, error) { return adl.Decode(data) }
+
+// EncodePlatform serializes an ADL description to JSON.
+func EncodePlatform(p *PlatformDesc) ([]byte, error) { return adl.Encode(p) }
+
+// UseCases returns the three ARGO validation applications.
+func UseCases() []*UseCase { return usecases.All() }
+
+// UseCaseByName returns a use case ("egpws", "weaa", "polka") or nil.
+func UseCaseByName(name string) *UseCase { return usecases.ByName(name) }
+
+// DefaultOptions returns the standard tool-chain configuration.
+func DefaultOptions(entry string, args []ArgSpec, platform *PlatformDesc) Options {
+	return core.DefaultOptions(entry, args, platform)
+}
+
+// CompileSource compiles scil source text end to end.
+func CompileSource(source string, opt Options) (*Artifacts, error) {
+	return core.CompileSource(source, opt)
+}
+
+// CompileUseCase compiles a use case with default options.
+func CompileUseCase(u *UseCase, platform *PlatformDesc) (*Artifacts, error) {
+	p, err := u.Program()
+	if err != nil {
+		return nil, err
+	}
+	return core.Compile(p, core.DefaultOptions(u.Entry, u.Args, platform))
+}
+
+// CompileDiagram flattens an Xcos-style diagram and compiles it.
+func CompileDiagram(d *Diagram, args []ArgSpec, platform *PlatformDesc) (*Artifacts, error) {
+	prog, entry, err := d.Flatten()
+	if err != nil {
+		return nil, err
+	}
+	return core.Compile(prog, core.DefaultOptions(entry, args, platform))
+}
+
+// Optimize runs the iterative cross-layer optimization over the default
+// candidate ladder (or cands when non-nil).
+func Optimize(source string, baseOpt Options, cands []Candidate) (*OptimizeResult, error) {
+	prog, err := scil.Parse(source)
+	if err != nil {
+		return nil, err
+	}
+	return core.Optimize(prog, baseOpt, cands, 0)
+}
+
+// OptimizeUseCase runs the iterative optimization on a use case.
+func OptimizeUseCase(u *UseCase, platform *PlatformDesc) (*OptimizeResult, error) {
+	p, err := u.Program()
+	if err != nil {
+		return nil, err
+	}
+	return core.Optimize(p, core.DefaultOptions(u.Entry, u.Args, platform), nil, 0)
+}
+
+// Simulate executes the compiled parallel program on the platform
+// simulator with the given inputs.
+func Simulate(a *Artifacts, inputs [][]float64) (*SimReport, error) {
+	return sim.Run(a.Parallel, inputs)
+}
+
+// CheckBounds verifies the soundness contract (measured within bounds)
+// for one simulation run.
+func CheckBounds(a *Artifacts, rep *SimReport) error {
+	return sim.CheckAgainstBounds(a.Parallel, rep)
+}
+
+// Explain renders the cross-layer report of a compilation.
+func Explain(a *Artifacts) string { return core.Explain(a) }
+
+// EmitC renders the generated parallel C code.
+func EmitC(a *Artifacts) string { return a.Parallel.EmitC() }
+
+// RuntimeHeader returns the argo_rt.h runtime interface the generated C
+// code targets.
+func RuntimeHeader() string { return par.RuntimeHeader }
+
+// EncodeDiagram serializes a dataflow model to its JSON file format.
+func EncodeDiagram(d *Diagram) ([]byte, error) { return xcos.EncodeJSON(d) }
+
+// DecodeDiagram parses and validates a dataflow model file.
+func DecodeDiagram(data []byte) (*Diagram, error) { return xcos.DecodeJSON(data) }
+
+// Version identifies the library.
+const Version = "1.0.0"
+
+// Describe summarizes a compilation in one line.
+func Describe(a *Artifacts) string {
+	return fmt.Sprintf("%s on %s: %d tasks on %d cores, system WCET bound %d cycles (%.2fx vs sequential)",
+		a.Options.Entry, a.Options.Platform.Name, len(a.Graph.Nodes),
+		a.Options.Platform.NumCores(), a.Bound(), a.WCETSpeedup())
+}
