@@ -1,0 +1,34 @@
+# ARGO build/verify gates. `make check` is the CI entry point.
+
+GO ?= go
+
+.PHONY: all check fmt vet build test race bench clean
+
+all: check
+
+check: fmt vet build race
+
+# gofmt must produce no output (no unformatted files).
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ .
+
+clean:
+	$(GO) clean ./...

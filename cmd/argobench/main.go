@@ -23,9 +23,16 @@ import (
 func main() {
 	var which = flag.String("e", "all", "comma-separated experiment ids (e1..e9) or 'all'")
 	flag.Parse()
+	known := map[string]bool{"all": true, "e1": true, "e2": true, "e3": true,
+		"e4": true, "e5": true, "e6": true, "e7": true, "e8": true, "e9": true}
 	sel := map[string]bool{}
 	for _, s := range strings.Split(strings.ToLower(*which), ",") {
-		sel[strings.TrimSpace(s)] = true
+		id := strings.TrimSpace(s)
+		if !known[id] {
+			fmt.Fprintf(os.Stderr, "argobench: unknown experiment id %q (e1..e9, all)\n", id)
+			os.Exit(2)
+		}
+		sel[id] = true
 	}
 	all := sel["all"]
 	run := func(id string, fn func() (*experiments.Result, error)) {

@@ -3,19 +3,24 @@
 // predictable multi-core platform, producing the schedule, the WCET
 // report, the cross-layer explanation, and the generated parallel C code.
 //
+// Exit codes: 0 on success, 1 on pipeline failure, 2 on flag misuse.
+//
 // Examples:
 //
 //	argocc -usecase polka -platform xentium4
 //	argocc -usecase egpws -platform leon3-2x2 -policy oblivious -explain
 //	argocc -usecase weaa -platform xentium8 -optimize -emit-c out.c
+//	argocc -usecase polka -json | jq .total_bound
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 
+	"argo/internal/service"
 	"argo/pkg/argo"
 )
 
@@ -26,6 +31,7 @@ func main() {
 		policy   = flag.String("policy", "aware", "scheduling policy: aware, oblivious, exact")
 		optimize = flag.Bool("optimize", false, "run the iterative cross-layer optimization")
 		explain  = flag.Bool("explain", false, "print the cross-layer report")
+		jsonOut  = flag.Bool("json", false, "emit the compile summary as JSON (the /v1/compile wire format)")
 		emitC    = flag.String("emit-c", "", "write generated parallel C code to this file")
 		adlOut   = flag.String("emit-adl", "", "write the platform ADL JSON to this file")
 	)
@@ -37,7 +43,7 @@ func main() {
 	}
 	uc := argo.UseCaseByName(*usecase)
 	if uc == nil {
-		fatal("unknown use case %q", *usecase)
+		usageErr("unknown use case %q (egpws, weaa, polka)", *usecase)
 	}
 	plat := loadPlatform(*platform)
 	opt := argo.DefaultOptions(uc.Entry, uc.Args, plat)
@@ -49,28 +55,27 @@ func main() {
 	case "exact":
 		opt.Policy = argo.PolicyBranchBound
 	default:
-		fatal("unknown policy %q", *policy)
+		usageErr("unknown policy %q (aware, oblivious, exact)", *policy)
 	}
 	var art *argo.Artifacts
-	prog, err := uc.Program()
-	if err != nil {
-		fatal("%v", err)
-	}
-	_ = prog
+	var res *argo.OptimizeResult
 	if *optimize {
-		res, err := argo.OptimizeUseCase(uc, plat)
+		r, err := argo.OptimizeUseCase(uc, plat)
 		if err != nil {
 			fatal("optimize: %v", err)
 		}
-		for _, rec := range res.History {
-			status := fmt.Sprintf("%d", rec.Bound)
-			if rec.Err != nil {
-				status = "error: " + rec.Err.Error()
+		res = r
+		art = r.Best
+		if !*jsonOut {
+			for _, rec := range r.History {
+				status := fmt.Sprintf("%d", rec.Bound)
+				if rec.Err != nil {
+					status = "error: " + rec.Err.Error()
+				}
+				fmt.Printf("iteration %d (%-22s): bound %s, best %d\n",
+					rec.Iteration, rec.Candidate.Name, status, rec.BestSoFar)
 			}
-			fmt.Printf("iteration %d (%-22s): bound %s, best %d\n",
-				rec.Iteration, rec.Candidate.Name, status, rec.BestSoFar)
 		}
-		art = res.Best
 	} else {
 		a, err := argo.CompileSource(uc.Source, opt)
 		if err != nil {
@@ -78,10 +83,27 @@ func main() {
 		}
 		art = a
 	}
-	fmt.Println(argo.Describe(art))
-	fmt.Printf("  sequential bound: %d cycles\n", art.SequentialWCET)
-	fmt.Printf("  system bound:     %d cycles (period budget %d)\n", art.Bound(), uc.Period)
-	if *explain {
+	if *jsonOut {
+		// The summary types are shared with the argod analysis service,
+		// so this output matches the /v1/compile (or /v1/optimize)
+		// response body.
+		var payload any
+		if res != nil {
+			payload = service.SummarizeOptimize(uc.Name, uc.Period, res)
+		} else {
+			payload = service.Summarize(uc.Name, uc.Period, art)
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(payload); err != nil {
+			fatal("encode summary: %v", err)
+		}
+	} else {
+		fmt.Println(argo.Describe(art))
+		fmt.Printf("  sequential bound: %d cycles\n", art.SequentialWCET)
+		fmt.Printf("  system bound:     %d cycles (period budget %d)\n", art.Bound(), uc.Period)
+	}
+	if *explain && !*jsonOut {
 		fmt.Println()
 		fmt.Println(argo.Explain(art))
 	}
@@ -93,7 +115,9 @@ func main() {
 		if err := os.WriteFile(hdr, []byte(argo.RuntimeHeader()), 0o644); err != nil {
 			fatal("write %s: %v", hdr, err)
 		}
-		fmt.Printf("  parallel C written to %s (+ %s)\n", *emitC, hdr)
+		if !*jsonOut {
+			fmt.Printf("  parallel C written to %s (+ %s)\n", *emitC, hdr)
+		}
 	}
 	if *adlOut != "" {
 		data, err := argo.EncodePlatform(plat)
@@ -103,7 +127,9 @@ func main() {
 		if err := os.WriteFile(*adlOut, data, 0o644); err != nil {
 			fatal("write %s: %v", *adlOut, err)
 		}
-		fmt.Printf("  ADL description written to %s\n", *adlOut)
+		if !*jsonOut {
+			fmt.Printf("  ADL description written to %s\n", *adlOut)
+		}
 	}
 }
 
@@ -113,7 +139,7 @@ func loadPlatform(name string) *argo.PlatformDesc {
 	}
 	data, err := os.ReadFile(name)
 	if err != nil {
-		fatal("platform %q is neither built-in (%v) nor a readable ADL file: %v",
+		usageErr("platform %q is neither built-in (%v) nor a readable ADL file: %v",
 			name, argo.PlatformNames(), err)
 	}
 	p, err := argo.DecodePlatform(data)
@@ -123,7 +149,14 @@ func loadPlatform(name string) *argo.PlatformDesc {
 	return p
 }
 
+// fatal reports a pipeline/runtime failure (exit 1).
 func fatal(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "argocc: "+format+"\n", args...)
 	os.Exit(1)
+}
+
+// usageErr reports flag misuse (exit 2).
+func usageErr(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "argocc: "+format+"\n", args...)
+	os.Exit(2)
 }

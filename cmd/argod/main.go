@@ -1,0 +1,75 @@
+// Command argod serves the ARGO analysis pipeline as a long-lived HTTP
+// daemon: POST /v1/compile, /v1/optimize, and /v1/simulate run the full
+// compile→schedule→WCET→simulate tool-chain with content-addressed
+// result caching, singleflight deduplication of concurrent identical
+// requests, and a bounded worker pool; GET /v1/platforms and
+// /v1/usecases enumerate the built-in targets and models; /healthz and
+// /debug/vars expose liveness and metrics. See docs/SERVICE.md.
+//
+// Examples:
+//
+//	argod                              # listen on :8321
+//	argod -addr :8080 -workers 8 -timeout 30s
+//	curl -s localhost:8321/v1/compile \
+//	  -d '{"usecase":"polka","platform":"xentium4"}'
+package main
+
+import (
+	"context"
+	"expvar"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"argo/internal/service"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8321", "listen address")
+		workers = flag.Int("workers", runtime.NumCPU(), "max concurrent pipeline executions")
+		cache   = flag.Int("cache", 256, "result cache capacity in entries (-1: unbounded)")
+		timeout = flag.Duration("timeout", 60*time.Second, "per-request pipeline budget")
+		grace   = flag.Duration("grace", 10*time.Second, "graceful shutdown budget")
+		maxBody = flag.Int64("max-body", 4<<20, "max request body bytes")
+	)
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "argod: unexpected arguments: %v\n", flag.Args())
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *workers <= 0 || *timeout <= 0 || *grace <= 0 || *maxBody <= 0 {
+		fmt.Fprintln(os.Stderr, "argod: -workers, -timeout, -grace, and -max-body must be positive")
+		os.Exit(2)
+	}
+
+	srv := service.NewServer(service.Config{
+		Workers:      *workers,
+		CacheEntries: *cache,
+		Timeout:      *timeout,
+		MaxBodyBytes: *maxBody,
+	})
+	// Publish the service metrics into the process-global expvar
+	// registry too, so the stock expvar handler sees them.
+	expvar.Publish("service", srv.Metrics())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	log.SetPrefix("argod: ")
+	log.SetFlags(log.LstdFlags)
+	log.Printf("listening on %s (workers %d, cache %d entries, timeout %v)",
+		*addr, *workers, *cache, *timeout)
+	if err := srv.ListenAndServe(ctx, *addr, *grace); err != nil && err != http.ErrServerClosed {
+		log.Printf("serve: %v", err)
+		os.Exit(1)
+	}
+	log.Printf("shut down cleanly")
+}

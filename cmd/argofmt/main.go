@@ -32,7 +32,7 @@ func main() {
 	case *usecase != "":
 		uc := argo.UseCaseByName(*usecase)
 		if uc == nil {
-			fatal("unknown use case %q", *usecase)
+			usageErr("unknown use case %q", *usecase)
 		}
 		src, name = uc.Source, *usecase
 	case flag.NArg() == 1:
@@ -62,7 +62,7 @@ func main() {
 	out := scil.Format(prog)
 	if *write {
 		if *usecase != "" {
-			fatal("-w requires a file argument")
+			usageErr("-w requires a file argument")
 		}
 		if err := os.WriteFile(flag.Arg(0), []byte(out), 0o644); err != nil {
 			fatal("%v", err)
@@ -72,7 +72,14 @@ func main() {
 	fmt.Print(out)
 }
 
+// fatal reports a pipeline/runtime failure (exit 1).
 func fatal(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "argofmt: "+format+"\n", args...)
 	os.Exit(1)
+}
+
+// usageErr reports flag misuse (exit 2).
+func usageErr(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "argofmt: "+format+"\n", args...)
+	os.Exit(2)
 }

@@ -7,6 +7,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"argo/internal/adl"
@@ -88,7 +89,22 @@ func (a *Artifacts) WCETSpeedup() float64 {
 }
 
 // Compile runs the full tool-chain on a checked scil program.
+//
+// Compile is reentrant: src is never mutated (the IR lowering produces a
+// fresh program per call, and all later phases work on that copy), so
+// the same *scil.Program may be compiled from many goroutines at once.
 func Compile(src *scil.Program, opt Options) (*Artifacts, error) {
+	return CompileContext(context.Background(), src, opt)
+}
+
+// CompileContext is Compile with cancellation: ctx is checked before the
+// pipeline starts and between placement/analysis feedback rounds, so a
+// cancelled or expired context stops the compilation at the next stage
+// boundary and returns ctx.Err().
+func CompileContext(ctx context.Context, src *scil.Program, opt Options) (*Artifacts, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if opt.Platform == nil {
 		return nil, fmt.Errorf("core: no platform")
 	}
@@ -125,6 +141,9 @@ func Compile(src *scil.Program, opt Options) (*Artifacts, error) {
 	// iterate until the storage assignment is stable (paper §II-E:
 	// feeding WCET information back to earlier phases).
 	for round := 1; ; round++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		art.FeedbackRounds = round
 		g := htg.Build(prog)
 		htg.Annotate(g, models)
@@ -190,9 +209,15 @@ func scheduleAndAnalyze(in *sched.Input, policy sched.Policy) (*sched.Schedule, 
 
 // CompileSource parses, checks, and compiles scil source text.
 func CompileSource(source string, opt Options) (*Artifacts, error) {
+	return CompileSourceContext(context.Background(), source, opt)
+}
+
+// CompileSourceContext is CompileSource with cancellation (see
+// CompileContext).
+func CompileSourceContext(ctx context.Context, source string, opt Options) (*Artifacts, error) {
 	prog, err := scil.Parse(source)
 	if err != nil {
 		return nil, err
 	}
-	return Compile(prog, opt)
+	return CompileContext(ctx, prog, opt)
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"argo/internal/sched"
@@ -63,6 +64,13 @@ func DefaultCandidates(cores int) []Candidate {
 // system-level WCET bound wins. maxIter caps the number of candidates
 // tried (0: all).
 func Optimize(src *scil.Program, baseOpt Options, cands []Candidate, maxIter int) (*OptimizeResult, error) {
+	return OptimizeContext(context.Background(), src, baseOpt, cands, maxIter)
+}
+
+// OptimizeContext is Optimize with cancellation: ctx is checked before
+// each candidate compilation, so a cancelled or expired context stops
+// the loop at the next candidate boundary and returns ctx.Err().
+func OptimizeContext(ctx context.Context, src *scil.Program, baseOpt Options, cands []Candidate, maxIter int) (*OptimizeResult, error) {
 	if len(cands) == 0 {
 		cands = DefaultCandidates(baseOpt.Platform.NumCores())
 	}
@@ -72,12 +80,15 @@ func Optimize(src *scil.Program, baseOpt Options, cands []Candidate, maxIter int
 	res := &OptimizeResult{}
 	var bestBound int64 = -1
 	for i, c := range cands {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		opt := baseOpt
 		opt.Transforms = c.Transforms
 		opt.AutoSPM = c.AutoSPM
 		opt.Policy = c.Policy
 		opt.MaxTasks = c.MaxTasks
-		art, err := Compile(src, opt)
+		art, err := CompileContext(ctx, src, opt)
 		rec := IterationRecord{Iteration: i + 1, Candidate: c, Err: err}
 		if err == nil {
 			rec.Bound = art.Bound()

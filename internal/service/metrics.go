@@ -1,0 +1,199 @@
+package service
+
+import (
+	"encoding/json"
+	"expvar"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// latencyBuckets are the histogram upper bounds in microseconds
+// (exponential 1-2-5 ladder up to 10 s, plus +Inf).
+var latencyBuckets = [...]int64{
+	100, 200, 500,
+	1_000, 2_000, 5_000,
+	10_000, 20_000, 50_000,
+	100_000, 200_000, 500_000,
+	1_000_000, 2_000_000, 5_000_000,
+	10_000_000,
+}
+
+// Histogram is a fixed-bucket latency histogram. It implements
+// expvar.Var: String renders {"count":..,"sum_us":..,"max_us":..,
+// "buckets":{"le_100us":..,...,"le_inf":..}} with cumulative bucket
+// counts (Prometheus-style).
+type Histogram struct {
+	count  atomic.Int64
+	sumUS  atomic.Int64
+	maxUS  atomic.Int64
+	bucket [len(latencyBuckets) + 1]atomic.Int64 // last = +Inf
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	us := d.Microseconds()
+	h.count.Add(1)
+	h.sumUS.Add(us)
+	for {
+		cur := h.maxUS.Load()
+		if us <= cur || h.maxUS.CompareAndSwap(cur, us) {
+			break
+		}
+	}
+	for i, ub := range latencyBuckets {
+		if us <= ub {
+			h.bucket[i].Add(1)
+			return
+		}
+	}
+	h.bucket[len(latencyBuckets)].Add(1)
+}
+
+// snapshot renders the histogram as a JSON-marshalable map.
+func (h *Histogram) snapshot() map[string]any {
+	buckets := make(map[string]int64, len(latencyBuckets)+1)
+	var cum int64
+	for i, ub := range latencyBuckets {
+		cum += h.bucket[i].Load()
+		buckets[bucketLabel(ub)] = cum
+	}
+	cum += h.bucket[len(latencyBuckets)].Load()
+	buckets["le_inf"] = cum
+	return map[string]any{
+		"count":   h.count.Load(),
+		"sum_us":  h.sumUS.Load(),
+		"max_us":  h.maxUS.Load(),
+		"buckets": buckets,
+	}
+}
+
+func bucketLabel(us int64) string {
+	switch {
+	case us >= 1_000_000:
+		return "le_" + itoa(us/1_000_000) + "s"
+	case us >= 1_000:
+		return "le_" + itoa(us/1_000) + "ms"
+	}
+	return "le_" + itoa(us) + "us"
+}
+
+func itoa(v int64) string {
+	// Tiny positive-int formatter (avoids strconv import noise in the
+	// hot path; values are bucket bounds, always < 1000).
+	if v == 0 {
+		return "0"
+	}
+	var buf [4]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+// String implements expvar.Var.
+func (h *Histogram) String() string {
+	b, _ := json.Marshal(h.snapshot())
+	return string(b)
+}
+
+// Metrics aggregates the service's observability state. It implements
+// expvar.Var, rendering one JSON object with request counters, error
+// counters, cache statistics, pool gauges, and per-stage latency
+// histograms, so it can be published into the process-global expvar
+// registry and served at /debug/vars.
+type Metrics struct {
+	mu        sync.Mutex
+	requests  map[string]*atomic.Int64 // per endpoint
+	errors    map[string]*atomic.Int64 // per status class, e.g. "4xx"
+	latencies map[string]*Histogram    // per pipeline stage
+	cache     *Cache
+	pool      *Pool
+	started   time.Time
+}
+
+// NewMetrics returns metrics bound to a cache and pool.
+func NewMetrics(cache *Cache, pool *Pool, started time.Time) *Metrics {
+	return &Metrics{
+		requests:  make(map[string]*atomic.Int64),
+		errors:    make(map[string]*atomic.Int64),
+		latencies: make(map[string]*Histogram),
+		cache:     cache,
+		pool:      pool,
+		started:   started,
+	}
+}
+
+// Request counts one request to an endpoint.
+func (m *Metrics) Request(endpoint string) {
+	m.counter(m.requests, endpoint).Add(1)
+}
+
+// Error counts one error reply by status class ("4xx", "5xx").
+func (m *Metrics) Error(class string) {
+	m.counter(m.errors, class).Add(1)
+}
+
+// Observe records one stage latency.
+func (m *Metrics) Observe(stage string, d time.Duration) {
+	m.mu.Lock()
+	h, ok := m.latencies[stage]
+	if !ok {
+		h = &Histogram{}
+		m.latencies[stage] = h
+	}
+	m.mu.Unlock()
+	h.Observe(d)
+}
+
+func (m *Metrics) counter(set map[string]*atomic.Int64, key string) *atomic.Int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c, ok := set[key]
+	if !ok {
+		c = &atomic.Int64{}
+		set[key] = c
+	}
+	return c
+}
+
+// snapshot renders all metrics as a JSON-marshalable map.
+func (m *Metrics) snapshot() map[string]any {
+	m.mu.Lock()
+	requests := make(map[string]int64, len(m.requests))
+	for k, v := range m.requests {
+		requests[k] = v.Load()
+	}
+	errors := make(map[string]int64, len(m.errors))
+	for k, v := range m.errors {
+		errors[k] = v.Load()
+	}
+	latencies := make(map[string]any, len(m.latencies))
+	for k, h := range m.latencies {
+		latencies[k] = h.snapshot()
+	}
+	m.mu.Unlock()
+	return map[string]any{
+		"uptime_s":   int64(time.Since(m.started).Seconds()),
+		"requests":   requests,
+		"errors":     errors,
+		"cache":      m.cache.Stats(),
+		"pool":       m.pool.Stats(),
+		"latency_us": latencies,
+	}
+}
+
+// String implements expvar.Var.
+func (m *Metrics) String() string {
+	b, _ := json.Marshal(m.snapshot())
+	return string(b)
+}
+
+// compile-time interface checks
+var (
+	_ expvar.Var = (*Histogram)(nil)
+	_ expvar.Var = (*Metrics)(nil)
+)

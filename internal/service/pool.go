@@ -1,0 +1,89 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+)
+
+// ErrSaturated wraps a context error raised while a request was queued
+// for a worker slot: the pool was full for the request's whole budget.
+// The server maps it to 503 instead of the plain-timeout 504.
+type saturatedError struct{ cause error }
+
+func (e *saturatedError) Error() string {
+	return fmt.Sprintf("worker pool saturated: %v", e.cause)
+}
+func (e *saturatedError) Unwrap() error { return e.cause }
+
+// IsSaturated reports whether err came from a full worker pool.
+func IsSaturated(err error) bool {
+	_, ok := err.(*saturatedError)
+	return ok
+}
+
+// Pool bounds the number of concurrently executing pipeline runs. Beyond
+// the limit, requests queue inside their context budget and fail with a
+// saturation error once it expires — heavy traffic degrades into bounded
+// latency plus explicit rejections instead of unbounded thrashing.
+type Pool struct {
+	sem chan struct{}
+
+	inflight atomic.Int64
+	queued   atomic.Int64
+	rejected atomic.Int64
+}
+
+// NewPool returns a pool allowing up to workers concurrent executions
+// (workers <= 0 is clamped to 1).
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = 1
+	}
+	return &Pool{sem: make(chan struct{}, workers)}
+}
+
+// Acquire blocks until a worker slot is free or ctx is done. The caller
+// must Release after a successful Acquire.
+func (p *Pool) Acquire(ctx context.Context) error {
+	select {
+	case p.sem <- struct{}{}:
+		p.inflight.Add(1)
+		return nil
+	default:
+	}
+	p.queued.Add(1)
+	defer p.queued.Add(-1)
+	select {
+	case p.sem <- struct{}{}:
+		p.inflight.Add(1)
+		return nil
+	case <-ctx.Done():
+		p.rejected.Add(1)
+		return &saturatedError{cause: ctx.Err()}
+	}
+}
+
+// Release frees a worker slot.
+func (p *Pool) Release() {
+	p.inflight.Add(-1)
+	<-p.sem
+}
+
+// PoolStats is a point-in-time snapshot of the pool gauges.
+type PoolStats struct {
+	Workers  int   `json:"workers"`
+	InFlight int64 `json:"in_flight"`
+	Queued   int64 `json:"queued"`
+	Rejected int64 `json:"rejected"`
+}
+
+// Stats snapshots the pool gauges and counters.
+func (p *Pool) Stats() PoolStats {
+	return PoolStats{
+		Workers:  cap(p.sem),
+		InFlight: p.inflight.Load(),
+		Queued:   p.queued.Load(),
+		Rejected: p.rejected.Load(),
+	}
+}

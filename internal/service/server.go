@@ -1,0 +1,528 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sort"
+	"time"
+
+	"argo/internal/sched"
+	"argo/pkg/argo"
+)
+
+// Config tunes one analysis server.
+type Config struct {
+	// Workers bounds concurrent pipeline executions (default: NumCPU).
+	Workers int
+	// CacheEntries is the LRU capacity of the result cache (default
+	// 256; <0 disables the bound).
+	CacheEntries int
+	// Timeout is the per-request pipeline budget (default 60s). It
+	// covers queueing for a worker slot plus the pipeline run.
+	Timeout time.Duration
+	// MaxBodyBytes bounds request bodies (default 4 MiB).
+	MaxBodyBytes int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers == 0 {
+		c.Workers = runtime.NumCPU()
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 256
+	}
+	if c.CacheEntries < 0 {
+		c.CacheEntries = 0 // unbounded
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 60 * time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 4 << 20
+	}
+	return c
+}
+
+// Server is the ARGO analysis service: the compile→schedule→WCET→
+// simulate pipeline behind an HTTP/JSON API with caching, deduplication,
+// admission control, and metrics.
+type Server struct {
+	cfg     Config
+	cache   *Cache
+	pool    *Pool
+	metrics *Metrics
+	mux     *http.ServeMux
+
+	// compile runs one pipeline execution; tests may replace it to
+	// count or delay executions.
+	compile func(ctx context.Context, job *compileJob) (*argo.Artifacts, error)
+}
+
+// NewServer builds a server from cfg (zero values take defaults).
+func NewServer(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	cache := NewCache(cfg.CacheEntries)
+	pool := NewPool(cfg.Workers)
+	s := &Server{
+		cfg:     cfg,
+		cache:   cache,
+		pool:    pool,
+		metrics: NewMetrics(cache, pool, time.Now()),
+	}
+	s.compile = s.runCompile
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/compile", s.handleCompile)
+	s.mux.HandleFunc("POST /v1/optimize", s.handleOptimize)
+	s.mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
+	s.mux.HandleFunc("GET /v1/platforms", s.handlePlatforms)
+	s.mux.HandleFunc("GET /v1/usecases", s.handleUseCases)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /debug/vars", s.handleVars)
+	return s
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Metrics exposes the server's metrics (an expvar.Var) so embedders can
+// publish them into the process-global expvar registry.
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// --- request resolution -----------------------------------------------------
+
+// compileJob is a fully resolved, validated compile request.
+type compileJob struct {
+	usecase *argo.UseCase // nil for raw-source jobs
+	source  string
+	entry   string
+	args    []argo.ArgSpec
+	plat    *argo.PlatformDesc
+	// canonicalADL is the platform re-encoded through the ADL codec, so
+	// equivalent name- and inline-specified platforms key identically.
+	canonicalADL string
+	policy       sched.Policy
+	maxTasks     int
+}
+
+// key is the job's content address: SHA-256 over the canonicalized
+// request under a kind tag ("compile", "optimize", ...).
+func (j *compileJob) key(kind string) string {
+	args := make([]ArgSpecJSON, len(j.args))
+	for i, a := range j.args {
+		args[i] = FromArgSpec(a)
+	}
+	return HashKey("argo/v1", kind, j.source, j.entry, args,
+		j.canonicalADL, j.policy.String(), j.maxTasks)
+}
+
+func (j *compileJob) usecaseName() string {
+	if j.usecase == nil {
+		return ""
+	}
+	return j.usecase.Name
+}
+
+func (j *compileJob) period() int64 {
+	if j.usecase == nil {
+		return 0
+	}
+	return j.usecase.Period
+}
+
+// httpError carries a status code with a request-handling error.
+type httpError struct {
+	status int
+	msg    string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) *httpError {
+	return &httpError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+// resolve validates a compile request into a runnable job.
+func (s *Server) resolve(req *CompileRequest) (*compileJob, error) {
+	j := &compileJob{maxTasks: req.MaxTasks}
+	switch {
+	case req.UseCase != "" && req.Source != "":
+		return nil, badRequest("set exactly one of usecase and source")
+	case req.UseCase != "":
+		uc := argo.UseCaseByName(req.UseCase)
+		if uc == nil {
+			return nil, &httpError{status: http.StatusNotFound,
+				msg: fmt.Sprintf("unknown use case %q (see GET /v1/usecases)", req.UseCase)}
+		}
+		j.usecase = uc
+		j.source, j.entry, j.args = uc.Source, uc.Entry, uc.Args
+	case req.Source != "":
+		if req.Entry == "" {
+			return nil, badRequest("source compiles need entry")
+		}
+		j.source, j.entry = req.Source, req.Entry
+		for i, a := range req.Args {
+			spec, err := a.ToArgSpec()
+			if err != nil {
+				return nil, badRequest("args[%d]: %v", i, err)
+			}
+			j.args = append(j.args, spec)
+		}
+	default:
+		return nil, badRequest("set one of usecase and source")
+	}
+
+	switch {
+	case req.Platform != "" && len(req.PlatformADL) > 0:
+		return nil, badRequest("set exactly one of platform and platform_adl")
+	case len(req.PlatformADL) > 0:
+		p, err := argo.DecodePlatform(req.PlatformADL)
+		if err != nil {
+			return nil, badRequest("platform_adl: %v", err)
+		}
+		j.plat = p
+	default:
+		name := req.Platform
+		if name == "" {
+			name = "xentium4"
+		}
+		p := argo.Platform(name)
+		if p == nil {
+			return nil, &httpError{status: http.StatusNotFound,
+				msg: fmt.Sprintf("unknown platform %q (see GET /v1/platforms)", name)}
+		}
+		j.plat = p
+	}
+	canon, err := argo.EncodePlatform(j.plat)
+	if err != nil {
+		return nil, badRequest("platform: %v", err)
+	}
+	j.canonicalADL = string(canon)
+
+	j.policy, err = ParsePolicy(req.Policy)
+	if err != nil {
+		return nil, badRequest("%v", err)
+	}
+	return j, nil
+}
+
+// options builds the compiler options for a job.
+func (j *compileJob) options() argo.Options {
+	opt := argo.DefaultOptions(j.entry, j.args, j.plat)
+	opt.Policy = j.policy
+	opt.MaxTasks = j.maxTasks
+	return opt
+}
+
+// runCompile is the real pipeline execution (the default s.compile).
+func (s *Server) runCompile(ctx context.Context, job *compileJob) (*argo.Artifacts, error) {
+	return argo.CompileSourceContext(ctx, job.source, job.options())
+}
+
+// compileResult is what the cache stores for a compile key: the full
+// artifacts (simulation needs them) plus the wire summary.
+type compileResult struct {
+	art *argo.Artifacts
+	sum *CompileSummary
+}
+
+// cachedCompile serves a compile job through cache, singleflight, and
+// the worker pool.
+func (s *Server) cachedCompile(ctx context.Context, job *compileJob) (*compileResult, Outcome, error) {
+	val, outcome, err := s.cache.Do(ctx, job.key("compile"), func() (any, error) {
+		if err := s.pool.Acquire(ctx); err != nil {
+			return nil, err
+		}
+		defer s.pool.Release()
+		t0 := time.Now()
+		art, err := s.compile(ctx, job)
+		s.metrics.Observe("compile", time.Since(t0))
+		if err != nil {
+			return nil, err
+		}
+		return &compileResult{art: art, sum: Summarize(job.usecaseName(), job.period(), art)}, nil
+	})
+	if err != nil {
+		return nil, outcome, err
+	}
+	return val.(*compileResult), outcome, nil
+}
+
+// --- handlers ---------------------------------------------------------------
+
+func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
+	s.metrics.Request("compile")
+	var req CompileRequest
+	if err := s.decode(w, r, &req); err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	job, err := s.resolve(&req)
+	if err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
+	defer cancel()
+	res, outcome, err := s.cachedCompile(ctx, job)
+	if err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	s.writeJSON(w, outcome, res.sum)
+}
+
+func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
+	s.metrics.Request("optimize")
+	var req CompileRequest
+	if err := s.decode(w, r, &req); err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	job, err := s.resolve(&req)
+	if err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
+	defer cancel()
+	val, outcome, err := s.cache.Do(ctx, job.key("optimize"), func() (any, error) {
+		if err := s.pool.Acquire(ctx); err != nil {
+			return nil, err
+		}
+		defer s.pool.Release()
+		t0 := time.Now()
+		res, err := argo.OptimizeSourceContext(ctx, job.source, job.options(), nil)
+		s.metrics.Observe("optimize", time.Since(t0))
+		if err != nil {
+			return nil, err
+		}
+		return SummarizeOptimize(job.usecaseName(), job.period(), res), nil
+	})
+	if err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	s.writeJSON(w, outcome, val.(*OptimizeResponse))
+}
+
+// maxSimRuns bounds the number of simulated input variants per request.
+const maxSimRuns = 100
+
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	s.metrics.Request("simulate")
+	var req SimulateRequest
+	if err := s.decode(w, r, &req); err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	job, err := s.resolve(&req.CompileRequest)
+	if err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	if job.usecase == nil {
+		s.writeErr(w, badRequest("simulate needs a usecase (input generators)"))
+		return
+	}
+	seeds := req.Seeds
+	if len(seeds) == 0 {
+		runs := req.Runs
+		if runs <= 0 {
+			runs = 1
+		}
+		for seed := int64(1); seed <= int64(runs); seed++ {
+			seeds = append(seeds, seed)
+		}
+	}
+	if len(seeds) > maxSimRuns {
+		s.writeErr(w, badRequest("at most %d runs per request (got %d)", maxSimRuns, len(seeds)))
+		return
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
+	defer cancel()
+	// The compile goes through the shared cache (same key as
+	// /v1/compile), so a prior compile of the same model is reused and
+	// concurrent simulate requests dedup the pipeline run.
+	res, outcome, err := s.cachedCompile(ctx, job)
+	if err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	resp := &SimulateResponse{Compile: res.sum}
+	t0 := time.Now()
+	for _, seed := range seeds {
+		rep, err := argo.SimulateContext(ctx, res.art, job.usecase.Inputs(seed))
+		if err != nil {
+			s.writeErr(w, fmt.Errorf("seed %d: %w", seed, err))
+			return
+		}
+		run := SimRun{
+			Seed:          seed,
+			Makespan:      rep.Makespan,
+			ExecSpan:      rep.ExecSpan,
+			BusWaitCycles: rep.BusWaitCycles,
+			TotalBound:    res.art.Bound(),
+			WithinBound:   true,
+		}
+		if err := argo.CheckBounds(res.art, rep); err != nil {
+			run.WithinBound = false
+			run.BoundError = err.Error()
+		}
+		resp.Runs = append(resp.Runs, run)
+	}
+	s.metrics.Observe("simulate", time.Since(t0))
+	s.writeJSON(w, outcome, resp)
+}
+
+func (s *Server) handlePlatforms(w http.ResponseWriter, r *http.Request) {
+	s.metrics.Request("platforms")
+	names := argo.PlatformNames()
+	sort.Strings(names)
+	out := make([]PlatformInfo, 0, len(names))
+	for _, name := range names {
+		p := argo.Platform(name)
+		info := PlatformInfo{Name: name, Cores: p.NumCores()}
+		switch {
+		case p.NoC != nil:
+			info.Interconnect = fmt.Sprintf("noc:%dx%d", p.NoC.Width, p.NoC.Height)
+		case p.Bus != nil:
+			info.Interconnect = "bus:" + string(p.Bus.Arbitration)
+		}
+		out = append(out, info)
+	}
+	s.writeJSON(w, OutcomeMiss, out)
+}
+
+func (s *Server) handleUseCases(w http.ResponseWriter, r *http.Request) {
+	s.metrics.Request("usecases")
+	var out []UseCaseInfo
+	for _, u := range argo.UseCases() {
+		info := UseCaseInfo{
+			Name:        u.Name,
+			Description: u.Description,
+			Entry:       u.Entry,
+			Period:      u.Period,
+		}
+		for _, a := range u.Args {
+			info.Args = append(info.Args, FromArgSpec(a))
+		}
+		out = append(out, info)
+	}
+	s.writeJSON(w, OutcomeMiss, out)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, OutcomeMiss, map[string]any{
+		"status":  "ok",
+		"version": argo.Version,
+	})
+}
+
+// handleVars serves the process-global expvar registry plus this
+// server's metrics under the "service" key, in the standard /debug/vars
+// JSON shape.
+func (s *Server) handleVars(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	fmt.Fprintf(w, "{\n")
+	first := true
+	write := func(key, val string) {
+		if !first {
+			fmt.Fprintf(w, ",\n")
+		}
+		first = false
+		fmt.Fprintf(w, "%q: %s", key, val)
+	}
+	expvar.Do(func(kv expvar.KeyValue) {
+		if kv.Key == "service" {
+			return // ours below, always current
+		}
+		write(kv.Key, kv.Value.String())
+	})
+	write("service", s.metrics.String())
+	fmt.Fprintf(w, "\n}\n")
+}
+
+// --- plumbing ---------------------------------------------------------------
+
+// decode reads a JSON request body strictly (unknown fields rejected).
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, into any) error {
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(into); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			return &httpError{status: http.StatusRequestEntityTooLarge,
+				msg: fmt.Sprintf("request body exceeds %d bytes", tooLarge.Limit)}
+		}
+		return badRequest("invalid JSON body: %v", err)
+	}
+	if dec.More() {
+		return badRequest("trailing data after JSON body")
+	}
+	return nil
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, outcome Outcome, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.Header().Set("X-Argo-Cache", outcome.String())
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		// Headers are already out; nothing to do but drop the conn.
+		_ = err
+	}
+}
+
+func (s *Server) writeErr(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	var he *httpError
+	switch {
+	case errors.As(err, &he):
+		status = he.status
+	case IsSaturated(err):
+		status = http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded):
+		status = http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		// Client went away; 499-style, use 408 from the standard set.
+		status = http.StatusRequestTimeout
+	default:
+		// Pipeline rejections (bad model, unschedulable, ...) are
+		// client errors: the request was well-formed but unanalyzable.
+		status = http.StatusUnprocessableEntity
+	}
+	s.metrics.Error(fmt.Sprintf("%dxx", status/100))
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(ErrorResponse{Error: err.Error()})
+}
+
+// ListenAndServe runs the service on addr until ctx is cancelled, then
+// shuts down gracefully within grace. It is the daemon entry point.
+func (s *Server) ListenAndServe(ctx context.Context, addr string, grace time.Duration) error {
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), grace)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return srv.Close()
+	}
+	return nil
+}

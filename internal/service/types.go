@@ -1,0 +1,268 @@
+// Package service implements the ARGO analysis service: the full
+// compile→schedule→WCET→simulate pipeline behind an HTTP/JSON API, with
+// a content-addressed result cache (SHA-256 over the canonicalized
+// request), singleflight deduplication of concurrent identical requests,
+// a bounded worker pool, and expvar-based observability.
+//
+// The paper's tool-chain is interactive and iterative (§II, Figure 1):
+// developers re-run parallelization and multi-core WCET analysis while
+// tuning their model. The service turns the one-shot CLI pipeline into
+// long-lived infrastructure for that loop — repeated identical analyses
+// are served from the cache, concurrent identical analyses run once,
+// and heavy traffic degrades gracefully under the worker-pool limit.
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"argo/internal/sched"
+	"argo/pkg/argo"
+)
+
+// ArgSpecJSON is the wire form of an entry-argument specification.
+type ArgSpecJSON struct {
+	// Kind is "matrix", "scalar", or "const".
+	Kind string `json:"kind"`
+	// Rows and Cols give the shape of a matrix argument.
+	Rows int `json:"rows,omitempty"`
+	Cols int `json:"cols,omitempty"`
+	// Value is the specialization value of a const argument.
+	Value float64 `json:"value,omitempty"`
+}
+
+// ToArgSpec converts the wire form to the compiler's ArgSpec.
+func (a ArgSpecJSON) ToArgSpec() (argo.ArgSpec, error) {
+	switch a.Kind {
+	case "matrix":
+		if a.Rows <= 0 || a.Cols <= 0 {
+			return argo.ArgSpec{}, fmt.Errorf("matrix argument needs positive rows and cols")
+		}
+		return argo.MatrixArg(a.Rows, a.Cols), nil
+	case "scalar":
+		return argo.ScalarArg(), nil
+	case "const":
+		return argo.ConstArg(a.Value), nil
+	}
+	return argo.ArgSpec{}, fmt.Errorf("unknown argument kind %q (matrix, scalar, const)", a.Kind)
+}
+
+// FromArgSpec converts a compiler ArgSpec to the wire form.
+func FromArgSpec(a argo.ArgSpec) ArgSpecJSON {
+	switch {
+	case a.Scalar && a.Const != nil:
+		return ArgSpecJSON{Kind: "const", Value: *a.Const}
+	case a.Scalar:
+		return ArgSpecJSON{Kind: "scalar"}
+	}
+	return ArgSpecJSON{Kind: "matrix", Rows: a.Rows, Cols: a.Cols}
+}
+
+// CompileRequest is the body of POST /v1/compile and /v1/optimize, and
+// the compile section of POST /v1/simulate. Exactly one of UseCase or
+// Source selects the model; Source additionally needs Entry and Args
+// unless UseCase is also set (then the use case supplies them). Exactly
+// one of Platform (built-in name) or PlatformADL (inline ADL JSON)
+// selects the target.
+type CompileRequest struct {
+	UseCase string `json:"usecase,omitempty"`
+	Source  string `json:"source,omitempty"`
+	Entry   string `json:"entry,omitempty"`
+	// Args are the entry argument specs for a raw-source compile.
+	Args []ArgSpecJSON `json:"args,omitempty"`
+	// Platform names a built-in platform (see GET /v1/platforms).
+	Platform string `json:"platform,omitempty"`
+	// PlatformADL is an inline ADL JSON description.
+	PlatformADL json.RawMessage `json:"platform_adl,omitempty"`
+	// Policy is "aware" (default), "oblivious", or "exact".
+	Policy string `json:"policy,omitempty"`
+	// MaxTasks caps task-graph size via coarsening (0: no cap).
+	MaxTasks int `json:"max_tasks,omitempty"`
+}
+
+// ParsePolicy maps a wire policy name to the scheduler policy.
+func ParsePolicy(name string) (sched.Policy, error) {
+	switch name {
+	case "", "aware":
+		return argo.PolicyContentionAware, nil
+	case "oblivious":
+		return argo.PolicyOblivious, nil
+	case "exact":
+		return argo.PolicyBranchBound, nil
+	}
+	return 0, fmt.Errorf("unknown policy %q (aware, oblivious, exact)", name)
+}
+
+// TaskSummary is one task's row in a compile summary.
+type TaskSummary struct {
+	ID    int    `json:"id"`
+	Label string `json:"label"`
+	Core  int    `json:"core"`
+	// Start and Finish are the analyzed time-triggered window.
+	Start  int64 `json:"start"`
+	Finish int64 `json:"finish"`
+	// WCET is the isolated code-level bound on the assigned core.
+	WCET int64 `json:"wcet"`
+	// SharedAccesses bounds the task's shared-memory accesses.
+	SharedAccesses int64 `json:"shared_accesses"`
+	// Interference is the system-level interference delay added.
+	Interference int64 `json:"interference"`
+	// Bound is the inflated per-task execution bound.
+	Bound int64 `json:"bound"`
+}
+
+// CompileSummary is the machine-readable result of one compilation —
+// the serialization shared by the service API and `argocc -json`.
+type CompileSummary struct {
+	UseCase  string `json:"usecase,omitempty"`
+	Entry    string `json:"entry"`
+	Platform string `json:"platform"`
+	Cores    int    `json:"cores"`
+	Policy   string `json:"policy"`
+	// SequentialWCET is the single-core code-level bound (baseline).
+	SequentialWCET int64 `json:"sequential_wcet"`
+	// ScheduleMakespan is the contention-free schedule length.
+	ScheduleMakespan int64 `json:"schedule_makespan"`
+	// SystemBound is the system-level bound of the task phase
+	// (interference-aware makespan).
+	SystemBound int64 `json:"system_bound"`
+	// Interference is the total system-level interference delay.
+	Interference int64 `json:"interference"`
+	// PrologueCycles / EpilogueCycles bound the DMA staging phases.
+	PrologueCycles int64 `json:"prologue_cycles"`
+	EpilogueCycles int64 `json:"epilogue_cycles"`
+	// TotalBound is the end-to-end system WCET bound (incl. DMA).
+	TotalBound int64 `json:"total_bound"`
+	// WCETSpeedup is SequentialWCET / TotalBound.
+	WCETSpeedup float64 `json:"wcet_speedup"`
+	// PeriodBudget is the use case's activation period (0 if none).
+	PeriodBudget int64 `json:"period_budget,omitempty"`
+	// FeedbackRounds is how many placement/analysis rounds ran.
+	FeedbackRounds int           `json:"feedback_rounds"`
+	Tasks          []TaskSummary `json:"tasks"`
+}
+
+// Summarize builds the shared machine-readable summary of a compilation.
+// usecase and period may be zero values for raw-source compiles.
+func Summarize(usecase string, period int64, art *argo.Artifacts) *CompileSummary {
+	s := &CompileSummary{
+		UseCase:          usecase,
+		Entry:            art.Options.Entry,
+		Platform:         art.Options.Platform.Name,
+		Cores:            art.Options.Platform.NumCores(),
+		Policy:           art.Schedule.Policy.String(),
+		SequentialWCET:   art.SequentialWCET,
+		ScheduleMakespan: art.Schedule.Makespan,
+		SystemBound:      art.System.Makespan,
+		Interference:     art.System.TotalInterference(),
+		PrologueCycles:   art.Parallel.PrologueCycles,
+		EpilogueCycles:   art.Parallel.EpilogueCycles,
+		TotalBound:       art.Bound(),
+		WCETSpeedup:      art.WCETSpeedup(),
+		PeriodBudget:     period,
+		FeedbackRounds:   art.FeedbackRounds,
+	}
+	for _, n := range art.Graph.Nodes {
+		pl := art.Schedule.Placements[n.ID]
+		s.Tasks = append(s.Tasks, TaskSummary{
+			ID:             n.ID,
+			Label:          n.Label,
+			Core:           pl.Core,
+			Start:          art.System.Start[n.ID],
+			Finish:         art.System.Finish[n.ID],
+			WCET:           n.WCET[pl.Core],
+			SharedAccesses: n.SharedAccesses,
+			Interference:   art.System.InterferencePerTask[n.ID],
+			Bound:          art.System.TaskBound[n.ID],
+		})
+	}
+	return s
+}
+
+// IterationJSON is one step of an optimization history.
+type IterationJSON struct {
+	Iteration int    `json:"iteration"`
+	Candidate string `json:"candidate"`
+	Bound     int64  `json:"bound,omitempty"`
+	BestSoFar int64  `json:"best_so_far"`
+	Error     string `json:"error,omitempty"`
+}
+
+// OptimizeResponse is the body of a POST /v1/optimize reply.
+type OptimizeResponse struct {
+	Best    *CompileSummary `json:"best"`
+	History []IterationJSON `json:"history"`
+}
+
+// SummarizeOptimize builds the wire form of an optimization result.
+func SummarizeOptimize(usecase string, period int64, res *argo.OptimizeResult) *OptimizeResponse {
+	out := &OptimizeResponse{Best: Summarize(usecase, period, res.Best)}
+	for _, rec := range res.History {
+		it := IterationJSON{
+			Iteration: rec.Iteration,
+			Candidate: rec.Candidate.Name,
+			Bound:     rec.Bound,
+			BestSoFar: rec.BestSoFar,
+		}
+		if rec.Err != nil {
+			it.Error = rec.Err.Error()
+		}
+		out.History = append(out.History, it)
+	}
+	return out
+}
+
+// SimulateRequest is the body of POST /v1/simulate: a compile request
+// plus the input seeds to execute. Runs expands to seeds 1..Runs when
+// Seeds is empty; with both empty a single run with seed 1 executes.
+// Simulation needs a use case (the input generators live there).
+type SimulateRequest struct {
+	CompileRequest
+	Seeds []int64 `json:"seeds,omitempty"`
+	Runs  int     `json:"runs,omitempty"`
+}
+
+// SimRun is one simulated execution.
+type SimRun struct {
+	Seed int64 `json:"seed"`
+	// Makespan is the measured end-to-end time (incl. DMA phases).
+	Makespan int64 `json:"makespan"`
+	// ExecSpan is the measured task-phase span.
+	ExecSpan int64 `json:"exec_span"`
+	// BusWaitCycles is the accumulated arbitration waiting.
+	BusWaitCycles int64 `json:"bus_wait_cycles"`
+	// TotalBound repeats the static bound the run is compared against.
+	TotalBound int64 `json:"total_bound"`
+	// WithinBound reports the soundness check (measured <= bound).
+	WithinBound bool `json:"within_bound"`
+	// BoundError is the soundness-violation detail, if any.
+	BoundError string `json:"bound_error,omitempty"`
+}
+
+// SimulateResponse is the body of a POST /v1/simulate reply.
+type SimulateResponse struct {
+	Compile *CompileSummary `json:"compile"`
+	Runs    []SimRun        `json:"runs"`
+}
+
+// PlatformInfo is one entry of GET /v1/platforms.
+type PlatformInfo struct {
+	Name  string `json:"name"`
+	Cores int    `json:"cores"`
+	// Interconnect is "bus:<arbitration>" or "noc:<WxH>".
+	Interconnect string `json:"interconnect"`
+}
+
+// UseCaseInfo is one entry of GET /v1/usecases.
+type UseCaseInfo struct {
+	Name        string        `json:"name"`
+	Description string        `json:"description"`
+	Entry       string        `json:"entry"`
+	Period      int64         `json:"period"`
+	Args        []ArgSpecJSON `json:"args"`
+}
+
+// ErrorResponse is the JSON body of every non-2xx reply.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}

@@ -13,6 +13,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"argo/internal/adl"
@@ -136,7 +137,19 @@ type Report struct {
 }
 
 // Run simulates the parallel program on the given inputs.
+//
+// Run is reentrant: p is read-only during simulation (all mutable state
+// lives in the interpreter instance and local event-loop structures), so
+// one compiled program may be simulated from many goroutines at once.
 func Run(p *par.Program, args [][]float64) (*Report, error) {
+	return RunContext(context.Background(), p, args)
+}
+
+// RunContext is Run with cancellation: ctx is checked between functional
+// task executions and periodically inside the discrete-event loop, so a
+// cancelled or expired context aborts the simulation and returns
+// ctx.Err().
+func RunContext(ctx context.Context, p *par.Program, args [][]float64) (*Report, error) {
 	nTasks := len(p.Input.Tasks)
 	rep := &Report{
 		TaskStart:  make([]int64, nTasks),
@@ -151,6 +164,9 @@ func Run(p *par.Program, args [][]float64) (*Report, error) {
 	}
 	traces := make([][]segment, nTasks)
 	for _, n := range p.Graph.Nodes {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		core := p.Schedule.Placements[n.ID].Core
 		tm := &traceMeter{model: wcet.ModelFor(p.Platform, core)}
 		ex.SetMeter(tm)
@@ -199,7 +215,12 @@ func Run(p *par.Program, args [][]float64) (*Report, error) {
 	}
 	signalTime := make(map[int]int64)
 	posted := make(map[int]bool)
-	for {
+	for events := 0; ; events++ {
+		if events%4096 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		// Pick the runnable core with minimal time (conservative DES).
 		best := -1
 		for c, cs := range cores {

@@ -19,6 +19,7 @@
 package argo
 
 import (
+	"context"
 	"fmt"
 
 	"argo/internal/adl"
@@ -106,17 +107,35 @@ func DefaultOptions(entry string, args []ArgSpec, platform *PlatformDesc) Option
 }
 
 // CompileSource compiles scil source text end to end.
+//
+// All pipeline entry points of this package (CompileSource,
+// CompileUseCase, CompileDiagram, Optimize, Simulate, ...) are
+// goroutine-safe: compilations never share mutable state, and simulation
+// only reads the compiled artifacts, so the same use case, platform, or
+// *Artifacts value may be used from many goroutines concurrently.
 func CompileSource(source string, opt Options) (*Artifacts, error) {
 	return core.CompileSource(source, opt)
 }
 
+// CompileSourceContext is CompileSource with cancellation: the pipeline
+// checks ctx at stage boundaries and returns ctx.Err() once it is
+// cancelled or expired.
+func CompileSourceContext(ctx context.Context, source string, opt Options) (*Artifacts, error) {
+	return core.CompileSourceContext(ctx, source, opt)
+}
+
 // CompileUseCase compiles a use case with default options.
 func CompileUseCase(u *UseCase, platform *PlatformDesc) (*Artifacts, error) {
+	return CompileUseCaseContext(context.Background(), u, platform)
+}
+
+// CompileUseCaseContext is CompileUseCase with cancellation.
+func CompileUseCaseContext(ctx context.Context, u *UseCase, platform *PlatformDesc) (*Artifacts, error) {
 	p, err := u.Program()
 	if err != nil {
 		return nil, err
 	}
-	return core.Compile(p, core.DefaultOptions(u.Entry, u.Args, platform))
+	return core.CompileContext(ctx, p, core.DefaultOptions(u.Entry, u.Args, platform))
 }
 
 // CompileDiagram flattens an Xcos-style diagram and compiles it.
@@ -131,26 +150,44 @@ func CompileDiagram(d *Diagram, args []ArgSpec, platform *PlatformDesc) (*Artifa
 // Optimize runs the iterative cross-layer optimization over the default
 // candidate ladder (or cands when non-nil).
 func Optimize(source string, baseOpt Options, cands []Candidate) (*OptimizeResult, error) {
+	return OptimizeSourceContext(context.Background(), source, baseOpt, cands)
+}
+
+// OptimizeSourceContext is Optimize with cancellation: ctx is checked
+// before each candidate compilation.
+func OptimizeSourceContext(ctx context.Context, source string, baseOpt Options, cands []Candidate) (*OptimizeResult, error) {
 	prog, err := scil.Parse(source)
 	if err != nil {
 		return nil, err
 	}
-	return core.Optimize(prog, baseOpt, cands, 0)
+	return core.OptimizeContext(ctx, prog, baseOpt, cands, 0)
 }
 
 // OptimizeUseCase runs the iterative optimization on a use case.
 func OptimizeUseCase(u *UseCase, platform *PlatformDesc) (*OptimizeResult, error) {
+	return OptimizeUseCaseContext(context.Background(), u, platform)
+}
+
+// OptimizeUseCaseContext is OptimizeUseCase with cancellation: ctx is
+// checked before each candidate compilation.
+func OptimizeUseCaseContext(ctx context.Context, u *UseCase, platform *PlatformDesc) (*OptimizeResult, error) {
 	p, err := u.Program()
 	if err != nil {
 		return nil, err
 	}
-	return core.Optimize(p, core.DefaultOptions(u.Entry, u.Args, platform), nil, 0)
+	return core.OptimizeContext(ctx, p, core.DefaultOptions(u.Entry, u.Args, platform), nil, 0)
 }
 
 // Simulate executes the compiled parallel program on the platform
 // simulator with the given inputs.
 func Simulate(a *Artifacts, inputs [][]float64) (*SimReport, error) {
 	return sim.Run(a.Parallel, inputs)
+}
+
+// SimulateContext is Simulate with cancellation: the simulator checks
+// ctx between task executions and periodically inside its event loop.
+func SimulateContext(ctx context.Context, a *Artifacts, inputs [][]float64) (*SimReport, error) {
+	return sim.RunContext(ctx, a.Parallel, inputs)
 }
 
 // CheckBounds verifies the soundness contract (measured within bounds)
