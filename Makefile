@@ -2,11 +2,11 @@
 
 GO ?= go
 
-.PHONY: all check fmt vet build test race bench clean
+.PHONY: all check fmt vet build test race bench benchsmoke clean
 
 all: check
 
-check: fmt vet build race
+check: fmt vet build race benchsmoke
 
 # gofmt must produce no output (no unformatted files).
 fmt:
@@ -27,7 +27,14 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Full benchmark run; writes the machine-readable report (with the
+# recorded pre-overhaul baselines) to BENCH_PR2.json.
 bench:
+	$(GO) test -bench=. -run=^$$ . | $(GO) run ./cmd/benchjson -o BENCH_PR2.json
+
+# One-iteration smoke run so `make check` catches bitrot in the
+# benchmarks without paying for a full measurement.
+benchsmoke:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .
 
 clean:

@@ -11,6 +11,7 @@
 package bench
 
 import (
+	"math/rand"
 	"testing"
 
 	"argo/internal/adl"
@@ -19,6 +20,7 @@ import (
 	"argo/internal/ir"
 	"argo/internal/lp"
 	"argo/internal/noc"
+	"argo/internal/sched"
 	"argo/internal/scil"
 	"argo/internal/sim"
 	"argo/internal/usecases"
@@ -195,6 +197,74 @@ func BenchmarkE8Arbitration(b *testing.B) {
 }
 
 // --- micro-benchmarks of the tool-chain stages -------------------------------
+
+// BenchmarkOptimize walks the full default candidate ladder on a 4-core
+// platform — the /v1/optimize hot path. The headline perf number of the
+// explore/schedule/analyze overhaul (see BENCH_PR2.json).
+func BenchmarkOptimize(b *testing.B) {
+	u := usecases.POLKA()
+	p, err := u.Program()
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt := core.DefaultOptions(u.Entry, u.Args, adl.XentiumPlatform(4))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Optimize(p, opt, nil, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchSchedInput builds a deterministic layered DAG scheduling problem.
+func benchSchedInput(n, cores int) *sched.Input {
+	platform := adl.XentiumPlatform(cores)
+	rng := rand.New(rand.NewSource(7))
+	in := &sched.Input{Platform: platform}
+	for i := 0; i < n; i++ {
+		t := sched.Task{ID: i, WCET: make([]int64, cores), SharedAccesses: int64(rng.Intn(200))}
+		w := int64(20 + rng.Intn(300))
+		for c := range t.WCET {
+			t.WCET[c] = w
+		}
+		in.Tasks = append(in.Tasks, t)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < 0.3 {
+				in.Deps = append(in.Deps, sched.Dep{From: i, To: j, VolumeBytes: rng.Intn(512)})
+			}
+		}
+	}
+	return in
+}
+
+// BenchmarkListSchedule measures the contention-aware list scheduler on a
+// 64-task DAG (the per-feedback-round scheduler cost inside Compile).
+func BenchmarkListSchedule(b *testing.B) {
+	in := benchSchedInput(64, 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sched.Run(in, sched.ListContentionAware); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBranchBound measures the exact mapper on a 12-task DAG (the
+// E6 workload scale).
+func BenchmarkBranchBound(b *testing.B) {
+	in := benchSchedInput(12, 3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sched.Run(in, sched.BranchBound); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
 
 func BenchmarkCompilePolka(b *testing.B) {
 	u := usecases.POLKA()

@@ -21,8 +21,12 @@ import (
 )
 
 func main() {
-	var which = flag.String("e", "all", "comma-separated experiment ids (e1..e9) or 'all'")
+	var (
+		which   = flag.String("e", "all", "comma-separated experiment ids (e1..e9) or 'all'")
+		workers = flag.Int("j", 0, "experiment cell evaluation parallelism (0: GOMAXPROCS, 1: serial)")
+	)
 	flag.Parse()
+	experiments.Parallelism = *workers
 	known := map[string]bool{"all": true, "e1": true, "e2": true, "e3": true,
 		"e4": true, "e5": true, "e6": true, "e7": true, "e8": true, "e9": true}
 	sel := map[string]bool{}

@@ -34,6 +34,7 @@ func main() {
 		jsonOut  = flag.Bool("json", false, "emit the compile summary as JSON (the /v1/compile wire format)")
 		emitC    = flag.String("emit-c", "", "write generated parallel C code to this file")
 		adlOut   = flag.String("emit-adl", "", "write the platform ADL JSON to this file")
+		workers  = flag.Int("j", 0, "optimizer candidate evaluation parallelism (0: GOMAXPROCS, 1: serial)")
 	)
 	flag.Parse()
 	if *usecase == "" {
@@ -57,10 +58,11 @@ func main() {
 	default:
 		usageErr("unknown policy %q (aware, oblivious, exact)", *policy)
 	}
+	opt.Parallelism = *workers
 	var art *argo.Artifacts
 	var res *argo.OptimizeResult
 	if *optimize {
-		r, err := argo.OptimizeUseCase(uc, plat)
+		r, err := argo.Optimize(uc.Source, opt, nil)
 		if err != nil {
 			fatal("optimize: %v", err)
 		}

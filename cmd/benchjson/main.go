@@ -1,0 +1,112 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// machine-readable JSON report, pairing each benchmark with the recorded
+// pre-overhaul baseline so the speedup is visible in one place.
+//
+// Usage:
+//
+//	go test -bench=. -run='^$' . | go run ./cmd/benchjson -o BENCH_PR2.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+)
+
+// baseline holds the numbers measured on the pre-overhaul tree (before
+// the front-end split, HTG clone-per-round, and scheduler adjacency
+// rewrite) on the same machine `make bench` runs on in CI.
+type baseline struct {
+	NsOp     float64 `json:"ns_op"`
+	BytesOp  int64   `json:"b_op"`
+	AllocsOp int64   `json:"allocs_op"`
+}
+
+var baselines = map[string]baseline{
+	"BenchmarkOptimize":     {NsOp: 41867626, BytesOp: 17163985, AllocsOp: 225172},
+	"BenchmarkListSchedule": {NsOp: 481128, BytesOp: 188240, AllocsOp: 1307},
+	"BenchmarkBranchBound":  {NsOp: 1480361, BytesOp: 1100024, AllocsOp: 20411},
+}
+
+// entry is one benchmark row of the report.
+type entry struct {
+	Name     string  `json:"name"`
+	NsOp     float64 `json:"ns_op"`
+	BytesOp  int64   `json:"b_op"`
+	AllocsOp int64   `json:"allocs_op"`
+	// Baseline is the recorded pre-overhaul measurement, if any.
+	Baseline *baseline `json:"baseline,omitempty"`
+	// Speedup is baseline ns/op divided by current ns/op.
+	Speedup float64 `json:"speedup,omitempty"`
+}
+
+type report struct {
+	// Note explains where the baseline numbers come from.
+	Note       string  `json:"note"`
+	Benchmarks []entry `json:"benchmarks"`
+}
+
+// benchLine matches e.g.
+// BenchmarkOptimize-4   62   18980393 ns/op   8029257 B/op   106826 allocs/op
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+func main() {
+	out := flag.String("o", "", "write the JSON report to this file (default stdout)")
+	flag.Parse()
+
+	rep := report{Note: "baseline: pre-overhaul tree (serial optimizer ladder, " +
+		"per-candidate front end, O(V*E) scheduler scans), same benchmarks and machine"}
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // pass the raw output through
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		e := entry{Name: m[1]}
+		e.NsOp, _ = strconv.ParseFloat(m[2], 64)
+		if m[3] != "" {
+			e.BytesOp, _ = strconv.ParseInt(m[3], 10, 64)
+		}
+		if m[4] != "" {
+			e.AllocsOp, _ = strconv.ParseInt(m[4], 10, 64)
+		}
+		if base, ok := baselines[e.Name]; ok {
+			b := base
+			e.Baseline = &b
+			if e.NsOp > 0 {
+				e.Speedup = b.NsOp / e.NsOp
+			}
+		}
+		rep.Benchmarks = append(rep.Benchmarks, e)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: read: %v\n", err)
+		os.Exit(1)
+	}
+	if len(rep.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	data, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: encode: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("benchmark report written to %s\n", *out)
+}

@@ -1,0 +1,85 @@
+// Package conc is the bounded worker pool used by the optimizer's
+// candidate ladder and the experiment tables. It provides deterministic
+// fan-out: work items are claimed from an atomic counter in index order
+// and callers store results by index, so the reduction order — and
+// therefore every published result — is independent of scheduling.
+//
+// The pool publishes an expvar gauge, "argo_candidate_workers", counting
+// in-flight workers across all concurrent fan-outs in the process.
+package conc
+
+import (
+	"context"
+	"expvar"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// InFlight is the number of currently running worker functions, exported
+// as the expvar gauge "argo_candidate_workers" (visible on /debug/vars
+// when the expvar HTTP handler is installed, as argod does).
+var InFlight = expvar.NewInt("argo_candidate_workers")
+
+// Normalize resolves a requested parallelism degree: values <= 0 mean
+// GOMAXPROCS (the default for all fan-outs).
+func Normalize(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// ForEach runs fn(i) for every i in [0, n) on at most Normalize(p)
+// goroutines and blocks until all started work has finished. Indices are
+// claimed in ascending order; fn must write its result into
+// index-addressed storage so callers can reduce deterministically.
+//
+// If ctx is cancelled, no new indices are started (in-flight calls run
+// to completion) and ForEach reports ctx.Err(); it returns nil once
+// every index has run, even if ctx was cancelled afterwards.
+func ForEach(ctx context.Context, p, n int, fn func(i int)) error {
+	if n <= 0 {
+		return nil
+	}
+	p = Normalize(p)
+	if p > n {
+		p = n
+	}
+	var done int64
+	if p == 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			InFlight.Add(1)
+			fn(i)
+			InFlight.Add(-1)
+			done++
+		}
+		return nil
+	}
+	next := int64(-1)
+	var wg sync.WaitGroup
+	wg.Add(p)
+	for w := 0; w < p; w++ {
+		go func() {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= n {
+					return
+				}
+				InFlight.Add(1)
+				fn(i)
+				InFlight.Add(-1)
+				atomic.AddInt64(&done, 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if atomic.LoadInt64(&done) == int64(n) {
+		return nil
+	}
+	return ctx.Err()
+}

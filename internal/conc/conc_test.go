@@ -1,0 +1,93 @@
+package conc
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachVisitsEveryIndexOnce(t *testing.T) {
+	for _, p := range []int{0, 1, 2, 7, 64} {
+		n := 100
+		counts := make([]int64, n)
+		if err := ForEach(context.Background(), p, n, func(i int) {
+			atomic.AddInt64(&counts[i], 1)
+		}); err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("p=%d: index %d visited %d times", p, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachResultsAreIndexAddressed(t *testing.T) {
+	n := 50
+	out := make([]int, n)
+	if err := ForEach(context.Background(), 8, n, func(i int) { out[i] = i * i }); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestForEachCancelledSkipsRemaining(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran int64
+	err := ForEach(ctx, 2, 1000, func(i int) {
+		if atomic.AddInt64(&ran, 1) == 3 {
+			cancel()
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if got := atomic.LoadInt64(&ran); got >= 1000 {
+		t.Fatalf("cancellation did not skip work (ran %d)", got)
+	}
+}
+
+func TestForEachCompletedIgnoresLateCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	// Everything already done before the workers observe cancellation is
+	// still success — but with a pre-cancelled context nothing runs.
+	err := ForEach(ctx, 4, 10, func(i int) { t.Errorf("fn ran for %d", i) })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestForEachZeroItems(t *testing.T) {
+	if err := ForEach(context.Background(), 4, 0, func(int) { t.Error("fn ran") }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	if got := Normalize(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Normalize(0) = %d", got)
+	}
+	if got := Normalize(-3); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Normalize(-3) = %d", got)
+	}
+	if got := Normalize(5); got != 5 {
+		t.Fatalf("Normalize(5) = %d", got)
+	}
+}
+
+func TestInFlightGaugeReturnsToZero(t *testing.T) {
+	if err := ForEach(context.Background(), 4, 20, func(int) {}); err != nil {
+		t.Fatal(err)
+	}
+	if v := InFlight.Value(); v != 0 {
+		t.Fatalf("InFlight = %d after ForEach returned", v)
+	}
+}

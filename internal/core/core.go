@@ -40,6 +40,10 @@ type Options struct {
 	MaxTasks int
 	// FeedbackRounds caps the placement/analysis feedback loop.
 	FeedbackRounds int
+	// Parallelism bounds how many optimization candidates Optimize
+	// evaluates concurrently (0: GOMAXPROCS, 1: serial). Results are
+	// bit-identical at every setting.
+	Parallelism int
 }
 
 // DefaultOptions returns the standard tool-chain configuration for a
@@ -108,13 +112,70 @@ func CompileContext(ctx context.Context, src *scil.Program, opt Options) (*Artif
 	if opt.Platform == nil {
 		return nil, fmt.Errorf("core: no platform")
 	}
-	if errs := scil.Check(src, scil.CheckWCET); len(errs) > 0 {
-		return nil, fmt.Errorf("core: model check failed: %v", errs[0])
-	}
-	prog, err := ir.Lower(src, opt.Entry, opt.Args)
+	fe, err := NewFrontEnd(ctx, src, opt.Entry, opt.Args)
 	if err != nil {
 		return nil, err
 	}
+	// One-shot compile: the front-end IR is private, no clone needed.
+	return backEnd(ctx, fe.prog, opt)
+}
+
+// FrontEnd is the shared result of the source-level phases — model check
+// and IR lowering for one (entry, args) specialization. The optimizer's
+// candidate ladder varies only back-end options, so the front-end runs
+// once and each candidate works on a private clone of its IR.
+type FrontEnd struct {
+	entry string
+	args  []ir.ArgSpec
+	prog  *ir.Program
+}
+
+// NewFrontEnd checks src and lowers it to IR once.
+func NewFrontEnd(ctx context.Context, src *scil.Program, entry string, args []ir.ArgSpec) (*FrontEnd, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if errs := scil.Check(src, scil.CheckWCET); len(errs) > 0 {
+		return nil, fmt.Errorf("core: model check failed: %v", errs[0])
+	}
+	prog, err := ir.Lower(src, entry, args)
+	if err != nil {
+		return nil, err
+	}
+	return &FrontEnd{entry: entry, args: args, prog: prog}, nil
+}
+
+// Matches reports whether the memoized front-end covers the given
+// specialization.
+func (fe *FrontEnd) Matches(entry string, args []ir.ArgSpec) bool {
+	if fe == nil || fe.entry != entry || len(fe.args) != len(args) {
+		return false
+	}
+	for i := range args {
+		if fe.args[i] != args[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// CompileContext runs the per-candidate back-end on a private clone of
+// the front-end IR. It is safe to call concurrently: the shared IR is
+// only read (during cloning), never mutated.
+func (fe *FrontEnd) CompileContext(ctx context.Context, opt Options) (*Artifacts, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if opt.Platform == nil {
+		return nil, fmt.Errorf("core: no platform")
+	}
+	return backEnd(ctx, fe.prog.Clone(), opt)
+}
+
+// backEnd runs everything after lowering: predictability transformations,
+// task graph extraction, scheduling, parallel program construction, and
+// the placement/analysis feedback loop. prog is owned by the call.
+func backEnd(ctx context.Context, prog *ir.Program, opt Options) (*Artifacts, error) {
 	tOpt := opt.Transforms
 	if opt.AutoSPM {
 		tOpt.SPM = &transform.SPMOptions{
@@ -136,6 +197,11 @@ func CompileContext(ctx context.Context, src *scil.Program, opt Options) (*Artif
 		rounds = 8
 	}
 	art := &Artifacts{Options: opt, IR: prog, Transform: rep}
+	// Graph structure (task regions, dependences, access ranges) depends
+	// only on statement structure and variable identity — never on
+	// storage classes — so it is built once; each feedback round clones
+	// it and re-runs only the storage-aware annotation.
+	base := htg.Build(prog)
 	// Placement/analysis feedback: buffer placement may demote SPM
 	// variables (shared between cores), which changes code-level WCETs —
 	// iterate until the storage assignment is stable (paper §II-E:
@@ -145,7 +211,7 @@ func CompileContext(ctx context.Context, src *scil.Program, opt Options) (*Artif
 			return nil, err
 		}
 		art.FeedbackRounds = round
-		g := htg.Build(prog)
+		g := base.Clone()
 		htg.Annotate(g, models)
 		if opt.MaxTasks > 0 && len(g.Nodes) > opt.MaxTasks {
 			g.MergeUntil(opt.MaxTasks)

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"argo/internal/conc"
 	"argo/internal/sched"
 	"argo/internal/scil"
 	"argo/internal/transform"
@@ -67,34 +68,62 @@ func Optimize(src *scil.Program, baseOpt Options, cands []Candidate, maxIter int
 	return OptimizeContext(context.Background(), src, baseOpt, cands, maxIter)
 }
 
-// OptimizeContext is Optimize with cancellation: ctx is checked before
-// each candidate compilation, so a cancelled or expired context stops
-// the loop at the next candidate boundary and returns ctx.Err().
+// OptimizeContext is Optimize with cancellation: ctx stops the ladder at
+// the next candidate boundary and returns ctx.Err().
+//
+// Candidates are evaluated concurrently on up to baseOpt.Parallelism
+// workers (0: GOMAXPROCS). The source is checked and lowered once by the
+// shared front-end; each candidate back-end runs on a private clone of
+// the IR. Results are bit-for-bit identical to the serial walk at every
+// parallelism degree: History stays in candidate order, and a tie on the
+// best bound resolves to the lowest candidate index (reduction happens
+// in index order with a strict < comparison).
 func OptimizeContext(ctx context.Context, src *scil.Program, baseOpt Options, cands []Candidate, maxIter int) (*OptimizeResult, error) {
+	if baseOpt.Platform == nil {
+		return nil, fmt.Errorf("core: no platform")
+	}
 	if len(cands) == 0 {
 		cands = DefaultCandidates(baseOpt.Platform.NumCores())
 	}
 	if maxIter > 0 && len(cands) > maxIter {
 		cands = cands[:maxIter]
 	}
-	res := &OptimizeResult{}
-	var bestBound int64 = -1
+	fe, err := NewFrontEnd(ctx, src, baseOpt.Entry, baseOpt.Args)
+	if err != nil {
+		return nil, err
+	}
+	type outcome struct {
+		art *Artifacts
+		err error
+	}
+	opts := make([]Options, len(cands))
 	for i, c := range cands {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
 		opt := baseOpt
 		opt.Transforms = c.Transforms
 		opt.AutoSPM = c.AutoSPM
 		opt.Policy = c.Policy
 		opt.MaxTasks = c.MaxTasks
-		art, err := CompileContext(ctx, src, opt)
-		rec := IterationRecord{Iteration: i + 1, Candidate: c, Err: err}
-		if err == nil {
-			rec.Bound = art.Bound()
+		opts[i] = opt
+	}
+	outs := make([]outcome, len(cands))
+	if err := conc.ForEach(ctx, baseOpt.Parallelism, len(cands), func(i int) {
+		art, err := fe.CompileContext(ctx, opts[i])
+		outs[i] = outcome{art, err}
+	}); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	res := &OptimizeResult{}
+	var bestBound int64 = -1
+	for i, c := range cands {
+		rec := IterationRecord{Iteration: i + 1, Candidate: c, Err: outs[i].err}
+		if outs[i].err == nil {
+			rec.Bound = outs[i].art.Bound()
 			if bestBound < 0 || rec.Bound < bestBound {
 				bestBound = rec.Bound
-				res.Best = art
+				res.Best = outs[i].art
 			}
 		}
 		rec.BestSoFar = bestBound

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"argo/internal/adl"
+	"argo/internal/usecases"
+)
+
+// optimizeHistoryFingerprint renders everything observable about an
+// optimization run so serial and parallel runs can be compared
+// bit-for-bit: candidate order, per-candidate bound, error presence, the
+// running best, and the winner's bound and configuration.
+func optimizeHistoryFingerprint(res *OptimizeResult) string {
+	s := ""
+	for _, rec := range res.History {
+		errStr := ""
+		if rec.Err != nil {
+			errStr = rec.Err.Error()
+		}
+		s += fmt.Sprintf("%d %s bound=%d best=%d err=%q\n",
+			rec.Iteration, rec.Candidate.Name, rec.Bound, rec.BestSoFar, errStr)
+	}
+	s += fmt.Sprintf("winner bound=%d policy=%v tasks=%d\n",
+		res.Best.Bound(), res.Best.Options.Policy, len(res.Best.Input.Tasks))
+	return s
+}
+
+// TestOptimizeParallelMatchesSerial pins the tentpole determinism
+// guarantee: across the use case x platform matrix, the parallel
+// candidate ladder produces a Best bound and History bit-identical to
+// the serial walk. Run under -race this also exercises the concurrent
+// front-end sharing.
+func TestOptimizeParallelMatchesSerial(t *testing.T) {
+	platforms := []struct {
+		name string
+		p    *adl.Platform
+	}{
+		{"xentium2", adl.XentiumPlatform(2)},
+		{"xentium4", adl.XentiumPlatform(4)},
+		{"tdm2", adl.XentiumTDMPlatform(2)},
+		{"noc2x2", adl.Leon3TilePlatform(2, 2)},
+	}
+	for _, uc := range usecases.All() {
+		for _, pl := range platforms {
+			uc, pl := uc, pl
+			t.Run(uc.Name+"/"+pl.name, func(t *testing.T) {
+				t.Parallel()
+				src, err := uc.Program()
+				if err != nil {
+					t.Fatal(err)
+				}
+				base := DefaultOptions(uc.Entry, uc.Args, pl.p)
+
+				serialOpt := base
+				serialOpt.Parallelism = 1
+				serial, err := Optimize(src, serialOpt, nil, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				parOpt := base
+				parOpt.Parallelism = 4
+				par, err := Optimize(src, parOpt, nil, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				want := optimizeHistoryFingerprint(serial)
+				got := optimizeHistoryFingerprint(par)
+				if got != want {
+					t.Fatalf("parallel run diverges from serial:\n--- parallel ---\n%s--- serial ---\n%s", got, want)
+				}
+				if par.Best.Bound() != serial.Best.Bound() {
+					t.Fatalf("best bound: parallel %d, serial %d", par.Best.Bound(), serial.Best.Bound())
+				}
+			})
+		}
+	}
+}
+
+// TestOptimizeTieResolvesToLowestIndex pins the tie-break rule: when two
+// candidates produce the same best bound, the lowest candidate index
+// wins regardless of completion order.
+func TestOptimizeTieResolvesToLowestIndex(t *testing.T) {
+	uc := usecases.ByName("polka")
+	src, err := uc.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	plat := adl.XentiumPlatform(2)
+	base := DefaultOptions(uc.Entry, uc.Args, plat)
+	cands := DefaultCandidates(plat.NumCores())
+	// Duplicate the full ladder: every second-half candidate ties its
+	// first-half twin, so the winner must come from the first half.
+	dup := append(append([]Candidate{}, cands...), cands...)
+	base.Parallelism = 4
+	res, err := Optimize(src, base, dup, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	winIdx := -1
+	for i, rec := range res.History {
+		if rec.Err == nil && rec.Bound == res.Best.Bound() {
+			winIdx = i
+			break
+		}
+	}
+	if winIdx < 0 || winIdx >= len(cands) {
+		t.Fatalf("winner index %d not in first copy of the ladder (len %d)", winIdx, len(cands))
+	}
+	win := res.History[winIdx].Candidate
+	if res.Best.Options.Policy != win.Policy || res.Best.Options.MaxTasks != win.MaxTasks ||
+		res.Best.Options.AutoSPM != win.AutoSPM || res.Best.Options.Transforms != win.Transforms {
+		t.Fatalf("Best artifacts options %+v do not match winning candidate %+v", res.Best.Options, win)
+	}
+}
+
+// TestOptimizeContextCancellation: a cancelled context stops the ladder
+// and surfaces ctx.Err().
+func TestOptimizeContextCancellation(t *testing.T) {
+	uc := usecases.ByName("polka")
+	src, err := uc.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	base := DefaultOptions(uc.Entry, uc.Args, adl.XentiumPlatform(2))
+	if _, err := OptimizeContext(ctx, src, base, nil, 0); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

@@ -7,20 +7,49 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
 
 	"argo/internal/adl"
+	"argo/internal/conc"
 	"argo/internal/core"
 	"argo/internal/noc"
 	"argo/internal/report"
 	"argo/internal/sched"
+	"argo/internal/scil"
 	"argo/internal/sim"
 	"argo/internal/syswcet"
 	"argo/internal/transform"
 	"argo/internal/usecases"
 )
+
+// Parallelism bounds how many (use case, configuration) cells the
+// experiment tables evaluate concurrently (0: GOMAXPROCS, 1: serial).
+// Table contents are deterministic at every setting: cells are
+// precomputed, workers store results by cell index, and rows are emitted
+// in index order. E5–E7 stay serial — E6 measures wall-clock scheduler
+// runtimes, and E7's optimizer ladder already fans out internally.
+var Parallelism int
+
+// forEachCell fans n independent experiment cells out on the shared
+// worker pool.
+func forEachCell(n int, fn func(i int)) {
+	// The context is never cancelled, so the error can only be nil.
+	_ = conc.ForEach(context.Background(), Parallelism, n, fn)
+}
+
+// firstErr returns the lowest-index error, keeping failure reporting
+// deterministic under parallel evaluation.
+func firstErr(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
 
 // Result is one experiment's rendered output plus structured data used
 // by tests and EXPERIMENTS.md.
@@ -74,22 +103,39 @@ func E1(coreCounts []int) (*Result, []E1Row, error) {
 	}
 	tab := report.New("System WCET bound (cycles) and speedup vs 1 core, recore-xentium platform",
 		"usecase", "cores", "bound", "speedup")
-	var rows []E1Row
+	type cell struct {
+		u *usecases.UseCase
+		k int
+	}
+	var cells []cell
 	for _, u := range usecases.All() {
-		var base int64
 		for _, k := range coreCounts {
-			art, err := compileUC(u, adl.XentiumPlatform(k))
-			if err != nil {
-				return nil, nil, fmt.Errorf("E1 %s/%d: %v", u.Name, k, err)
-			}
-			b := art.Bound()
-			if k == coreCounts[0] {
-				base = b
-			}
-			sp := float64(base) / float64(b)
-			tab.Add(u.Name, k, b, sp)
-			rows = append(rows, E1Row{UseCase: u.Name, Cores: k, Bound: b, Speedup: sp})
+			cells = append(cells, cell{u, k})
 		}
+	}
+	bounds := make([]int64, len(cells))
+	errs := make([]error, len(cells))
+	forEachCell(len(cells), func(i int) {
+		art, err := compileUC(cells[i].u, adl.XentiumPlatform(cells[i].k))
+		if err != nil {
+			errs[i] = fmt.Errorf("E1 %s/%d: %v", cells[i].u.Name, cells[i].k, err)
+			return
+		}
+		bounds[i] = art.Bound()
+	})
+	if err := firstErr(errs); err != nil {
+		return nil, nil, err
+	}
+	var rows []E1Row
+	var base int64
+	for i, c := range cells {
+		b := bounds[i]
+		if c.k == coreCounts[0] {
+			base = b
+		}
+		sp := float64(base) / float64(b)
+		tab.Add(c.u.Name, c.k, b, sp)
+		rows = append(rows, E1Row{UseCase: c.u.Name, Cores: c.k, Bound: b, Speedup: sp})
 	}
 	res.Tables = append(res.Tables, tab)
 	res.Notes = append(res.Notes,
@@ -127,11 +173,15 @@ func E2(runs int, cores int) (*Result, []E2Row, error) {
 	}
 	tab := report.New(fmt.Sprintf("Bound vs worst of %d simulated runs, xentium%d", runs, cores),
 		"usecase", "bound", "worst-sim", "tightness", "work-tightness", "sound")
-	var rows []E2Row
-	for _, u := range usecases.All() {
+	ucs := usecases.All()
+	results := make([]E2Row, len(ucs))
+	errs := make([]error, len(ucs))
+	forEachCell(len(ucs), func(i int) {
+		u := ucs[i]
 		art, err := compileUC(u, adl.XentiumPlatform(cores))
 		if err != nil {
-			return nil, nil, fmt.Errorf("E2 %s: %v", u.Name, err)
+			errs[i] = fmt.Errorf("E2 %s: %v", u.Name, err)
+			return
 		}
 		var boundWork int64
 		for _, tb := range art.System.TaskBound {
@@ -141,10 +191,12 @@ func E2(runs int, cores int) (*Result, []E2Row, error) {
 		for seed := 0; seed < runs; seed++ {
 			rep, err := sim.Run(art.Parallel, u.Inputs(int64(seed)))
 			if err != nil {
-				return nil, nil, fmt.Errorf("E2 %s seed %d: %v", u.Name, seed, err)
+				errs[i] = fmt.Errorf("E2 %s seed %d: %v", u.Name, seed, err)
+				return
 			}
 			if err := sim.CheckAgainstBounds(art.Parallel, rep); err != nil {
-				return nil, nil, fmt.Errorf("E2 %s seed %d UNSOUND: %v", u.Name, seed, err)
+				errs[i] = fmt.Errorf("E2 %s seed %d UNSOUND: %v", u.Name, seed, err)
+				return
 			}
 			if rep.Makespan > worst {
 				worst = rep.Makespan
@@ -158,13 +210,20 @@ func E2(runs int, cores int) (*Result, []E2Row, error) {
 			}
 		}
 		bound := art.Parallel.BoundMakespan()
-		ratio := float64(bound) / float64(worst)
-		workRatio := float64(boundWork) / float64(worstWork)
-		tab.Add(u.Name, bound, worst, ratio, workRatio, bound >= worst)
-		rows = append(rows, E2Row{
+		results[i] = E2Row{
 			UseCase: u.Name, Bound: bound, WorstSim: worst,
-			Tightness: ratio, WorkTightness: workRatio, Runs: runs,
-		})
+			Tightness:     float64(bound) / float64(worst),
+			WorkTightness: float64(boundWork) / float64(worstWork),
+			Runs:          runs,
+		}
+	})
+	if err := firstErr(errs); err != nil {
+		return nil, nil, err
+	}
+	var rows []E2Row
+	for _, r := range results {
+		tab.Add(r.UseCase, r.Bound, r.WorstSim, r.Tightness, r.WorkTightness, r.Bound >= r.WorstSim)
+		rows = append(rows, r)
 	}
 	res.Tables = append(res.Tables, tab)
 	return res, rows, nil
@@ -204,7 +263,13 @@ func E3(coreCounts []int) (*Result, []E3Row, error) {
 		congested.Bus.SlotCycles = 48
 		return []*adl.Platform{std, congested}
 	}
-	var rows []E3Row
+	type cell struct {
+		u        *usecases.UseCase
+		prog     *scil.Program
+		k        int
+		platform *adl.Platform
+	}
+	var cells []cell
 	for _, u := range usecases.All() {
 		p, err := u.Program()
 		if err != nil {
@@ -212,26 +277,41 @@ func E3(coreCounts []int) (*Result, []E3Row, error) {
 		}
 		for _, k := range coreCounts {
 			for _, platform := range mkPlatforms(k) {
-				optO := core.DefaultOptions(u.Entry, u.Args, platform)
-				optO.Policy = sched.ListOblivious
-				artO, err := core.Compile(p, optO)
-				if err != nil {
-					return nil, nil, err
-				}
-				optA := core.DefaultOptions(u.Entry, u.Args, platform)
-				artA, err := core.Compile(p, optA)
-				if err != nil {
-					return nil, nil, err
-				}
-				r := E3Row{
-					UseCase: u.Name, Platform: platform.Name, Cores: k,
-					ObliviousBound: artO.Bound(), AwareBound: artA.Bound(),
-				}
-				r.ImprovementRatio = float64(r.ObliviousBound) / float64(r.AwareBound)
-				tab.Add(u.Name, platform.Name, k, r.ObliviousBound, r.AwareBound, r.ImprovementRatio)
-				rows = append(rows, r)
+				cells = append(cells, cell{u, p, k, platform})
 			}
 		}
+	}
+	results := make([]E3Row, len(cells))
+	errs := make([]error, len(cells))
+	forEachCell(len(cells), func(i int) {
+		c := cells[i]
+		optO := core.DefaultOptions(c.u.Entry, c.u.Args, c.platform)
+		optO.Policy = sched.ListOblivious
+		artO, err := core.Compile(c.prog, optO)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		optA := core.DefaultOptions(c.u.Entry, c.u.Args, c.platform)
+		artA, err := core.Compile(c.prog, optA)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		r := E3Row{
+			UseCase: c.u.Name, Platform: c.platform.Name, Cores: c.k,
+			ObliviousBound: artO.Bound(), AwareBound: artA.Bound(),
+		}
+		r.ImprovementRatio = float64(r.ObliviousBound) / float64(r.AwareBound)
+		results[i] = r
+	})
+	if err := firstErr(errs); err != nil {
+		return nil, nil, err
+	}
+	var rows []E3Row
+	for _, r := range results {
+		tab.Add(r.UseCase, r.Platform, r.Cores, r.ObliviousBound, r.AwareBound, r.ImprovementRatio)
+		rows = append(rows, r)
 	}
 	res.Tables = append(res.Tables, tab)
 	res.Notes = append(res.Notes,
@@ -270,23 +350,43 @@ func E4(cores int) (*Result, []E4Row, error) {
 		{"+spm", transform.Options{Fold: true}, true},
 		{"+fission+spm", transform.Options{Fold: true, Fission: true}, true},
 	}
-	var rows []E4Row
+	type cell struct {
+		u    *usecases.UseCase
+		prog *scil.Program
+		cfg  int
+	}
+	var cells []cell
 	for _, u := range usecases.All() {
 		p, err := u.Program()
 		if err != nil {
 			return nil, nil, err
 		}
-		for _, cfg := range configs {
-			opt := core.DefaultOptions(u.Entry, u.Args, adl.XentiumPlatform(cores))
-			opt.Transforms = cfg.tr
-			opt.AutoSPM = cfg.autoSPM
-			art, err := core.Compile(p, opt)
-			if err != nil {
-				return nil, nil, fmt.Errorf("E4 %s/%s: %v", u.Name, cfg.name, err)
-			}
-			tab.Add(u.Name, cfg.name, art.Bound())
-			rows = append(rows, E4Row{UseCase: u.Name, Config: cfg.name, Bound: art.Bound()})
+		for c := range configs {
+			cells = append(cells, cell{u, p, c})
 		}
+	}
+	bounds := make([]int64, len(cells))
+	errs := make([]error, len(cells))
+	forEachCell(len(cells), func(i int) {
+		c := cells[i]
+		cfg := configs[c.cfg]
+		opt := core.DefaultOptions(c.u.Entry, c.u.Args, adl.XentiumPlatform(cores))
+		opt.Transforms = cfg.tr
+		opt.AutoSPM = cfg.autoSPM
+		art, err := core.Compile(c.prog, opt)
+		if err != nil {
+			errs[i] = fmt.Errorf("E4 %s/%s: %v", c.u.Name, cfg.name, err)
+			return
+		}
+		bounds[i] = art.Bound()
+	})
+	if err := firstErr(errs); err != nil {
+		return nil, nil, err
+	}
+	var rows []E4Row
+	for i, c := range cells {
+		tab.Add(c.u.Name, configs[c.cfg].name, bounds[i])
+		rows = append(rows, E4Row{UseCase: c.u.Name, Config: configs[c.cfg].name, Bound: bounds[i]})
 	}
 	res.Tables = append(res.Tables, tab)
 	return res, rows, nil
@@ -513,18 +613,29 @@ func E8(cores int) (*Result, []E8Row, error) {
 	}
 	tab := report.New(fmt.Sprintf("Round-robin vs TDM shared bus, %d cores", cores),
 		"usecase", "rr-bound", "tdm-bound", "tdm/rr")
-	var rows []E8Row
-	for _, u := range usecases.All() {
+	ucs := usecases.All()
+	results := make([]E8Row, len(ucs))
+	errs := make([]error, len(ucs))
+	forEachCell(len(ucs), func(i int) {
+		u := ucs[i]
 		artRR, err := compileUC(u, adl.XentiumPlatform(cores))
 		if err != nil {
-			return nil, nil, err
+			errs[i] = err
+			return
 		}
 		artTDM, err := compileUC(u, adl.XentiumTDMPlatform(cores))
 		if err != nil {
-			return nil, nil, err
+			errs[i] = err
+			return
 		}
-		r := E8Row{UseCase: u.Name, RRBound: artRR.Bound(), TDMBound: artTDM.Bound()}
-		tab.Add(u.Name, r.RRBound, r.TDMBound, float64(r.TDMBound)/float64(r.RRBound))
+		results[i] = E8Row{UseCase: u.Name, RRBound: artRR.Bound(), TDMBound: artTDM.Bound()}
+	})
+	if err := firstErr(errs); err != nil {
+		return nil, nil, err
+	}
+	var rows []E8Row
+	for _, r := range results {
+		tab.Add(r.UseCase, r.RRBound, r.TDMBound, float64(r.TDMBound)/float64(r.RRBound))
 		rows = append(rows, r)
 	}
 	res.Tables = append(res.Tables, tab)

@@ -190,3 +190,45 @@ func TestE9DeploymentShape(t *testing.T) {
 		t.Fatal("8-core deployment must be schedulable")
 	}
 }
+
+func TestETablesDeterministicUnderParallelism(t *testing.T) {
+	// The fan-out must not change any table: cells are reduced in index
+	// order, so serial and parallel runs render identically.
+	old := Parallelism
+	defer func() { Parallelism = old }()
+
+	Parallelism = 1
+	s1, rows1, err := E1([]int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s8, rows8, err := E8(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	Parallelism = 4
+	p1, prow1, err := E1([]int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p8, prow8, err := E8(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if s1.String() != p1.String() {
+		t.Fatalf("E1 diverges under parallelism:\n--- serial ---\n%s--- parallel ---\n%s", s1, p1)
+	}
+	if s8.String() != p8.String() {
+		t.Fatalf("E8 diverges under parallelism:\n--- serial ---\n%s--- parallel ---\n%s", s8, p8)
+	}
+	if len(rows1) != len(prow1) || len(rows8) != len(prow8) {
+		t.Fatal("row counts diverge under parallelism")
+	}
+	for i := range rows1 {
+		if rows1[i] != prow1[i] {
+			t.Fatalf("E1 row %d: serial %+v, parallel %+v", i, rows1[i], prow1[i])
+		}
+	}
+}

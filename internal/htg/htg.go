@@ -41,9 +41,6 @@ type Node struct {
 	Children *Graph
 	// Uses are the task's may-read/may-write sets.
 	Uses *ir.UseSets
-	// Accesses are the worst-case shared-memory access counts per
-	// variable.
-	Accesses *ir.AccessCounts
 	// Ranges are per-variable subscript intervals for the interval
 	// dependence test (chunked loops over disjoint regions of one array
 	// are recognized as independent).
@@ -145,7 +142,6 @@ func buildLevel(stmts []ir.Stmt, depth int) *Graph {
 func (g *Graph) addNode(n *Node) {
 	n.ID = len(g.Nodes)
 	n.Uses = ir.ComputeUses(n.Stmts)
-	n.Accesses = ir.CountAccesses(n.Stmts)
 	n.Ranges = ir.CollectAccessRanges(n.Stmts)
 	if n.Label == "" {
 		switch n.Kind {
@@ -171,14 +167,28 @@ func (g *Graph) addNode(n *Node) {
 // task-level parallelism between independent loop nests.
 func (g *Graph) connect() {
 	liveScalars := g.liveOutScalars()
+	// Flatten each node's write sets once: dependsOn runs for every node
+	// pair, and starting map iterators per pair dominates graph
+	// construction on larger regions. Iteration order does not matter —
+	// dependsOn is a pure predicate and edge Vars are sorted below.
+	matW := make([][]*ir.Var, len(g.Nodes))
+	scalW := make([][]*ir.Var, len(g.Nodes))
+	for i, n := range g.Nodes {
+		for v := range n.Uses.MatWrites {
+			matW[i] = append(matW[i], v)
+		}
+		for v := range n.Uses.ScalWrite {
+			scalW[i] = append(scalW[i], v)
+		}
+	}
 	for i := 0; i < len(g.Nodes); i++ {
 		for j := i + 1; j < len(g.Nodes); j++ {
 			a, b := g.Nodes[i], g.Nodes[j]
-			if !g.dependsOn(a, b, liveScalars) {
+			if !dependsOn(a, b, matW[i], matW[j], scalW[i], scalW[j], liveScalars) {
 				continue
 			}
 			e := Edge{From: a.ID, To: b.ID}
-			for v := range a.Uses.MatWrites {
+			for _, v := range matW[i] {
 				if b.Uses.MatReads[v] || b.Uses.MatWrites[v] {
 					e.Vars = append(e.Vars, v)
 					e.VolumeBytes += v.SizeBytes()
@@ -217,16 +227,10 @@ func (g *Graph) liveOutScalars() map[*ir.Var]bool {
 func definesScalarBeforeUse(stmts []ir.Stmt, v *ir.Var) bool {
 	for _, s := range stmts {
 		if as, ok := s.(*ir.AssignScalar); ok && as.Dst == v {
-			u := ir.NewUseSets()
-			u.AddExprUses(as.Src)
-			return !u.ScalReads[v]
+			return !exprReadsScalar(as.Src, v)
 		}
 		if f, ok := s.(*ir.For); ok {
-			u := ir.NewUseSets()
-			u.AddExprUses(f.Lo)
-			u.AddExprUses(f.Step)
-			u.AddExprUses(f.Hi)
-			if u.ScalReads[v] {
+			if exprReadsScalar(f.Lo, v) || exprReadsScalar(f.Step, v) || exprReadsScalar(f.Hi, v) {
 				return false
 			}
 			if f.IVar == v {
@@ -235,15 +239,66 @@ func definesScalarBeforeUse(stmts []ir.Stmt, v *ir.Var) bool {
 			// Recurse: v may be defined before use inside the loop body
 			// (e.g. the induction variable of a nested loop), which makes
 			// it iteration-private there too.
-			whole := ir.ComputeUses(f.Body)
-			if !whole.ScalReads[v] && !whole.ScalWrite[v] {
+			if !regionTouchesScalar(f.Body, v) {
 				continue
 			}
 			return definesScalarBeforeUse(f.Body, v)
 		}
-		u := ir.ComputeUses([]ir.Stmt{s})
-		if u.ScalReads[v] || u.ScalWrite[v] {
+		if stmtTouchesScalar(s, v) {
 			return false
+		}
+	}
+	return false
+}
+
+// exprReadsScalar reports whether one evaluation of e reads the scalar v
+// (including inside matrix subscripts) — UseSets.AddExprUses restricted
+// to a single variable, without materializing the sets.
+func exprReadsScalar(e ir.Expr, v *ir.Var) bool {
+	found := false
+	ir.WalkExprs(e, func(sub ir.Expr) {
+		if r, ok := sub.(*ir.VarRef); ok && r.V == v {
+			found = true
+		}
+	})
+	return found
+}
+
+// stmtTouchesScalar reports whether s, recursively, reads or writes the
+// scalar v — ComputeUses restricted to a single variable, without
+// materializing the sets.
+func stmtTouchesScalar(s ir.Stmt, v *ir.Var) bool {
+	touched := false
+	ir.WalkStmts([]ir.Stmt{s}, func(s ir.Stmt) bool {
+		switch st := s.(type) {
+		case *ir.AssignScalar:
+			touched = st.Dst == v || exprReadsScalar(st.Src, v)
+		case *ir.Store:
+			for _, ix := range st.Idx {
+				if exprReadsScalar(ix, v) {
+					touched = true
+				}
+			}
+			touched = touched || exprReadsScalar(st.Src, v)
+		case *ir.For:
+			touched = st.IVar == v || exprReadsScalar(st.Lo, v) ||
+				exprReadsScalar(st.Step, v) || exprReadsScalar(st.Hi, v)
+		case *ir.While:
+			touched = exprReadsScalar(st.Cond, v)
+		case *ir.If:
+			touched = exprReadsScalar(st.Cond, v)
+		}
+		return !touched
+	})
+	return touched
+}
+
+// regionTouchesScalar reports whether any statement in the region reads
+// or writes the scalar v.
+func regionTouchesScalar(stmts []ir.Stmt, v *ir.Var) bool {
+	for _, s := range stmts {
+		if stmtTouchesScalar(s, v) {
+			return true
 		}
 	}
 	return false
@@ -251,39 +306,59 @@ func definesScalarBeforeUse(stmts []ir.Stmt, v *ir.Var) bool {
 
 // dependsOn reports a real dependence a -> b (a precedes b in program
 // order): any matrix conflict, or a conflict on a live-out scalar.
-func (g *Graph) dependsOn(a, b *Node, live map[*ir.Var]bool) bool {
+// aMatW/bMatW and aScalW/bScalW are the flattened write sets of a and b.
+func dependsOn(a, b *Node, aMatW, bMatW, aScalW, bScalW []*ir.Var, live map[*ir.Var]bool) bool {
 	matConflict := func(v *ir.Var) bool {
 		// Interval dependence test: disjoint subscript ranges on some
 		// dimension prove independence (e.g. parallelized loop chunks).
 		return !a.Ranges[v].DisjointFrom(b.Ranges[v])
 	}
-	for v := range a.Uses.MatWrites {
+	for _, v := range aMatW {
 		if (b.Uses.MatReads[v] || b.Uses.MatWrites[v]) && matConflict(v) {
 			return true
 		}
 	}
-	for v := range b.Uses.MatWrites {
+	for _, v := range bMatW {
 		if a.Uses.MatReads[v] && matConflict(v) {
 			return true
 		}
 	}
-	scalarConflict := func(v *ir.Var) bool {
-		if !live[v] {
-			return false
-		}
-		return true
-	}
-	for v := range a.Uses.ScalWrite {
-		if (b.Uses.ScalReads[v] || b.Uses.ScalWrite[v]) && scalarConflict(v) {
+	for _, v := range aScalW {
+		if live[v] && (b.Uses.ScalReads[v] || b.Uses.ScalWrite[v]) {
 			return true
 		}
 	}
-	for v := range b.Uses.ScalWrite {
-		if a.Uses.ScalReads[v] && scalarConflict(v) {
+	for _, v := range bScalW {
+		if live[v] && a.Uses.ScalReads[v] {
 			return true
 		}
 	}
 	return false
+}
+
+// Clone returns a copy of the graph that shares the immutable per-node
+// analysis state (Stmts, Uses, Ranges — all storage-independent
+// and never mutated in place) but copies every Node, Edge, and edge
+// variable list. Annotating or coarsening the copy never touches the
+// receiver, which lets the compile driver build the task graph once per
+// candidate and re-derive a fresh schedulable graph per feedback round.
+func (g *Graph) Clone() *Graph {
+	out := &Graph{Nodes: make([]*Node, len(g.Nodes)), Edges: make([]Edge, len(g.Edges))}
+	for i, n := range g.Nodes {
+		c := *n
+		if n.Children != nil {
+			c.Children = n.Children.Clone()
+		}
+		if n.WCET != nil {
+			c.WCET = append([]int64(nil), n.WCET...)
+		}
+		out.Nodes[i] = &c
+	}
+	for i, e := range g.Edges {
+		e.Vars = append([]*ir.Var(nil), e.Vars...)
+		out.Edges[i] = e
+	}
+	return out
 }
 
 // Annotate fills per-core WCET bounds and shared access counts for every
@@ -292,6 +367,19 @@ func Annotate(g *Graph, models []wcet.CostModel) {
 	for _, n := range g.Nodes {
 		n.WCET = make([]int64, len(models))
 		for c, m := range models {
+			// Homogeneous cores share a cost model: reuse the bound
+			// computed for the first core with the same model.
+			dup := -1
+			for p := 0; p < c; p++ {
+				if models[p] == m {
+					dup = p
+					break
+				}
+			}
+			if dup >= 0 {
+				n.WCET[c] = n.WCET[dup]
+				continue
+			}
 			n.WCET[c] = wcet.Structural(n.Stmts, m)
 		}
 		rep := wcet.Analyze(n.Stmts, models[0])
@@ -515,7 +603,6 @@ func (g *Graph) mergeInto(a, b int) {
 	na.Kind = KindRegion
 	na.Children = nil
 	na.Uses = ir.ComputeUses(na.Stmts)
-	na.Accesses = ir.CountAccesses(na.Stmts)
 	na.Ranges = ir.CollectAccessRanges(na.Stmts)
 	if na.WCET != nil && nb.WCET != nil {
 		for c := range na.WCET {

@@ -288,6 +288,39 @@ func TestDumpContainsTasksAndEdges(t *testing.T) {
 	}
 }
 
+func TestCloneIsolatesAnnotateAndMerge(t *testing.T) {
+	// The optimizer builds the graph once per candidate and clones it per
+	// feedback round; annotating and merging the clone must leave the
+	// original untouched and produce the same result as a fresh build.
+	prog := compile(t, pipelineSrc, "f", ir.MatrixArg(8, 8))
+	transform.Apply(prog, transform.Options{Fission: true})
+	base := Build(prog)
+	before := base.Dump()
+
+	clone := base.Clone()
+	Annotate(clone, models(2))
+	clone.MergeUntil(3)
+	if err := clone.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	if base.Dump() != before {
+		t.Fatalf("mutating clone changed original dump:\n%s", base.Dump())
+	}
+	for i, n := range base.Nodes {
+		if n.WCET != nil {
+			t.Fatalf("clone annotate leaked WCET into original node %d", i)
+		}
+	}
+
+	fresh := Build(prog)
+	Annotate(fresh, models(2))
+	fresh.MergeUntil(3)
+	if got, want := clone.Dump(), fresh.Dump(); got != want {
+		t.Fatalf("clone pipeline diverges from fresh build:\n--- clone ---\n%s\n--- fresh ---\n%s", got, want)
+	}
+}
+
 func TestChunkedLoopsRecognizedIndependent(t *testing.T) {
 	// A data-parallel loop split into chunks writing disjoint rows: the
 	// interval dependence test must not create edges between the chunks.

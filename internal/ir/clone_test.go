@@ -1,0 +1,140 @@
+package ir_test
+
+import (
+	"testing"
+
+	"argo/internal/ir"
+	"argo/internal/scil"
+)
+
+const cloneSrc = `
+function [outa, outb] = app(img)
+  h = size(img, 1)
+  w = size(img, 2)
+  tmp = zeros(h, w)
+  outa = zeros(h, w)
+  outb = zeros(h, w)
+  for i = 1:h
+    for j = 1:w
+      tmp(i, j) = img(i, j) * 0.5 + 1
+    end
+  end
+  for i = 1:h
+    for j = 1:w
+      outa(i, j) = tmp(i, j) * 2
+      outb(i, j) = tmp(i, j) - 3
+    end
+  end
+endfunction`
+
+func lowerClone(t *testing.T) *ir.Program {
+	t.Helper()
+	p, err := scil.Parse(cloneSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := ir.Lower(p, "app", []ir.ArgSpec{ir.MatrixArg(8, 8)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+func TestCloneIsStructurallyIdentical(t *testing.T) {
+	prog := lowerClone(t)
+	clone := prog.Clone()
+	if got, want := clone.Dump(), prog.Dump(); got != want {
+		t.Fatalf("clone dump differs:\n--- clone ---\n%s\n--- original ---\n%s", got, want)
+	}
+	if len(clone.Vars) != len(prog.Vars) {
+		t.Fatalf("clone has %d vars, original %d", len(clone.Vars), len(prog.Vars))
+	}
+	for i := range prog.Vars {
+		if clone.Vars[i] == prog.Vars[i] {
+			t.Fatalf("var %q shared between clone and original", prog.Vars[i].Name)
+		}
+		if clone.Vars[i].Name != prog.Vars[i].Name || clone.Vars[i].Storage != prog.Vars[i].Storage {
+			t.Fatalf("var %d mismatch: %v vs %v", i, clone.Vars[i], prog.Vars[i])
+		}
+	}
+}
+
+// TestCloneSharesNoVariableIdentities walks the cloned body and checks no
+// referenced variable is an original-program variable — every reference
+// must have been remapped onto the clone's own table.
+func TestCloneSharesNoVariableIdentities(t *testing.T) {
+	prog := lowerClone(t)
+	orig := map[*ir.Var]bool{}
+	for _, v := range prog.Vars {
+		orig[v] = true
+	}
+	clone := prog.Clone()
+	check := func(v *ir.Var) {
+		if orig[v] {
+			t.Fatalf("clone body references original var %q", v.Name)
+		}
+	}
+	ir.WalkStmts(clone.Entry.Body, func(s ir.Stmt) bool {
+		switch st := s.(type) {
+		case *ir.AssignScalar:
+			check(st.Dst)
+		case *ir.Store:
+			check(st.Dst)
+		case *ir.For:
+			check(st.IVar)
+		}
+		for _, e := range ir.StmtExprs(s) {
+			ir.WalkExprs(e, func(sub ir.Expr) {
+				switch x := sub.(type) {
+				case *ir.VarRef:
+					check(x.V)
+				case *ir.Index:
+					check(x.V)
+				}
+			})
+		}
+		return true
+	})
+	for _, v := range clone.Entry.Params {
+		check(v)
+	}
+	for _, v := range clone.Entry.Results {
+		check(v)
+	}
+}
+
+// TestCloneIsolatesStorageMutation pins the property the iterative
+// optimizer depends on: demoting storage on the clone (what buffer
+// placement does during the feedback loop) leaves the original pristine.
+func TestCloneIsolatesStorageMutation(t *testing.T) {
+	prog := lowerClone(t)
+	clone := prog.Clone()
+	for _, v := range clone.MatrixVars() {
+		v.Storage = ir.StorageSPM
+	}
+	for _, v := range prog.MatrixVars() {
+		if v.Storage == ir.StorageSPM {
+			t.Fatalf("mutating clone storage leaked into original var %q", v.Name)
+		}
+	}
+}
+
+// TestCloneFreshVarDoesNotCollide: the temp counter must carry over so
+// transformations on the clone generate names disjoint from existing ones.
+func TestCloneFreshVarDoesNotCollide(t *testing.T) {
+	prog := lowerClone(t)
+	clone := prog.Clone()
+	v := clone.FreshVar("x", 0, 0, true)
+	if clone.VarByName(v.Name) != v {
+		t.Fatalf("fresh var %q not registered", v.Name)
+	}
+	n := 0
+	for _, w := range clone.Vars {
+		if w.Name == v.Name {
+			n++
+		}
+	}
+	if n != 1 {
+		t.Fatalf("fresh var name %q collides (%d occurrences)", v.Name, n)
+	}
+}

@@ -485,30 +485,46 @@ func StmtExprs(s Stmt) []Expr {
 // identities), structure is copied, so transformations can rewrite bodies
 // without aliasing surprises.
 func CloneStmts(stmts []Stmt) []Stmt {
-	out := make([]Stmt, len(stmts))
-	for i, s := range stmts {
-		out[i] = CloneStmt(s)
-	}
-	return out
+	return cloneStmtsRemap(stmts, nil)
 }
 
 // CloneStmt deep-copies one statement (variables shared).
 func CloneStmt(s Stmt) Stmt {
+	return cloneStmtRemap(s, nil)
+}
+
+// cloneStmtsRemap deep-copies a statement list; mv (when non-nil) remaps
+// every variable identity onto its replacement.
+func cloneStmtsRemap(stmts []Stmt, mv func(*Var) *Var) []Stmt {
+	out := make([]Stmt, len(stmts))
+	for i, s := range stmts {
+		out[i] = cloneStmtRemap(s, mv)
+	}
+	return out
+}
+
+func cloneStmtRemap(s Stmt, mv func(*Var) *Var) Stmt {
+	rv := func(v *Var) *Var {
+		if mv == nil {
+			return v
+		}
+		return mv(v)
+	}
 	switch st := s.(type) {
 	case *AssignScalar:
-		return &AssignScalar{Dst: st.Dst, Src: CloneExpr(st.Src)}
+		return &AssignScalar{Dst: rv(st.Dst), Src: cloneExprRemap(st.Src, mv)}
 	case *Store:
-		return &Store{Dst: st.Dst, Idx: cloneExprs(st.Idx), Src: CloneExpr(st.Src)}
+		return &Store{Dst: rv(st.Dst), Idx: cloneExprsRemap(st.Idx, mv), Src: cloneExprRemap(st.Src, mv)}
 	case *For:
 		return &For{
-			IVar: st.IVar, Lo: CloneExpr(st.Lo), Step: CloneExpr(st.Step),
-			Hi: CloneExpr(st.Hi), Trip: st.Trip, Body: CloneStmts(st.Body),
+			IVar: rv(st.IVar), Lo: cloneExprRemap(st.Lo, mv), Step: cloneExprRemap(st.Step, mv),
+			Hi: cloneExprRemap(st.Hi, mv), Trip: st.Trip, Body: cloneStmtsRemap(st.Body, mv),
 			Label: st.Label,
 		}
 	case *While:
-		return &While{Cond: CloneExpr(st.Cond), Bound: st.Bound, Body: CloneStmts(st.Body)}
+		return &While{Cond: cloneExprRemap(st.Cond, mv), Bound: st.Bound, Body: cloneStmtsRemap(st.Body, mv)}
 	case *If:
-		return &If{Cond: CloneExpr(st.Cond), Then: CloneStmts(st.Then), Else: CloneStmts(st.Else)}
+		return &If{Cond: cloneExprRemap(st.Cond, mv), Then: cloneStmtsRemap(st.Then, mv), Else: cloneStmtsRemap(st.Else, mv)}
 	case *Break:
 		return &Break{}
 	case *Continue:
@@ -518,15 +534,23 @@ func CloneStmt(s Stmt) Stmt {
 }
 
 func cloneExprs(es []Expr) []Expr {
+	return cloneExprsRemap(es, nil)
+}
+
+func cloneExprsRemap(es []Expr, mv func(*Var) *Var) []Expr {
 	out := make([]Expr, len(es))
 	for i, e := range es {
-		out[i] = CloneExpr(e)
+		out[i] = cloneExprRemap(e, mv)
 	}
 	return out
 }
 
 // CloneExpr deep-copies an expression (variables shared).
 func CloneExpr(e Expr) Expr {
+	return cloneExprRemap(e, nil)
+}
+
+func cloneExprRemap(e Expr, mv func(*Var) *Var) Expr {
 	switch x := e.(type) {
 	case nil:
 		return nil
@@ -535,17 +559,70 @@ func CloneExpr(e Expr) Expr {
 		return &c
 	case *VarRef:
 		r := *x
+		if mv != nil {
+			r.V = mv(r.V)
+		}
 		return &r
 	case *Index:
-		return &Index{V: x.V, Idx: cloneExprs(x.Idx)}
+		v := x.V
+		if mv != nil {
+			v = mv(v)
+		}
+		return &Index{V: v, Idx: cloneExprsRemap(x.Idx, mv)}
 	case *Bin:
-		return &Bin{Op: x.Op, X: CloneExpr(x.X), Y: CloneExpr(x.Y)}
+		return &Bin{Op: x.Op, X: cloneExprRemap(x.X, mv), Y: cloneExprRemap(x.Y, mv)}
 	case *Un:
-		return &Un{Op: x.Op, X: CloneExpr(x.X)}
+		return &Un{Op: x.Op, X: cloneExprRemap(x.X, mv)}
 	case *Intrinsic:
-		return &Intrinsic{Name: x.Name, Args: cloneExprs(x.Args)}
+		return &Intrinsic{Name: x.Name, Args: cloneExprsRemap(x.Args, mv)}
 	}
 	panic(fmt.Sprintf("ir.CloneExpr: unknown expression %T", e))
+}
+
+// Clone deep-copies the whole program: fresh Var objects, a fresh entry
+// function whose body remaps every variable reference onto the copies,
+// and the temporary-name counter carried over. Mutations of the clone —
+// storage (re)assignment by buffer placement, structural rewrites by the
+// transformation engine — never touch the receiver, which is what lets
+// one lowered front-end result feed many back-end runs (the iterative
+// optimizer compiles every candidate from the same pristine IR).
+func (p *Program) Clone() *Program {
+	out := &Program{nextTemp: p.nextTemp}
+	vmap := make(map[*Var]*Var, len(p.Vars))
+	out.Vars = make([]*Var, len(p.Vars))
+	for i, v := range p.Vars {
+		c := *v
+		out.Vars[i] = &c
+		vmap[v] = &c
+	}
+	mv := func(v *Var) *Var {
+		if v == nil {
+			return nil
+		}
+		if c, ok := vmap[v]; ok {
+			return c
+		}
+		// A variable referenced by the body but absent from Vars (the
+		// original was equally unregistered): copy it once so aliasing
+		// inside the clone mirrors the original.
+		c := *v
+		vmap[v] = &c
+		return &c
+	}
+	f := &Func{
+		Name:    p.Entry.Name,
+		Params:  make([]*Var, len(p.Entry.Params)),
+		Results: make([]*Var, len(p.Entry.Results)),
+	}
+	for i, v := range p.Entry.Params {
+		f.Params[i] = mv(v)
+	}
+	for i, v := range p.Entry.Results {
+		f.Results[i] = mv(v)
+	}
+	f.Body = cloneStmtsRemap(p.Entry.Body, mv)
+	out.Entry = f
+	return out
 }
 
 // SubstituteVar returns e with every VarRef to v replaced by repl.

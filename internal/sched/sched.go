@@ -64,24 +64,40 @@ func (in *Input) CommCycles(d Dep, fromCore, toCore int) int64 {
 	return int64(in.Platform.DMACycles(toCore, d.VolumeBytes))
 }
 
-func (in *Input) preds(t int) []Dep {
-	var out []Dep
-	for _, d := range in.Deps {
-		if d.To == t {
-			out = append(out, d)
-		}
-	}
-	return out
+// adjacency holds per-task predecessor and successor dependence lists,
+// built once per scheduling run so the inner loops of the list scheduler
+// and the branch-and-bound search never rescan the full dependence list.
+// Per-task lists preserve Deps order, so all iteration orders — and
+// therefore all schedules — are identical to the former O(E) scans.
+type adjacency struct {
+	preds, succs [][]Dep
 }
 
-func (in *Input) succs(t int) []Dep {
-	var out []Dep
+// buildAdjacency groups in.Deps by target and by source in O(V+E),
+// packing both groupings into two shared backing arrays.
+func buildAdjacency(in *Input) *adjacency {
+	n := len(in.Tasks)
+	predCnt := make([]int, n)
+	succCnt := make([]int, n)
 	for _, d := range in.Deps {
-		if d.From == t {
-			out = append(out, d)
-		}
+		predCnt[d.To]++
+		succCnt[d.From]++
 	}
-	return out
+	predBuf := make([]Dep, len(in.Deps))
+	succBuf := make([]Dep, len(in.Deps))
+	adj := &adjacency{preds: make([][]Dep, n), succs: make([][]Dep, n)}
+	po, so := 0, 0
+	for i := 0; i < n; i++ {
+		adj.preds[i] = predBuf[po : po : po+predCnt[i]]
+		po += predCnt[i]
+		adj.succs[i] = succBuf[so : so : so+succCnt[i]]
+		so += succCnt[i]
+	}
+	for _, d := range in.Deps {
+		adj.preds[d.To] = append(adj.preds[d.To], d)
+		adj.succs[d.From] = append(adj.succs[d.From], d)
+	}
+	return adj
 }
 
 // Placement is one task's slot in a schedule.
@@ -185,13 +201,14 @@ func Run(in *Input, pol Policy) (*Schedule, error) {
 	if err := checkInput(in); err != nil {
 		return nil, err
 	}
+	adj := buildAdjacency(in)
 	switch pol {
 	case ListOblivious:
-		return listSchedule(in, false), nil
+		return listSchedule(in, adj, false), nil
 	case ListContentionAware:
-		return listSchedule(in, true), nil
+		return listSchedule(in, adj, true), nil
 	case BranchBound:
-		return branchBound(in), nil
+		return branchBound(in, adj), nil
 	}
 	return nil, fmt.Errorf("sched: unknown policy %v", pol)
 }
@@ -214,9 +231,27 @@ func checkInput(in *Input) error {
 	return nil
 }
 
+// meanCommCycles is the mean communication cost of a dependence over all
+// ordered pairs of distinct cores: sum over from != to of
+// CommCycles(d, from, to), divided by k(k-1). CommCycles depends only on
+// the destination core (DMA cost is charged where the data lands), so
+// every destination contributes k-1 equal terms and the mean collapses
+// to the destination average.
+func meanCommCycles(in *Input, d Dep) float64 {
+	k := in.Platform.NumCores()
+	if k == 1 {
+		return 0
+	}
+	var sum float64
+	for to := 0; to < k; to++ {
+		sum += float64(in.CommCycles(d, (to+1)%k, to))
+	}
+	return sum / float64(k)
+}
+
 // upwardRanks computes HEFT upward ranks with mean WCET and mean
 // communication cost.
-func upwardRanks(in *Input) []float64 {
+func upwardRanks(in *Input, adj *adjacency) []float64 {
 	k := in.Platform.NumCores()
 	meanW := func(t Task) float64 {
 		s := 0.0
@@ -225,18 +260,11 @@ func upwardRanks(in *Input) []float64 {
 		}
 		return s / float64(k)
 	}
-	meanComm := func(d Dep) float64 {
-		if k == 1 {
-			return 0
-		}
-		// Average over distinct-core pairs approximated by core 0 -> 1.
-		return float64(in.CommCycles(d, 0, (0+1)%k))
-	}
 	ranks := make([]float64, len(in.Tasks))
 	for i := len(in.Tasks) - 1; i >= 0; i-- {
 		best := 0.0
-		for _, d := range in.succs(i) {
-			r := meanComm(d) + ranks[d.To]
+		for _, d := range adj.succs[i] {
+			r := meanCommCycles(in, d) + ranks[d.To]
 			if r > best {
 				best = r
 			}
@@ -250,9 +278,9 @@ func upwardRanks(in *Input) []float64 {
 // each placed on the core and idle slot minimizing its (optionally
 // contention-penalized) finish time. Insertion lets a later-ranked task
 // fill a gap a communication delay left open.
-func listSchedule(in *Input, aware bool) *Schedule {
+func listSchedule(in *Input, adj *adjacency, aware bool) *Schedule {
 	k := in.Platform.NumCores()
-	ranks := upwardRanks(in)
+	ranks := upwardRanks(in, adj)
 	order := make([]int, len(in.Tasks))
 	for i := range order {
 		order[i] = i
@@ -267,14 +295,20 @@ func listSchedule(in *Input, aware bool) *Schedule {
 	if aware {
 		s.Policy = ListContentionAware
 	}
-	placed := make([]bool, len(in.Tasks))
-	// busy[c] holds the core's placements sorted by start time.
+	// busy[c] holds the core's placements sorted by start time;
+	// sharedBusy[c] only those with shared-memory accesses, so the
+	// contention penalty can probe overlap in O(log n) per core instead
+	// of rescanning every placed task.
 	busy := make([][]Placement, k)
+	var sharedBusy [][]Placement
+	if aware {
+		sharedBusy = make([][]Placement, k)
+	}
 	for _, t := range order {
 		bestCore, bestStart, bestScore := -1, int64(0), int64(0)
 		for c := 0; c < k; c++ {
 			ready := int64(0)
-			for _, d := range in.preds(t) {
+			for _, d := range adj.preds[t] {
 				p := s.Placements[d.From]
 				r := p.Finish + in.CommCycles(d, p.Core, c)
 				if r > ready {
@@ -285,7 +319,7 @@ func listSchedule(in *Input, aware bool) *Schedule {
 			finish := est + in.Tasks[t].WCET[c]
 			score := finish
 			if aware {
-				score += contentionPenalty(in, s, placed, t, c, est, finish)
+				score += contentionPenalty(in, sharedBusy, t, c, est, finish)
 			}
 			if bestCore < 0 || score < bestScore {
 				bestCore, bestStart, bestScore = c, est, score
@@ -294,8 +328,10 @@ func listSchedule(in *Input, aware bool) *Schedule {
 		fin := bestStart + in.Tasks[t].WCET[bestCore]
 		pl := Placement{Task: t, Core: bestCore, Start: bestStart, Finish: fin}
 		s.Placements[t] = pl
-		placed[t] = true
 		busy[bestCore] = insertSorted(busy[bestCore], pl)
+		if aware && in.Tasks[t].SharedAccesses > 0 {
+			sharedBusy[bestCore] = insertSorted(sharedBusy[bestCore], pl)
+		}
 		if fin > s.Makespan {
 			s.Makespan = fin
 		}
@@ -331,36 +367,41 @@ func insertSorted(busy []Placement, pl Placement) []Placement {
 // t on core c in [start, finish): t's own shared accesses delayed by the
 // distinct other cores running overlapping shared-memory-active tasks
 // (the same model the system-level analysis applies afterwards).
-func contentionPenalty(in *Input, s *Schedule, placed []bool, t, c int, start, finish int64) int64 {
+// sharedBusy holds, per core, the shared-memory-active placements sorted
+// by start time; a core contends iff any of its intervals overlaps the
+// window, which one binary search decides.
+func contentionPenalty(in *Input, sharedBusy [][]Placement, t, c int, start, finish int64) int64 {
 	if in.Tasks[t].SharedAccesses == 0 {
 		return 0
 	}
-	cores := map[int]bool{}
-	for other := range in.Tasks {
-		if !placed[other] {
-			continue
-		}
-		pl := s.Placements[other]
-		if pl.Core == c {
-			continue
-		}
-		if pl.Start < finish && start < pl.Finish && in.Tasks[other].SharedAccesses > 0 {
-			cores[pl.Core] = true
+	contenders := 0
+	for oc := range sharedBusy {
+		if oc != c && overlapsWindow(sharedBusy[oc], start, finish) {
+			contenders++
 		}
 	}
-	if len(cores) == 0 {
+	if contenders == 0 {
 		return 0
 	}
-	delay := int64(in.Platform.AccessInterferenceDelay(len(cores)))
+	delay := int64(in.Platform.AccessInterferenceDelay(contenders))
 	return in.Tasks[t].SharedAccesses * delay
+}
+
+// overlapsWindow reports whether any placement intersects [start, finish).
+// busy is sorted by start and pairwise non-overlapping (one core's
+// timeline), so it is also sorted by finish: the first interval ending
+// after the window opens is the only overlap candidate.
+func overlapsWindow(busy []Placement, start, finish int64) bool {
+	i := sort.Search(len(busy), func(i int) bool { return busy[i].Finish > start })
+	return i < len(busy) && busy[i].Start < finish
 }
 
 // branchBound searches all core assignments (tasks in topological id
 // order, earliest-start placement) with pruning, seeded by the
 // contention-aware heuristic as incumbent.
-func branchBound(in *Input) *Schedule {
+func branchBound(in *Input, adj *adjacency) *Schedule {
 	k := in.Platform.NumCores()
-	incumbent := listSchedule(in, true)
+	incumbent := listSchedule(in, adj, true)
 	best := incumbent.Makespan
 	bestAssign := make([]int, len(in.Tasks))
 	for i, pl := range incumbent.Placements {
@@ -416,7 +457,7 @@ func branchBound(in *Input) *Schedule {
 		}
 		for c := 0; c < k; c++ {
 			est := coreAvail[c]
-			for _, d := range in.preds(i) {
+			for _, d := range adj.preds[i] {
 				ready := finish[d.From] + in.CommCycles(d, assign[d.From], c)
 				if ready > est {
 					est = ready
@@ -442,7 +483,7 @@ func branchBound(in *Input) *Schedule {
 	// Rebuild the schedule from the best assignment. The search places
 	// tasks append-only in id order; the insertion-based incumbent may
 	// still be better — keep whichever wins.
-	s := replay(in, bestAssign)
+	s := replay(in, adj, bestAssign)
 	if incumbent.Makespan < s.Makespan {
 		s = incumbent
 	}
@@ -452,14 +493,14 @@ func branchBound(in *Input) *Schedule {
 
 // replay builds the earliest-start schedule for a fixed core assignment
 // with tasks placed in id (topological) order.
-func replay(in *Input, assign []int) *Schedule {
+func replay(in *Input, adj *adjacency, assign []int) *Schedule {
 	k := in.Platform.NumCores()
 	s := &Schedule{Placements: make([]Placement, len(in.Tasks)), Cores: k}
 	coreAvail := make([]int64, k)
 	for t := range in.Tasks {
 		c := assign[t]
 		est := coreAvail[c]
-		for _, d := range in.preds(t) {
+		for _, d := range adj.preds[t] {
 			p := s.Placements[d.From]
 			ready := p.Finish + in.CommCycles(d, p.Core, c)
 			if ready > est {

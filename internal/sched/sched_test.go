@@ -332,3 +332,59 @@ func TestHeterogeneousMappingPrefersFastCores(t *testing.T) {
 		t.Fatalf("hetero %d should beat all-slow %d", sh.Makespan, ss.Makespan)
 	}
 }
+
+func TestMeanCommCyclesIsTrueMean(t *testing.T) {
+	// On a NoC platform the DMA cost depends on the destination tile, so
+	// the mean over all ordered distinct-core pairs differs from any
+	// single pair. Pin the semantics against the brute-force definition.
+	for _, p := range []*adl.Platform{
+		adl.Leon3TilePlatform(2, 2),
+		adl.Leon3TilePlatform(3, 2),
+		adl.XentiumPlatform(4),
+		adl.XentiumPlatform(1),
+	} {
+		in := &Input{Platform: p}
+		d := Dep{From: 0, To: 1, VolumeBytes: 4096}
+		k := p.NumCores()
+		want := 0.0
+		if k > 1 {
+			sum := 0.0
+			pairs := 0
+			for from := 0; from < k; from++ {
+				for to := 0; to < k; to++ {
+					if from == to {
+						continue
+					}
+					sum += float64(in.CommCycles(d, from, to))
+					pairs++
+				}
+			}
+			want = sum / float64(pairs)
+		}
+		if got := meanCommCycles(in, d); got != want {
+			t.Fatalf("%d cores: meanCommCycles = %g, brute-force mean = %g", k, got, want)
+		}
+	}
+}
+
+func TestMeanCommCyclesVariesByDestinationOnNoC(t *testing.T) {
+	// Guard against regressing to a single-pair "mean": on a 3x2 tile
+	// NoC, the mean hop distance is fractional, so the true mean cannot
+	// equal the 0->1 pair cost. (On a 2x2 grid the mean hop count
+	// happens to coincide with the 0->1 hop count, so that grid cannot
+	// distinguish the implementations.)
+	p := adl.Leon3TilePlatform(3, 2)
+	in := &Input{Platform: p}
+	d := Dep{From: 0, To: 1, VolumeBytes: 4096}
+	distinct := map[int64]bool{}
+	for to := 0; to < p.NumCores(); to++ {
+		distinct[in.CommCycles(d, (to+1)%p.NumCores(), to)] = true
+	}
+	if len(distinct) < 2 {
+		t.Skip("platform has uniform DMA costs; nothing to distinguish")
+	}
+	mean := meanCommCycles(in, d)
+	if mean == float64(in.CommCycles(d, 0, 1)) {
+		t.Fatalf("mean %g equals the single 0->1 pair cost; true mean expected", mean)
+	}
+}

@@ -107,6 +107,10 @@ type compileJob struct {
 	canonicalADL string
 	policy       sched.Policy
 	maxTasks     int
+	// parallelism bounds optimizer candidate evaluation. NOT part of the
+	// cache key: optimization results are deterministic across
+	// parallelism degrees.
+	parallelism int
 }
 
 // key is the job's content address: SHA-256 over the canonicalized
@@ -148,7 +152,10 @@ func badRequest(format string, args ...any) *httpError {
 
 // resolve validates a compile request into a runnable job.
 func (s *Server) resolve(req *CompileRequest) (*compileJob, error) {
-	j := &compileJob{maxTasks: req.MaxTasks}
+	if req.Parallelism < 0 {
+		return nil, badRequest("parallelism must be >= 0")
+	}
+	j := &compileJob{maxTasks: req.MaxTasks, parallelism: req.Parallelism}
 	switch {
 	case req.UseCase != "" && req.Source != "":
 		return nil, badRequest("set exactly one of usecase and source")
@@ -296,7 +303,9 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		}
 		defer s.pool.Release()
 		t0 := time.Now()
-		res, err := argo.OptimizeSourceContext(ctx, job.source, job.options(), nil)
+		opt := job.options()
+		opt.Parallelism = job.parallelism
+		res, err := argo.OptimizeSourceContext(ctx, job.source, opt, nil)
 		s.metrics.Observe("optimize", time.Since(t0))
 		if err != nil {
 			return nil, err

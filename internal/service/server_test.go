@@ -273,6 +273,17 @@ func TestOptimizeEndpoint(t *testing.T) {
 	if h := resp2.Header.Get("X-Argo-Cache"); h != "hit" {
 		t.Errorf("second optimize cache header %q, want hit", h)
 	}
+	// Parallelism is excluded from the content address (results are
+	// deterministic), so a request differing only in parallelism hits
+	// the same entry.
+	resp3, _ := post(t, ts.URL+"/v1/optimize", `{"usecase":"weaa","platform":"xentium2","parallelism":2}`)
+	if h := resp3.Header.Get("X-Argo-Cache"); h != "hit" {
+		t.Errorf("parallelism=2 optimize cache header %q, want hit", h)
+	}
+	resp4, data4 := post(t, ts.URL+"/v1/optimize", `{"usecase":"weaa","platform":"xentium2","parallelism":-1}`)
+	if resp4.StatusCode != http.StatusBadRequest {
+		t.Errorf("negative parallelism: status %d (%s), want 400", resp4.StatusCode, data4)
+	}
 }
 
 func TestListEndpoints(t *testing.T) {

@@ -78,6 +78,12 @@ type CompileRequest struct {
 	Policy string `json:"policy,omitempty"`
 	// MaxTasks caps task-graph size via coarsening (0: no cap).
 	MaxTasks int `json:"max_tasks,omitempty"`
+	// Parallelism bounds concurrent candidate evaluation for
+	// /v1/optimize (0: GOMAXPROCS, 1: serial). Results are bit-identical
+	// at every setting, so it is deliberately excluded from the content
+	// address: requests differing only in parallelism share one cache
+	// entry. Ignored by /v1/compile and /v1/simulate.
+	Parallelism int `json:"parallelism,omitempty"`
 }
 
 // ParsePolicy maps a wire policy name to the scheduler policy.

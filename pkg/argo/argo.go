@@ -148,7 +148,9 @@ func CompileDiagram(d *Diagram, args []ArgSpec, platform *PlatformDesc) (*Artifa
 }
 
 // Optimize runs the iterative cross-layer optimization over the default
-// candidate ladder (or cands when non-nil).
+// candidate ladder (or cands when non-nil). Candidates are evaluated
+// concurrently on up to baseOpt.Parallelism workers (0: GOMAXPROCS);
+// results are bit-identical at every parallelism degree.
 func Optimize(source string, baseOpt Options, cands []Candidate) (*OptimizeResult, error) {
 	return OptimizeSourceContext(context.Background(), source, baseOpt, cands)
 }
@@ -163,7 +165,8 @@ func OptimizeSourceContext(ctx context.Context, source string, baseOpt Options, 
 	return core.OptimizeContext(ctx, prog, baseOpt, cands, 0)
 }
 
-// OptimizeUseCase runs the iterative optimization on a use case.
+// OptimizeUseCase runs the iterative optimization on a use case with
+// default options (candidates evaluated on GOMAXPROCS workers).
 func OptimizeUseCase(u *UseCase, platform *PlatformDesc) (*OptimizeResult, error) {
 	return OptimizeUseCaseContext(context.Background(), u, platform)
 }
