@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check fmt vet build test race bench benchsmoke clean
+.PHONY: all check fmt vet build test race bench benchsmoke profile clean
 
 all: check
 
@@ -27,10 +27,21 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Full benchmark run; writes the machine-readable report (with the
-# recorded pre-overhaul baselines) to BENCH_PR2.json.
+# Full benchmark run; writes the machine-readable report to
+# BENCH_PR3.json, with BENCH_PR2.json (kept in-tree) as the baseline so
+# the per-benchmark speedup of this round of optimizations is recorded.
 bench:
-	$(GO) test -bench=. -run=^$$ . | $(GO) run ./cmd/benchjson -o BENCH_PR2.json
+	$(GO) test -bench=. -benchmem -run=^$$ . | \
+		$(GO) run ./cmd/benchjson -baseline BENCH_PR2.json -o BENCH_PR3.json
+
+# CPU/heap profiles of the two simulator-bound experiment benchmarks,
+# written under profiles/ (gitignored) for `go tool pprof`.
+profile:
+	mkdir -p profiles
+	$(GO) test -run=^$$ -bench='BenchmarkE2Tightness$$' -benchtime=10x \
+		-cpuprofile profiles/e2.cpu.prof -memprofile profiles/e2.mem.prof .
+	$(GO) test -run=^$$ -bench='BenchmarkE5NoC$$' -benchtime=10x \
+		-cpuprofile profiles/e5.cpu.prof -memprofile profiles/e5.mem.prof .
 
 # One-iteration smoke run so `make check` catches bitrot in the
 # benchmarks without paying for a full measurement.

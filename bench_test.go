@@ -17,12 +17,15 @@ import (
 	"argo/internal/adl"
 	"argo/internal/core"
 	"argo/internal/experiments"
+	"argo/internal/htg"
 	"argo/internal/ir"
 	"argo/internal/lp"
 	"argo/internal/noc"
 	"argo/internal/sched"
 	"argo/internal/scil"
 	"argo/internal/sim"
+	"argo/internal/syswcet"
+	"argo/internal/transform"
 	"argo/internal/usecases"
 	"argo/internal/wcet"
 	"argo/pkg/argo"
@@ -397,5 +400,174 @@ func BenchmarkE9Deployment(b *testing.B) {
 			b.Fatal("not schedulable")
 		}
 		b.ReportMetric(rows[0].Utilization, "utilization")
+	}
+}
+
+// ipetBenchProgram is the loop-nest-with-branches program the IPET
+// benchmarks share (the same shape BenchmarkIPETWCET measures).
+func ipetBenchProgram(b *testing.B) *ir.Program {
+	b.Helper()
+	src := `function r = f(v)
+  r = 0
+  for i = 1:16
+    for j = 1:16
+      if v(i, j) > 0 then
+        r = r + sqrt(v(i, j))
+      else
+        r = r - v(i, j)
+      end
+    end
+  end
+endfunction`
+	p, err := scil.Parse(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, err := ir.Lower(p, "f", []ir.ArgSpec{ir.MatrixArg(16, 16)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return prog
+}
+
+// BenchmarkIPET measures the pooled, warm-started IPET path: solver
+// workspaces are reused across calls, so steady-state allocations stay
+// near zero.
+func BenchmarkIPET(b *testing.B) {
+	prog := ipetBenchProgram(b)
+	m := wcet.ModelFor(adl.XentiumPlatform(1), 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := wcet.IPET(prog.Entry.Body, m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIPETCold is the same analysis on fresh solver state every
+// call — the allocation baseline BenchmarkIPET is compared against.
+func BenchmarkIPETCold(b *testing.B) {
+	prog := ipetBenchProgram(b)
+	m := wcet.ModelFor(adl.XentiumPlatform(1), 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := wcet.IPETCold(prog.Entry.Body, m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// mipBenchProblem is a correlated multi-constraint 0/1 knapsack the MIP
+// benchmarks share: value ≈ weight makes the LP relaxation fractional
+// along many branches, so branch-and-bound explores a real tree.
+func mipBenchProblem() *lp.Problem {
+	rng := rand.New(rand.NewSource(7))
+	n, m := 14, 4
+	p := &lp.Problem{Obj: make([]float64, n), Integer: make([]bool, n)}
+	rows := make([][]float64, m)
+	for j := range rows {
+		rows[j] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		w := float64(3 + rng.Intn(10))
+		p.Obj[i] = w + float64(rng.Intn(3))
+		p.Integer[i] = true
+		for j := range rows {
+			rows[j][i] = w + float64(rng.Intn(4))
+		}
+		unit := make([]float64, n)
+		unit[i] = 1
+		p.AddLE(unit, 1)
+	}
+	for j := range rows {
+		var sum float64
+		for _, w := range rows[j] {
+			sum += w
+		}
+		p.AddLE(rows[j], sum/2)
+	}
+	return p
+}
+
+// BenchmarkSolveMIP measures branch-and-bound with dual-simplex
+// warm starts on pooled workspaces.
+func BenchmarkSolveMIP(b *testing.B) {
+	p := mipBenchProblem()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if s := lp.SolveMIP(p); s.Status != lp.Optimal {
+			b.Fatal(s.Status)
+		}
+	}
+}
+
+// BenchmarkSolveMIPReference is the naive rebuild-and-resolve
+// branch-and-bound baseline.
+func BenchmarkSolveMIPReference(b *testing.B) {
+	p := mipBenchProblem()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if s := lp.SolveMIPReference(p); s.Status != lp.Optimal {
+			b.Fatal(s.Status)
+		}
+	}
+}
+
+// syswcetBenchFixture compiles EGPWS down to a schedule, the input the
+// system-level WCET benchmarks analyze.
+func syswcetBenchFixture(b *testing.B) (*sched.Input, *sched.Schedule) {
+	b.Helper()
+	platform := adl.XentiumPlatform(4)
+	u := usecases.EGPWS()
+	p, err := u.Program()
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, err := ir.Lower(p, u.Entry, u.Args)
+	if err != nil {
+		b.Fatal(err)
+	}
+	transform.Apply(prog, transform.Options{Fold: true})
+	g := htg.Build(prog)
+	models := make([]wcet.CostModel, platform.NumCores())
+	for c := range models {
+		models[c] = wcet.ModelFor(platform, c)
+	}
+	htg.Annotate(g, models)
+	in := sched.FromHTG(g, platform)
+	s, err := sched.Run(in, sched.ListContentionAware)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return in, s
+}
+
+// BenchmarkSysWCET measures the incremental interference fixed point
+// (dirty-set propagation, pooled scratch state).
+func BenchmarkSysWCET(b *testing.B) {
+	in, s := syswcetBenchFixture(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := syswcet.Analyze(in, s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSysWCETFull recomputes every task's interference in every
+// round — the baseline the incremental fixed point is compared against.
+func BenchmarkSysWCETFull(b *testing.B) {
+	in, s := syswcetBenchFixture(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := syswcet.AnalyzeFull(in, s); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

@@ -1,10 +1,14 @@
 // Command benchjson converts `go test -bench` output on stdin into a
-// machine-readable JSON report, pairing each benchmark with the recorded
-// pre-overhaul baseline so the speedup is visible in one place.
+// machine-readable JSON report, pairing each benchmark with a recorded
+// baseline so the speedup is visible in one place. With -baseline, the
+// baselines are the benchmark rows of a previous benchjson report (so
+// each PR's report chains against the last one); without it, the small
+// built-in pre-overhaul table is used.
 //
 // Usage:
 //
-//	go test -bench=. -run='^$' . | go run ./cmd/benchjson -o BENCH_PR2.json
+//	go test -bench=. -benchmem -run='^$' . | \
+//	    go run ./cmd/benchjson -baseline BENCH_PR2.json -o BENCH_PR3.json
 package main
 
 import (
@@ -57,10 +61,29 @@ var benchLine = regexp.MustCompile(
 
 func main() {
 	out := flag.String("o", "", "write the JSON report to this file (default stdout)")
+	basefile := flag.String("baseline", "", "previous benchjson report to use as the baseline")
 	flag.Parse()
 
-	rep := report{Note: "baseline: pre-overhaul tree (serial optimizer ladder, " +
-		"per-candidate front end, O(V*E) scheduler scans), same benchmarks and machine"}
+	note := "baseline: pre-overhaul tree (serial optimizer ladder, " +
+		"per-candidate front end, O(V*E) scheduler scans), same benchmarks and machine"
+	if *basefile != "" {
+		data, err := os.ReadFile(*basefile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		var prev report
+		if err := json.Unmarshal(data, &prev); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", *basefile, err)
+			os.Exit(1)
+		}
+		baselines = map[string]baseline{}
+		for _, e := range prev.Benchmarks {
+			baselines[e.Name] = baseline{NsOp: e.NsOp, BytesOp: e.BytesOp, AllocsOp: e.AllocsOp}
+		}
+		note = "baseline: " + *basefile + ", same benchmarks and machine"
+	}
+	rep := report{Note: note}
 	sc := bufio.NewScanner(os.Stdin)
 	for sc.Scan() {
 		line := sc.Text()

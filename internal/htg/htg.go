@@ -362,10 +362,18 @@ func (g *Graph) Clone() *Graph {
 }
 
 // Annotate fills per-core WCET bounds and shared access counts for every
-// node, using the platform cost models.
+// node, using the platform cost models. Each node's region is
+// fingerprinted once and every unique cost model is analyzed through the
+// content-addressed bound cache, so re-annotation across feedback rounds
+// and optimizer candidates only pays for regions whose content (or
+// variable storage) actually changed. The access counts ride along in
+// the same cached report — they are model-independent, so the first
+// core's report supplies them.
 func Annotate(g *Graph, models []wcet.CostModel) {
 	for _, n := range g.Nodes {
 		n.WCET = make([]int64, len(models))
+		fp := wcet.FingerprintRegion(n.Stmts)
+		var rep0 wcet.Report
 		for c, m := range models {
 			// Homogeneous cores share a cost model: reuse the bound
 			// computed for the first core with the same model.
@@ -380,10 +388,13 @@ func Annotate(g *Graph, models []wcet.CostModel) {
 				n.WCET[c] = n.WCET[dup]
 				continue
 			}
-			n.WCET[c] = wcet.Structural(n.Stmts, m)
+			rep := wcet.AnalyzeFP(fp, n.Stmts, m)
+			if c == 0 {
+				rep0 = rep
+			}
+			n.WCET[c] = rep.Cycles
 		}
-		rep := wcet.Analyze(n.Stmts, models[0])
-		n.SharedAccesses = rep.SharedAccesses
+		n.SharedAccesses = rep0.SharedAccesses
 		if n.Children != nil {
 			Annotate(n.Children, models)
 		}

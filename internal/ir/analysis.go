@@ -240,3 +240,146 @@ func countStmtAccesses(s Stmt) *AccessCounts {
 	}
 	return c
 }
+
+// --- trace staticity -------------------------------------------------------
+
+// TraceEnv tracks, at a program point, which scalar registers hold
+// values that are independent of the entry function's inputs ("static").
+// The platform simulator uses it to decide which task regions have an
+// input-invariant meter trace: a region whose executed control-flow path
+// is the same on every run emits the same sequence of Ops/Read/Write
+// events regardless of the argument values, so its timing trace can be
+// cached and replayed instead of re-metered (internal/sim).
+//
+// The analysis is conservative in the safe direction: "static" is only
+// claimed when provable, and anything data-dependent (matrix loads,
+// scalar parameters, values computed from them) is treated as varying.
+type TraceEnv struct {
+	nonstatic map[*Var]bool
+}
+
+// NewTraceEnv starts the environment at the entry of prog: scalar
+// parameters are the inputs, so they (and nothing else yet) vary.
+// Unwritten registers read as 0.0 on every run and are static.
+func NewTraceEnv(prog *Program) *TraceEnv {
+	env := &TraceEnv{nonstatic: map[*Var]bool{}}
+	for _, p := range prog.Entry.Params {
+		if p.Scalar {
+			env.nonstatic[p] = true
+		}
+	}
+	return env
+}
+
+// staticExpr reports whether e provably evaluates to the same value on
+// every run. Matrix element loads are always treated as varying; the
+// builtin intrinsics are pure functions, so an intrinsic over static
+// arguments is static.
+func (env *TraceEnv) staticExpr(e Expr) bool {
+	switch x := e.(type) {
+	case nil:
+		return true
+	case *Const:
+		return true
+	case *VarRef:
+		return !env.nonstatic[x.V]
+	case *Index:
+		return false
+	case *Bin:
+		return env.staticExpr(x.X) && env.staticExpr(x.Y)
+	case *Un:
+		return env.staticExpr(x.X)
+	case *Intrinsic:
+		for _, a := range x.Args {
+			if !env.staticExpr(a) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// poison marks every scalar assigned anywhere in the region as varying —
+// the catch-all effect summary for regions whose execution is
+// data-dependent (if/while bodies).
+func (env *TraceEnv) poison(stmts []Stmt) {
+	for v := range ComputeUses(stmts).ScalWrite {
+		env.nonstatic[v] = true
+	}
+}
+
+// AdvanceRegion reports whether executing stmts from the current program
+// point yields an input-invariant meter trace, and advances the
+// environment past the region's scalar effects. Regions must be visited
+// in execution order (the environment is the carrier of inter-region
+// dataflow).
+//
+// A region's trace is invariant iff it contains no if/while (their path
+// is data-dependent in general) and every for-loop's lo/hi/step are
+// static at the loop's entry — then the loop runs the same iteration
+// sequence on every run and every meter event inside is path-determined.
+func (env *TraceEnv) AdvanceRegion(stmts []Stmt) bool {
+	inv := true
+	for _, s := range stmts {
+		switch st := s.(type) {
+		case *AssignScalar:
+			env.nonstatic[st.Dst] = !env.staticExpr(st.Src)
+		case *Store:
+			// No scalar effects; the Read/Write events it emits are
+			// path-determined.
+		case *For:
+			if !env.staticExpr(st.Lo) || !env.staticExpr(st.Hi) || !env.staticExpr(st.Step) {
+				inv = false
+				env.nonstatic[st.IVar] = true
+			}
+			// Iterated body effects: run monotone passes (marks only ever
+			// added) until the environment stabilizes, so assignments
+			// feeding back across iterations are accounted for; the final
+			// pass then judges nested invariance under the stable set.
+			for {
+				before := len(env.nonstatic)
+				bodyInv := env.advanceMonotone(st.Body)
+				if len(env.nonstatic) == before {
+					if !bodyInv {
+						inv = false
+					}
+					break
+				}
+			}
+		case *While, *If:
+			inv = false
+			env.poison([]Stmt{s})
+		case *Break, *Continue:
+			// Unconditional control transfer: deterministic, no effects.
+		}
+	}
+	return inv
+}
+
+// advanceMonotone is AdvanceRegion restricted to monotone effects
+// (static reassignment never clears a varying mark), which guarantees
+// the loop-body fixpoint terminates.
+func (env *TraceEnv) advanceMonotone(stmts []Stmt) bool {
+	inv := true
+	for _, s := range stmts {
+		switch st := s.(type) {
+		case *AssignScalar:
+			if !env.staticExpr(st.Src) {
+				env.nonstatic[st.Dst] = true
+			}
+		case *For:
+			if !env.staticExpr(st.Lo) || !env.staticExpr(st.Hi) || !env.staticExpr(st.Step) {
+				inv = false
+				env.nonstatic[st.IVar] = true
+			}
+			if !env.advanceMonotone(st.Body) {
+				inv = false
+			}
+		case *While, *If:
+			inv = false
+			env.poison([]Stmt{s})
+		}
+	}
+	return inv
+}

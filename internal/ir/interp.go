@@ -69,12 +69,20 @@ func ExprReads(e Expr, out map[*Var]int) {
 }
 
 // Exec is an IR interpreter instance.
+//
+// Variable storage is slot-based: variables registered in the program's
+// Vars table resolve to dense slices indexed by their slot, so the hot
+// interpreter paths (VarRef reads, scalar assignments, buffer lookups)
+// perform no map operations. Variables from outside the program (e.g.
+// remapped clones fed cross-program) fall back to maps.
 type Exec struct {
 	prog  *Program
 	meter Meter
 
-	scalars map[*Var]float64
-	mats    map[*Var][]float64 // row-major
+	slotScalars []float64   // dense scalar storage, index = slot-1
+	slotMats    [][]float64 // dense matrix storage (row-major), index = slot-1
+	scalars     map[*Var]float64
+	mats        map[*Var][]float64 // row-major
 
 	fuel int
 }
@@ -87,11 +95,48 @@ func NewExec(prog *Program, meter Meter) *Exec {
 	return &Exec{prog: prog, meter: meter}
 }
 
+// slotOf returns the dense storage index of v, or -1 if v is not a
+// registered variable of the executing program.
+func (ex *Exec) slotOf(v *Var) int {
+	if v.owner == ex.prog {
+		if s := v.slot; s > 0 && s <= len(ex.slotScalars) {
+			return s - 1
+		}
+	}
+	return -1
+}
+
+func (ex *Exec) getScalar(v *Var) float64 {
+	if s := ex.slotOf(v); s >= 0 {
+		return ex.slotScalars[s]
+	}
+	return ex.scalars[v]
+}
+
+func (ex *Exec) setScalar(v *Var, x float64) {
+	if s := ex.slotOf(v); s >= 0 {
+		ex.slotScalars[s] = x
+		return
+	}
+	if ex.scalars == nil {
+		ex.scalars = make(map[*Var]float64)
+	}
+	ex.scalars[v] = x
+}
+
+// matrix returns v's current buffer without creating it (nil if untouched).
+func (ex *Exec) matrix(v *Var) []float64 {
+	if s := ex.slotOf(v); s >= 0 {
+		return ex.slotMats[s]
+	}
+	return ex.mats[v]
+}
+
 // MatrixValue exposes a copy of a matrix variable's current contents
 // (row-major); nil if the variable has never been touched.
 func (ex *Exec) MatrixValue(v *Var) []float64 {
-	m, ok := ex.mats[v]
-	if !ok {
+	m := ex.matrix(v)
+	if m == nil {
 		return nil
 	}
 	out := make([]float64, len(m))
@@ -100,7 +145,7 @@ func (ex *Exec) MatrixValue(v *Var) []float64 {
 }
 
 // ScalarValue exposes the current value of a scalar variable.
-func (ex *Exec) ScalarValue(v *Var) float64 { return ex.scalars[v] }
+func (ex *Exec) ScalarValue(v *Var) float64 { return ex.getScalar(v) }
 
 // Run executes the program's entry function. Matrix arguments are
 // row-major slices; scalar arguments are single-element slices. Results
@@ -124,22 +169,39 @@ func (ex *Exec) Init(args [][]float64) error {
 	if len(args) != len(f.Params) {
 		return fmt.Errorf("ir: entry expects %d arguments, got %d", len(f.Params), len(args))
 	}
-	ex.scalars = make(map[*Var]float64)
-	ex.mats = make(map[*Var][]float64)
+	nv := len(ex.prog.Vars)
+	if cap(ex.slotScalars) < nv {
+		ex.slotScalars = make([]float64, nv)
+		ex.slotMats = make([][]float64, nv)
+	} else {
+		ex.slotScalars = ex.slotScalars[:nv]
+		ex.slotMats = ex.slotMats[:nv]
+		clear(ex.slotScalars)
+		clear(ex.slotMats)
+	}
+	ex.scalars = nil
+	ex.mats = nil
 	ex.fuel = ExecFuel
 	for i, p := range f.Params {
 		if p.Scalar {
 			if len(args[i]) != 1 {
 				return fmt.Errorf("ir: argument %d (%s) must be scalar", i, p.Name)
 			}
-			ex.scalars[p] = args[i][0]
+			ex.setScalar(p, args[i][0])
 		} else {
 			if len(args[i]) != p.Elems() {
 				return fmt.Errorf("ir: argument %d (%s) must have %d elements, got %d", i, p.Name, p.Elems(), len(args[i]))
 			}
 			buf := make([]float64, p.Elems())
 			copy(buf, args[i])
-			ex.mats[p] = buf
+			if s := ex.slotOf(p); s >= 0 {
+				ex.slotMats[s] = buf
+			} else {
+				if ex.mats == nil {
+					ex.mats = make(map[*Var][]float64)
+				}
+				ex.mats[p] = buf
+			}
 		}
 	}
 	return nil
@@ -147,6 +209,14 @@ func (ex *Exec) Init(args [][]float64) error {
 
 // SetMeter swaps the meter (used to meter each task region separately).
 func (ex *Exec) SetMeter(m Meter) { ex.meter = m }
+
+// Reset rebinds the interpreter to a (possibly different) program and
+// clears the meter, so pooled instances can be reused across runs; call
+// Init afterwards to bind arguments.
+func (ex *Exec) Reset(prog *Program) {
+	ex.prog = prog
+	ex.meter = nil
+}
 
 // ExecBlock executes a statement region against the current state.
 func (ex *Exec) ExecBlock(stmts []Stmt) error {
@@ -160,9 +230,9 @@ func (ex *Exec) Results() [][]float64 {
 	out := make([][]float64, len(f.Results))
 	for i, r := range f.Results {
 		if r.Scalar {
-			out[i] = []float64{ex.scalars[r]}
+			out[i] = []float64{ex.getScalar(r)}
 		} else {
-			buf := ex.mats[r]
+			buf := ex.matrix(r)
 			if buf == nil {
 				buf = make([]float64, r.Elems())
 			}
@@ -219,8 +289,14 @@ func (ex *Exec) stmt(s Stmt) (execCtrl, error) {
 		if err != nil {
 			return execNone, err
 		}
-		ex.ops(ExprOpUnits(st.Src) + 1)
-		ex.scalars[st.Dst] = v
+		if ex.meter != nil {
+			if st.units > 0 {
+				ex.ops(int(st.units))
+			} else {
+				ex.ops(ExprOpUnits(st.Src) + 1)
+			}
+		}
+		ex.setScalar(st.Dst, v)
 		return execNone, nil
 	case *Store:
 		off, err := ex.offset(st.Dst, st.Idx)
@@ -231,11 +307,17 @@ func (ex *Exec) stmt(s Stmt) (execCtrl, error) {
 		if err != nil {
 			return execNone, err
 		}
-		units := 1 + ExprOpUnits(st.Src)
-		for _, ix := range st.Idx {
-			units += ExprOpUnits(ix)
+		if ex.meter != nil {
+			if st.units > 0 {
+				ex.ops(int(st.units))
+			} else {
+				units := 1 + ExprOpUnits(st.Src)
+				for _, ix := range st.Idx {
+					units += ExprOpUnits(ix)
+				}
+				ex.ops(units)
+			}
 		}
-		ex.ops(units)
 		buf := ex.buffer(st.Dst)
 		buf[off] = v
 		if ex.meter != nil {
@@ -253,7 +335,13 @@ func (ex *Exec) stmt(s Stmt) (execCtrl, error) {
 			if err != nil {
 				return execNone, err
 			}
-			ex.ops(ExprOpUnits(st.Cond) + 1)
+			if ex.meter != nil {
+				if st.units > 0 {
+					ex.ops(int(st.units))
+				} else {
+					ex.ops(ExprOpUnits(st.Cond) + 1)
+				}
+			}
 			if c == 0 {
 				return execNone, nil
 			}
@@ -273,7 +361,13 @@ func (ex *Exec) stmt(s Stmt) (execCtrl, error) {
 		if err != nil {
 			return execNone, err
 		}
-		ex.ops(ExprOpUnits(st.Cond) + 1)
+		if ex.meter != nil {
+			if st.units > 0 {
+				ex.ops(int(st.units))
+			} else {
+				ex.ops(ExprOpUnits(st.Cond) + 1)
+			}
+		}
 		if c != 0 {
 			return ex.block(st.Then)
 		}
@@ -299,7 +393,13 @@ func (ex *Exec) forLoop(st *For) (execCtrl, error) {
 	if err != nil {
 		return execNone, err
 	}
-	ex.ops(ExprOpUnits(st.Lo) + ExprOpUnits(st.Hi) + ExprOpUnits(st.Step))
+	if ex.meter != nil {
+		if st.units > 0 {
+			ex.ops(int(st.units))
+		} else {
+			ex.ops(ExprOpUnits(st.Lo) + ExprOpUnits(st.Hi) + ExprOpUnits(st.Step))
+		}
+	}
 	if step == 0 {
 		return execNone, fmt.Errorf("ir: for loop with zero step")
 	}
@@ -312,7 +412,7 @@ func (ex *Exec) forLoop(st *For) (execCtrl, error) {
 		if iters > st.Trip {
 			return execNone, fmt.Errorf("ir: for loop exceeded its static trip count %d", st.Trip)
 		}
-		ex.scalars[st.IVar] = v
+		ex.setScalar(st.IVar, v)
 		ex.ops(2) // increment + branch
 		ctl, err := ex.block(st.Body)
 		if err != nil {
@@ -326,9 +426,20 @@ func (ex *Exec) forLoop(st *For) (execCtrl, error) {
 }
 
 func (ex *Exec) buffer(v *Var) []float64 {
+	if s := ex.slotOf(v); s >= 0 {
+		buf := ex.slotMats[s]
+		if buf == nil {
+			buf = make([]float64, v.Elems())
+			ex.slotMats[s] = buf
+		}
+		return buf
+	}
 	buf, ok := ex.mats[v]
 	if !ok {
 		buf = make([]float64, v.Elems())
+		if ex.mats == nil {
+			ex.mats = make(map[*Var][]float64)
+		}
 		ex.mats[v] = buf
 	}
 	return buf
@@ -337,9 +448,23 @@ func (ex *Exec) buffer(v *Var) []float64 {
 // offset resolves 1 or 2 subscripts to a row-major element offset.
 func (ex *Exec) offset(v *Var, idx []Expr) (int, error) {
 	toInt := func(e Expr) (int, error) {
-		f, err := ex.eval(e)
-		if err != nil {
-			return 0, err
+		// Fast paths for the overwhelmingly common subscript shapes;
+		// neither has meter side effects, so skipping eval is exact.
+		var f float64
+		switch x := e.(type) {
+		case *VarRef:
+			f = ex.getScalar(x.V)
+		case *Const:
+			f = x.Val
+		default:
+			var err error
+			f, err = ex.eval(e)
+			if err != nil {
+				return 0, err
+			}
+		}
+		if k := int(f); float64(k) == f {
+			return k, nil
 		}
 		k := int(math.Round(f))
 		if math.Abs(f-float64(k)) > 1e-9 {
@@ -383,7 +508,7 @@ func (ex *Exec) eval(e Expr) (float64, error) {
 	case *Const:
 		return x.Val, nil
 	case *VarRef:
-		return ex.scalars[x.V], nil
+		return ex.getScalar(x.V), nil
 	case *Index:
 		off, err := ex.offset(x.V, x.Idx)
 		if err != nil {
@@ -394,13 +519,42 @@ func (ex *Exec) eval(e Expr) (float64, error) {
 		}
 		return ex.buffer(x.V)[off], nil
 	case *Bin:
-		a, err := ex.eval(x.X)
-		if err != nil {
-			return 0, err
+		// Inline leaf operands (no meter effects, no errors) to skip a
+		// recursive dispatch for the most common operand shapes.
+		var a, b float64
+		switch l := x.X.(type) {
+		case *Const:
+			a = l.Val
+		case *VarRef:
+			a = ex.getScalar(l.V)
+		default:
+			var err error
+			a, err = ex.eval(x.X)
+			if err != nil {
+				return 0, err
+			}
 		}
-		b, err := ex.eval(x.Y)
-		if err != nil {
-			return 0, err
+		switch r := x.Y.(type) {
+		case *Const:
+			b = r.Val
+		case *VarRef:
+			b = ex.getScalar(r.V)
+		default:
+			var err error
+			b, err = ex.eval(x.Y)
+			if err != nil {
+				return 0, err
+			}
+		}
+		switch x.Op {
+		case OpAdd:
+			return a + b, nil
+		case OpSub:
+			return a - b, nil
+		case OpMul:
+			return a * b, nil
+		case OpDiv:
+			return a / b, nil
 		}
 		return FoldBin(x.Op, a, b), nil
 	case *Un:
@@ -419,6 +573,26 @@ func (ex *Exec) eval(e Expr) (float64, error) {
 		b := scil.LookupBuiltin(x.Name)
 		if b == nil {
 			return 0, fmt.Errorf("ir: unknown intrinsic %q", x.Name)
+		}
+		// Scalar fast paths: same function the boxed Eval applies, minus
+		// the per-call Value allocations.
+		if len(x.Args) == 1 && b.Scalar1 != nil {
+			a, err := ex.eval(x.Args[0])
+			if err != nil {
+				return 0, err
+			}
+			return b.Scalar1(a), nil
+		}
+		if len(x.Args) == 2 && b.Scalar2 != nil {
+			a, err := ex.eval(x.Args[0])
+			if err != nil {
+				return 0, err
+			}
+			c, err := ex.eval(x.Args[1])
+			if err != nil {
+				return 0, err
+			}
+			return b.Scalar2(a, c), nil
 		}
 		args := make([]scil.Value, len(x.Args))
 		for i, a := range x.Args {

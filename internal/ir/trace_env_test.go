@@ -1,0 +1,109 @@
+package ir
+
+import "testing"
+
+// mkTraceProg builds a small program with one scalar param (varying) and
+// helper vars for the staticity tests.
+func mkTraceProg() (*Program, *Var, *Var, *Var, *Var) {
+	p := &Program{}
+	in := p.NewVar(&Var{Name: "in", Scalar: true, Param: true})
+	a := p.NewVar(&Var{Name: "a", Scalar: true})
+	b := p.NewVar(&Var{Name: "b", Scalar: true})
+	i := p.NewVar(&Var{Name: "i", Scalar: true})
+	m := p.NewVar(&Var{Name: "m", Rows: 4, Cols: 4, Storage: StorageShared})
+	p.Entry = &Func{Name: "f", Params: []*Var{in, m}, Body: nil}
+	return p, in, a, b, i
+}
+
+func TestTraceEnvStaticLoop(t *testing.T) {
+	p, _, a, _, i := mkTraceProg()
+	// a = 3; for i = 1:a { m[i,1] = i }  -- fully static control.
+	region := []Stmt{
+		&AssignScalar{Dst: a, Src: &Const{Val: 3}},
+		&For{IVar: i, Lo: &Const{Val: 1}, Step: &Const{Val: 1}, Hi: &VarRef{V: a}, Trip: 3,
+			Body: []Stmt{
+				&Store{Dst: p.VarByName("m"), Idx: []Expr{&VarRef{V: i}, &Const{Val: 1}},
+					Src: &VarRef{V: i}},
+			}},
+	}
+	env := NewTraceEnv(p)
+	if !env.AdvanceRegion(region) {
+		t.Fatal("static-bound loop region should be trace-invariant")
+	}
+}
+
+func TestTraceEnvDataDependentBound(t *testing.T) {
+	p, in, a, _, i := mkTraceProg()
+	// a = in; for i = 1:a { ... } -- bound depends on the input.
+	region := []Stmt{
+		&AssignScalar{Dst: a, Src: &VarRef{V: in}},
+		&For{IVar: i, Lo: &Const{Val: 1}, Step: &Const{Val: 1}, Hi: &VarRef{V: a}, Trip: 8, Body: nil},
+	}
+	env := NewTraceEnv(p)
+	if env.AdvanceRegion(region) {
+		t.Fatal("input-bounded loop must not be trace-invariant")
+	}
+}
+
+func TestTraceEnvMatrixLoadVaries(t *testing.T) {
+	p, _, a, _, i := mkTraceProg()
+	m := p.VarByName("m")
+	// a = m[1,1]; for i = 1:a -- bound loaded from memory.
+	region := []Stmt{
+		&AssignScalar{Dst: a, Src: &Index{V: m, Idx: []Expr{&Const{Val: 1}, &Const{Val: 1}}}},
+		&For{IVar: i, Lo: &Const{Val: 1}, Step: &Const{Val: 1}, Hi: &VarRef{V: a}, Trip: 8, Body: nil},
+	}
+	env := NewTraceEnv(p)
+	if env.AdvanceRegion(region) {
+		t.Fatal("memory-bounded loop must not be trace-invariant")
+	}
+}
+
+func TestTraceEnvIfPoisons(t *testing.T) {
+	p, in, a, b, i := mkTraceProg()
+	// Region 1: if in != 0 { a = 1 }  -- variant, and poisons a.
+	r1 := []Stmt{
+		&If{Cond: &VarRef{V: in}, Then: []Stmt{
+			&AssignScalar{Dst: a, Src: &Const{Val: 1}},
+		}},
+	}
+	// Region 2: b = a; for i = 1:b -- depends on the poisoned a.
+	r2 := []Stmt{
+		&AssignScalar{Dst: b, Src: &VarRef{V: a}},
+		&For{IVar: i, Lo: &Const{Val: 1}, Step: &Const{Val: 1}, Hi: &VarRef{V: b}, Trip: 8, Body: nil},
+	}
+	env := NewTraceEnv(p)
+	if env.AdvanceRegion(r1) {
+		t.Fatal("if region must not be trace-invariant")
+	}
+	if env.AdvanceRegion(r2) {
+		t.Fatal("region reading an if-assigned scalar in a bound must not be invariant")
+	}
+	// A fresh environment with a static reassignment recovers staticity.
+	env2 := NewTraceEnv(p)
+	r3 := []Stmt{&AssignScalar{Dst: a, Src: &Const{Val: 2}}}
+	if !env2.AdvanceRegion(r3) {
+		t.Fatal("constant assignment region should be invariant")
+	}
+	if !env2.AdvanceRegion(r2[:1]) {
+		t.Fatal("b = a with static a should stay invariant")
+	}
+}
+
+func TestTraceEnvLoopFeedback(t *testing.T) {
+	p, in, a, b, i := mkTraceProg()
+	// for i = 1:3 { b = a; a = in }: after iteration 1, b is varying —
+	// the fixpoint must catch the cross-iteration feedback.
+	region := []Stmt{
+		&For{IVar: i, Lo: &Const{Val: 1}, Step: &Const{Val: 1}, Hi: &Const{Val: 3}, Trip: 3,
+			Body: []Stmt{
+				&AssignScalar{Dst: b, Src: &VarRef{V: a}},
+				&AssignScalar{Dst: a, Src: &VarRef{V: in}},
+			}},
+		&For{IVar: i, Lo: &Const{Val: 1}, Step: &Const{Val: 1}, Hi: &VarRef{V: b}, Trip: 8, Body: nil},
+	}
+	env := NewTraceEnv(p)
+	if env.AdvanceRegion(region) {
+		t.Fatal("loop-carried input dependence must defeat invariance")
+	}
+}

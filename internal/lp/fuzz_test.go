@@ -1,0 +1,120 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randomMIP builds a small bounded mixed-integer problem from rng. Every
+// variable gets an explicit upper bound so the relaxation is never
+// unbounded and branch-and-bound terminates quickly.
+func randomMIP(rng *rand.Rand) *Problem {
+	n := 1 + rng.Intn(5)
+	p := &Problem{Obj: make([]float64, n), Integer: make([]bool, n)}
+	for j := 0; j < n; j++ {
+		p.Obj[j] = float64(rng.Intn(21) - 5)
+		p.Integer[j] = rng.Intn(3) > 0
+	}
+	m := 1 + rng.Intn(5)
+	for i := 0; i < m; i++ {
+		coef := make([]float64, n)
+		for j := 0; j < n; j++ {
+			coef[j] = float64(rng.Intn(11) - 3)
+		}
+		rhs := float64(rng.Intn(30) - 5)
+		switch rng.Intn(4) {
+		case 0:
+			p.AddGE(coef, rhs)
+		case 1:
+			p.AddEQ(coef, rhs)
+		default:
+			p.AddLE(coef, rhs)
+		}
+	}
+	for j := 0; j < n; j++ {
+		coef := make([]float64, n)
+		coef[j] = 1
+		p.AddLE(coef, float64(3+rng.Intn(12)))
+	}
+	return p
+}
+
+// FuzzSolveMIP cross-checks the warm-started branch-and-bound against
+// the rebuild-per-node reference: same status, and objective values
+// within solver tolerance.
+func FuzzSolveMIP(f *testing.F) {
+	for seed := int64(0); seed < 16; seed++ {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		rng := rand.New(rand.NewSource(seed))
+		p := randomMIP(rng)
+		warm := SolveMIP(p)
+		cold := SolveMIPReference(p)
+		if warm.Status != cold.Status {
+			t.Fatalf("seed %d: warm status %v, cold status %v", seed, warm.Status, cold.Status)
+		}
+		if warm.Status != Optimal {
+			return
+		}
+		tol := 1e-6 * (1 + math.Abs(cold.Obj))
+		if math.Abs(warm.Obj-cold.Obj) > tol {
+			t.Fatalf("seed %d: warm obj %v, cold obj %v (tol %v)", seed, warm.Obj, cold.Obj, tol)
+		}
+		// The incumbent must satisfy the integrality restrictions.
+		if idx := firstFractional(warm.X, p.Integer); idx >= 0 {
+			t.Fatalf("seed %d: warm solution fractional at %d: %v", seed, idx, warm.X[idx])
+		}
+	})
+}
+
+func sameSolution(a, b Solution) bool {
+	if a.Status != b.Status || math.Float64bits(a.Obj) != math.Float64bits(b.Obj) || len(a.X) != len(b.X) {
+		return false
+	}
+	for i := range a.X {
+		if math.Float64bits(a.X[i]) != math.Float64bits(b.X[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestWorkspaceDeterministic asserts that repeated solves of the same
+// problem on one reused workspace are bit-identical: reinitialization
+// must not leak state from earlier (including larger) solves.
+func TestWorkspaceDeterministic(t *testing.T) {
+	w := NewWorkspace()
+	rng := rand.New(rand.NewSource(7))
+	probs := make([]*Problem, 24)
+	for i := range probs {
+		probs[i] = randomMIP(rng)
+	}
+	firstLP := make([]Solution, len(probs))
+	firstMIP := make([]Solution, len(probs))
+	for i, p := range probs {
+		firstLP[i] = w.Solve(p)
+		firstMIP[i] = w.SolveMIP(p)
+	}
+	// Replay in a different interleaving on the same workspace.
+	for round := 0; round < 2; round++ {
+		for i := len(probs) - 1; i >= 0; i-- {
+			if got := w.Solve(probs[i]); !sameSolution(got, firstLP[i]) {
+				t.Fatalf("round %d problem %d: Solve not bit-identical: %+v vs %+v", round, i, got, firstLP[i])
+			}
+			if got := w.SolveMIP(probs[i]); !sameSolution(got, firstMIP[i]) {
+				t.Fatalf("round %d problem %d: SolveMIP not bit-identical: %+v vs %+v", round, i, got, firstMIP[i])
+			}
+		}
+	}
+	// The pooled package-level entry points agree with a fresh workspace.
+	for i, p := range probs {
+		if got := Solve(p); !sameSolution(got, firstLP[i]) {
+			t.Fatalf("pooled Solve differs on problem %d", i)
+		}
+		if got := SolveMIP(p); !sameSolution(got, firstMIP[i]) {
+			t.Fatalf("pooled SolveMIP differs on problem %d", i)
+		}
+	}
+}

@@ -19,38 +19,42 @@ import (
 
 // Analysis is a prepared MHP query structure for one schedule.
 type Analysis struct {
-	in    *sched.Input
-	s     *sched.Schedule
-	reach [][]bool
+	in *sched.Input
+	s  *sched.Schedule
+	// reach is the transitive dependence reachability as one flat n×n
+	// row-major matrix (a single allocation instead of n row slices).
+	reach []bool
+	n     int
 }
 
 // New builds the analysis (computes dependence reachability).
 func New(in *sched.Input, s *sched.Schedule) *Analysis {
 	n := len(in.Tasks)
-	reach := make([][]bool, n)
-	for i := range reach {
-		reach[i] = make([]bool, n)
-	}
+	reach := make([]bool, n*n)
 	for _, d := range in.Deps {
-		reach[d.From][d.To] = true
+		reach[d.From*n+d.To] = true
 	}
-	// Warshall over the topological (id) order.
+	// Warshall over the topological (id) order, row-sliced.
 	for k := 0; k < n; k++ {
+		kr := reach[k*n : (k+1)*n]
 		for i := 0; i < n; i++ {
-			if reach[i][k] {
-				for j := 0; j < n; j++ {
-					if reach[k][j] {
-						reach[i][j] = true
+			if reach[i*n+k] {
+				ir := reach[i*n : (i+1)*n]
+				for j, r := range kr {
+					if r {
+						ir[j] = true
 					}
 				}
 			}
 		}
 	}
-	return &Analysis{in: in, s: s, reach: reach}
+	return &Analysis{in: in, s: s, reach: reach, n: n}
 }
 
 // Ordered reports whether a dependence path orders tasks a and b.
-func (an *Analysis) Ordered(a, b int) bool { return an.reach[a][b] || an.reach[b][a] }
+func (an *Analysis) Ordered(a, b int) bool {
+	return an.reach[a*an.n+b] || an.reach[b*an.n+a]
+}
 
 // MayHappenInParallel reports whether tasks a and b may overlap in time.
 // Windows may be overridden (e.g. by the interference fixpoint) via the
@@ -95,4 +99,21 @@ func (an *Analysis) ContenderCores(t int, start, finish []int64) int {
 		}
 	}
 	return len(cores)
+}
+
+// ContenderCoresScratch is ContenderCores without allocations: seen must
+// be a caller-owned scratch slice of at least NumCores length; it is
+// reset on entry. The count matches ContenderCores exactly.
+func (an *Analysis) ContenderCoresScratch(t int, start, finish []int64, seen []bool) int {
+	clear(seen)
+	cnt := 0
+	for o := range an.in.Tasks {
+		if an.in.Tasks[o].SharedAccesses > 0 && an.MayHappenInParallel(t, o, start, finish) {
+			if c := an.s.Placements[o].Core; !seen[c] {
+				seen[c] = true
+				cnt++
+			}
+		}
+	}
+	return cnt
 }

@@ -223,21 +223,86 @@ func (r *SimResult) MeanLatency(flowID int) float64 {
 
 // packet is one in-flight packet.
 type packet struct {
-	flow      int
+	flowIdx   int // index into the simulation's flow table
 	injected  int64
-	hop       int // index into route
+	hop       int // index into the flow's route
 	flitsLeft int // remaining flits at the current link
-	route     []link
 }
 
-// wrrState is the arbiter state of one link.
+// wrrState is the arbiter state of one link. Flow bookkeeping is indexed
+// by the simulation's dense flow index; `order` keeps the WRR rotation
+// in flow-id order exactly as the original map-backed arbiter did: a
+// flow joins the (sorted) rotation the first time it enqueues here, and
+// the rotation cursor is deliberately left untouched by insertions.
 type wrrState struct {
-	queues  map[int][]*packet // per flow FIFO
-	order   []int             // flow ids with traffic on this link
-	current int               // index into order
-	credits int
-	busyTil int64
-	active  *packet
+	queues   [][]*packet // per flow-index FIFO
+	inOrder  []bool      // flow index already in the rotation
+	order    []int       // flow indices with traffic here, sorted by flow id
+	current  int         // index into order
+	credits  int
+	busyTil  int64
+	active   bool // link has seen traffic (arbiter state is live)
+	deferred bool // activated mid-serve; joins the rotation next cycle
+}
+
+// simState is the preallocated simulation structure: every link any
+// flow can traverse, in deterministic (from, to) order, plus per-flow
+// routes resolved to link states so the hot loop performs no map
+// lookups, no sorting, and no allocation beyond the packets themselves.
+type simState struct {
+	flows   []Flow
+	weights []int   // per flow index
+	phases  []int64 // per flow index injection phase
+	periods []int64
+	routes  [][]*wrrState // per flow index, route as link states
+	links   []*wrrState   // all candidate links, sorted
+	serving bool          // inside the serve loop of the current cycle
+	pending []*wrrState   // links activated mid-serve this cycle
+}
+
+func newSimState(c *Config) *simState {
+	s := &simState{flows: c.Flows}
+	n := len(c.Flows)
+	s.weights = make([]int, n)
+	s.phases = make([]int64, n)
+	s.periods = make([]int64, n)
+	s.routes = make([][]*wrrState, n)
+	byLink := map[link]*wrrState{}
+	var sorted []link
+	for i, f := range c.Flows {
+		s.weights[i] = c.weight(f)
+		s.phases[i] = int64(f.ID % f.PeriodCycles)
+		s.periods[i] = int64(f.PeriodCycles)
+		route := Route(f.Src, f.Dst)
+		s.routes[i] = make([]*wrrState, len(route))
+		for h, l := range route {
+			st, ok := byLink[l]
+			if !ok {
+				st = &wrrState{queues: make([][]*packet, n), inOrder: make([]bool, n)}
+				byLink[l] = st
+				sorted = append(sorted, l)
+			}
+			s.routes[i][h] = st
+		}
+	}
+	sort.Slice(sorted, func(i, j int) bool {
+		a, b := sorted[i], sorted[j]
+		if a.from.X != b.from.X {
+			return a.from.X < b.from.X
+		}
+		if a.from.Y != b.from.Y {
+			return a.from.Y < b.from.Y
+		}
+		if a.to.X != b.to.X {
+			return a.to.X < b.to.X
+		}
+		return a.to.Y < b.to.Y
+	})
+	s.links = make([]*wrrState, len(sorted))
+	for i, l := range sorted {
+		s.links[i] = byLink[l]
+	}
+	return s
 }
 
 // Simulate runs a cycle-level store-and-forward simulation for horizon
@@ -253,38 +318,29 @@ func Simulate(c *Config, horizon int64) (*SimResult, error) {
 		Delivered:  map[int]int{},
 		Cycles:     horizon,
 	}
-	links := map[link]*wrrState{}
-	getLink := func(l link) *wrrState {
-		st, ok := links[l]
-		if !ok {
-			st = &wrrState{queues: map[int][]*packet{}}
-			links[l] = st
-		}
-		return st
-	}
-	routes := map[int][]link{}
-	for _, f := range c.Flows {
-		routes[f.ID] = Route(f.Src, f.Dst)
-	}
+	s := newSimState(c)
 	linkCycles := int64(c.Spec.LinkCycles)
 	routerCycles := int64(c.Spec.RouterCycles)
 	for now := int64(0); now < horizon; now++ {
 		// Inject.
-		for _, f := range c.Flows {
-			phase := int64(f.ID % f.PeriodCycles)
-			if (now-phase)%int64(f.PeriodCycles) == 0 && now >= phase {
-				p := &packet{flow: f.ID, injected: now, flitsLeft: f.PacketFlits, route: routes[f.ID]}
-				st := getLink(p.route[0])
-				st.enqueue(c, p)
+		for i := range s.flows {
+			if now >= s.phases[i] && (now-s.phases[i])%s.periods[i] == 0 {
+				p := &packet{flowIdx: i, injected: now, flitsLeft: s.flows[i].PacketFlits}
+				s.routes[i][0].enqueue(s, p)
 			}
 		}
-		// Serve links.
-		for _, l := range sortedLinks(links) {
-			st := links[l]
-			if st.busyTil > now {
+		// Serve links. The slice holds every candidate link in the same
+		// sorted order the map-based arbiter once snapshotted each cycle;
+		// links that have never seen traffic are skipped (their arbiter
+		// state must not start rotating early), and links first activated
+		// by a packet advancing mid-serve only join next cycle — exactly
+		// when the per-cycle snapshot would have picked them up.
+		s.serving = true
+		for _, st := range s.links {
+			if !st.active || st.deferred || st.busyTil > now {
 				continue
 			}
-			p := st.pick(c)
+			p := st.pick(s)
 			if p == nil {
 				continue
 			}
@@ -294,73 +350,55 @@ func Simulate(c *Config, horizon int64) (*SimResult, error) {
 			p.flitsLeft--
 			if p.flitsLeft == 0 {
 				// Packet fully crossed this link: pop and advance.
-				st.pop(p.flow)
+				st.pop(p.flowIdx)
 				p.hop++
-				flits := 0
-				for _, f := range c.Flows {
-					if f.ID == p.flow {
-						flits = f.PacketFlits
-					}
-				}
-				if p.hop == len(p.route) {
+				f := &s.flows[p.flowIdx]
+				route := s.routes[p.flowIdx]
+				if p.hop == len(route) {
 					lat := now + linkCycles + routerCycles - p.injected
-					if lat > res.MaxLatency[p.flow] {
-						res.MaxLatency[p.flow] = lat
+					if lat > res.MaxLatency[f.ID] {
+						res.MaxLatency[f.ID] = lat
 					}
-					res.SumLatency[p.flow] += lat
-					res.Delivered[p.flow]++
+					res.SumLatency[f.ID] += lat
+					res.Delivered[f.ID]++
 				} else {
-					p.flitsLeft = flits
+					p.flitsLeft = f.PacketFlits
 					// Router pipeline before joining the next link's queue
 					// is folded into busyTil accounting at delivery;
 					// conservatively the packet is available immediately.
-					getLink(p.route[p.hop]).enqueue(c, p)
+					route[p.hop].enqueue(s, p)
 				}
 			}
 		}
+		s.serving = false
+		for _, st := range s.pending {
+			st.deferred = false
+		}
+		s.pending = s.pending[:0]
 	}
 	return res, nil
 }
 
-func sortedLinks(m map[link]*wrrState) []link {
-	out := make([]link, 0, len(m))
-	for l := range m {
-		out = append(out, l)
-	}
-	sort.Slice(out, func(i, j int) bool {
-		a, b := out[i], out[j]
-		if a.from.X != b.from.X {
-			return a.from.X < b.from.X
-		}
-		if a.from.Y != b.from.Y {
-			return a.from.Y < b.from.Y
-		}
-		if a.to.X != b.to.X {
-			return a.to.X < b.to.X
-		}
-		return a.to.Y < b.to.Y
-	})
-	return out
-}
-
-func (st *wrrState) enqueue(c *Config, p *packet) {
-	if _, ok := st.queues[p.flow]; !ok {
-		found := false
-		for _, id := range st.order {
-			if id == p.flow {
-				found = true
-			}
-		}
-		if !found {
-			st.order = append(st.order, p.flow)
-			sort.Ints(st.order)
+func (st *wrrState) enqueue(s *simState, p *packet) {
+	if !st.active {
+		st.active = true
+		if s.serving {
+			st.deferred = true
+			s.pending = append(s.pending, st)
 		}
 	}
-	st.queues[p.flow] = append(st.queues[p.flow], p)
+	if !st.inOrder[p.flowIdx] {
+		st.inOrder[p.flowIdx] = true
+		st.order = append(st.order, p.flowIdx)
+		sort.Slice(st.order, func(i, j int) bool {
+			return s.flows[st.order[i]].ID < s.flows[st.order[j]].ID
+		})
+	}
+	st.queues[p.flowIdx] = append(st.queues[p.flowIdx], p)
 }
 
 // pick selects the packet to serve one flit from, honoring WRR credits.
-func (st *wrrState) pick(c *Config) *packet {
+func (st *wrrState) pick(s *simState) *packet {
 	if len(st.order) == 0 {
 		return nil
 	}
@@ -369,27 +407,17 @@ func (st *wrrState) pick(c *Config) *packet {
 		if st.current >= len(st.order) {
 			st.current = 0
 		}
-		id := st.order[st.current]
-		q := st.queues[id]
+		q := st.queues[st.order[st.current]]
 		if st.credits > 0 && len(q) > 0 {
 			return q[0]
 		}
 		// Rotate to the next flow with fresh credits.
 		st.current = (st.current + 1) % len(st.order)
-		st.credits = flowWeight(c, st.order[st.current])
+		st.credits = s.weights[st.order[st.current]]
 	}
 	return nil
 }
 
-func (st *wrrState) pop(flowID int) {
-	st.queues[flowID] = st.queues[flowID][1:]
-}
-
-func flowWeight(c *Config, id int) int {
-	for _, f := range c.Flows {
-		if f.ID == id {
-			return c.weight(f)
-		}
-	}
-	return c.Spec.WRRWeight
+func (st *wrrState) pop(flowIdx int) {
+	st.queues[flowIdx] = st.queues[flowIdx][1:]
 }

@@ -15,6 +15,7 @@ package par
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"argo/internal/adl"
 	"argo/internal/htg"
@@ -99,7 +100,17 @@ type Program struct {
 	// DMAIns / DMAOuts are the staging operations in execution order.
 	DMAIns  []DMAOp
 	DMAOuts []DMAOp
+
+	// cacheSlot is an opaque per-program cache attachment point for
+	// downstream consumers (the simulator stores its derived per-task
+	// trace cache here), so cached state shares the program's lifetime
+	// instead of leaking through package-global registries.
+	cacheSlot atomic.Value
 }
+
+// CacheSlot returns the program's opaque cache slot. Consumers must
+// store a single concrete type and synchronize their own initialization.
+func (p *Program) CacheSlot() *atomic.Value { return &p.cacheSlot }
 
 // BoundMakespan is the end-to-end bound including DMA staging phases.
 func (p *Program) BoundMakespan() int64 {

@@ -12,6 +12,12 @@ type Builtin struct {
 	MinArgs, MaxArgs int
 	// Eval computes the result.
 	Eval func(args []Value) (Value, error)
+	// Scalar1 / Scalar2, when non-nil, compute the same result as Eval
+	// for all-scalar arguments without boxing them into Values — the
+	// interpreter's allocation-free fast path. They are exact aliases of
+	// Eval restricted to scalars, never a different function.
+	Scalar1 func(a float64) float64
+	Scalar2 func(a, b float64) float64
 	// Cost is the abstract operation cost used by the WCET cost model,
 	// in "ALU-op" units (the ADL core model scales these to cycles).
 	Cost int
@@ -28,6 +34,7 @@ func unary(name string, cost int, f func(float64) float64) *Builtin {
 			}
 			return out, nil
 		},
+		Scalar1: f,
 	}
 }
 
@@ -37,6 +44,7 @@ func binaryScalar(name string, cost int, f func(a, b float64) float64) *Builtin 
 		Eval: func(args []Value) (Value, error) {
 			return elementwise(args[0], args[1], f)
 		},
+		Scalar2: f,
 	}
 }
 
@@ -188,6 +196,8 @@ func init() {
 			}
 			return v, nil
 		},
+		Scalar1: math.Atan,
+		Scalar2: math.Atan2,
 	})
 
 	register(reduce("sum", 1, 0, func(a, x float64) float64 { return a + x }, nil))

@@ -1,0 +1,138 @@
+package sim
+
+import (
+	"expvar"
+	"sync"
+
+	"argo/internal/ir"
+	"argo/internal/par"
+)
+
+// Trace cache hit/miss counters, exported on /debug/vars (argod) next to
+// the WCET bound cache counters.
+var (
+	traceCacheHits   = expvar.NewInt("argo_trace_cache_hits")
+	traceCacheMisses = expvar.NewInt("argo_trace_cache_misses")
+)
+
+// TraceCacheCounters returns the process-wide trace cache statistics.
+func TraceCacheCounters() (hits, misses int64) {
+	return traceCacheHits.Value(), traceCacheMisses.Value()
+}
+
+// traceCache caches per-task segment traces of one parallel program. The
+// key of an entry is (task, cost model); both are implicit here because a
+// task's core — and with it its cost model — is fixed by the program's
+// schedule, and the cache lives in the program's own cache slot.
+//
+// Only tasks whose meter trace is input-invariant (ir.TraceEnv: no
+// data-dependent control flow up to and inside the region) are cached;
+// all other tasks are re-metered on every run, so cached and fresh
+// simulations are bit-identical by construction.
+type traceCache struct {
+	invariant []bool // task id -> trace provably input-invariant
+	mu        sync.RWMutex
+	traces    [][]segment // task id -> trace from the first metered run
+}
+
+// cacheInitMu serializes first-time cache construction per program (the
+// slot itself is a lock-free fast path).
+var cacheInitMu sync.Mutex
+
+func cacheFor(p *par.Program) *traceCache {
+	slot := p.CacheSlot()
+	if c, ok := slot.Load().(*traceCache); ok {
+		return c
+	}
+	cacheInitMu.Lock()
+	defer cacheInitMu.Unlock()
+	if c, ok := slot.Load().(*traceCache); ok {
+		return c
+	}
+	nTasks := len(p.Input.Tasks)
+	c := &traceCache{
+		invariant: make([]bool, nTasks),
+		traces:    make([][]segment, nTasks),
+	}
+	// The program is final by the time it is simulated: precompute the
+	// per-statement meter charges so re-metered (trace-variant) tasks
+	// pay a field read instead of an expression walk per statement.
+	p.IR.AnnotateOpUnits()
+	// Task regions execute in graph order (the same order RunContext
+	// replays them), so the staticity environment flows region to region
+	// exactly as the interpreter will.
+	env := ir.NewTraceEnv(p.IR)
+	for _, n := range p.Graph.Nodes {
+		c.invariant[n.ID] = env.AdvanceRegion(n.Stmts)
+	}
+	slot.Store(c)
+	return c
+}
+
+// lookup returns the cached trace for task, or nil if the task must be
+// metered (variant trace, or first run).
+func (c *traceCache) lookup(task int) []segment {
+	if !c.invariant[task] {
+		traceCacheMisses.Add(1)
+		return nil
+	}
+	c.mu.RLock()
+	tr := c.traces[task]
+	c.mu.RUnlock()
+	if tr == nil {
+		traceCacheMisses.Add(1)
+	} else {
+		traceCacheHits.Add(1)
+	}
+	return tr
+}
+
+// store remembers the freshly metered trace of an invariant task. The
+// first stored trace wins; concurrent runs meter identical traces, so
+// either copy is correct.
+func (c *traceCache) store(task int, tr []segment) {
+	if !c.invariant[task] {
+		return
+	}
+	c.mu.Lock()
+	if c.traces[task] == nil {
+		c.traces[task] = tr
+	}
+	c.mu.Unlock()
+}
+
+// runState is the pooled mutable state of one simulation run: the
+// interpreter, per-core event-loop cursors, and the signal tables. With
+// it, the steady-state discrete-event loop performs no allocations and
+// no map operations.
+type runState struct {
+	ex         *ir.Exec
+	traces     [][]segment
+	cores      []coreState
+	signalTime []int64
+	posted     []bool
+}
+
+var runPool = sync.Pool{New: func() any { return &runState{} }}
+
+func (rs *runState) prepare(p *par.Program) {
+	if rs.ex == nil {
+		rs.ex = ir.NewExec(p.IR, nil)
+	} else {
+		rs.ex.Reset(p.IR)
+	}
+	rs.traces = growClear(rs.traces, len(p.Input.Tasks))
+	rs.cores = growClear(rs.cores, p.Platform.NumCores())
+	rs.signalTime = growClear(rs.signalTime, p.Signals)
+	rs.posted = growClear(rs.posted, p.Signals)
+}
+
+// growClear returns s with length n and every element zeroed.
+func growClear[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	s = s[:n]
+	clear(s)
+	return s
+}

@@ -23,17 +23,25 @@ func RenderGantt(p *par.Program, rep *Report, width int) string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "timeline: %d cycles across %d columns (one '·' ≈ %.0f cycles)\n",
 		span, width, 1/scale)
-	for c := 0; c < p.Platform.NumCores(); c++ {
-		row := make([]byte, width)
+	// One pass over the placements groups tasks by core (ascending task
+	// id within a core, matching the former core×task scan) instead of
+	// rescanning every task for every core row.
+	byCore := make([][]int, p.Platform.NumCores())
+	for t := range p.Input.Tasks {
+		c := p.Schedule.Placements[t].Core
+		byCore[c] = append(byCore[c], t)
+	}
+	row := make([]byte, width)
+	for c := range byCore {
 		for i := range row {
 			row[i] = '.'
 		}
-		for t := range p.Input.Tasks {
-			if p.Schedule.Placements[t].Core != c {
-				continue
-			}
+		for _, t := range byCore[c] {
 			lo := int(float64(rep.TaskStart[t]) * scale)
 			hi := int(float64(rep.TaskFinish[t]) * scale)
+			if lo >= width {
+				lo = width - 1
+			}
 			if hi >= width {
 				hi = width - 1
 			}

@@ -57,6 +57,21 @@ func (tm *traceMeter) finish() []segment {
 	return segs
 }
 
+// coreState is one core's cursor through its static program during the
+// discrete-event loop (pooled in runState).
+type coreState struct {
+	time    int64
+	entries []par.Entry
+	idx     int
+	segs    []segment
+	segIdx  int
+	inTask  int // task id when executing segments, else -1
+	// pendingAccess marks that the core has issued a bus request at
+	// its current time; serving it is a separate event so the global
+	// min-time order equals the bus request order.
+	pendingAccess bool
+}
+
 // arbiter models the shared-memory interconnect's arbitration.
 type arbiter interface {
 	// access serves one access requested by core at reqTime and returns
@@ -156,24 +171,41 @@ func RunContext(ctx context.Context, p *par.Program, args [][]float64) (*Report,
 		TaskFinish: make([]int64, nTasks),
 	}
 
+	rs := runPool.Get().(*runState)
+	defer runPool.Put(rs)
+	rs.prepare(p)
+
 	// Phase 0: functional execution in dependence (program) order to
-	// compute results and extract each task's isolated trace.
-	ex := ir.NewExec(p.IR, nil)
+	// compute results and extract each task's isolated trace. Tasks with
+	// an input-invariant trace replay the program's cached trace and run
+	// un-metered (the fast interpreter path); the rest are re-metered.
+	cache := cacheFor(p)
+	ex := rs.ex
 	if err := ex.Init(args); err != nil {
 		return nil, err
 	}
-	traces := make([][]segment, nTasks)
+	traces := rs.traces
+	var tm traceMeter
 	for _, n := range p.Graph.Nodes {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
+		if tr := cache.lookup(n.ID); tr != nil {
+			ex.SetMeter(nil)
+			if err := ex.ExecBlock(n.Stmts); err != nil {
+				return nil, fmt.Errorf("sim: task %d: %v", n.ID, err)
+			}
+			traces[n.ID] = tr
+			continue
+		}
 		core := p.Schedule.Placements[n.ID].Core
-		tm := &traceMeter{model: wcet.ModelFor(p.Platform, core)}
-		ex.SetMeter(tm)
+		tm.model = wcet.ModelFor(p.Platform, core)
+		ex.SetMeter(&tm)
 		if err := ex.ExecBlock(n.Stmts); err != nil {
 			return nil, fmt.Errorf("sim: task %d: %v", n.ID, err)
 		}
 		traces[n.ID] = tm.finish()
+		cache.store(n.ID, traces[n.ID])
 	}
 	ex.SetMeter(nil)
 	rep.Results = ex.Results()
@@ -197,24 +229,12 @@ func RunContext(ctx context.Context, p *par.Program, args [][]float64) (*Report,
 	default:
 		arb = &nocPort{platform: p.Platform, waits: &busWaits}
 	}
-	type coreState struct {
-		time    int64
-		entries []par.Entry
-		idx     int
-		segs    []segment
-		segIdx  int
-		inTask  int // task id when executing segments, else -1
-		// pendingAccess marks that the core has issued a bus request at
-		// its current time; serving it is a separate event so the global
-		// min-time order equals the bus request order.
-		pendingAccess bool
-	}
-	cores := make([]*coreState, p.Platform.NumCores())
+	cores := rs.cores
 	for c := range cores {
-		cores[c] = &coreState{entries: p.CoreEntries[c], inTask: -1}
+		cores[c] = coreState{entries: p.CoreEntries[c], inTask: -1}
 	}
-	signalTime := make(map[int]int64)
-	posted := make(map[int]bool)
+	signalTime := rs.signalTime
+	posted := rs.posted
 	for events := 0; ; events++ {
 		if events%4096 == 0 {
 			if err := ctx.Err(); err != nil {
@@ -223,7 +243,9 @@ func RunContext(ctx context.Context, p *par.Program, args [][]float64) (*Report,
 		}
 		// Pick the runnable core with minimal time (conservative DES).
 		best := -1
-		for c, cs := range cores {
+		var bestTime int64
+		for c := range cores {
+			cs := &cores[c]
 			if cs.idx >= len(cs.entries) && cs.inTask < 0 {
 				continue
 			}
@@ -232,15 +254,16 @@ func RunContext(ctx context.Context, p *par.Program, args [][]float64) (*Report,
 					continue // blocked
 				}
 			}
-			if best < 0 || cs.time < cores[best].time {
+			if best < 0 || cs.time < bestTime {
 				best = c
+				bestTime = cs.time
 			}
 		}
 		if best < 0 {
 			// All done or deadlock.
 			done := true
-			for _, cs := range cores {
-				if cs.idx < len(cs.entries) || cs.inTask >= 0 {
+			for c := range cores {
+				if cores[c].idx < len(cores[c].entries) || cores[c].inTask >= 0 {
 					done = false
 				}
 			}
@@ -249,7 +272,7 @@ func RunContext(ctx context.Context, p *par.Program, args [][]float64) (*Report,
 			}
 			break
 		}
-		cs := cores[best]
+		cs := &cores[best]
 		if cs.inTask >= 0 {
 			if cs.pendingAccess {
 				// Serve the previously issued bus request.
@@ -286,7 +309,7 @@ func RunContext(ctx context.Context, p *par.Program, args [][]float64) (*Report,
 			cs.idx++
 		case par.EntrySignal:
 			posted[e.Sig] = true
-			if cur, ok := signalTime[e.Sig]; !ok || cs.time > cur {
+			if cs.time > signalTime[e.Sig] {
 				signalTime[e.Sig] = cs.time
 			}
 			cs.idx++
@@ -301,9 +324,9 @@ func RunContext(ctx context.Context, p *par.Program, args [][]float64) (*Report,
 			cs.idx++
 		}
 	}
-	for _, cs := range cores {
-		if cs.time > rep.ExecSpan {
-			rep.ExecSpan = cs.time
+	for c := range cores {
+		if cores[c].time > rep.ExecSpan {
+			rep.ExecSpan = cores[c].time
 		}
 	}
 	rep.BusWaitCycles = busWaits

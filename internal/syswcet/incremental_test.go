@@ -1,0 +1,141 @@
+package syswcet
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"argo/internal/adl"
+	"argo/internal/sched"
+)
+
+func assertSameResult(t *testing.T, inc, full *Result) {
+	t.Helper()
+	if !reflect.DeepEqual(inc, full) {
+		t.Fatalf("incremental Analyze differs from AnalyzeFull:\n inc:  %+v\n full: %+v", inc, full)
+	}
+}
+
+// TestIncrementalMatchesFullStaircase pins a staircase fixture whose
+// fixed point takes six rounds: a chain of shared tasks on core 4 whose
+// windows are pushed rightward round after round as interference
+// inflates their predecessors, creating one new overlap (and one more
+// dirty contender recomputation) per round. The incremental analysis
+// must reproduce the full recompute bit for bit — bounds, windows,
+// contender counts, and the Iterations count.
+func TestIncrementalMatchesFullStaircase(t *testing.T) {
+	p := adl.XentiumPlatform(5)
+	type slot struct {
+		wcet, shared int64
+		core         int
+		start        int64
+	}
+	slots := []slot{
+		{254, 15, 0, 91},
+		{156, 0, 4, 140},
+		{138, 31, 4, 321},
+		{145, 47, 4, 535},
+		{106, 2, 4, 785},
+		{55, 1, 2, 17},
+		{45, 29, 3, 28},
+		{194, 45, 0, 482},
+	}
+	in := &sched.Input{Platform: p}
+	s := &sched.Schedule{Cores: p.NumCores()}
+	for i, sl := range slots {
+		tk := sched.Task{ID: i, WCET: make([]int64, p.NumCores()), SharedAccesses: sl.shared}
+		for c := range tk.WCET {
+			tk.WCET[c] = sl.wcet
+		}
+		in.Tasks = append(in.Tasks, tk)
+		s.Placements = append(s.Placements, sched.Placement{
+			Task: i, Core: sl.core, Start: sl.start, Finish: sl.start + sl.wcet,
+		})
+	}
+	inc, err := Analyze(in, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := AnalyzeFull(in, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameResult(t, inc, full)
+	if inc.Iterations != 6 {
+		t.Fatalf("fixture converged in %d rounds; the pinned staircase takes 6", inc.Iterations)
+	}
+	// The staircase must actually exercise incremental recomputation:
+	// some task ends with more contenders than another.
+	minC, maxC := inc.Contenders[0], inc.Contenders[0]
+	for _, c := range inc.Contenders {
+		if c < minC {
+			minC = c
+		}
+		if c > maxC {
+			maxC = c
+		}
+	}
+	if minC == maxC {
+		t.Fatalf("all tasks share contender count %d; fixture too uniform", maxC)
+	}
+}
+
+// TestIncrementalMatchesFullRandom cross-checks Analyze against
+// AnalyzeFull on randomized task systems and both scheduling policies.
+func TestIncrementalMatchesFullRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260806))
+	for trial := 0; trial < 60; trial++ {
+		cores := 2 + rng.Intn(7)
+		p := adl.XentiumPlatform(cores)
+		n := 2 + rng.Intn(14)
+		wcets := make([]int64, n)
+		shared := make([]int64, n)
+		for i := range wcets {
+			wcets[i] = int64(10 + rng.Intn(500))
+			if rng.Intn(3) > 0 {
+				shared[i] = int64(rng.Intn(60))
+			}
+		}
+		var deps []sched.Dep
+		for j := 1; j < n; j++ {
+			for i := 0; i < j; i++ {
+				if rng.Intn(5) == 0 {
+					deps = append(deps, sched.Dep{From: i, To: j, VolumeBytes: rng.Intn(256)})
+				}
+			}
+		}
+		in := mkInput(p, wcets, deps, shared)
+		for _, pol := range []sched.Policy{sched.ListOblivious, sched.ListContentionAware} {
+			s := schedule(t, in, pol)
+			inc, err := Analyze(in, s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			full, err := AnalyzeFull(in, s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertSameResult(t, inc, full)
+		}
+	}
+}
+
+// TestAnalyzeScratchReuse runs the same analysis many times (recycling
+// the pooled scratch) and asserts the results stay identical — reused
+// buffers must not leak state between calls.
+func TestAnalyzeScratchReuse(t *testing.T) {
+	p := adl.XentiumPlatform(3)
+	in := mkInput(p, []int64{120, 80, 200, 60}, []sched.Dep{{From: 0, To: 2}}, []int64{10, 20, 0, 5})
+	s := schedule(t, in, sched.ListOblivious)
+	first, err := Analyze(in, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 16; i++ {
+		again, err := Analyze(in, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameResult(t, again, first)
+	}
+}

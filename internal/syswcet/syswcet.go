@@ -14,10 +14,20 @@
 // are interdependent, so a monotone fixed point is computed: contender
 // counts only ever grow, durations and windows only ever grow, and the
 // iteration terminates (bounded by the core count).
+//
+// Analyze evaluates the fixed point incrementally: a task's contender
+// count is recomputed only when its own window or the window of a
+// potential contender changed in the previous round (round one starts
+// with everything dirty), and the window pass is skipped entirely once
+// both the contender counts and the windows are stable. AnalyzeFull is
+// the straightforward recompute-everything formulation; both return
+// bit-identical Results, including the Iterations count.
 package syswcet
 
 import (
 	"fmt"
+	"sort"
+	"sync"
 
 	"argo/internal/mhp"
 	"argo/internal/sched"
@@ -53,8 +63,288 @@ func (r *Result) TotalInterference() int64 {
 // counts converge in at most NumCores rounds).
 const maxRounds = 64
 
-// Analyze computes the system-level WCET bound of a schedule.
+// scratch is the reusable working memory of one Analyze call, pooled so
+// the steady state allocates only the returned Result.
+type scratch struct {
+	coreOrders [][]int
+	incoming   [][]sched.Dep // deps grouped by To, in Deps order
+	cand       [][]int32     // per task: shared-access tasks that may ever contend
+	rcand      [][]int32     // reverse of cand: whose count does my window affect
+	dirty      []bool
+	grown      []int32
+	changedW   []int32
+	newStart   []int64
+	newFinish  []int64
+	coreAvail  []int64
+	done       []bool
+	idx        []int
+	coreSeen   []bool
+	sorter     coreSorter
+}
+
+// coreSorter sorts one core's task ids by schedule start time without
+// the per-call closure of sort.Slice.
+type coreSorter struct {
+	ids []int
+	pl  []sched.Placement
+}
+
+func (cs *coreSorter) Len() int      { return len(cs.ids) }
+func (cs *coreSorter) Swap(i, j int) { cs.ids[i], cs.ids[j] = cs.ids[j], cs.ids[i] }
+func (cs *coreSorter) Less(i, j int) bool {
+	return cs.pl[cs.ids[i]].Start < cs.pl[cs.ids[j]].Start
+}
+
+var scratchPool = sync.Pool{New: func() any { return &scratch{} }}
+
+func grow2D[T any](s [][]T, n int) [][]T {
+	if cap(s) < n {
+		s = append(s[:cap(s)], make([][]T, n-cap(s))...)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = s[i][:0]
+	}
+	return s
+}
+
+func growTo[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}
+
+// prepare builds the static query structures: per-core orders, incoming
+// dependence lists, and the candidate-contender lists. cand[t] holds
+// every task that could ever enter t's contender count (different core,
+// no dependence order, shared-memory active); rcand is its reverse.
+func (sc *scratch) prepare(in *sched.Input, s *sched.Schedule, an *mhp.Analysis) {
+	n := len(in.Tasks)
+	nc := in.Platform.NumCores()
+	sc.coreOrders = grow2D(sc.coreOrders, nc)
+	for _, pl := range s.Placements {
+		sc.coreOrders[pl.Core] = append(sc.coreOrders[pl.Core], pl.Task)
+	}
+	sc.sorter.pl = s.Placements
+	for c := range sc.coreOrders {
+		sc.sorter.ids = sc.coreOrders[c]
+		sort.Sort(&sc.sorter)
+	}
+	sc.sorter.ids, sc.sorter.pl = nil, nil
+	sc.incoming = grow2D(sc.incoming, n)
+	for _, d := range in.Deps {
+		sc.incoming[d.To] = append(sc.incoming[d.To], d)
+	}
+	sc.cand = grow2D(sc.cand, n)
+	sc.rcand = grow2D(sc.rcand, n)
+	for t := 0; t < n; t++ {
+		ct := s.Placements[t].Core
+		for o := 0; o < n; o++ {
+			if o == t || s.Placements[o].Core == ct || in.Tasks[o].SharedAccesses <= 0 {
+				continue
+			}
+			if an.Ordered(t, o) {
+				continue
+			}
+			sc.cand[t] = append(sc.cand[t], int32(o))
+			sc.rcand[o] = append(sc.rcand[o], int32(t))
+		}
+	}
+	sc.dirty = growTo(sc.dirty, n)
+	sc.grown = sc.grown[:0]
+	sc.changedW = sc.changedW[:0]
+	sc.newStart = growTo(sc.newStart, n)
+	sc.newFinish = growTo(sc.newFinish, n)
+	sc.coreAvail = growTo(sc.coreAvail, nc)
+	sc.done = growTo(sc.done, n)
+	sc.idx = growTo(sc.idx, nc)
+}
+
+// contenders counts the distinct cores among t's candidate contenders
+// whose current windows overlap t's — ContenderCores restricted to the
+// precomputed static candidate list, allocation-free. seen is dedicated
+// per-core scratch, reset on entry.
+func (sc *scratch) contenders(t int, start, finish []int64, placements []sched.Placement, seen []bool) int {
+	clear(seen)
+	cnt := 0
+	st, ft := start[t], finish[t]
+	for _, o := range sc.cand[t] {
+		if start[o] < ft && st < finish[o] {
+			if c := placements[o].Core; !seen[c] {
+				seen[c] = true
+				cnt++
+			}
+		}
+	}
+	return cnt
+}
+
+// windowPass recomputes all task windows from the current TaskBounds:
+// earliest-start respecting the per-core order and the dependences, but
+// never earlier than the previous round (monotonicity => soundness of
+// the MHP windows).
+func (sc *scratch) windowPass(in *sched.Input, s *sched.Schedule, res *Result) error {
+	n := len(in.Tasks)
+	newStart, newFinish := sc.newStart, sc.newFinish
+	coreAvail := sc.coreAvail
+	clear(coreAvail)
+	done := sc.done
+	clear(done)
+	idx := sc.idx
+	clear(idx)
+	remaining := n
+	for remaining > 0 {
+		progressed := false
+		for c := range sc.coreOrders {
+			for idx[c] < len(sc.coreOrders[c]) {
+				t := sc.coreOrders[c][idx[c]]
+				ready := coreAvail[c]
+				ok := true
+				for _, d := range sc.incoming[t] {
+					if !done[d.From] {
+						ok = false
+						break
+					}
+					r := newFinish[d.From] + in.CommCycles(d, s.Placements[d.From].Core, c)
+					if r > ready {
+						ready = r
+					}
+				}
+				if !ok {
+					break
+				}
+				if ready < res.Start[t] {
+					ready = res.Start[t] // monotone windows
+				}
+				newStart[t] = ready
+				newFinish[t] = ready + res.TaskBound[t]
+				coreAvail[c] = newFinish[t]
+				done[t] = true
+				idx[c]++
+				remaining--
+				progressed = true
+			}
+		}
+		if !progressed {
+			return fmt.Errorf("syswcet: schedule deadlock (cyclic core order vs dependences)")
+		}
+	}
+	return nil
+}
+
+// Analyze computes the system-level WCET bound of a schedule with the
+// incremental fixed point. The Result is bit-identical to AnalyzeFull.
 func Analyze(in *sched.Input, s *sched.Schedule) (*Result, error) {
+	n := len(in.Tasks)
+	an := mhp.New(in, s)
+	// One backing array for the four int64 result columns: the Result
+	// is the only steady-state allocation of the pooled analysis, so it
+	// is kept to three objects.
+	block := make([]int64, 4*n)
+	res := &Result{
+		Start:               block[0*n : 1*n : 1*n],
+		Finish:              block[1*n : 2*n : 2*n],
+		TaskBound:           block[2*n : 3*n : 3*n],
+		InterferencePerTask: block[3*n : 4*n : 4*n],
+		Contenders:          make([]int, n),
+	}
+	// Initial windows: the schedule's own (isolated durations).
+	for t, pl := range s.Placements {
+		res.Start[t] = pl.Start
+		res.Finish[t] = pl.Finish
+	}
+	sc := scratchPool.Get().(*scratch)
+	defer scratchPool.Put(sc)
+	sc.prepare(in, s, an)
+	sc.coreSeen = growTo(sc.coreSeen, in.Platform.NumCores())
+	coreSeen := sc.coreSeen
+	for round := 1; round <= maxRounds; round++ {
+		res.Iterations = round
+		changed := false
+		// 1. Contender counts (monotone: keep maxima), recomputed only
+		// for tasks whose count could have changed: round one seeds
+		// everything dirty, later rounds mark a task dirty when its own
+		// window or a candidate contender's window moved last round.
+		dirty := sc.dirty
+		if round == 1 {
+			for i := range dirty {
+				dirty[i] = true
+			}
+		} else {
+			clear(dirty)
+			for _, o := range sc.changedW {
+				dirty[o] = true
+				for _, t := range sc.rcand[o] {
+					dirty[t] = true
+				}
+			}
+		}
+		sc.grown = sc.grown[:0]
+		for t := 0; t < n; t++ {
+			if !dirty[t] {
+				continue
+			}
+			c := sc.contenders(t, res.Start, res.Finish, s.Placements, coreSeen)
+			if c > res.Contenders[t] {
+				res.Contenders[t] = c
+				changed = true
+				sc.grown = append(sc.grown, int32(t))
+			}
+		}
+		// 2. Durations: a pure function of the contender count, so only
+		// grown tasks change (round one initializes everything).
+		if round == 1 {
+			for t, task := range in.Tasks {
+				delay := int64(in.Platform.AccessInterferenceDelay(res.Contenders[t]))
+				res.InterferencePerTask[t] = task.SharedAccesses * delay
+				res.TaskBound[t] = task.WCET[s.Placements[t].Core] + res.InterferencePerTask[t]
+			}
+		} else {
+			for _, t32 := range sc.grown {
+				t := int(t32)
+				delay := int64(in.Platform.AccessInterferenceDelay(res.Contenders[t]))
+				res.InterferencePerTask[t] = in.Tasks[t].SharedAccesses * delay
+				res.TaskBound[t] = in.Tasks[t].WCET[s.Placements[t].Core] + res.InterferencePerTask[t]
+			}
+		}
+		// 3. Windows. Once no duration changed and the previous pass was
+		// already a no-op, re-running it would reproduce the same windows
+		// (it is a deterministic function of TaskBound and the previous
+		// windows): the fixed point is reached.
+		if round > 1 && len(sc.grown) == 0 && len(sc.changedW) == 0 {
+			break
+		}
+		if err := sc.windowPass(in, s, res); err != nil {
+			return nil, err
+		}
+		sc.changedW = sc.changedW[:0]
+		for t := 0; t < n; t++ {
+			if sc.newStart[t] != res.Start[t] || sc.newFinish[t] != res.Finish[t] {
+				changed = true
+				sc.changedW = append(sc.changedW, int32(t))
+			}
+			res.Start[t] = sc.newStart[t]
+			res.Finish[t] = sc.newFinish[t]
+		}
+		if !changed {
+			break
+		}
+	}
+	res.Makespan = 0
+	for t := 0; t < n; t++ {
+		if res.Finish[t] > res.Makespan {
+			res.Makespan = res.Finish[t]
+		}
+	}
+	return res, nil
+}
+
+// AnalyzeFull is the non-incremental reference formulation: every round
+// recomputes every task's contender count, duration, and window. It is
+// kept as the differential-testing and benchmarking baseline for
+// Analyze; both return bit-identical Results.
+func AnalyzeFull(in *sched.Input, s *sched.Schedule) (*Result, error) {
 	n := len(in.Tasks)
 	an := mhp.New(in, s)
 	res := &Result{
@@ -64,7 +354,6 @@ func Analyze(in *sched.Input, s *sched.Schedule) (*Result, error) {
 		InterferencePerTask: make([]int64, n),
 		Contenders:          make([]int, n),
 	}
-	// Initial windows: the schedule's own (isolated durations).
 	for t, pl := range s.Placements {
 		res.Start[t] = pl.Start
 		res.Finish[t] = pl.Finish
