@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check fmt vet build test race bench benchsmoke profile clean
+.PHONY: all check fmt vet build test race bench benchsmoke profile passes clean
 
 all: check
 
@@ -47,6 +47,11 @@ profile:
 # benchmarks without paying for a full measurement.
 benchsmoke:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .
+
+# Print the registered pass pipeline (name, artifacts, cacheability,
+# feedback-loop membership).
+passes:
+	$(GO) run ./cmd/argocc -passes
 
 clean:
 	$(GO) clean ./...

@@ -11,42 +11,89 @@
 //	argocc -usecase egpws -platform leon3-2x2 -policy oblivious -explain
 //	argocc -usecase weaa -platform xentium8 -optimize -emit-c out.c
 //	argocc -usecase polka -json | jq .total_bound
+//	argocc -passes
+//	argocc -usecase weaa -disable-pass fission,fusion
+//	argocc -usecase weaa -dump-after build-htg
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"argo/internal/service"
 	"argo/pkg/argo"
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the whole driver, separated from main so tests can exercise
+// flag handling and exit codes in-process.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("argocc", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		usecase  = flag.String("usecase", "", "built-in use case: egpws, weaa, polka")
-		platform = flag.String("platform", "xentium4", "target platform (xentiumN, xentiumN-tdm, leon3-WxH) or ADL JSON file")
-		policy   = flag.String("policy", "aware", "scheduling policy: aware, oblivious, exact")
-		optimize = flag.Bool("optimize", false, "run the iterative cross-layer optimization")
-		explain  = flag.Bool("explain", false, "print the cross-layer report")
-		jsonOut  = flag.Bool("json", false, "emit the compile summary as JSON (the /v1/compile wire format)")
-		emitC    = flag.String("emit-c", "", "write generated parallel C code to this file")
-		adlOut   = flag.String("emit-adl", "", "write the platform ADL JSON to this file")
-		workers  = flag.Int("j", 0, "optimizer candidate evaluation parallelism (0: GOMAXPROCS, 1: serial)")
+		usecase    = fs.String("usecase", "", "built-in use case: egpws, weaa, polka")
+		platform   = fs.String("platform", "xentium4", "target platform (xentiumN, xentiumN-tdm, leon3-WxH) or ADL JSON file")
+		policy     = fs.String("policy", "aware", "scheduling policy: aware, oblivious, exact")
+		optimize   = fs.Bool("optimize", false, "run the iterative cross-layer optimization")
+		explain    = fs.Bool("explain", false, "print the cross-layer report")
+		jsonOut    = fs.Bool("json", false, "emit the compile summary as JSON (the /v1/compile wire format)")
+		emitC      = fs.String("emit-c", "", "write generated parallel C code to this file")
+		adlOut     = fs.String("emit-adl", "", "write the platform ADL JSON to this file")
+		workers    = fs.Int("j", 0, "optimizer candidate evaluation parallelism (0: GOMAXPROCS, 1: serial)")
+		passesOnly = fs.Bool("passes", false, "print the registered pass pipeline and exit")
+		dumpAfter  = fs.String("dump-after", "", "dump the named pass's output artifact (to stderr) after each execution")
+		disable    = fs.String("disable-pass", "", "comma-separated transformation passes to skip (see -passes)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	usagef := func(format string, a ...any) int {
+		fmt.Fprintf(stderr, "argocc: "+format+"\n", a...)
+		return 2
+	}
+	fatalf := func(format string, a ...any) int {
+		fmt.Fprintf(stderr, "argocc: "+format+"\n", a...)
+		return 1
+	}
+
+	plat, code := loadPlatform(*platform, stderr)
+	if code != 0 {
+		return code
+	}
+
+	var passOpt argo.PassOptions
+	if *disable != "" {
+		passOpt.Disable = strings.Split(*disable, ",")
+	}
+
+	if *passesOnly {
+		opt := argo.DefaultOptions("", nil, plat)
+		opt.Passes = passOpt
+		table, err := argo.DescribePasses(opt)
+		if err != nil {
+			return usagef("%v", err)
+		}
+		fmt.Fprint(stdout, table)
+		return 0
+	}
+
 	if *usecase == "" {
-		fmt.Fprintln(os.Stderr, "argocc: -usecase is required (egpws, weaa, polka)")
-		flag.Usage()
-		os.Exit(2)
+		fmt.Fprintln(stderr, "argocc: -usecase is required (egpws, weaa, polka)")
+		fs.Usage()
+		return 2
 	}
 	uc := argo.UseCaseByName(*usecase)
 	if uc == nil {
-		usageErr("unknown use case %q (egpws, weaa, polka)", *usecase)
+		return usagef("unknown use case %q (egpws, weaa, polka)", *usecase)
 	}
-	plat := loadPlatform(*platform)
 	opt := argo.DefaultOptions(uc.Entry, uc.Args, plat)
 	switch *policy {
 	case "aware":
@@ -56,15 +103,42 @@ func main() {
 	case "exact":
 		opt.Policy = argo.PolicyBranchBound
 	default:
-		usageErr("unknown policy %q (aware, oblivious, exact)", *policy)
+		return usagef("unknown policy %q (aware, oblivious, exact)", *policy)
 	}
 	opt.Parallelism = *workers
+	opt.Passes = passOpt
+	if *disable != "" {
+		// Validate the disable list up front so a typo is flag misuse
+		// (exit 2), not a pipeline failure.
+		if _, err := argo.DescribePasses(opt); err != nil {
+			return usagef("%v", err)
+		}
+	}
+	if *dumpAfter != "" {
+		names := argo.PassNames(opt)
+		if len(names) == 0 {
+			return usagef("%v", "invalid pass configuration")
+		}
+		known := false
+		for _, n := range names {
+			if n == *dumpAfter {
+				known = true
+				break
+			}
+		}
+		if !known {
+			return usagef("unknown pass %q for -dump-after (passes: %s)", *dumpAfter, strings.Join(names, ", "))
+		}
+		opt.Passes.DumpAfter = *dumpAfter
+		opt.Passes.DumpWriter = stderr
+	}
+
 	var art *argo.Artifacts
 	var res *argo.OptimizeResult
 	if *optimize {
 		r, err := argo.Optimize(uc.Source, opt, nil)
 		if err != nil {
-			fatal("optimize: %v", err)
+			return fatalf("optimize: %v", err)
 		}
 		res = r
 		art = r.Best
@@ -74,14 +148,14 @@ func main() {
 				if rec.Err != nil {
 					status = "error: " + rec.Err.Error()
 				}
-				fmt.Printf("iteration %d (%-22s): bound %s, best %d\n",
+				fmt.Fprintf(stdout, "iteration %d (%-22s): bound %s, best %d\n",
 					rec.Iteration, rec.Candidate.Name, status, rec.BestSoFar)
 			}
 		}
 	} else {
 		a, err := argo.CompileSource(uc.Source, opt)
 		if err != nil {
-			fatal("compile: %v", err)
+			return fatalf("compile: %v", err)
 		}
 		art = a
 	}
@@ -95,70 +169,63 @@ func main() {
 		} else {
 			payload = service.Summarize(uc.Name, uc.Period, art)
 		}
-		enc := json.NewEncoder(os.Stdout)
+		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(payload); err != nil {
-			fatal("encode summary: %v", err)
+			return fatalf("encode summary: %v", err)
 		}
 	} else {
-		fmt.Println(argo.Describe(art))
-		fmt.Printf("  sequential bound: %d cycles\n", art.SequentialWCET)
-		fmt.Printf("  system bound:     %d cycles (period budget %d)\n", art.Bound(), uc.Period)
+		fmt.Fprintln(stdout, argo.Describe(art))
+		fmt.Fprintf(stdout, "  sequential bound: %d cycles\n", art.SequentialWCET)
+		fmt.Fprintf(stdout, "  system bound:     %d cycles (period budget %d)\n", art.Bound(), uc.Period)
 	}
 	if *explain && !*jsonOut {
-		fmt.Println()
-		fmt.Println(argo.Explain(art))
+		fmt.Fprintln(stdout)
+		fmt.Fprintln(stdout, argo.Explain(art))
 	}
 	if *emitC != "" {
 		if err := os.WriteFile(*emitC, []byte(argo.EmitC(art)), 0o644); err != nil {
-			fatal("write %s: %v", *emitC, err)
+			return fatalf("write %s: %v", *emitC, err)
 		}
 		hdr := filepath.Join(filepath.Dir(*emitC), "argo_rt.h")
 		if err := os.WriteFile(hdr, []byte(argo.RuntimeHeader()), 0o644); err != nil {
-			fatal("write %s: %v", hdr, err)
+			return fatalf("write %s: %v", hdr, err)
 		}
 		if !*jsonOut {
-			fmt.Printf("  parallel C written to %s (+ %s)\n", *emitC, hdr)
+			fmt.Fprintf(stdout, "  parallel C written to %s (+ %s)\n", *emitC, hdr)
 		}
 	}
 	if *adlOut != "" {
 		data, err := argo.EncodePlatform(plat)
 		if err != nil {
-			fatal("encode platform: %v", err)
+			return fatalf("encode platform: %v", err)
 		}
 		if err := os.WriteFile(*adlOut, data, 0o644); err != nil {
-			fatal("write %s: %v", *adlOut, err)
+			return fatalf("write %s: %v", *adlOut, err)
 		}
 		if !*jsonOut {
-			fmt.Printf("  ADL description written to %s\n", *adlOut)
+			fmt.Fprintf(stdout, "  ADL description written to %s\n", *adlOut)
 		}
 	}
+	return 0
 }
 
-func loadPlatform(name string) *argo.PlatformDesc {
+// loadPlatform resolves a builtin platform name or an ADL JSON file;
+// a non-zero code is the process exit code (2: not found, 1: bad file).
+func loadPlatform(name string, stderr io.Writer) (*argo.PlatformDesc, int) {
 	if p := argo.Platform(name); p != nil {
-		return p
+		return p, 0
 	}
 	data, err := os.ReadFile(name)
 	if err != nil {
-		usageErr("platform %q is neither built-in (%v) nor a readable ADL file: %v",
+		fmt.Fprintf(stderr, "argocc: platform %q is neither built-in (%v) nor a readable ADL file: %v\n",
 			name, argo.PlatformNames(), err)
+		return nil, 2
 	}
 	p, err := argo.DecodePlatform(data)
 	if err != nil {
-		fatal("%s: %v", name, err)
+		fmt.Fprintf(stderr, "argocc: %s: %v\n", name, err)
+		return nil, 1
 	}
-	return p
-}
-
-// fatal reports a pipeline/runtime failure (exit 1).
-func fatal(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "argocc: "+format+"\n", args...)
-	os.Exit(1)
-}
-
-// usageErr reports flag misuse (exit 2).
-func usageErr(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "argocc: "+format+"\n", args...)
-	os.Exit(2)
+	return p, 0
 }

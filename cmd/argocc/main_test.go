@@ -1,0 +1,109 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"argo/pkg/argo"
+)
+
+func runCLI(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestUsageErrorsExitTwo(t *testing.T) {
+	for _, args := range [][]string{
+		{},                                   // -usecase missing
+		{"-usecase", "nonesuch"},             // unknown use case
+		{"-usecase", "weaa", "-policy", "x"}, // unknown policy
+		{"-usecase", "weaa", "-nosuchflag"},  // flag misuse
+		{"-usecase", "weaa", "-platform", "does-not-exist"}, // unknown platform
+		{"-usecase", "weaa", "-disable-pass", "nonesuch"},   // unknown transform
+		{"-usecase", "weaa", "-dump-after", "nonesuch"},     // unknown dump pass
+	} {
+		if code, _, _ := runCLI(t, args...); code != 2 {
+			t.Errorf("args %v: exit %d, want 2", args, code)
+		}
+	}
+}
+
+func TestCompileSucceeds(t *testing.T) {
+	code, out, errb := runCLI(t, "-usecase", "weaa", "-platform", "xentium2")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, errb)
+	}
+	for _, want := range []string{"weaa", "system bound", "sequential bound"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPassesListing(t *testing.T) {
+	code, out, errb := runCLI(t, "-passes")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, errb)
+	}
+	for _, want := range []string{"pass", "input", "output", "cacheable", "check", "lower", "build-htg", "schedule", "par-build", "per-round"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("-passes listing missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDisablePassAccepted(t *testing.T) {
+	code, _, errb := runCLI(t, "-usecase", "weaa", "-platform", "xentium2", "-disable-pass", "fission,fusion")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, errb)
+	}
+}
+
+func TestDumpAfterWritesToStderr(t *testing.T) {
+	code, _, errb := runCLI(t, "-usecase", "weaa", "-platform", "xentium2", "-dump-after", "build-htg")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, errb)
+	}
+	if !strings.Contains(errb, `after pass "build-htg"`) {
+		t.Fatalf("dump missing from stderr:\n%s", errb)
+	}
+}
+
+// TestPipelineFailureExitOneWithPassPrefix pins the exit-1 path and the
+// failing-pass error prefix: a platform whose shared memory cannot hold
+// the use case's buffers fails inside the par-build pass.
+func TestPipelineFailureExitOneWithPassPrefix(t *testing.T) {
+	seed, err := argo.EncodePlatform(argo.Platform("xentium2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiny, err := argo.DecodePlatform(seed) // deep copy of the builtin
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiny.Name = "xentium2-tiny-shared"
+	tiny.Shared.SizeBytes = 64
+	for i := range tiny.Cores {
+		tiny.Cores[i].SPM.SizeBytes = 0 // no scratchpad: buffers go shared
+	}
+	data, err := argo.EncodePlatform(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	file := filepath.Join(t.TempDir(), "tiny.json")
+	if err := os.WriteFile(file, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, _, errb := runCLI(t, "-usecase", "weaa", "-platform", file)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1; stderr:\n%s", code, errb)
+	}
+	if !strings.Contains(errb, `pass "par-build"`) || !strings.Contains(errb, "overflow") {
+		t.Fatalf("error not prefixed with the failing pass:\n%s", errb)
+	}
+}

@@ -3,6 +3,8 @@
 // actually sees). It also runs the subset checks, so it doubles as a
 // linter for WCET analysability.
 //
+// Exit codes: 0 on success, 1 on parse/lint failure, 2 on flag misuse.
+//
 // Examples:
 //
 //	argofmt model.sci            # print formatted source
@@ -14,6 +16,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"argo/internal/scil"
@@ -21,65 +24,72 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the whole formatter, separated from main so tests can exercise
+// flag handling and exit codes in-process.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("argofmt", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		write   = flag.Bool("w", false, "rewrite the file in place")
-		check   = flag.Bool("check", false, "lint only (no output)")
-		usecase = flag.String("usecase", "", "format a built-in use case instead of a file")
+		write   = fs.Bool("w", false, "rewrite the file in place")
+		check   = fs.Bool("check", false, "lint only (no output)")
+		usecase = fs.String("usecase", "", "format a built-in use case instead of a file")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	usagef := func(format string, a ...any) int {
+		fmt.Fprintf(stderr, "argofmt: "+format+"\n", a...)
+		return 2
+	}
+	fatalf := func(format string, a ...any) int {
+		fmt.Fprintf(stderr, "argofmt: "+format+"\n", a...)
+		return 1
+	}
 	var src, name string
 	switch {
 	case *usecase != "":
 		uc := argo.UseCaseByName(*usecase)
 		if uc == nil {
-			usageErr("unknown use case %q", *usecase)
+			return usagef("unknown use case %q", *usecase)
 		}
 		src, name = uc.Source, *usecase
-	case flag.NArg() == 1:
-		data, err := os.ReadFile(flag.Arg(0))
+	case fs.NArg() == 1:
+		data, err := os.ReadFile(fs.Arg(0))
 		if err != nil {
-			fatal("%v", err)
+			return fatalf("%v", err)
 		}
-		src, name = string(data), flag.Arg(0)
+		src, name = string(data), fs.Arg(0)
 	default:
-		fmt.Fprintln(os.Stderr, "usage: argofmt [-w|-check] <file.sci> | argofmt -usecase <name>")
-		os.Exit(2)
+		fmt.Fprintln(stderr, "usage: argofmt [-w|-check] <file.sci> | argofmt -usecase <name>")
+		return 2
 	}
 	prog, err := scil.Parse(src)
 	if err != nil {
-		fatal("%s: %v", name, err)
+		return fatalf("%s: %v", name, err)
 	}
 	if errs := scil.Check(prog, scil.CheckWCET); len(errs) > 0 {
 		for _, e := range errs {
-			fmt.Fprintf(os.Stderr, "argofmt: %s: %v\n", name, e)
+			fmt.Fprintf(stderr, "argofmt: %s: %v\n", name, e)
 		}
-		os.Exit(1)
+		return 1
 	}
 	if *check {
-		fmt.Printf("%s: ok (%d functions, WCET-analysable)\n", name, len(prog.Funcs))
-		return
+		fmt.Fprintf(stdout, "%s: ok (%d functions, WCET-analysable)\n", name, len(prog.Funcs))
+		return 0
 	}
 	out := scil.Format(prog)
 	if *write {
 		if *usecase != "" {
-			usageErr("-w requires a file argument")
+			return usagef("-w requires a file argument")
 		}
-		if err := os.WriteFile(flag.Arg(0), []byte(out), 0o644); err != nil {
-			fatal("%v", err)
+		if err := os.WriteFile(fs.Arg(0), []byte(out), 0o644); err != nil {
+			return fatalf("%v", err)
 		}
-		return
+		return 0
 	}
-	fmt.Print(out)
-}
-
-// fatal reports a pipeline/runtime failure (exit 1).
-func fatal(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "argofmt: "+format+"\n", args...)
-	os.Exit(1)
-}
-
-// usageErr reports flag misuse (exit 2).
-func usageErr(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "argofmt: "+format+"\n", args...)
-	os.Exit(2)
+	fmt.Fprint(stdout, out)
+	return 0
 }

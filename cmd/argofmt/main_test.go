@@ -1,0 +1,112 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"argo/internal/scil"
+	"argo/pkg/argo"
+)
+
+func runFmt(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+// TestFormatIdempotent pins the formatter's fixed point: formatting an
+// already-formatted source changes nothing, for every built-in use case.
+func TestFormatIdempotent(t *testing.T) {
+	for _, uc := range argo.UseCases() {
+		code, once, errb := runFmt(t, "-usecase", uc.Name)
+		if code != 0 {
+			t.Fatalf("%s: exit %d, stderr:\n%s", uc.Name, code, errb)
+		}
+		file := filepath.Join(t.TempDir(), uc.Name+".sci")
+		if err := os.WriteFile(file, []byte(once), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		code, twice, errb := runFmt(t, file)
+		if code != 0 {
+			t.Fatalf("%s: exit %d on formatted output, stderr:\n%s", uc.Name, code, errb)
+		}
+		if twice != once {
+			t.Fatalf("%s: fmt(fmt(x)) != fmt(x):\nfirst:\n%s\nsecond:\n%s", uc.Name, once, twice)
+		}
+	}
+}
+
+// TestFormatRoundTrips pins that formatting preserves the program: the
+// formatted output parses back to the same function set and formats to
+// the same canonical text as the original source.
+func TestFormatRoundTrips(t *testing.T) {
+	for _, uc := range argo.UseCases() {
+		orig, err := scil.Parse(uc.Source)
+		if err != nil {
+			t.Fatalf("%s: %v", uc.Name, err)
+		}
+		formatted := scil.Format(orig)
+		reparsed, err := scil.Parse(formatted)
+		if err != nil {
+			t.Fatalf("%s: formatted output does not parse: %v\n%s", uc.Name, err, formatted)
+		}
+		if len(reparsed.Funcs) != len(orig.Funcs) {
+			t.Fatalf("%s: round trip lost functions: %d -> %d", uc.Name, len(orig.Funcs), len(reparsed.Funcs))
+		}
+		if again := scil.Format(reparsed); again != formatted {
+			t.Fatalf("%s: parse/format round trip not stable:\n%s\nvs:\n%s", uc.Name, formatted, again)
+		}
+	}
+}
+
+func TestWriteInPlace(t *testing.T) {
+	uc := argo.UseCaseByName("weaa")
+	file := filepath.Join(t.TempDir(), "weaa.sci")
+	if err := os.WriteFile(file, []byte(uc.Source), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code, _, errb := runFmt(t, "-w", file); code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, errb)
+	}
+	data, err := os.ReadFile(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := scil.Parse(string(data))
+	if err != nil {
+		t.Fatalf("rewritten file does not parse: %v", err)
+	}
+	if string(data) != scil.Format(prog) {
+		t.Fatal("rewritten file is not canonically formatted")
+	}
+}
+
+func TestCheckMode(t *testing.T) {
+	code, out, _ := runFmt(t, "-check", "-usecase", "polka")
+	if code != 0 || !strings.Contains(out, "WCET-analysable") {
+		t.Fatalf("exit %d, out: %s", code, out)
+	}
+}
+
+func TestExitCodes(t *testing.T) {
+	if code, _, _ := runFmt(t); code != 2 {
+		t.Fatalf("no args: exit %d, want 2", code)
+	}
+	if code, _, _ := runFmt(t, "-usecase", "nonesuch"); code != 2 {
+		t.Fatalf("unknown use case: exit %d, want 2", code)
+	}
+	if code, _, _ := runFmt(t, "-w", "-usecase", "weaa"); code != 2 {
+		t.Fatalf("-w without file: exit %d, want 2", code)
+	}
+	bad := filepath.Join(t.TempDir(), "bad.sci")
+	if err := os.WriteFile(bad, []byte("function = ("), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code, _, _ := runFmt(t, bad); code != 1 {
+		t.Fatalf("parse failure: exit %d, want 1", code)
+	}
+}

@@ -9,11 +9,13 @@ package core
 import (
 	"context"
 	"fmt"
+	"io"
 
 	"argo/internal/adl"
 	"argo/internal/htg"
 	"argo/internal/ir"
 	"argo/internal/par"
+	"argo/internal/pass"
 	"argo/internal/sched"
 	"argo/internal/scil"
 	"argo/internal/syswcet"
@@ -44,6 +46,31 @@ type Options struct {
 	// evaluates concurrently (0: GOMAXPROCS, 1: serial). Results are
 	// bit-identical at every setting.
 	Parallelism int
+	// Passes configures the pass manager that executes the pipeline.
+	Passes PassOptions
+}
+
+// PassOptions configures pass-manager behavior; the zero value is the
+// standard configuration (all registered passes, global pass cache,
+// wall-time instrumentation only).
+type PassOptions struct {
+	// Disable names transformation passes to skip (see
+	// transform.PassNames; structural passes cannot be disabled).
+	Disable []string
+	// NoCache disables the content-addressed pass-level result cache.
+	// Outputs are bit-identical with and without it.
+	NoCache bool
+	// MeasureAllocs additionally records per-pass heap-allocation deltas
+	// in the trace (process-wide counter delta: approximate under
+	// concurrent executions).
+	MeasureAllocs bool
+	// DumpAfter dumps the named pass's output artifact to DumpWriter
+	// after every execution of that pass (argocc -dump-after).
+	DumpAfter  string
+	DumpWriter io.Writer
+	// AfterPass, when set, observes every completed pass (tests hook
+	// here; called with the pass name and feedback round).
+	AfterPass func(name string, round int)
 }
 
 // DefaultOptions returns the standard tool-chain configuration for a
@@ -78,6 +105,10 @@ type Artifacts struct {
 	SequentialWCET int64
 	// FeedbackRounds is how many placement/analysis rounds ran.
 	FeedbackRounds int
+	// PassTrace is the per-pass instrumentation record of this
+	// compilation (wall time, cache outcomes, feedback round), in
+	// execution order starting with the front-end passes.
+	PassTrace *pass.Trace
 }
 
 // Bound is the end-to-end system WCET bound (including DMA staging).
@@ -112,12 +143,12 @@ func CompileContext(ctx context.Context, src *scil.Program, opt Options) (*Artif
 	if opt.Platform == nil {
 		return nil, fmt.Errorf("core: no platform")
 	}
-	fe, err := NewFrontEnd(ctx, src, opt.Entry, opt.Args)
+	fe, err := newFrontEnd(ctx, src, opt.Entry, opt.Args, opt.Passes)
 	if err != nil {
 		return nil, err
 	}
 	// One-shot compile: the front-end IR is private, no clone needed.
-	return backEnd(ctx, fe.prog, opt)
+	return backEnd(ctx, fe.prog, opt, fe.trace)
 }
 
 // FrontEnd is the shared result of the source-level phases — model check
@@ -128,21 +159,49 @@ type FrontEnd struct {
 	entry string
 	args  []ir.ArgSpec
 	prog  *ir.Program
+	// trace holds the front-end pass timings; every candidate's
+	// back-end trace is seeded with a copy.
+	trace []pass.Timing
 }
 
 // NewFrontEnd checks src and lowers it to IR once.
 func NewFrontEnd(ctx context.Context, src *scil.Program, entry string, args []ir.ArgSpec) (*FrontEnd, error) {
-	if err := ctx.Err(); err != nil {
+	return newFrontEnd(ctx, src, entry, args, PassOptions{})
+}
+
+// newFrontEnd runs the front-end passes (check, lower) under a pass
+// manager so they are instrumented and dumpable like every other stage.
+func newFrontEnd(ctx context.Context, src *scil.Program, entry string, args []ir.ArgSpec, popt PassOptions) (*FrontEnd, error) {
+	c := pass.NewContext(ctx)
+	pass.Put(c, keyModel, src)
+	if err := newManager(popt).Run(c, checkPass(), lowerPass(entry, args)); err != nil {
 		return nil, err
 	}
-	if errs := scil.Check(src, scil.CheckWCET); len(errs) > 0 {
-		return nil, fmt.Errorf("core: model check failed: %v", errs[0])
+	return &FrontEnd{entry: entry, args: args, prog: pass.Need(c, keyIR), trace: c.Trace().Passes}, nil
+}
+
+// newManager builds the pass manager one pipeline execution uses.
+func newManager(popt PassOptions) *pass.Manager {
+	m := &pass.Manager{MeasureAllocs: popt.MeasureAllocs}
+	if !popt.NoCache {
+		m.Cache = pass.Global
 	}
-	prog, err := ir.Lower(src, entry, args)
-	if err != nil {
-		return nil, err
+	dump := popt.DumpAfter != "" && popt.DumpWriter != nil
+	if popt.AfterPass != nil || dump {
+		m.AfterPass = func(p *pass.Pass, c *pass.Context) {
+			if popt.AfterPass != nil {
+				popt.AfterPass(p.Name, c.Round)
+			}
+			if dump && popt.DumpAfter == p.Name {
+				text := "(no dump available)"
+				if p.Dump != nil {
+					text = p.Dump(c)
+				}
+				fmt.Fprintf(popt.DumpWriter, "=== after pass %q (round %d) ===\n%s\n", p.Name, c.Round, text)
+			}
+		}
 	}
-	return &FrontEnd{entry: entry, args: args, prog: prog}, nil
+	return m
 }
 
 // Matches reports whether the memoized front-end covers the given
@@ -169,72 +228,96 @@ func (fe *FrontEnd) CompileContext(ctx context.Context, opt Options) (*Artifacts
 	if opt.Platform == nil {
 		return nil, fmt.Errorf("core: no platform")
 	}
-	return backEnd(ctx, fe.prog.Clone(), opt)
+	return backEnd(ctx, fe.prog.Clone(), opt, fe.trace)
 }
 
-// backEnd runs everything after lowering: predictability transformations,
-// task graph extraction, scheduling, parallel program construction, and
-// the placement/analysis feedback loop. prog is owned by the call.
-func backEnd(ctx context.Context, prog *ir.Program, opt Options) (*Artifacts, error) {
+// spmOptionsFor derives the scratchpad-promotion options AutoSPM uses
+// from the platform numbers.
+func spmOptionsFor(p *adl.Platform) *transform.SPMOptions {
+	return &transform.SPMOptions{
+		CapacityBytes:  p.Cores[0].SPM.SizeBytes,
+		SharedLatency:  p.MaxSharedAccessIsolated(),
+		SPMLatency:     p.Cores[0].SPM.LatencyCycles,
+		DMACostPerByte: p.DMA.CyclesPerByte,
+	}
+}
+
+// backEnd runs everything after lowering on the pass manager:
+// predictability transformations, task graph extraction, scheduling,
+// parallel program construction, and the placement/analysis feedback
+// loop. prog is owned by the call; feTrace seeds the execution's trace
+// with the front-end timings.
+func backEnd(ctx context.Context, prog *ir.Program, opt Options, feTrace []pass.Timing) (*Artifacts, error) {
 	tOpt := opt.Transforms
 	if opt.AutoSPM {
-		tOpt.SPM = &transform.SPMOptions{
-			CapacityBytes:  opt.Platform.Cores[0].SPM.SizeBytes,
-			SharedLatency:  opt.Platform.MaxSharedAccessIsolated(),
-			SPMLatency:     opt.Platform.Cores[0].SPM.LatencyCycles,
-			DMACostPerByte: opt.Platform.DMA.CyclesPerByte,
-		}
+		tOpt.SPM = spmOptionsFor(opt.Platform)
 	}
-	rep := transform.Apply(prog, tOpt)
-	transform.LabelLoops(prog)
+	disabled, err := disabledSet(opt.Passes.Disable)
+	if err != nil {
+		return nil, err
+	}
+	pl := buildPipeline(opt, tOpt, disabled)
 
+	mgr := newManager(opt.Passes)
+	c := pass.NewContext(ctx)
+	c.SeedTrace(feTrace)
+	pass.Put(c, keyIR, prog)
+	rep := &transform.Report{}
+	pass.Put(c, keyReport, rep)
+	canon := ""
+	if data, err := adl.Encode(opt.Platform); err == nil {
+		canon = string(data)
+	}
+	pass.Put(c, keyCanon, canon)
 	models := make([]wcet.CostModel, opt.Platform.NumCores())
-	for c := range models {
-		models[c] = wcet.ModelFor(opt.Platform, c)
+	for i := range models {
+		models[i] = wcet.ModelFor(opt.Platform, i)
 	}
-	rounds := opt.FeedbackRounds
-	if rounds <= 0 {
-		rounds = 8
-	}
-	art := &Artifacts{Options: opt, IR: prog, Transform: rep}
+	pass.Put(c, keyModels, models)
+
+	// Pre-loop passes: transformations, loop labeling, HTG extraction.
 	// Graph structure (task regions, dependences, access ranges) depends
 	// only on statement structure and variable identity — never on
 	// storage classes — so it is built once; each feedback round clones
 	// it and re-runs only the storage-aware annotation.
-	base := htg.Build(prog)
+	if err := mgr.Run(c, pl.pre...); err != nil {
+		return nil, err
+	}
+
+	rounds := opt.FeedbackRounds
+	if rounds <= 0 {
+		rounds = 8
+	}
+	art := &Artifacts{Options: opt}
 	// Placement/analysis feedback: buffer placement may demote SPM
 	// variables (shared between cores), which changes code-level WCETs —
 	// iterate until the storage assignment is stable (paper §II-E:
 	// feeding WCET information back to earlier phases).
 	for round := 1; ; round++ {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
+		c.Round = round
 		art.FeedbackRounds = round
-		g := base.Clone()
-		htg.Annotate(g, models)
-		if opt.MaxTasks > 0 && len(g.Nodes) > opt.MaxTasks {
-			g.MergeUntil(opt.MaxTasks)
-		}
-		in := sched.FromHTG(g, opt.Platform)
-		s, sys, err := scheduleAndAnalyze(in, opt.Policy)
-		if err != nil {
+		if err := mgr.Run(c, pl.loop...); err != nil {
 			return nil, err
 		}
-		pp, err := par.Build(prog, g, in, s, sys, opt.Platform)
-		if err != nil {
-			return nil, err
-		}
-		if len(pp.Demoted) > 0 && round < rounds {
+		if pp := pass.Need(c, keyPar); len(pp.Demoted) > 0 && round < rounds {
 			continue
 		}
-		if err := pp.Validate(); err != nil {
-			return nil, fmt.Errorf("core: parallel program invalid: %v", err)
-		}
-		art.Graph, art.Input, art.Schedule, art.System, art.Parallel = g, in, s, sys, pp
 		break
 	}
-	art.SequentialWCET = art.Graph.SequentialWCET(0)
+	c.Round = 0
+	if err := mgr.Run(c, pl.post...); err != nil {
+		return nil, err
+	}
+
+	art.IR = pass.Need(c, keyIR)
+	art.Transform = *rep
+	art.Graph = pass.Need(c, keyGraph)
+	art.Input = pass.Need(c, keyInput)
+	art.Schedule = pass.Need(c, keySched)
+	art.System = pass.Need(c, keySys)
+	art.Parallel = pass.Need(c, keyPar)
+	art.SequentialWCET = pass.Need(c, keySeq)
+	art.PassTrace = c.Trace()
 	return art, nil
 }
 

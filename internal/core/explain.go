@@ -49,6 +49,19 @@ func Explain(a *Artifacts) string {
 	fmt.Fprintf(&sb, "[wcet] total interference %d cycles across %d fixpoint rounds\n",
 		a.System.TotalInterference(), a.System.Iterations)
 
+	// Per-pass instrumentation (where the compilation time went, and
+	// which stages the pass cache skipped).
+	if aggs := a.PassTrace.Aggregate(); len(aggs) > 0 {
+		sb.WriteString("\n[passes]\n")
+		for _, ag := range aggs {
+			cache := ""
+			if ag.CacheHits+ag.CacheMisses > 0 {
+				cache = fmt.Sprintf("  cache %d hit / %d miss", ag.CacheHits, ag.CacheMisses)
+			}
+			fmt.Fprintf(&sb, "  %-12s runs %2d  wall %10s%s\n", ag.Pass, ag.Runs, ag.Wall, cache)
+		}
+	}
+
 	// Static timeline of the analyzed windows.
 	sb.WriteString("\n[timeline] analyzed task windows (interference-inflated)\n")
 	sb.WriteString(windowTimeline(a, 96))

@@ -88,7 +88,7 @@ func OptimizeContext(ctx context.Context, src *scil.Program, baseOpt Options, ca
 	if maxIter > 0 && len(cands) > maxIter {
 		cands = cands[:maxIter]
 	}
-	fe, err := NewFrontEnd(ctx, src, baseOpt.Entry, baseOpt.Args)
+	fe, err := newFrontEnd(ctx, src, baseOpt.Entry, baseOpt.Args, baseOpt.Passes)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,498 @@
+package core
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"argo/internal/adl"
+	"argo/internal/htg"
+	"argo/internal/ir"
+	"argo/internal/par"
+	"argo/internal/pass"
+	"argo/internal/sched"
+	"argo/internal/scil"
+	"argo/internal/sim"
+	"argo/internal/syswcet"
+	"argo/internal/transform"
+	"argo/internal/wcet"
+)
+
+// This file binds the generic pass manager (internal/pass) to the
+// concrete ARGO pipeline: it declares the typed artifact slots, lifts
+// the transformation registry into passes, and defines the structural
+// passes (HTG extraction, scheduling, parallel program construction,
+// validation) together with their cache contracts.
+//
+// Cacheability is decided by pointer discipline, not by ambition:
+//
+//   - Transformation passes are cacheable. Their input is fully
+//     described by the whole-program fingerprint plus the pass's
+//     encoded parameters, and their output snapshot is a deep clone of
+//     the rewritten program (re-cloned again on restore), so no cached
+//     state ever aliases a live pipeline's IR.
+//   - The schedule pass is cacheable. Its input (task WCET vectors,
+//     dependence volumes, platform, policy) and its output
+//     (*sched.Schedule, *syswcet.Result) are pointer-free value data,
+//     deep-copied on both freeze and thaw.
+//   - HTG construction/annotation and parallel program construction are
+//     NOT cacheable: their outputs hold pointers into one specific
+//     ir.Program's statements and variables, which cannot be restored
+//     into a different program instance.
+
+// Typed artifact slots of the pipeline.
+var (
+	keyModel = pass.NewKey[*scil.Program]("scil")
+	keyIR    = pass.NewKey[*ir.Program]("ir")
+	// keyReport accumulates the merged transformation report;
+	// keyDelta holds the contribution of the transform pass that just
+	// ran (scratch slot consumed by Snapshot).
+	keyReport = pass.NewKey[*transform.Report]("transform-report")
+	keyDelta  = pass.NewKey[*transform.Report]("transform-delta")
+	keyModels = pass.NewKey[[]wcet.CostModel]("cost-models")
+	// keyCanon is the canonical ADL encoding of the target platform
+	// (part of the schedule pass's cache key).
+	keyCanon = pass.NewKey[string]("platform-canon")
+	keyBase  = pass.NewKey[*htg.Graph]("htg")
+	keyGraph = pass.NewKey[*htg.Graph]("htg-annotated")
+	keyInput = pass.NewKey[*sched.Input]("sched-input")
+	keySched = pass.NewKey[*sched.Schedule]("schedule")
+	keySys   = pass.NewKey[*syswcet.Result]("syswcet")
+	keyPar   = pass.NewKey[*par.Program]("par-program")
+	keySeq   = pass.NewKey[int64]("seq-wcet")
+)
+
+func dumpIR(c *pass.Context) string { return pass.Need(c, keyIR).Dump() }
+
+// --- front-end passes -------------------------------------------------------
+
+func checkPass() *pass.Pass {
+	return &pass.Pass{
+		Name: "check", Input: "scil", Output: "scil",
+		Run: func(c *pass.Context) error {
+			if errs := scil.Check(pass.Need(c, keyModel), scil.CheckWCET); len(errs) > 0 {
+				return fmt.Errorf("model check failed: %v", errs[0])
+			}
+			return nil
+		},
+	}
+}
+
+func lowerPass(entry string, args []ir.ArgSpec) *pass.Pass {
+	return &pass.Pass{
+		Name: "lower", Input: "scil", Output: "ir",
+		Run: func(c *pass.Context) error {
+			prog, err := ir.Lower(pass.Need(c, keyModel), entry, args)
+			if err != nil {
+				return err
+			}
+			pass.Put(c, keyIR, prog)
+			return nil
+		},
+		Dump: dumpIR,
+	}
+}
+
+// --- transformation passes --------------------------------------------------
+
+// transformSnap is the frozen result of one cacheable transformation
+// pass: the rewritten program (a private clone, re-cloned on thaw) plus
+// the pass's report contribution. SPM-promoted variables are stored as
+// indices into prog.Vars — Clone preserves registration order, so the
+// pointers are rebuilt against whichever clone a thaw produces.
+type transformSnap struct {
+	prog     *ir.Program
+	rep      transform.Report
+	promoted []int
+}
+
+func freezeTransform(live *ir.Program, delta transform.Report) *transformSnap {
+	s := &transformSnap{prog: live.Clone(), rep: delta}
+	if n := len(delta.SPM.Promoted); n > 0 {
+		idx := make(map[*ir.Var]int, len(live.Vars))
+		for i, v := range live.Vars {
+			idx[v] = i
+		}
+		s.promoted = make([]int, n)
+		for i, v := range delta.SPM.Promoted {
+			j, ok := idx[v]
+			if !ok {
+				return nil // promoted var not in the table: don't cache
+			}
+			s.promoted[i] = j
+		}
+		s.rep.SPM.Promoted = nil
+	}
+	return s
+}
+
+func (s *transformSnap) thaw() (*ir.Program, transform.Report) {
+	prog := s.prog.Clone()
+	rep := s.rep
+	if len(s.promoted) > 0 {
+		rep.SPM.Promoted = make([]*ir.Var, len(s.promoted))
+		for i, j := range s.promoted {
+			rep.SPM.Promoted[i] = prog.Vars[j]
+		}
+	}
+	return prog, rep
+}
+
+func transformPasses(tOpt transform.Options, disabled map[string]bool) []*pass.Pass {
+	var out []*pass.Pass
+	for _, spec := range transform.Plan(tOpt) {
+		if disabled[spec.Name] {
+			continue
+		}
+		spec := spec
+		out = append(out, &pass.Pass{
+			Name: spec.Name, Input: "ir", Output: "ir",
+			Run: func(c *pass.Context) error {
+				var delta transform.Report
+				spec.Run(pass.Need(c, keyIR), tOpt, &delta)
+				pass.Need(c, keyReport).Merge(delta)
+				pass.Put(c, keyDelta, &delta)
+				return nil
+			},
+			Fingerprint: func(c *pass.Context) ([]byte, bool) {
+				fp := wcet.FingerprintProgram(pass.Need(c, keyIR))
+				return append(fp[:], spec.Params(tOpt)...), true
+			},
+			Snapshot: func(c *pass.Context) any {
+				s := freezeTransform(pass.Need(c, keyIR), *pass.Need(c, keyDelta))
+				if s == nil {
+					return nil
+				}
+				return s
+			},
+			Restore: func(c *pass.Context, snap any) {
+				prog, delta := snap.(*transformSnap).thaw()
+				pass.Put(c, keyIR, prog)
+				pass.Need(c, keyReport).Merge(delta)
+			},
+			Dump: dumpIR,
+		})
+	}
+	return out
+}
+
+// --- structural passes ------------------------------------------------------
+
+func labelLoopsPass() *pass.Pass {
+	return &pass.Pass{
+		Name: "label-loops", Input: "ir", Output: "ir",
+		Run: func(c *pass.Context) error {
+			transform.LabelLoops(pass.Need(c, keyIR))
+			return nil
+		},
+		Dump: dumpIR,
+	}
+}
+
+func buildHTGPass() *pass.Pass {
+	return &pass.Pass{
+		Name: "build-htg", Input: "ir", Output: "htg",
+		Run: func(c *pass.Context) error {
+			pass.Put(c, keyBase, htg.Build(pass.Need(c, keyIR)))
+			return nil
+		},
+		Dump: func(c *pass.Context) string { return pass.Need(c, keyBase).Dump() },
+	}
+}
+
+// --- feedback-loop passes (run once per placement/analysis round) -----------
+
+func annotatePass() *pass.Pass {
+	return &pass.Pass{
+		Name: "annotate", Input: "htg", Output: "htg-annotated",
+		Run: func(c *pass.Context) error {
+			// Storage classes change between rounds (demotions), so each
+			// round re-annotates a fresh clone of the structural graph.
+			g := pass.Need(c, keyBase).Clone()
+			htg.Annotate(g, pass.Need(c, keyModels))
+			pass.Put(c, keyGraph, g)
+			return nil
+		},
+		Dump: func(c *pass.Context) string { return pass.Need(c, keyGraph).Dump() },
+	}
+}
+
+func coarsenPass(maxTasks int) *pass.Pass {
+	return &pass.Pass{
+		Name: "coarsen", Input: "htg-annotated", Output: "htg-annotated",
+		Run: func(c *pass.Context) error {
+			if g := pass.Need(c, keyGraph); maxTasks > 0 && len(g.Nodes) > maxTasks {
+				g.MergeUntil(maxTasks)
+			}
+			return nil
+		},
+		Dump: func(c *pass.Context) string { return pass.Need(c, keyGraph).Dump() },
+	}
+}
+
+func schedInputPass(platform *adl.Platform) *pass.Pass {
+	return &pass.Pass{
+		Name: "sched-input", Input: "htg-annotated", Output: "sched-input",
+		Run: func(c *pass.Context) error {
+			pass.Put(c, keyInput, sched.FromHTG(pass.Need(c, keyGraph), platform))
+			return nil
+		},
+	}
+}
+
+// schedSnap is the frozen (schedule, system analysis) pair; both are
+// pointer-free value data, deep-copied on freeze and thaw.
+type schedSnap struct {
+	s   *sched.Schedule
+	sys *syswcet.Result
+}
+
+func cloneSchedule(s *sched.Schedule) *sched.Schedule {
+	c := *s
+	c.Placements = append([]sched.Placement(nil), s.Placements...)
+	return &c
+}
+
+func cloneSysResult(r *syswcet.Result) *syswcet.Result {
+	c := *r
+	c.Start = append([]int64(nil), r.Start...)
+	c.Finish = append([]int64(nil), r.Finish...)
+	c.TaskBound = append([]int64(nil), r.TaskBound...)
+	c.InterferencePerTask = append([]int64(nil), r.InterferencePerTask...)
+	c.Contenders = append([]int(nil), r.Contenders...)
+	return &c
+}
+
+// fingerprintScheduleInput content-addresses everything the schedule
+// pass reads: the canonical platform encoding, the policy, and the full
+// task/dependence tables (per-core WCET vectors, shared-access bounds,
+// communication volumes).
+func fingerprintScheduleInput(in *sched.Input, pol sched.Policy, canon string) ([]byte, bool) {
+	if canon == "" {
+		return nil, false
+	}
+	h := sha256.New()
+	var b [8]byte
+	w64 := func(v uint64) { binary.LittleEndian.PutUint64(b[:], v); h.Write(b[:]) }
+	io.WriteString(h, canon)
+	h.Write([]byte{0})
+	w64(uint64(pol))
+	w64(uint64(len(in.Tasks)))
+	for _, t := range in.Tasks {
+		w64(uint64(t.ID))
+		io.WriteString(h, t.Label)
+		h.Write([]byte{0})
+		w64(uint64(t.SharedAccesses))
+		w64(uint64(len(t.WCET)))
+		for _, w := range t.WCET {
+			w64(uint64(w))
+		}
+	}
+	w64(uint64(len(in.Deps)))
+	for _, d := range in.Deps {
+		w64(uint64(d.From))
+		w64(uint64(d.To))
+		w64(uint64(d.VolumeBytes))
+	}
+	return h.Sum(nil), true
+}
+
+func schedulePass(policy sched.Policy) *pass.Pass {
+	return &pass.Pass{
+		Name: "schedule", Input: "sched-input", Output: "schedule+syswcet",
+		Run: func(c *pass.Context) error {
+			s, sys, err := scheduleAndAnalyze(pass.Need(c, keyInput), policy)
+			if err != nil {
+				return err
+			}
+			pass.Put(c, keySched, s)
+			pass.Put(c, keySys, sys)
+			return nil
+		},
+		Fingerprint: func(c *pass.Context) ([]byte, bool) {
+			return fingerprintScheduleInput(pass.Need(c, keyInput), policy, pass.Need(c, keyCanon))
+		},
+		Snapshot: func(c *pass.Context) any {
+			return &schedSnap{
+				s:   cloneSchedule(pass.Need(c, keySched)),
+				sys: cloneSysResult(pass.Need(c, keySys)),
+			}
+		},
+		Restore: func(c *pass.Context, snap any) {
+			s := snap.(*schedSnap)
+			pass.Put(c, keySched, cloneSchedule(s.s))
+			pass.Put(c, keySys, cloneSysResult(s.sys))
+		},
+		Dump: func(c *pass.Context) string {
+			s := pass.Need(c, keySched)
+			sys := pass.Need(c, keySys)
+			var sb strings.Builder
+			fmt.Fprintf(&sb, "policy=%v cores=%d makespan=%d iterations=%d\n", s.Policy, s.Cores, sys.Makespan, sys.Iterations)
+			for _, pl := range s.Placements {
+				fmt.Fprintf(&sb, "task %d -> core %d [%d, %d] bound=%d intf=%d\n",
+					pl.Task, pl.Core, sys.Start[pl.Task], sys.Finish[pl.Task], sys.TaskBound[pl.Task], sys.InterferencePerTask[pl.Task])
+			}
+			return sb.String()
+		},
+	}
+}
+
+func parBuildPass(platform *adl.Platform) *pass.Pass {
+	return &pass.Pass{
+		Name: "par-build", Input: "schedule+syswcet", Output: "par-program",
+		Run: func(c *pass.Context) error {
+			pp, err := par.Build(pass.Need(c, keyIR), pass.Need(c, keyGraph),
+				pass.Need(c, keyInput), pass.Need(c, keySched), pass.Need(c, keySys), platform)
+			if err != nil {
+				return err
+			}
+			pass.Put(c, keyPar, pp)
+			return nil
+		},
+		Dump: func(c *pass.Context) string {
+			pp := pass.Need(c, keyPar)
+			return fmt.Sprintf("cores=%d buffers=%d signals=%d demoted=%d prologue=%d epilogue=%d bound=%d",
+				len(pp.CoreEntries), len(pp.Buffers), pp.Signals, len(pp.Demoted),
+				pp.PrologueCycles, pp.EpilogueCycles, pp.BoundMakespan())
+		},
+	}
+}
+
+// --- post-loop passes -------------------------------------------------------
+
+func validatePass() *pass.Pass {
+	return &pass.Pass{
+		Name: "validate", Input: "par-program", Output: "par-program",
+		Run: func(c *pass.Context) error {
+			if err := pass.Need(c, keyPar).Validate(); err != nil {
+				return fmt.Errorf("parallel program invalid: %v", err)
+			}
+			return nil
+		},
+	}
+}
+
+func seqWCETPass() *pass.Pass {
+	return &pass.Pass{
+		Name: "seq-wcet", Input: "htg-annotated", Output: "seq-wcet",
+		Run: func(c *pass.Context) error {
+			pass.Put(c, keySeq, pass.Need(c, keyGraph).SequentialWCET(0))
+			return nil
+		},
+		Dump: func(c *pass.Context) string {
+			return fmt.Sprintf("sequential-wcet=%d", pass.Need(c, keySeq))
+		},
+	}
+}
+
+// --- pipeline assembly ------------------------------------------------------
+
+// pipeline is the back-end pass sequence for one set of options:
+// pre-loop passes run once, loop passes run once per feedback round,
+// post-loop passes run after the storage assignment stabilized.
+type pipeline struct {
+	pre, loop, post []*pass.Pass
+}
+
+func buildPipeline(opt Options, tOpt transform.Options, disabled map[string]bool) pipeline {
+	return pipeline{
+		pre:  append(transformPasses(tOpt, disabled), labelLoopsPass(), buildHTGPass()),
+		loop: []*pass.Pass{annotatePass(), coarsenPass(opt.MaxTasks), schedInputPass(opt.Platform), schedulePass(opt.Policy), parBuildPass(opt.Platform)},
+		post: []*pass.Pass{validatePass(), seqWCETPass()},
+	}
+}
+
+// disabledSet validates -disable-pass names: only transformation passes
+// may be disabled (the structural passes are load-bearing).
+func disabledSet(names []string) (map[string]bool, error) {
+	if len(names) == 0 {
+		return nil, nil
+	}
+	valid := make(map[string]bool)
+	for _, n := range transform.PassNames() {
+		valid[n] = true
+	}
+	out := make(map[string]bool, len(names))
+	for _, n := range names {
+		if !valid[n] {
+			return nil, fmt.Errorf("core: unknown disableable pass %q (disableable: %s)", n, strings.Join(transform.PassNames(), ", "))
+		}
+		out[n] = true
+	}
+	return out, nil
+}
+
+// DescribePipeline returns the registered pass graph the options select,
+// in execution order (argocc -passes, make passes). The front-end passes
+// (check, lower) are included; loop passes are marked per-round.
+func DescribePipeline(opt Options) ([]pass.Desc, error) {
+	tOpt := opt.Transforms
+	if opt.AutoSPM {
+		if opt.Platform != nil {
+			tOpt.SPM = spmOptionsFor(opt.Platform)
+		} else {
+			tOpt.SPM = &transform.SPMOptions{}
+		}
+	}
+	disabled, err := disabledSet(opt.Passes.Disable)
+	if err != nil {
+		return nil, err
+	}
+	pl := buildPipeline(opt, tOpt, disabled)
+	var ds []pass.Desc
+	for _, p := range []*pass.Pass{checkPass(), lowerPass("", nil)} {
+		ds = append(ds, p.Describe(false))
+	}
+	for _, p := range pl.pre {
+		ds = append(ds, p.Describe(false))
+	}
+	for _, p := range pl.loop {
+		ds = append(ds, p.Describe(true))
+	}
+	for _, p := range pl.post {
+		ds = append(ds, p.Describe(false))
+	}
+	return ds, nil
+}
+
+// SimulateContext executes the compiled parallel program on the
+// platform simulator, adapted as one instrumented "simulate" pass:
+// cancellation, timing, and the argo_pass_ns/argo_pass_runs expvars
+// follow the pass-manager contract like every pipeline stage.
+func SimulateContext(ctx context.Context, a *Artifacts, inputs [][]float64) (*sim.Report, error) {
+	var rep *sim.Report
+	p := &pass.Pass{
+		Name: "simulate", Input: "par-program", Output: "sim-report",
+		Run: func(c *pass.Context) error {
+			r, err := sim.RunContext(c.Ctx(), a.Parallel, inputs)
+			if err != nil {
+				return err
+			}
+			rep = r
+			return nil
+		},
+	}
+	if err := (&pass.Manager{}).Run(pass.NewContext(ctx), p); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// PassNames returns every pass name DescribePipeline can produce for the
+// options, sorted (argocc -dump-after validation).
+func PassNames(opt Options) []string {
+	ds, err := DescribePipeline(opt)
+	if err != nil {
+		return nil
+	}
+	names := make([]string, len(ds))
+	for i, d := range ds {
+		names[i] = d.Name
+	}
+	sort.Strings(names)
+	return names
+}

@@ -340,6 +340,12 @@ func (p *Program) FreshVar(prefix string, rows, cols int, scalar bool) *Var {
 	return p.NewVar(v)
 }
 
+// TempSeq returns the temporary-name counter FreshVar draws from.
+// Content-addressed program fingerprints must include it: transforms
+// generate variable names from the counter, so two structurally equal
+// programs with different counters produce differently-named rewrites.
+func (p *Program) TempSeq() int { return p.nextTemp }
+
 // VarByName returns the variable with the given name, or nil.
 func (p *Program) VarByName(name string) *Var {
 	for _, v := range p.Vars {

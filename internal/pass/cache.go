@@ -1,0 +1,100 @@
+package pass
+
+import (
+	"crypto/sha256"
+	"sync"
+)
+
+// The pass cache is content-addressed: a key is the SHA-256 of the pass
+// name plus the pass's own input fingerprint, so two executions with
+// equal keys are guaranteed (by the fingerprint contract) to produce
+// identical outputs, and a hit restores a deep copy of the frozen
+// snapshot. Like the code-level bound cache in internal/wcet, the cache
+// is an accelerator, not a correctness mechanism: it is sharded to keep
+// contention low under parallel candidate evaluation and bounded so a
+// long-running argod cannot grow it without limit (a full shard is
+// simply reset).
+
+type cacheAddr [sha256.Size]byte
+
+// cacheAddress derives the cache key for one pass execution.
+func cacheAddress(passName string, fp []byte) cacheAddr {
+	h := sha256.New()
+	h.Write([]byte(passName))
+	h.Write([]byte{0})
+	h.Write(fp)
+	var a cacheAddr
+	h.Sum(a[:0])
+	return a
+}
+
+const (
+	cacheShardBits = 5
+	cacheShards    = 1 << cacheShardBits
+	// cacheShardMax bounds entries per shard. Snapshots can be whole
+	// cloned IR programs, so the bound is much smaller than the
+	// wcet bound cache's.
+	cacheShardMax = 128
+)
+
+type cacheShard struct {
+	mu sync.RWMutex
+	m  map[cacheAddr]any
+}
+
+// Cache is a sharded, bounded, content-addressed pass-result store.
+// Snapshots stored in it must be immutable (the Snapshot/Restore
+// contract deep-copies anything mutable).
+type Cache struct {
+	shards [cacheShards]cacheShard
+}
+
+// Global is the process-wide pass cache shared by every pipeline
+// execution (candidates of one optimizer ladder, feedback rounds, and
+// argod requests all reuse each other's pass results).
+var Global = &Cache{}
+
+func (c *Cache) shard(a cacheAddr) *cacheShard {
+	return &c.shards[a[0]>>(8-cacheShardBits)]
+}
+
+func (c *Cache) get(a cacheAddr) (any, bool) {
+	s := c.shard(a)
+	s.mu.RLock()
+	v, ok := s.m[a]
+	s.mu.RUnlock()
+	return v, ok
+}
+
+func (c *Cache) put(a cacheAddr, v any) {
+	s := c.shard(a)
+	s.mu.Lock()
+	if s.m == nil || len(s.m) >= cacheShardMax {
+		s.m = make(map[cacheAddr]any)
+	}
+	s.m[a] = v
+	s.mu.Unlock()
+}
+
+// Reset drops every cached pass result (tests and benchmarks measuring
+// the cold path).
+func (c *Cache) Reset() {
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		s.m = nil
+		s.mu.Unlock()
+	}
+}
+
+// Len returns the number of cached snapshots.
+func (c *Cache) Len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.RLock()
+		n += len(s.m)
+		s.mu.RUnlock()
+	}
+	return n
+}

@@ -1,0 +1,63 @@
+package service
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestCompileResponseIncludesPassTimings pins the /v1/compile wire
+// contract: the summary carries the per-pass instrumentation rollup.
+func TestCompileResponseIncludesPassTimings(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, data := post(t, ts.URL+"/v1/compile", `{"usecase":"weaa","platform":"xentium2"}`)
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	var sum CompileSummary
+	if err := json.Unmarshal(data, &sum); err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Passes) == 0 {
+		t.Fatalf("summary has no pass timings: %s", data)
+	}
+	byName := map[string]PassTimingJSON{}
+	for _, p := range sum.Passes {
+		byName[p.Pass] = p
+	}
+	for _, name := range []string{"check", "lower", "build-htg", "schedule", "par-build"} {
+		if byName[name].Runs == 0 {
+			t.Errorf("pass %q missing from summary (have %v)", name, sum.Passes)
+		}
+	}
+	if sched := byName["schedule"]; sched.Runs != sum.FeedbackRounds {
+		t.Errorf("schedule runs %d, want one per feedback round (%d)", sched.Runs, sum.FeedbackRounds)
+	}
+}
+
+// TestDebugVarsExposesPassCounters pins that the process-wide pass
+// expvars are served by /debug/vars alongside the service metrics.
+func TestDebugVarsExposesPassCounters(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	post(t, ts.URL+"/v1/compile", `{"usecase":"weaa","platform":"xentium2"}`)
+
+	resp, data := get(t, ts.URL+"/debug/vars")
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var vars map[string]json.RawMessage
+	if err := json.Unmarshal(data, &vars); err != nil {
+		t.Fatalf("invalid /debug/vars JSON: %v", err)
+	}
+	for _, key := range []string{"argo_pass_ns", "argo_pass_runs", "argo_pass_cache_hits", "argo_pass_cache_misses"} {
+		if _, ok := vars[key]; !ok {
+			t.Errorf("/debug/vars missing %q", key)
+		}
+	}
+	var passRuns map[string]int64
+	if err := json.Unmarshal(vars["argo_pass_runs"], &passRuns); err != nil {
+		t.Fatalf("argo_pass_runs not a map: %v", err)
+	}
+	if passRuns["schedule"] == 0 {
+		t.Errorf("argo_pass_runs has no schedule executions: %v", passRuns)
+	}
+}

@@ -146,6 +146,25 @@ type CompileSummary struct {
 	// FeedbackRounds is how many placement/analysis rounds ran.
 	FeedbackRounds int           `json:"feedback_rounds"`
 	Tasks          []TaskSummary `json:"tasks"`
+	// Passes is the per-pass instrumentation rollup of this compilation
+	// (pipeline order; wall time covers every execution of the pass, so
+	// loop passes accumulate one entry per feedback round).
+	Passes []PassTimingJSON `json:"passes,omitempty"`
+}
+
+// PassTimingJSON is one pass's instrumentation rollup in a compile
+// summary. Process-cumulative counterparts are served by /debug/vars as
+// argo_pass_ns, argo_pass_runs, and argo_pass_cache_{hits,misses}.
+type PassTimingJSON struct {
+	Pass string `json:"pass"`
+	// Runs counts executions (loop passes run once per feedback round).
+	Runs int `json:"runs"`
+	// WallNS is the accumulated wall-clock time in nanoseconds.
+	WallNS int64 `json:"wall_ns"`
+	// CacheHits/CacheMisses report the pass-level cache outcomes
+	// (omitted for passes that are not cacheable).
+	CacheHits   int `json:"cache_hits,omitempty"`
+	CacheMisses int `json:"cache_misses,omitempty"`
 }
 
 // Summarize builds the shared machine-readable summary of a compilation.
@@ -180,6 +199,15 @@ func Summarize(usecase string, period int64, art *argo.Artifacts) *CompileSummar
 			SharedAccesses: n.SharedAccesses,
 			Interference:   art.System.InterferencePerTask[n.ID],
 			Bound:          art.System.TaskBound[n.ID],
+		})
+	}
+	for _, ag := range art.PassTrace.Aggregate() {
+		s.Passes = append(s.Passes, PassTimingJSON{
+			Pass:        ag.Pass,
+			Runs:        ag.Runs,
+			WallNS:      ag.Wall.Nanoseconds(),
+			CacheHits:   ag.CacheHits,
+			CacheMisses: ag.CacheMisses,
 		})
 	}
 	return s

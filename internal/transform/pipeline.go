@@ -58,35 +58,14 @@ func (r Report) String() string {
 		len(r.SPM.Promoted), r.SPM.BytesUsed, r.SPM.GainCycles)
 }
 
-// Apply runs the selected transformations on prog in place.
+// Apply runs the selected transformations on prog in place, walking
+// the pass registry in its fixed default order (see Registry). The
+// pass-manager pipeline in internal/core runs the same registry one
+// pass at a time; Apply is the plain one-call form.
 func Apply(prog *ir.Program, opt Options) Report {
 	var rep Report
-	if opt.Fold {
-		rep.Folded = FoldConstants(prog)
-	}
-	if opt.Hoist {
-		rep.Hoisted = HoistInvariants(prog)
-	}
-	if opt.Fission {
-		rep.FissionSplits = FissionAll(prog)
-	}
-	if opt.ElideInits {
-		rep.ElidedInits = ElideDeadInits(prog)
-	}
-	if opt.Fusion {
-		rep.Fusions = FuseAll(prog)
-	}
-	if opt.UnrollFactor > 1 {
-		rep.Unrolled = UnrollInnermost(prog, opt.UnrollFactor)
-	}
-	if opt.TileI > 0 && opt.TileJ > 0 {
-		rep.Tiled = TileTopLevel(prog, opt.TileI, opt.TileJ)
-	}
-	if opt.ParallelChunks > 1 {
-		rep.Chunked = ParallelizeLoops(prog, opt.ParallelChunks)
-	}
-	if opt.SPM != nil {
-		rep.SPM = PromoteScratchpad(prog, *opt.SPM)
+	for _, p := range Plan(opt) {
+		p.Run(prog, opt, &rep)
 	}
 	return rep
 }

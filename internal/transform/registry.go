@@ -1,0 +1,147 @@
+package transform
+
+import (
+	"encoding/binary"
+	"math"
+
+	"argo/internal/ir"
+)
+
+// The transformation pipeline is a registry of named passes in a fixed
+// default order (the order the old boolean-driven Apply hardwired).
+// Each entry declares when it is enabled, which option values it reads
+// (canonically encoded, for content-addressed pass caching), and how it
+// rewrites the program. The driver (internal/core) lifts every enabled
+// entry into a pass-manager pass, so transforms can be individually
+// observed, disabled, and cached; Apply below remains the plain
+// one-call form for tests and direct users.
+
+// PassSpec is one registered predictability transformation.
+type PassSpec struct {
+	// Name is the registry name (stable: used by argocc -disable-pass,
+	// cache keys, and metrics).
+	Name string
+	// Enabled reports whether the options select this pass.
+	Enabled func(Options) bool
+	// Params canonically encodes every option value Run reads, so equal
+	// (program, Params) implies an identical transformation result.
+	Params func(Options) []byte
+	// Run applies the transformation to prog in place and records what
+	// it did in rep (each pass writes only its own Report fields).
+	Run func(prog *ir.Program, opt Options, rep *Report)
+}
+
+func noParams(Options) []byte { return nil }
+
+// Registry lists every transformation in default application order.
+// The order is load-bearing: it matches the fixed order the pipeline
+// has always used (fold, hoist, fission, elide-inits, fusion, unroll,
+// tile, chunk, spm), so registry-driven runs are bit-identical to the
+// historical hardwired sequence.
+var Registry = []PassSpec{
+	{
+		Name:    "fold",
+		Enabled: func(o Options) bool { return o.Fold },
+		Params:  noParams,
+		Run:     func(p *ir.Program, _ Options, r *Report) { r.Folded = FoldConstants(p) },
+	},
+	{
+		Name:    "hoist",
+		Enabled: func(o Options) bool { return o.Hoist },
+		Params:  noParams,
+		Run:     func(p *ir.Program, _ Options, r *Report) { r.Hoisted = HoistInvariants(p) },
+	},
+	{
+		Name:    "fission",
+		Enabled: func(o Options) bool { return o.Fission },
+		Params:  noParams,
+		Run:     func(p *ir.Program, _ Options, r *Report) { r.FissionSplits = FissionAll(p) },
+	},
+	{
+		Name:    "elide-inits",
+		Enabled: func(o Options) bool { return o.ElideInits },
+		Params:  noParams,
+		Run:     func(p *ir.Program, _ Options, r *Report) { r.ElidedInits = ElideDeadInits(p) },
+	},
+	{
+		Name:    "fusion",
+		Enabled: func(o Options) bool { return o.Fusion },
+		Params:  noParams,
+		Run:     func(p *ir.Program, _ Options, r *Report) { r.Fusions = FuseAll(p) },
+	},
+	{
+		Name:    "unroll",
+		Enabled: func(o Options) bool { return o.UnrollFactor > 1 },
+		Params:  func(o Options) []byte { return u64s(uint64(o.UnrollFactor)) },
+		Run:     func(p *ir.Program, o Options, r *Report) { r.Unrolled = UnrollInnermost(p, o.UnrollFactor) },
+	},
+	{
+		Name:    "tile",
+		Enabled: func(o Options) bool { return o.TileI > 0 && o.TileJ > 0 },
+		Params:  func(o Options) []byte { return u64s(uint64(o.TileI), uint64(o.TileJ)) },
+		Run:     func(p *ir.Program, o Options, r *Report) { r.Tiled = TileTopLevel(p, o.TileI, o.TileJ) },
+	},
+	{
+		Name:    "chunk",
+		Enabled: func(o Options) bool { return o.ParallelChunks > 1 },
+		Params:  func(o Options) []byte { return u64s(uint64(o.ParallelChunks)) },
+		Run:     func(p *ir.Program, o Options, r *Report) { r.Chunked = ParallelizeLoops(p, o.ParallelChunks) },
+	},
+	{
+		Name:    "spm",
+		Enabled: func(o Options) bool { return o.SPM != nil },
+		Params: func(o Options) []byte {
+			s := o.SPM
+			return u64s(uint64(s.CapacityBytes), uint64(s.SharedLatency),
+				uint64(s.SPMLatency), math.Float64bits(s.DMACostPerByte))
+		},
+		Run: func(p *ir.Program, o Options, r *Report) { r.SPM = PromoteScratchpad(p, *o.SPM) },
+	},
+}
+
+// u64s little-endian-encodes values for Params.
+func u64s(vals ...uint64) []byte {
+	out := make([]byte, 0, 8*len(vals))
+	for _, v := range vals {
+		out = binary.LittleEndian.AppendUint64(out, v)
+	}
+	return out
+}
+
+// Plan returns the registry passes the options enable, in application
+// order.
+func Plan(opt Options) []PassSpec {
+	var out []PassSpec
+	for _, p := range Registry {
+		if p.Enabled(opt) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// PassNames lists every registered transformation name in order.
+func PassNames() []string {
+	out := make([]string, len(Registry))
+	for i, p := range Registry {
+		out[i] = p.Name
+	}
+	return out
+}
+
+// Merge folds another report's contributions into r (each registry pass
+// writes disjoint fields, so merging per-pass deltas reconstructs the
+// one-call Apply report exactly).
+func (r *Report) Merge(d Report) {
+	r.Folded += d.Folded
+	r.Hoisted += d.Hoisted
+	r.ElidedInits += d.ElidedInits
+	r.FissionSplits += d.FissionSplits
+	r.Fusions += d.Fusions
+	r.Unrolled += d.Unrolled
+	r.Tiled += d.Tiled
+	r.Chunked += d.Chunked
+	if d.SPM.Candidates != 0 || d.SPM.BytesUsed != 0 || d.SPM.GainCycles != 0 || len(d.SPM.Promoted) != 0 {
+		r.SPM = d.SPM
+	}
+}

@@ -178,6 +178,46 @@ func FingerprintRegion(stmts []ir.Stmt) Fingerprint {
 	return fp
 }
 
+// FingerprintProgram computes the content address of a whole lowered
+// program: the entry signature, the full variable table (names, shapes,
+// storage classes, param/result roles, registration order — order
+// matters because buffer placement assigns addresses in table order),
+// the entry body, and the temporary-name counter (generated names in
+// later rewrites depend on it). Two programs with equal fingerprints
+// behave identically under every downstream stage — transformation,
+// task extraction, scheduling, WCET analysis, code generation — which
+// is what makes whole-program fingerprints sound pass-cache keys.
+func FingerprintProgram(prog *ir.Program) Fingerprint {
+	w := fpPool.Get().(*fpWriter)
+	w.buf = w.buf[:0]
+	w.str(prog.Entry.Name)
+	w.u64(uint64(prog.TempSeq()))
+	w.u64(uint64(len(prog.Vars)))
+	for _, v := range prog.Vars {
+		w.variable(v)
+		flags := byte(0)
+		if v.Param {
+			flags |= 1
+		}
+		if v.Result {
+			flags |= 2
+		}
+		w.byte(flags)
+	}
+	w.u64(uint64(len(prog.Entry.Params)))
+	for _, v := range prog.Entry.Params {
+		w.str(v.Name)
+	}
+	w.u64(uint64(len(prog.Entry.Results)))
+	for _, v := range prog.Entry.Results {
+		w.str(v.Name)
+	}
+	w.block(prog.Entry.Body)
+	fp := sha256.Sum256(w.buf)
+	fpPool.Put(w)
+	return fp
+}
+
 // AnalyzeMemo is Analyze backed by the process-wide content-addressed
 // bound cache.
 func AnalyzeMemo(stmts []ir.Stmt, m CostModel) Report {

@@ -26,6 +26,7 @@ import (
 	"argo/internal/core"
 	"argo/internal/ir"
 	"argo/internal/par"
+	"argo/internal/pass"
 	"argo/internal/sched"
 	"argo/internal/scil"
 	"argo/internal/sim"
@@ -63,6 +64,16 @@ type (
 	TransformOptions = transform.Options
 	// ParallelProgram is the explicitly parallel program model.
 	ParallelProgram = par.Program
+	// PassOptions configures the pass manager executing the pipeline
+	// (disable transforms, toggle caching, per-pass dumps).
+	PassOptions = core.PassOptions
+	// PassDesc describes one registered pipeline pass.
+	PassDesc = pass.Desc
+	// PassTrace is the per-pass instrumentation record of a compilation
+	// (available as Artifacts.PassTrace).
+	PassTrace = pass.Trace
+	// PassTiming is one entry of a PassTrace.
+	PassTiming = pass.Timing
 )
 
 // Scheduling policies.
@@ -184,14 +195,32 @@ func OptimizeUseCaseContext(ctx context.Context, u *UseCase, platform *PlatformD
 // Simulate executes the compiled parallel program on the platform
 // simulator with the given inputs.
 func Simulate(a *Artifacts, inputs [][]float64) (*SimReport, error) {
-	return sim.Run(a.Parallel, inputs)
+	return core.SimulateContext(context.Background(), a, inputs)
 }
 
 // SimulateContext is Simulate with cancellation: the simulator checks
 // ctx between task executions and periodically inside its event loop.
+// The run is adapted as one "simulate" pass, so it shows up in the
+// process-wide pass metrics like every pipeline stage.
 func SimulateContext(ctx context.Context, a *Artifacts, inputs [][]float64) (*SimReport, error) {
-	return sim.RunContext(ctx, a.Parallel, inputs)
+	return core.SimulateContext(ctx, a, inputs)
 }
+
+// DescribePasses renders the registered pass pipeline the options
+// select as a fixed-width table (name, input/output artifact,
+// cacheability, feedback-loop membership) — the same listing
+// `argocc -passes` prints.
+func DescribePasses(opt Options) (string, error) {
+	ds, err := core.DescribePipeline(opt)
+	if err != nil {
+		return "", err
+	}
+	return pass.FormatDescs(ds), nil
+}
+
+// PassNames lists every pass name of the pipeline the options select,
+// sorted (nil if the configuration is invalid).
+func PassNames(opt Options) []string { return core.PassNames(opt) }
 
 // CheckBounds verifies the soundness contract (measured within bounds)
 // for one simulation run.
