@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check fmt vet build test race bench benchsmoke profile passes clean
+.PHONY: all check fmt vet build test race bench benchsmoke profile passes fuzz cover clean
 
 all: check
 
@@ -47,6 +47,21 @@ profile:
 # benchmarks without paying for a full measurement.
 benchsmoke:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .
+
+# Native-fuzzing smoke of every fuzz target: seed corpus plus FUZZTIME
+# of random exploration per target (go's fuzz engine takes one target
+# per invocation). CI runs this as the fuzz-smoke job; raise FUZZTIME
+# locally for a real exploration session.
+FUZZTIME ?= 10s
+fuzz:
+	$(GO) test -run=^$$ -fuzz='^FuzzParseSCIL$$' -fuzztime=$(FUZZTIME) ./internal/scil
+	$(GO) test -run=^$$ -fuzz='^FuzzADLPlatform$$' -fuzztime=$(FUZZTIME) ./internal/adl
+
+# Statement coverage over the full module; prints the total and leaves
+# cover.out (gitignored) for `go tool cover -html=cover.out`.
+cover:
+	$(GO) test -coverprofile=cover.out ./...
+	$(GO) tool cover -func=cover.out | tail -n 1
 
 # Print the registered pass pipeline (name, artifacts, cacheability,
 # feedback-loop membership).

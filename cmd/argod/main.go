@@ -2,9 +2,13 @@
 // daemon: POST /v1/compile, /v1/optimize, and /v1/simulate run the full
 // compile→schedule→WCET→simulate tool-chain with content-addressed
 // result caching, singleflight deduplication of concurrent identical
-// requests, and a bounded worker pool; GET /v1/platforms and
-// /v1/usecases enumerate the built-in targets and models; /healthz and
-// /debug/vars expose liveness and metrics. See docs/SERVICE.md.
+// requests, a bounded worker pool with load shedding (429 +
+// Retry-After once the wait queue saturates), per-request deadlines
+// (timeout_ms), and deterministic fault injection for /v1/simulate
+// (faults); GET /v1/platforms and /v1/usecases enumerate the built-in
+// targets and models; /healthz (liveness), /readyz (readiness: 503
+// while draining after SIGTERM), and /debug/vars expose health and
+// metrics. See docs/SERVICE.md.
 //
 // Examples:
 //
@@ -32,12 +36,13 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8321", "listen address")
-		workers = flag.Int("workers", runtime.NumCPU(), "max concurrent pipeline executions")
-		cache   = flag.Int("cache", 256, "result cache capacity in entries (-1: unbounded)")
-		timeout = flag.Duration("timeout", 60*time.Second, "per-request pipeline budget")
-		grace   = flag.Duration("grace", 10*time.Second, "graceful shutdown budget")
-		maxBody = flag.Int64("max-body", 4<<20, "max request body bytes")
+		addr     = flag.String("addr", ":8321", "listen address")
+		workers  = flag.Int("workers", runtime.NumCPU(), "max concurrent pipeline executions")
+		cache    = flag.Int("cache", 256, "result cache capacity in entries (-1: unbounded)")
+		timeout  = flag.Duration("timeout", 60*time.Second, "per-request pipeline budget")
+		grace    = flag.Duration("grace", 10*time.Second, "graceful shutdown budget")
+		maxBody  = flag.Int64("max-body", 4<<20, "max request body bytes")
+		maxQueue = flag.Int("max-queue", 0, "max queued requests before load shedding (0: 4x workers, -1: unbounded)")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -55,6 +60,7 @@ func main() {
 		CacheEntries: *cache,
 		Timeout:      *timeout,
 		MaxBodyBytes: *maxBody,
+		MaxQueue:     *maxQueue,
 	})
 	// Publish the service metrics into the process-global expvar
 	// registry too, so the stock expvar handler sees them.

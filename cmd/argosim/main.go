@@ -4,9 +4,18 @@
 // (measured must never exceed the bound — the tool exits non-zero if the
 // soundness contract is violated).
 //
-// Example:
+// Deterministic fault injection (internal/fault) is switched on with the
+// -fault-* flags: each run then suffers seed-driven bus/scratchpad access
+// jitter, task compute inflation, and NoC stalls within the analysis
+// budgets. In-budget injection must keep every run under the static bound;
+// -exec-inflation above 1 deliberately breaks the bound and the tool
+// reports the structured violations and exits non-zero.
+//
+// Examples:
 //
 //	argosim -usecase polka -platform xentium4 -runs 25
+//	argosim -usecase weaa -platform leon3-2x2 -runs 10 \
+//	  -fault-seed 7 -access-jitter 1 -exec-inflation 1 -noc-stall 0.5
 package main
 
 import (
@@ -25,8 +34,23 @@ func main() {
 		platform = flag.String("platform", "xentium4", "target platform name")
 		runs     = flag.Int("runs", 10, "number of deterministic input variants")
 		gantt    = flag.Bool("gantt", false, "draw an ASCII timeline of the first run")
+
+		faultSeed = flag.Int64("fault-seed", 0, "fault-injection seed (re-seeded per run with the input seed)")
+		jitter    = flag.Float64("access-jitter", 0, "share [0,1] of per-access interference budget injected as stall")
+		inflation = flag.Float64("exec-inflation", 0, "task compute inflation (<=1: within WCET headroom, >1: break bounds)")
+		nocStall  = flag.Float64("noc-stall", 0, "share [0,1] of per-hop NoC waiting allowance injected as stalls")
 	)
 	flag.Parse()
+	faults := argo.FaultSpec{
+		Seed:          *faultSeed,
+		AccessJitter:  *jitter,
+		ExecInflation: *inflation,
+		NoCStall:      *nocStall,
+	}
+	if err := faults.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "argosim: %v\n", err)
+		os.Exit(2)
+	}
 	uc := argo.UseCaseByName(*usecase)
 	if uc == nil {
 		fmt.Fprintln(os.Stderr, "argosim: unknown or missing -usecase (egpws, weaa, polka)")
@@ -43,12 +67,26 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println(argo.Describe(art))
-	tab := report.New(fmt.Sprintf("Simulated runs (bound %d cycles)", art.Bound()),
-		"seed", "makespan", "exec-span", "bus-wait", "bound-used", "ok")
+	injecting := faults.Enabled()
+	cols := []string{"seed", "makespan", "exec-span", "bus-wait", "bound-used", "ok"}
+	if injecting {
+		cols = append(cols, "injected")
+	}
+	tab := report.New(fmt.Sprintf("Simulated runs (bound %d cycles)", art.Bound()), cols...)
 	var worst int64
 	sound := true
 	for seed := 0; seed < *runs; seed++ {
-		rep, err := argo.Simulate(art, uc.Inputs(int64(seed)))
+		var rep *argo.SimReport
+		var err error
+		if injecting {
+			// Re-seed per run so a sweep over input seeds also sweeps
+			// fault patterns deterministically (same rule as argod).
+			spec := faults
+			spec.Seed += int64(seed)
+			rep, err = argo.SimulateFaulty(art, uc.Inputs(int64(seed)), spec)
+		} else {
+			rep, err = argo.Simulate(art, uc.Inputs(int64(seed)))
+		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "argosim: seed %d: %v\n", seed, err)
 			os.Exit(1)
@@ -62,12 +100,19 @@ func main() {
 		if err := argo.CheckBounds(art, rep); err != nil {
 			ok = "VIOLATION"
 			sound = false
+			for _, v := range argo.Violations(art, rep) {
+				fmt.Fprintf(os.Stderr, "argosim: seed %d: %v\n", seed, v)
+			}
 		}
 		if rep.Makespan > worst {
 			worst = rep.Makespan
 		}
-		tab.Add(seed, rep.Makespan, rep.ExecSpan, rep.BusWaitCycles,
-			fmt.Sprintf("%.1f%%", 100*float64(rep.Makespan)/float64(art.Bound())), ok)
+		row := []any{seed, rep.Makespan, rep.ExecSpan, rep.BusWaitCycles,
+			fmt.Sprintf("%.1f%%", 100*float64(rep.Makespan)/float64(art.Bound())), ok}
+		if injecting {
+			row = append(row, rep.Faults.Total())
+		}
+		tab.Add(row...)
 	}
 	fmt.Print(tab)
 	fmt.Printf("\nworst observed: %d cycles; bound: %d; tightness %.3f\n",

@@ -1,0 +1,59 @@
+package adl
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzADLPlatform asserts the platform loader's robustness contract on
+// arbitrary bytes: Decode never panics — garbage is rejected with an
+// error — and every accepted description is internally consistent
+// (Validate holds) and stable under Encode∘Decode.
+//
+// Run the full fuzzer with: go test -fuzz=FuzzADLPlatform ./internal/adl
+func FuzzADLPlatform(f *testing.F) {
+	for _, name := range BuiltinNames() {
+		enc, err := Encode(Builtin(name))
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(enc)
+	}
+	for _, s := range []string{
+		"", "null", "{}", "[]", "42", `"xentium4"`,
+		`{"name":"p"}`,
+		`{"name":"p","cores":[]}`,
+		`{"name":"p","cores":[{"id":0,"op_cycles":1}],"shared":{"access_cycles":1}}`,
+		`{"name":"p","cores":[{"id":0,"op_cycles":-1}]}`,
+		`{"name":"p","cores":[{"id":7,"op_cycles":1}]}`,
+		`{"name":"p","cores":[{"id":0,"op_cycles":1}],"noc":{"width":-1}}`,
+		"{\"name\":\"\xff\"}",
+		"{", `{"cores":`,
+	} {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := Decode(data)
+		if err != nil {
+			return // rejection is fine; panicking is the bug
+		}
+		if verr := p.Validate(); verr != nil {
+			t.Fatalf("Decode accepted an invalid platform: %v", verr)
+		}
+		enc, err := Encode(p)
+		if err != nil {
+			t.Fatalf("accepted platform does not re-encode: %v", err)
+		}
+		p2, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("re-encoded platform does not decode: %v\n%s", err, enc)
+		}
+		enc2, err := Encode(p2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(enc, enc2) {
+			t.Fatalf("Encode∘Decode not stable:\n--- first\n%s\n--- second\n%s", enc, enc2)
+		}
+	})
+}

@@ -10,6 +10,7 @@ import (
 	"strings"
 
 	"argo/internal/adl"
+	"argo/internal/fault"
 	"argo/internal/htg"
 	"argo/internal/ir"
 	"argo/internal/par"
@@ -469,6 +470,29 @@ func SimulateContext(ctx context.Context, a *Artifacts, inputs [][]float64) (*si
 		Name: "simulate", Input: "par-program", Output: "sim-report",
 		Run: func(c *pass.Context) error {
 			r, err := sim.RunContext(c.Ctx(), a.Parallel, inputs)
+			if err != nil {
+				return err
+			}
+			rep = r
+			return nil
+		},
+	}
+	if err := (&pass.Manager{}).Run(pass.NewContext(ctx), p); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// SimulateFaultyContext is SimulateContext under deterministic fault
+// injection (internal/fault): the run is adapted as one instrumented
+// "simulate-faulty" pass. A zero spec behaves exactly like
+// SimulateContext.
+func SimulateFaultyContext(ctx context.Context, a *Artifacts, inputs [][]float64, spec fault.Spec) (*sim.Report, error) {
+	var rep *sim.Report
+	p := &pass.Pass{
+		Name: "simulate-faulty", Input: "par-program", Output: "sim-report",
+		Run: func(c *pass.Context) error {
+			r, err := sim.RunFaulty(c.Ctx(), a.Parallel, inputs, spec)
 			if err != nil {
 				return err
 			}

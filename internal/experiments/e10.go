@@ -1,0 +1,264 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"argo/internal/adl"
+	"argo/internal/core"
+	"argo/internal/fault"
+	"argo/internal/noc"
+	"argo/internal/report"
+	"argo/internal/sim"
+	"argo/internal/usecases"
+)
+
+// E10Row is one (platform, use case, level, seed) fault-injection cell.
+type E10Row struct {
+	Platform       string
+	UseCase        string
+	Level          float64
+	Seed           int64
+	Bound          int64
+	Makespan       int64
+	InjectedCycles int64
+	Violations     int
+}
+
+// E10NegRow is one over-bound (negative-mode) injection observation.
+type E10NegRow struct {
+	UseCase    string
+	Level      float64
+	Makespan   int64
+	Bound      int64
+	Violations []fault.Violation
+	Flagged    bool
+}
+
+// E10NoCRow is one (stall level, seed, flow) NoC stress observation.
+type E10NoCRow struct {
+	Level  float64
+	Seed   int64
+	FlowID int
+	Bound  int64
+	SimMax int64
+	Stalls int64
+}
+
+// e10Levels are the bound-preserving interference levels swept by E10:
+// each scales every injection site's draw within its analytic budget.
+var e10Levels = []float64{0.25, 0.75, 1.0}
+
+// e10Seeds are the fault seeds per cell; determinism per seed is covered
+// by the sim differential tests, so two independent patterns suffice.
+var e10Seeds = []int64{1, 2}
+
+// E10 stress-tests the central soundness claim under adversarial — but
+// modeled — platform interference: deterministic fault injection sweeps
+// access jitter, execution inflation and NoC link stalls up to the
+// analytic worst case across all platforms x use cases, asserting the
+// observed makespan never exceeds the static bound; a negative mode
+// injects beyond the per-task bounds and must be flagged with a
+// structured violation report, not silently absorbed.
+func E10(platformNames []string) (*Result, []E10Row, []E10NegRow, []E10NoCRow, error) {
+	if len(platformNames) == 0 {
+		platformNames = []string{"xentium2", "xentium4", "xentium4-tdm", "xentium8", "leon3-2x2", "leon3-4x4"}
+	}
+	res := &Result{
+		ID:    "E10",
+		Claim: "static bounds stay sound under any injected interference <= the modeled worst case; over-bound injection is detected (paper §I, §III-C)",
+	}
+
+	// --- Table 1: bound-preserving sweep over platforms x use cases. ---
+	type cell struct {
+		platform string
+		u        *usecases.UseCase
+		level    float64
+		seed     int64
+	}
+	var cells []cell
+	for _, name := range platformNames {
+		for _, u := range usecases.All() {
+			for _, lv := range e10Levels {
+				for _, seed := range e10Seeds {
+					cells = append(cells, cell{name, u, lv, seed})
+				}
+			}
+		}
+	}
+	rows := make([]E10Row, len(cells))
+	errs := make([]error, len(cells))
+	// Compiling is the expensive part and is shared across the level x
+	// seed sweep of a (platform, use case) pair, so compile once per pair
+	// up front (also fanned out) and only simulate per cell.
+	type pairKey struct {
+		platform, usecase string
+	}
+	arts := map[pairKey]*core.Artifacts{}
+	var pairs []cell
+	for _, name := range platformNames {
+		for _, u := range usecases.All() {
+			pairs = append(pairs, cell{platform: name, u: u})
+		}
+	}
+	partErrs := make([]error, len(pairs))
+	partArts := make([]*core.Artifacts, len(pairs))
+	forEachCell(len(pairs), func(i int) {
+		p := pairs[i]
+		platform := adl.Builtin(p.platform)
+		if platform == nil {
+			partErrs[i] = fmt.Errorf("E10: unknown platform %q", p.platform)
+			return
+		}
+		art, err := compileUC(p.u, platform)
+		if err != nil {
+			partErrs[i] = fmt.Errorf("E10 %s/%s: %v", p.platform, p.u.Name, err)
+			return
+		}
+		partArts[i] = art
+	})
+	if err := firstErr(partErrs); err != nil {
+		return nil, nil, nil, nil, err
+	}
+	for i, p := range pairs {
+		arts[pairKey{p.platform, p.u.Name}] = partArts[i]
+	}
+	forEachCell(len(cells), func(i int) {
+		c := cells[i]
+		art := arts[pairKey{c.platform, c.u.Name}]
+		spec := fault.Spec{Seed: c.seed, AccessJitter: c.level, ExecInflation: c.level, NoCStall: c.level}
+		rep, err := sim.RunFaulty(context.Background(), art.Parallel, c.u.Inputs(c.seed), spec)
+		if err != nil {
+			errs[i] = fmt.Errorf("E10 %s/%s level %.2f seed %d: %v", c.platform, c.u.Name, c.level, c.seed, err)
+			return
+		}
+		viol := sim.Violations(art.Parallel, rep)
+		if len(viol) > 0 {
+			errs[i] = fmt.Errorf("E10 %s/%s level %.2f seed %d UNSOUND under in-budget injection: %v",
+				c.platform, c.u.Name, c.level, c.seed, viol[0])
+			return
+		}
+		rows[i] = E10Row{
+			Platform: c.platform, UseCase: c.u.Name, Level: c.level, Seed: c.seed,
+			Bound: art.Parallel.BoundMakespan(), Makespan: rep.Makespan,
+			InjectedCycles: rep.Faults.Total(), Violations: len(viol),
+		}
+	})
+	if err := firstErr(errs); err != nil {
+		return nil, nil, nil, nil, err
+	}
+	tab := report.New("Makespan under injected interference <= modeled worst case (worst over seeds per level)",
+		"platform", "usecase", "bound", "ms@0.25", "ms@0.75", "ms@1.00", "max-inj-cycles", "sound")
+	type agg struct {
+		bound    int64
+		byLevel  map[float64]int64
+		inj      int64
+		unsound  bool
+		platform string
+		usecase  string
+	}
+	var order []pairKey
+	aggs := map[pairKey]*agg{}
+	for _, r := range rows {
+		k := pairKey{r.Platform, r.UseCase}
+		a := aggs[k]
+		if a == nil {
+			a = &agg{bound: r.Bound, byLevel: map[float64]int64{}, platform: r.Platform, usecase: r.UseCase}
+			aggs[k] = a
+			order = append(order, k)
+		}
+		if r.Makespan > a.byLevel[r.Level] {
+			a.byLevel[r.Level] = r.Makespan
+		}
+		if r.InjectedCycles > a.inj {
+			a.inj = r.InjectedCycles
+		}
+		if r.Violations > 0 {
+			a.unsound = true
+		}
+	}
+	for _, k := range order {
+		a := aggs[k]
+		tab.Add(a.platform, a.usecase, a.bound,
+			a.byLevel[0.25], a.byLevel[0.75], a.byLevel[1.0], a.inj, !a.unsound)
+	}
+	res.Tables = append(res.Tables, tab)
+
+	// --- Table 2: over-bound injection must be flagged, not absorbed. ---
+	negTab := report.New("Negative mode: exec inflation beyond the per-task bound (xentium4)",
+		"usecase", "level", "bound", "makespan", "violations", "first", "flagged")
+	var negRows []E10NegRow
+	for _, u := range usecases.All() {
+		art := arts[pairKey{"xentium4", u.Name}]
+		if art == nil {
+			platform := adl.Builtin("xentium4")
+			a, err := compileUC(u, platform)
+			if err != nil {
+				return nil, nil, nil, nil, err
+			}
+			art = a
+		}
+		spec := fault.Spec{Seed: 1, ExecInflation: 1.25}
+		rep, err := sim.RunFaulty(context.Background(), art.Parallel, u.Inputs(1), spec)
+		if err != nil {
+			return nil, nil, nil, nil, fmt.Errorf("E10 negative %s: %v", u.Name, err)
+		}
+		viol := sim.Violations(art.Parallel, rep)
+		r := E10NegRow{
+			UseCase: u.Name, Level: spec.ExecInflation,
+			Makespan: rep.Makespan, Bound: art.Parallel.BoundMakespan(),
+			Violations: viol, Flagged: len(viol) > 0,
+		}
+		if !r.Flagged {
+			return nil, nil, nil, nil, fmt.Errorf("E10 negative %s: over-bound injection silently absorbed", u.Name)
+		}
+		negTab.Add(u.Name, r.Level, r.Bound, r.Makespan, len(viol), viol[0].Kind, r.Flagged)
+		negRows = append(negRows, r)
+	}
+	res.Tables = append(res.Tables, negTab)
+
+	// --- Table 3: NoC link stalls within the per-hop WRR allowance. ---
+	nocTab := report.New("NoC stress: analytic bound vs simulated max latency under injected link stalls, 4x4 WRR mesh",
+		"stall", "seed", "flow", "bound", "sim-max", "stalls", "sound")
+	nspec := adl.Leon3TilePlatform(4, 4).NoC
+	flows := []noc.Flow{
+		{ID: 0, Src: noc.Coord{X: 0, Y: 0}, Dst: noc.Coord{X: 3, Y: 3}, PacketFlits: 4, PeriodCycles: 400},
+		{ID: 1, Src: noc.Coord{X: 1, Y: 0}, Dst: noc.Coord{X: 3, Y: 3}, PacketFlits: 8, PeriodCycles: 520},
+		{ID: 2, Src: noc.Coord{X: 2, Y: 0}, Dst: noc.Coord{X: 3, Y: 3}, PacketFlits: 2, PeriodCycles: 360},
+		{ID: 3, Src: noc.Coord{X: 0, Y: 1}, Dst: noc.Coord{X: 3, Y: 1}, PacketFlits: 4, PeriodCycles: 440},
+		{ID: 4, Src: noc.Coord{X: 0, Y: 2}, Dst: noc.Coord{X: 3, Y: 2}, PacketFlits: 8, PeriodCycles: 620},
+	}
+	var nocRows []E10NoCRow
+	for _, lv := range []float64{0.5, 1.0} {
+		for _, seed := range e10Seeds {
+			cfg := &noc.Config{Spec: *nspec, Flows: flows}
+			simres, err := noc.SimulateFaulty(cfg, 30000, fault.Spec{Seed: seed, NoCStall: lv})
+			if err != nil {
+				return nil, nil, nil, nil, err
+			}
+			for _, f := range flows {
+				wc, err := cfg.WorstCaseLatency(f.ID)
+				if err != nil {
+					return nil, nil, nil, nil, err
+				}
+				r := E10NoCRow{
+					Level: lv, Seed: seed, FlowID: f.ID,
+					Bound: wc, SimMax: simres.MaxLatency[f.ID],
+					Stalls: simres.Faults.LinkStalls,
+				}
+				if r.SimMax > r.Bound {
+					return nil, nil, nil, nil, fmt.Errorf(
+						"E10 NoC stall %.2f seed %d flow %d UNSOUND: sim %d > bound %d",
+						lv, seed, f.ID, r.SimMax, r.Bound)
+				}
+				nocTab.Add(fmt.Sprintf("%.2f", lv), seed, f.ID, r.Bound, r.SimMax, r.Stalls, r.SimMax <= r.Bound)
+				nocRows = append(nocRows, r)
+			}
+		}
+	}
+	res.Tables = append(res.Tables, nocTab)
+	res.Notes = append(res.Notes,
+		"every injection site draws within an analysis-derived cycle budget, so soundness here is the paper's claim, not a tautology",
+		"zero-fault injection is bit-identical to the uninjected simulator (internal/sim differential goldens)")
+	return res, rows, negRows, nocRows, nil
+}

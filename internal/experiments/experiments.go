@@ -693,5 +693,10 @@ func All() ([]*Result, error) {
 		return nil, err
 	}
 	out = append(out, r9)
+	r10, _, _, _, err := E10(nil)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, r10)
 	return out, nil
 }

@@ -191,6 +191,55 @@ func TestE9DeploymentShape(t *testing.T) {
 	}
 }
 
+func TestE10FaultInjectionSoundness(t *testing.T) {
+	// Small platform subset keeps the test fast; the full sweep runs via
+	// argobench. E10 itself errors out on any in-budget violation or any
+	// silently absorbed over-bound injection, so reaching row checks
+	// already means the soundness assertions held.
+	res, rows, negRows, nocRows, err := E10([]string{"xentium2", "xentium4"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tables) != 3 {
+		t.Fatalf("expected 3 tables, got %d", len(res.Tables))
+	}
+	if len(rows) == 0 || len(negRows) == 0 || len(nocRows) == 0 {
+		t.Fatal("empty row sets")
+	}
+	injected := false
+	for _, r := range rows {
+		if r.Violations != 0 {
+			t.Fatalf("in-budget cell has violations: %+v", r)
+		}
+		if r.Makespan > r.Bound {
+			t.Fatalf("makespan %d exceeds bound %d: %+v", r.Makespan, r.Bound, r)
+		}
+		if r.InjectedCycles > 0 {
+			injected = true
+		}
+	}
+	if !injected {
+		t.Fatal("no cell injected anything — the sweep is vacuous")
+	}
+	for _, r := range negRows {
+		if !r.Flagged || len(r.Violations) == 0 {
+			t.Fatalf("over-bound injection not flagged: %+v", r)
+		}
+	}
+	stalled := false
+	for _, r := range nocRows {
+		if r.SimMax > r.Bound {
+			t.Fatalf("NoC latency %d exceeds bound %d: %+v", r.SimMax, r.Bound, r)
+		}
+		if r.Stalls > 0 {
+			stalled = true
+		}
+	}
+	if !stalled {
+		t.Fatal("no NoC stalls injected — the stress table is vacuous")
+	}
+}
+
 func TestETablesDeterministicUnderParallelism(t *testing.T) {
 	// The fan-out must not change any table: cells are reduced in index
 	// order, so serial and parallel runs render identically.

@@ -1,0 +1,179 @@
+package fault
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSpecValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		spec Spec
+		ok   bool
+	}{
+		{"zero", Spec{}, true},
+		{"full", Spec{Seed: 7, AccessJitter: 1, ExecInflation: 1, NoCStall: 1}, true},
+		{"overload", Spec{ExecInflation: 2.5}, true},
+		{"neg-jitter", Spec{AccessJitter: -0.1}, false},
+		{"jitter-above-1", Spec{AccessJitter: 1.5}, false},
+		{"stall-above-1", Spec{NoCStall: 1.01}, false},
+		{"neg-inflation", Spec{ExecInflation: -1}, false},
+		{"nan", Spec{ExecInflation: math.NaN()}, false},
+		{"inf", Spec{AccessJitter: math.Inf(1)}, false},
+	}
+	for _, c := range cases {
+		if err := c.spec.Validate(); (err == nil) != c.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", c.name, err, c.ok)
+		}
+	}
+}
+
+func TestZeroSpecDisabled(t *testing.T) {
+	if (Spec{}).Enabled() {
+		t.Fatal("zero spec must be disabled")
+	}
+	if New(Spec{Seed: 99}) != nil {
+		t.Fatal("New with a seed but no levels must return nil (bit-identical path)")
+	}
+	if New(Spec{AccessJitter: 0.5}) == nil {
+		t.Fatal("New with a level must return an injector")
+	}
+}
+
+func TestOverloadMode(t *testing.T) {
+	if (Spec{ExecInflation: 1}).Overload() {
+		t.Fatal("level 1 is not overload")
+	}
+	if !(Spec{ExecInflation: 1.25}).Overload() {
+		t.Fatal("level > 1 is overload")
+	}
+}
+
+// Injection at identical sites must be identical regardless of call
+// order, and distinct seeds must differ somewhere.
+func TestSiteDeterminism(t *testing.T) {
+	a := New(Spec{Seed: 1, AccessJitter: 1})
+	b := New(Spec{Seed: 1, AccessJitter: 1})
+	// Query b in reverse order: results must still match a's.
+	var got, want []int64
+	for i := 0; i < 64; i++ {
+		want = append(want, a.AccessDelay(i%5, i, 1000))
+	}
+	var rev []int64
+	for i := 63; i >= 0; i-- {
+		rev = append(rev, b.AccessDelay(i%5, i, 1000))
+	}
+	for i := range want {
+		got = append(got, rev[63-i])
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("site %d: order-dependent draw %d vs %d", i, got[i], want[i])
+		}
+	}
+	c := New(Spec{Seed: 2, AccessJitter: 1})
+	same := true
+	for i := 0; i < 64; i++ {
+		if c.AccessDelay(i%5, i, 1000) != want[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("seeds 1 and 2 produced identical draws at 64 sites")
+	}
+}
+
+func TestAccessDelayWithinBudget(t *testing.T) {
+	in := New(Spec{Seed: 3, AccessJitter: 1})
+	for i := 0; i < 1000; i++ {
+		if d := in.AccessDelay(1, i, 37); d < 0 || d > 37 {
+			t.Fatalf("access %d: delay %d outside [0, 37]", i, d)
+		}
+	}
+	if in.AccessDelay(1, 0, 0) != 0 {
+		t.Fatal("zero budget must inject nothing")
+	}
+	if in.AccessDelay(1, 0, -5) != 0 {
+		t.Fatal("negative budget must inject nothing")
+	}
+	st := in.Stats()
+	if st.AccessFaults == 0 || st.AccessExtraCycles == 0 {
+		t.Fatal("stats not accumulated")
+	}
+}
+
+func TestAccessDelayScalesWithLevel(t *testing.T) {
+	lo := New(Spec{Seed: 5, AccessJitter: 0.25})
+	hi := New(Spec{Seed: 5, AccessJitter: 1})
+	var sumLo, sumHi int64
+	for i := 0; i < 500; i++ {
+		sumLo += lo.AccessDelay(0, i, 1000)
+		sumHi += hi.AccessDelay(0, i, 1000)
+	}
+	if sumLo >= sumHi {
+		t.Fatalf("level 0.25 injected %d >= level 1.0's %d", sumLo, sumHi)
+	}
+}
+
+func TestExecExtraBoundPreservingLevels(t *testing.T) {
+	in := New(Spec{Seed: 1, ExecInflation: 1})
+	// isolated 600, wcet 1000: full level consumes the whole headroom.
+	if got := in.ExecExtra(0, 600, 1000, 1400); got != 400 {
+		t.Fatalf("level 1: extra = %d, want 400", got)
+	}
+	half := New(Spec{Seed: 1, ExecInflation: 0.5})
+	if got := half.ExecExtra(0, 600, 1000, 1400); got != 200 {
+		t.Fatalf("level 0.5: extra = %d, want 200", got)
+	}
+	// No headroom: nothing to inject at bound-preserving levels.
+	if got := in.ExecExtra(0, 1000, 1000, 1400); got != 0 {
+		t.Fatalf("no headroom: extra = %d, want 0", got)
+	}
+}
+
+func TestExecExtraOverloadExceedsBound(t *testing.T) {
+	in := New(Spec{Seed: 1, ExecInflation: 1.25})
+	isolated, wcet, bound := int64(600), int64(1000), int64(1400)
+	extra := in.ExecExtra(0, isolated, wcet, bound)
+	if isolated+extra <= bound {
+		t.Fatalf("overload: isolated+extra = %d must exceed task bound %d", isolated+extra, bound)
+	}
+	_ = wcet
+}
+
+func TestLinkStallWithinBudget(t *testing.T) {
+	in := New(Spec{Seed: 9, NoCStall: 1})
+	for i := 0; i < 1000; i++ {
+		if d := in.LinkStall(2, i, 3, 55); d < 0 || d > 55 {
+			t.Fatalf("stall %d outside [0, 55]", d)
+		}
+	}
+	if in.LinkStall(2, 0, 3, 0) != 0 {
+		t.Fatal("zero budget must stall nothing")
+	}
+	if in.Stats().LinkStalls == 0 {
+		t.Fatal("stats not accumulated")
+	}
+}
+
+func TestStatsTotal(t *testing.T) {
+	s := Stats{AccessExtraCycles: 3, ExecExtraCycles: 5, LinkStallCycles: 7}
+	if s.Total() != 15 {
+		t.Fatalf("Total = %d, want 15", s.Total())
+	}
+}
+
+func TestViolationString(t *testing.T) {
+	v := Violation{Kind: "task-finish", Task: 3, Observed: 120, Bound: 100}
+	if v.String() != "task-finish: task 3 observed 120 > bound 100" {
+		t.Fatalf("unexpected render: %s", v)
+	}
+	g := Violation{Kind: "makespan", Task: -1, Observed: 9, Bound: 8}
+	if g.String() != "makespan: observed 9 > bound 8" {
+		t.Fatalf("unexpected render: %s", g)
+	}
+	s := Violation{Kind: "task-start", Task: 1, Observed: 4, Bound: 6}
+	if s.String() != "task-start: task 1 started at 4 before release 6" {
+		t.Fatalf("unexpected render: %s", s)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"sort"
 
 	"argo/internal/adl"
+	"argo/internal/fault"
 )
 
 // Coord is a mesh tile coordinate.
@@ -211,6 +212,8 @@ type SimResult struct {
 	Delivered  map[int]int
 	// Cycles is the simulated horizon.
 	Cycles int64
+	// Faults reports injected link stalls (zero for uninjected runs).
+	Faults fault.Stats
 }
 
 // MeanLatency returns the average delivered latency of a flow.
@@ -227,6 +230,14 @@ type packet struct {
 	injected  int64
 	hop       int // index into the flow's route
 	flitsLeft int // remaining flits at the current link
+	// seq numbers the packet within its flow (fault-site coordinate).
+	seq int
+	// hopEnqueue is when the packet joined its current link's queue
+	// (fault-injection waiting-budget accounting).
+	hopEnqueue int64
+	// stalledHop marks the hop at which a stall was already considered,
+	// so each (packet, hop) site injects at most once.
+	stalledHop int
 }
 
 // wrrState is the arbiter state of one link. Flow bookkeeping is indexed
@@ -258,6 +269,14 @@ type simState struct {
 	links   []*wrrState   // all candidate links, sorted
 	serving bool          // inside the serve loop of the current cycle
 	pending []*wrrState   // links activated mid-serve this cycle
+
+	// Fault-injection state (nil / empty when no faults are injected).
+	inj *fault.Injector
+	// hopBudget is the analytic per-hop WRR waiting allowance of each
+	// flow: rounds × competing-weight × link-cycles — exactly the waiting
+	// term of WorstCaseLatency, so injected stalls stay within the bound.
+	hopBudget [][]int64
+	injCount  []int // per-flow packet sequence numbers
 }
 
 func newSimState(c *Config) *simState {
@@ -305,10 +324,83 @@ func newSimState(c *Config) *simState {
 	return s
 }
 
+// initFaults precomputes the analytic per-hop waiting allowances the
+// link-stall injector is budgeted against.
+func (s *simState) initFaults(c *Config, inj *fault.Injector) {
+	s.inj = inj
+	n := len(c.Flows)
+	s.injCount = make([]int, n)
+	s.hopBudget = make([][]int64, n)
+	routes := make([][]link, n)
+	for i, f := range c.Flows {
+		routes[i] = Route(f.Src, f.Dst)
+	}
+	for i, f := range c.Flows {
+		w := c.weight(f)
+		rounds := (f.PacketFlits + w - 1) / w
+		s.hopBudget[i] = make([]int64, len(routes[i]))
+		for h, l := range routes[i] {
+			var competing int64
+			for j, g := range c.Flows {
+				if j == i {
+					continue
+				}
+				for _, ol := range routes[j] {
+					if ol == l {
+						competing += int64(c.weight(g))
+						break
+					}
+				}
+			}
+			// The waiting term of WorstCaseLatency at this hop.
+			s.hopBudget[i][h] = int64(rounds) * competing * int64(c.Spec.LinkCycles)
+		}
+	}
+}
+
+// stallFor draws the transient stall injected while the link serves p.
+// The stall is clamped so no packet currently waiting at the link is
+// pushed past its analytic per-hop waiting allowance.
+func (s *simState) stallFor(st *wrrState, p *packet, now int64) int64 {
+	remaining := int64(-1)
+	for _, q := range st.queues {
+		for _, qp := range q {
+			r := s.hopBudget[qp.flowIdx][qp.hop] - (now - qp.hopEnqueue)
+			if r < 0 {
+				r = 0
+			}
+			if remaining < 0 || r < remaining {
+				remaining = r
+			}
+		}
+	}
+	if remaining <= 0 {
+		return 0
+	}
+	return s.inj.LinkStall(s.flows[p.flowIdx].ID, p.seq, p.hop, remaining)
+}
+
 // Simulate runs a cycle-level store-and-forward simulation for horizon
 // cycles, injecting each flow periodically (first packet at cycle equal
 // to the flow id, staggering deterministically).
 func Simulate(c *Config, horizon int64) (*SimResult, error) {
+	return simulate(c, horizon, nil)
+}
+
+// SimulateFaulty is Simulate under deterministic fault injection (see
+// internal/fault): links serving a packet may transiently stall for
+// extra arbitration delay, clamped to the analytic per-hop WRR waiting
+// allowance of every packet queued at the link — injected interference
+// never exceeds what WorstCaseLatency already budgets. A zero spec is
+// bit-identical to Simulate.
+func SimulateFaulty(c *Config, horizon int64, spec fault.Spec) (*SimResult, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	return simulate(c, horizon, fault.New(spec))
+}
+
+func simulate(c *Config, horizon int64, inj *fault.Injector) (*SimResult, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
@@ -319,13 +411,21 @@ func Simulate(c *Config, horizon int64) (*SimResult, error) {
 		Cycles:     horizon,
 	}
 	s := newSimState(c)
+	if inj != nil {
+		s.initFaults(c, inj)
+	}
 	linkCycles := int64(c.Spec.LinkCycles)
 	routerCycles := int64(c.Spec.RouterCycles)
 	for now := int64(0); now < horizon; now++ {
 		// Inject.
 		for i := range s.flows {
 			if now >= s.phases[i] && (now-s.phases[i])%s.periods[i] == 0 {
-				p := &packet{flowIdx: i, injected: now, flitsLeft: s.flows[i].PacketFlits}
+				p := &packet{flowIdx: i, injected: now, flitsLeft: s.flows[i].PacketFlits,
+					hopEnqueue: now, stalledHop: -1}
+				if s.inj != nil {
+					p.seq = s.injCount[i]
+					s.injCount[i]++
+				}
 				s.routes[i][0].enqueue(s, p)
 			}
 		}
@@ -343,6 +443,15 @@ func Simulate(c *Config, horizon int64) (*SimResult, error) {
 			p := st.pick(s)
 			if p == nil {
 				continue
+			}
+			if s.inj != nil && p.stalledHop != p.hop {
+				// Consider one transient stall per (packet, hop) site the
+				// first time the link would serve the packet.
+				p.stalledHop = p.hop
+				if stall := s.stallFor(st, p, now); stall > 0 {
+					st.busyTil = now + stall
+					continue
+				}
 			}
 			// Transmit one flit.
 			st.busyTil = now + linkCycles
@@ -363,6 +472,7 @@ func Simulate(c *Config, horizon int64) (*SimResult, error) {
 					res.Delivered[f.ID]++
 				} else {
 					p.flitsLeft = f.PacketFlits
+					p.hopEnqueue = now
 					// Router pipeline before joining the next link's queue
 					// is folded into busyTil accounting at delivery;
 					// conservatively the packet is available immediately.
@@ -375,6 +485,9 @@ func Simulate(c *Config, horizon int64) (*SimResult, error) {
 			st.deferred = false
 		}
 		s.pending = s.pending[:0]
+	}
+	if s.inj != nil {
+		res.Faults = s.inj.Stats()
 	}
 	return res, nil
 }

@@ -1,0 +1,199 @@
+package sched
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"argo/internal/adl"
+)
+
+// This file holds the property-based schedule-validity layer (see
+// docs/TESTING.md): seeded random DAGs across shared-bus and NoC
+// platforms, checked against an oracle written independently of
+// Schedule.Validate so a bug in the production checker cannot mask a
+// bug in the schedulers.
+
+// propertyPlatforms mixes shared-bus Xentium clusters with NoC-based
+// Leon3 tiles, so the dependence oracle also exercises DMA-through-NoC
+// transfer costs.
+var propertyPlatforms = []string{"xentium2", "xentium4", "leon3-2x2", "leon3-4x4"}
+
+// randomProblem draws a layered DAG with per-core-heterogeneous WCETs,
+// mixed communication volumes, and a spread of shared-access weights.
+func randomProblem(rng *rand.Rand, p *adl.Platform) *Input {
+	k := p.NumCores()
+	n := 2 + rng.Intn(9)
+	in := &Input{Platform: p}
+	for i := 0; i < n; i++ {
+		t := Task{ID: i, WCET: make([]int64, k), SharedAccesses: int64(rng.Intn(300))}
+		base := int64(10 + rng.Intn(200))
+		for c := range t.WCET {
+			t.WCET[c] = base + int64(rng.Intn(40))
+		}
+		in.Tasks = append(in.Tasks, t)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < 0.3 {
+				in.Deps = append(in.Deps, Dep{From: i, To: j, VolumeBytes: rng.Intn(4096)})
+			}
+		}
+	}
+	return in
+}
+
+// checkScheduleOracle re-derives validity from first principles:
+// dense one-placement-per-task indexing, windows at least as long as
+// the assigned core's WCET, no two tasks overlapping on one core,
+// every dependence delayed by the producer finish plus the transfer
+// cost between the assigned cores, and a makespan that is exactly the
+// latest finish.
+func checkScheduleOracle(t *testing.T, in *Input, s *Schedule) {
+	t.Helper()
+	if len(s.Placements) != len(in.Tasks) {
+		t.Fatalf("%d placements for %d tasks", len(s.Placements), len(in.Tasks))
+	}
+	var latest int64
+	for i, pl := range s.Placements {
+		if pl.Task != i {
+			t.Fatalf("placement %d holds task %d (index must be task id)", i, pl.Task)
+		}
+		if pl.Core < 0 || pl.Core >= in.Platform.NumCores() {
+			t.Fatalf("task %d on core %d of %d", i, pl.Core, in.Platform.NumCores())
+		}
+		if pl.Start < 0 {
+			t.Fatalf("task %d starts at %d", i, pl.Start)
+		}
+		if got, need := pl.Finish-pl.Start, in.Tasks[i].WCET[pl.Core]; got < need {
+			t.Fatalf("task %d window %d < WCET %d on core %d", i, got, need, pl.Core)
+		}
+		if pl.Finish > latest {
+			latest = pl.Finish
+		}
+	}
+	if s.Makespan != latest {
+		t.Fatalf("makespan %d, latest finish %d", s.Makespan, latest)
+	}
+	// Core exclusivity: sort each core's placements by start and demand
+	// disjoint half-open windows.
+	perCore := make([][]Placement, in.Platform.NumCores())
+	for _, pl := range s.Placements {
+		perCore[pl.Core] = append(perCore[pl.Core], pl)
+	}
+	for c, pls := range perCore {
+		sort.Slice(pls, func(i, j int) bool { return pls[i].Start < pls[j].Start })
+		for i := 1; i < len(pls); i++ {
+			if pls[i].Start < pls[i-1].Finish {
+				t.Fatalf("core %d runs tasks %d and %d at once ([%d,%d) vs [%d,%d))",
+					c, pls[i-1].Task, pls[i].Task,
+					pls[i-1].Start, pls[i-1].Finish, pls[i].Start, pls[i].Finish)
+			}
+		}
+	}
+	// Dependences: the consumer may not start before the producer's
+	// finish plus the cross-core transfer (DMA through the shared
+	// memory or the NoC; zero when co-located).
+	for _, d := range in.Deps {
+		from, to := s.Placements[d.From], s.Placements[d.To]
+		comm := int64(0)
+		if from.Core != to.Core {
+			comm = int64(in.Platform.DMACycles(to.Core, d.VolumeBytes))
+		}
+		if to.Start < from.Finish+comm {
+			t.Fatalf("dependence %d->%d violated: consumer starts %d, producer finishes %d + %d transfer cycles",
+				d.From, d.To, to.Start, from.Finish, comm)
+		}
+	}
+}
+
+// TestScheduleValidityProperties: every policy must produce a schedule
+// the independent oracle accepts, on seeded random DAGs over every
+// property platform. Branch-and-bound is restricted to instances small
+// enough for the exact search.
+func TestScheduleValidityProperties(t *testing.T) {
+	for _, name := range propertyPlatforms {
+		p := adl.Builtin(name)
+		if p == nil {
+			t.Fatalf("unknown builtin platform %q", name)
+		}
+		rng := rand.New(rand.NewSource(int64(len(name)) * 1009))
+		for trial := 0; trial < 30; trial++ {
+			in := randomProblem(rng, p)
+			policies := []Policy{ListOblivious, ListContentionAware}
+			if p.NumCores() <= 4 && len(in.Tasks) <= 8 {
+				policies = append(policies, BranchBound)
+			}
+			for _, pol := range policies {
+				s, err := Run(in, pol)
+				if err != nil {
+					t.Fatalf("%s trial %d %v: %v", name, trial, pol, err)
+				}
+				checkScheduleOracle(t, in, s)
+				// The production checker must agree with the oracle.
+				if err := s.Validate(in); err != nil {
+					t.Fatalf("%s trial %d %v: Validate rejects an oracle-valid schedule: %v",
+						name, trial, pol, err)
+				}
+			}
+		}
+	}
+}
+
+// TestContentionPenaltyMonotoneInContenders: adding another core with
+// an overlapping shared-memory-active placement must never lower the
+// contention penalty, and the penalty must match the platform's
+// interference model exactly at each contender count.
+func TestContentionPenaltyMonotoneInContenders(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 50; trial++ {
+		k := 2 + rng.Intn(7)
+		p := adl.XentiumPlatform(k)
+		accesses := int64(1 + rng.Intn(500))
+		in := &Input{Platform: p, Tasks: []Task{{ID: 0, WCET: make([]int64, k), SharedAccesses: accesses}}}
+		start := int64(rng.Intn(1000))
+		finish := start + int64(1+rng.Intn(1000))
+
+		sharedBusy := make([][]Placement, k)
+		if pen := contentionPenalty(in, sharedBusy, 0, 0, start, finish); pen != 0 {
+			t.Fatalf("no contenders must cost 0, got %d", pen)
+		}
+		prev := int64(0)
+		for oc := 1; oc < k; oc++ {
+			sharedBusy[oc] = []Placement{{
+				Task: oc, Core: oc,
+				Start:  start - int64(rng.Intn(50)),
+				Finish: finish + int64(rng.Intn(50)),
+			}}
+			pen := contentionPenalty(in, sharedBusy, 0, 0, start, finish)
+			want := accesses * int64(p.AccessInterferenceDelay(oc))
+			if pen != want {
+				t.Fatalf("trial %d: %d contenders: penalty %d, model says %d", trial, oc, pen, want)
+			}
+			if pen < prev {
+				t.Fatalf("trial %d: penalty dropped from %d to %d when contender %d joined",
+					trial, prev, pen, oc)
+			}
+			if pen <= 0 {
+				t.Fatalf("trial %d: overlapping contender %d yields non-positive penalty %d", trial, oc, pen)
+			}
+			prev = pen
+		}
+
+		// Placements that do not intersect the window contribute nothing:
+		// pushing every contender's interval past the window must zero
+		// the penalty again.
+		for oc := 1; oc < k; oc++ {
+			sharedBusy[oc] = []Placement{{Task: oc, Core: oc, Start: finish, Finish: finish + 10}}
+		}
+		if pen := contentionPenalty(in, sharedBusy, 0, 0, start, finish); pen != 0 {
+			t.Fatalf("trial %d: non-overlapping contenders must cost 0, got %d", trial, pen)
+		}
+		// A task with no shared accesses pays nothing regardless.
+		in.Tasks[0].SharedAccesses = 0
+		sharedBusy[1] = []Placement{{Task: 1, Core: 1, Start: start, Finish: finish}}
+		if pen := contentionPenalty(in, sharedBusy, 0, 0, start, finish); pen != 0 {
+			t.Fatalf("trial %d: zero-access task penalized %d", trial, pen)
+		}
+	}
+}

@@ -1,0 +1,54 @@
+package scil_test
+
+import (
+	"testing"
+
+	"argo/internal/scil"
+	"argo/internal/usecases"
+)
+
+// FuzzParseSCIL asserts the parser's robustness contract on arbitrary
+// byte strings: it never panics (malformed input turns into an error),
+// and whenever it accepts an input, parse∘format is a fixed point — the
+// formatter emits canonical source the parser accepts again, and
+// formatting that reparse changes nothing. This is the fuzz extension of
+// the argofmt round-trip corpus tests in format_test.go.
+//
+// Run the full fuzzer with: go test -fuzz=FuzzParseSCIL ./internal/scil
+func FuzzParseSCIL(f *testing.F) {
+	seeds := []string{
+		"",
+		"function r = f(a)\n  r = a\nendfunction",
+		"function [q, m] = g(v)\n  q = 0\n  for i = 1:2:9\n    q = q + v(1, i)\n  end\n  m = [1, 2; 3, 4]\nendfunction",
+		"//@entry\nfunction r = h(x)\n  //@bound 16\n  while x > 1\n    x = x / 2\n  end\n  r = x\nendfunction",
+		"function r = k(n)\n  v = (1:10)\n  r = sum(v) + length(v)\n  return\nendfunction",
+		"function r = f(a, b)\n  if a > b then\n    r = a\n  elseif a < b then\n    r = b\n  else\n    r = 0\n  end\nendfunction",
+		// Malformed shards that must error, not panic.
+		"function",
+		"function r = f(\nendfunction",
+		"r = [1, 2; 3",
+		"function r = f(a)\n  r = a(\nendfunction",
+		"\x00\xff\xfe",
+		"function r = f(a)\n  r = 1e99999\nendfunction",
+	}
+	for _, u := range usecases.All() {
+		seeds = append(seeds, u.Source)
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p1, err := scil.Parse(src)
+		if err != nil {
+			return // rejection is fine; panicking is the bug
+		}
+		f1 := scil.Format(p1)
+		p2, err := scil.Parse(f1)
+		if err != nil {
+			t.Fatalf("formatter emitted unparsable source: %v\n--- input\n%q\n--- formatted\n%s", err, src, f1)
+		}
+		if f2 := scil.Format(p2); f1 != f2 {
+			t.Fatalf("parse∘format not a fixed point:\n--- first\n%s\n--- second\n%s", f1, f2)
+		}
+	})
+}

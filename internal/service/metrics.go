@@ -110,6 +110,7 @@ type Metrics struct {
 	requests  map[string]*atomic.Int64 // per endpoint
 	errors    map[string]*atomic.Int64 // per status class, e.g. "4xx"
 	latencies map[string]*Histogram    // per pipeline stage
+	retries   atomic.Int64
 	cache     *Cache
 	pool      *Pool
 	started   time.Time
@@ -136,6 +137,9 @@ func (m *Metrics) Request(endpoint string) {
 func (m *Metrics) Error(class string) {
 	m.counter(m.errors, class).Add(1)
 }
+
+// Retry counts one transient-failure retry.
+func (m *Metrics) Retry() { m.retries.Add(1) }
 
 // Observe records one stage latency.
 func (m *Metrics) Observe(stage string, d time.Duration) {
@@ -180,6 +184,7 @@ func (m *Metrics) snapshot() map[string]any {
 		"uptime_s":   int64(time.Since(m.started).Seconds()),
 		"requests":   requests,
 		"errors":     errors,
+		"retries":    m.retries.Load(),
 		"cache":      m.cache.Stats(),
 		"pool":       m.pool.Stats(),
 		"latency_us": latencies,

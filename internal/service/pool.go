@@ -22,35 +22,66 @@ func IsSaturated(err error) bool {
 	return ok
 }
 
+// shedError marks a request rejected up front because the pool's wait
+// queue is already at capacity: admitting it could only add latency for
+// everyone. The server maps it to 429 with a Retry-After hint.
+type shedError struct{ depth int }
+
+func (e *shedError) Error() string {
+	return fmt.Sprintf("load shed: %d requests already queued", e.depth)
+}
+
+// IsShed reports whether err is a load-shedding rejection.
+func IsShed(err error) bool {
+	_, ok := err.(*shedError)
+	return ok
+}
+
 // Pool bounds the number of concurrently executing pipeline runs. Beyond
 // the limit, requests queue inside their context budget and fail with a
 // saturation error once it expires — heavy traffic degrades into bounded
-// latency plus explicit rejections instead of unbounded thrashing.
+// latency plus explicit rejections instead of unbounded thrashing. A
+// queue bound adds load shedding on top: once maxQueue requests are
+// already waiting, new arrivals are rejected immediately instead of
+// piling onto a queue they would time out in anyway.
 type Pool struct {
-	sem chan struct{}
+	sem      chan struct{}
+	maxQueue int // <= 0: unbounded queue
 
 	inflight atomic.Int64
 	queued   atomic.Int64
 	rejected atomic.Int64
+	shed     atomic.Int64
 }
 
 // NewPool returns a pool allowing up to workers concurrent executions
-// (workers <= 0 is clamped to 1).
-func NewPool(workers int) *Pool {
+// (workers <= 0 is clamped to 1) and at most maxQueue waiting requests
+// (maxQueue <= 0: unbounded queue, no shedding).
+func NewPool(workers, maxQueue int) *Pool {
 	if workers <= 0 {
 		workers = 1
 	}
-	return &Pool{sem: make(chan struct{}, workers)}
+	return &Pool{sem: make(chan struct{}, workers), maxQueue: maxQueue}
 }
 
 // Acquire blocks until a worker slot is free or ctx is done. The caller
-// must Release after a successful Acquire.
+// must Release after a successful Acquire. When the wait queue is at
+// capacity, Acquire sheds the request immediately (IsShed reports the
+// error) without waiting.
 func (p *Pool) Acquire(ctx context.Context) error {
 	select {
 	case p.sem <- struct{}{}:
 		p.inflight.Add(1)
 		return nil
 	default:
+	}
+	// The depth check admits at most maxQueue waiters modulo races; a
+	// momentary overshoot only queues a request we could have shed, never
+	// the reverse, so an exact (locked) count is not worth the
+	// contention on this path.
+	if depth := p.queued.Load(); p.maxQueue > 0 && depth >= int64(p.maxQueue) {
+		p.shed.Add(1)
+		return &shedError{depth: int(depth)}
 	}
 	p.queued.Add(1)
 	defer p.queued.Add(-1)
@@ -73,17 +104,21 @@ func (p *Pool) Release() {
 // PoolStats is a point-in-time snapshot of the pool gauges.
 type PoolStats struct {
 	Workers  int   `json:"workers"`
+	MaxQueue int   `json:"max_queue,omitempty"`
 	InFlight int64 `json:"in_flight"`
 	Queued   int64 `json:"queued"`
 	Rejected int64 `json:"rejected"`
+	Shed     int64 `json:"shed"`
 }
 
 // Stats snapshots the pool gauges and counters.
 func (p *Pool) Stats() PoolStats {
 	return PoolStats{
 		Workers:  cap(p.sem),
+		MaxQueue: p.maxQueue,
 		InFlight: p.inflight.Load(),
 		Queued:   p.queued.Load(),
 		Rejected: p.rejected.Load(),
+		Shed:     p.shed.Load(),
 	}
 }

@@ -1,0 +1,59 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"time"
+)
+
+// Retry policy for transient request failures. Attempts counts total
+// tries (1 = no retry); backoff doubles per retry starting at retryBase.
+const (
+	retryAttempts = 3
+	retryBase     = 5 * time.Millisecond
+)
+
+// isTransient classifies an error from the cache/pool path as retryable
+// for a request whose own context ctx is still live.
+//
+// The one genuinely transient failure in this stack is shared-fate
+// singleflight cancellation: a follower attaches to an in-flight
+// identical computation, the leader's client disconnects, the leader's
+// context cancels the shared execution, and every follower sees a
+// context error that has nothing to do with its own budget. Retrying
+// promotes the follower to leader and the work proceeds. Everything
+// else is not retryable here: our own expired deadline stays expired,
+// load shedding must propagate immediately (retrying against a
+// saturated pool makes the overload worse), and pipeline errors are
+// deterministic.
+func isTransient(ctx context.Context, err error) bool {
+	if err == nil || ctx.Err() != nil {
+		return false
+	}
+	if IsShed(err) || IsSaturated(err) {
+		return false
+	}
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// retryTransient runs fn up to retryAttempts times, backing off
+// exponentially between tries, retrying only errors isTransient accepts.
+// The value and outcome of the last attempt are returned.
+func retryTransient(ctx context.Context, m *Metrics, fn func() (any, Outcome, error)) (any, Outcome, error) {
+	backoff := retryBase
+	for attempt := 1; ; attempt++ {
+		val, outcome, err := fn()
+		if err == nil || attempt >= retryAttempts || !isTransient(ctx, err) {
+			return val, outcome, err
+		}
+		if m != nil {
+			m.Retry()
+		}
+		select {
+		case <-time.After(backoff):
+		case <-ctx.Done():
+			return val, outcome, err
+		}
+		backoff *= 2
+	}
+}

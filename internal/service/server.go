@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"runtime"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"argo/internal/sched"
@@ -23,10 +24,15 @@ type Config struct {
 	// 256; <0 disables the bound).
 	CacheEntries int
 	// Timeout is the per-request pipeline budget (default 60s). It
-	// covers queueing for a worker slot plus the pipeline run.
+	// covers queueing for a worker slot plus the pipeline run. Requests
+	// may lower it per call via timeout_ms, never raise it.
 	Timeout time.Duration
 	// MaxBodyBytes bounds request bodies (default 4 MiB).
 	MaxBodyBytes int64
+	// MaxQueue bounds how many requests may wait for a worker slot
+	// before new arrivals are shed with 429 + Retry-After (default
+	// 4x Workers; <0 disables shedding).
+	MaxQueue int
 }
 
 func (c Config) withDefaults() Config {
@@ -45,6 +51,12 @@ func (c Config) withDefaults() Config {
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 4 << 20
 	}
+	if c.MaxQueue == 0 {
+		c.MaxQueue = 4 * c.Workers
+	}
+	if c.MaxQueue < 0 {
+		c.MaxQueue = 0 // unbounded queue, no shedding
+	}
 	return c
 }
 
@@ -58,6 +70,11 @@ type Server struct {
 	metrics *Metrics
 	mux     *http.ServeMux
 
+	// draining flips once shutdown begins: /readyz turns 503 so load
+	// balancers stop routing, while /healthz stays 200 (the process is
+	// alive and still finishing in-flight requests).
+	draining atomic.Bool
+
 	// compile runs one pipeline execution; tests may replace it to
 	// count or delay executions.
 	compile func(ctx context.Context, job *compileJob) (*argo.Artifacts, error)
@@ -67,7 +84,7 @@ type Server struct {
 func NewServer(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	cache := NewCache(cfg.CacheEntries)
-	pool := NewPool(cfg.Workers)
+	pool := NewPool(cfg.Workers, cfg.MaxQueue)
 	s := &Server{
 		cfg:     cfg,
 		cache:   cache,
@@ -82,6 +99,7 @@ func NewServer(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/platforms", s.handlePlatforms)
 	s.mux.HandleFunc("GET /v1/usecases", s.handleUseCases)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /debug/vars", s.handleVars)
 	return s
 }
@@ -150,10 +168,24 @@ func badRequest(format string, args ...any) *httpError {
 	return &httpError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
 }
 
+// requestTimeout resolves a request's pipeline budget: the server
+// default, lowered (never raised) by a positive timeout_ms.
+func (s *Server) requestTimeout(req *CompileRequest) time.Duration {
+	if req.TimeoutMS > 0 {
+		if d := time.Duration(req.TimeoutMS) * time.Millisecond; d < s.cfg.Timeout {
+			return d
+		}
+	}
+	return s.cfg.Timeout
+}
+
 // resolve validates a compile request into a runnable job.
 func (s *Server) resolve(req *CompileRequest) (*compileJob, error) {
 	if req.Parallelism < 0 {
 		return nil, badRequest("parallelism must be >= 0")
+	}
+	if req.TimeoutMS < 0 {
+		return nil, badRequest("timeout_ms must be >= 0")
 	}
 	j := &compileJob{maxTasks: req.MaxTasks, parallelism: req.Parallelism}
 	switch {
@@ -238,20 +270,23 @@ type compileResult struct {
 }
 
 // cachedCompile serves a compile job through cache, singleflight, and
-// the worker pool.
+// the worker pool, retrying transient shared-fate failures (a leader's
+// cancellation aborting a follower's attached computation) with backoff.
 func (s *Server) cachedCompile(ctx context.Context, job *compileJob) (*compileResult, Outcome, error) {
-	val, outcome, err := s.cache.Do(ctx, job.key("compile"), func() (any, error) {
-		if err := s.pool.Acquire(ctx); err != nil {
-			return nil, err
-		}
-		defer s.pool.Release()
-		t0 := time.Now()
-		art, err := s.compile(ctx, job)
-		s.metrics.Observe("compile", time.Since(t0))
-		if err != nil {
-			return nil, err
-		}
-		return &compileResult{art: art, sum: Summarize(job.usecaseName(), job.period(), art)}, nil
+	val, outcome, err := retryTransient(ctx, s.metrics, func() (any, Outcome, error) {
+		return s.cache.Do(ctx, job.key("compile"), func() (any, error) {
+			if err := s.pool.Acquire(ctx); err != nil {
+				return nil, err
+			}
+			defer s.pool.Release()
+			t0 := time.Now()
+			art, err := s.compile(ctx, job)
+			s.metrics.Observe("compile", time.Since(t0))
+			if err != nil {
+				return nil, err
+			}
+			return &compileResult{art: art, sum: Summarize(job.usecaseName(), job.period(), art)}, nil
+		})
 	})
 	if err != nil {
 		return nil, outcome, err
@@ -273,7 +308,7 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(w, err)
 		return
 	}
-	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
+	ctx, cancel := context.WithTimeout(r.Context(), s.requestTimeout(&req))
 	defer cancel()
 	res, outcome, err := s.cachedCompile(ctx, job)
 	if err != nil {
@@ -295,22 +330,24 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(w, err)
 		return
 	}
-	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
+	ctx, cancel := context.WithTimeout(r.Context(), s.requestTimeout(&req))
 	defer cancel()
-	val, outcome, err := s.cache.Do(ctx, job.key("optimize"), func() (any, error) {
-		if err := s.pool.Acquire(ctx); err != nil {
-			return nil, err
-		}
-		defer s.pool.Release()
-		t0 := time.Now()
-		opt := job.options()
-		opt.Parallelism = job.parallelism
-		res, err := argo.OptimizeSourceContext(ctx, job.source, opt, nil)
-		s.metrics.Observe("optimize", time.Since(t0))
-		if err != nil {
-			return nil, err
-		}
-		return SummarizeOptimize(job.usecaseName(), job.period(), res), nil
+	val, outcome, err := retryTransient(ctx, s.metrics, func() (any, Outcome, error) {
+		return s.cache.Do(ctx, job.key("optimize"), func() (any, error) {
+			if err := s.pool.Acquire(ctx); err != nil {
+				return nil, err
+			}
+			defer s.pool.Release()
+			t0 := time.Now()
+			opt := job.options()
+			opt.Parallelism = job.parallelism
+			res, err := argo.OptimizeSourceContext(ctx, job.source, opt, nil)
+			s.metrics.Observe("optimize", time.Since(t0))
+			if err != nil {
+				return nil, err
+			}
+			return SummarizeOptimize(job.usecaseName(), job.period(), res), nil
+		})
 	})
 	if err != nil {
 		s.writeErr(w, err)
@@ -352,8 +389,16 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(w, badRequest("at most %d runs per request (got %d)", maxSimRuns, len(seeds)))
 		return
 	}
+	var faults argo.FaultSpec
+	if req.Faults != nil {
+		faults = req.Faults.ToSpec()
+		if err := faults.Validate(); err != nil {
+			s.writeErr(w, badRequest("faults: %v", err))
+			return
+		}
+	}
 
-	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
+	ctx, cancel := context.WithTimeout(r.Context(), s.requestTimeout(&req.CompileRequest))
 	defer cancel()
 	// The compile goes through the shared cache (same key as
 	// /v1/compile), so a prior compile of the same model is reused and
@@ -366,7 +411,18 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	resp := &SimulateResponse{Compile: res.sum}
 	t0 := time.Now()
 	for _, seed := range seeds {
-		rep, err := argo.SimulateContext(ctx, res.art, job.usecase.Inputs(seed))
+		var rep *argo.SimReport
+		var err error
+		injecting := req.Faults != nil && faults.Enabled()
+		if injecting {
+			// Re-seed per run so a sweep over input seeds also sweeps
+			// fault patterns; the combination stays deterministic.
+			spec := faults
+			spec.Seed += seed
+			rep, err = argo.SimulateFaultyContext(ctx, res.art, job.usecase.Inputs(seed), spec)
+		} else {
+			rep, err = argo.SimulateContext(ctx, res.art, job.usecase.Inputs(seed))
+		}
 		if err != nil {
 			s.writeErr(w, fmt.Errorf("seed %d: %w", seed, err))
 			return
@@ -382,6 +438,11 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		if err := argo.CheckBounds(res.art, rep); err != nil {
 			run.WithinBound = false
 			run.BoundError = err.Error()
+		}
+		if injecting {
+			st := rep.Faults
+			run.Faults = &st
+			run.Violations = argo.Violations(res.art, rep)
 		}
 		resp.Runs = append(resp.Runs, run)
 	}
@@ -426,12 +487,33 @@ func (s *Server) handleUseCases(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, OutcomeMiss, out)
 }
 
+// handleHealthz is liveness: it stays 200 for the process's whole life,
+// including the graceful-shutdown drain — restarting a pod because it is
+// draining would defeat the drain.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, OutcomeMiss, map[string]any{
-		"status":  "ok",
-		"version": argo.Version,
+		"status":   "ok",
+		"version":  argo.Version,
+		"draining": s.draining.Load(),
 	})
 }
+
+// handleReadyz is readiness: 503 once draining so load balancers stop
+// routing new requests while in-flight ones finish.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_ = json.NewEncoder(w).Encode(map[string]any{"status": "draining"})
+		return
+	}
+	s.writeJSON(w, OutcomeMiss, map[string]any{"status": "ready"})
+}
+
+// StartDraining marks the server not-ready (see handleReadyz). It is
+// idempotent and does not interrupt in-flight requests; ListenAndServe
+// calls it when shutdown begins.
+func (s *Server) StartDraining() { s.draining.Store(true) }
 
 // handleVars serves the process-global expvar registry plus this
 // server's metrics under the "service" key, in the standard /debug/vars
@@ -495,6 +577,10 @@ func (s *Server) writeErr(w http.ResponseWriter, err error) {
 	switch {
 	case errors.As(err, &he):
 		status = he.status
+	case IsShed(err):
+		// Queue at capacity: tell well-behaved clients when to retry.
+		status = http.StatusTooManyRequests
+		w.Header().Set("Retry-After", "1")
 	case IsSaturated(err):
 		status = http.StatusServiceUnavailable
 	case errors.Is(err, context.DeadlineExceeded):
@@ -528,6 +614,10 @@ func (s *Server) ListenAndServe(ctx context.Context, addr string, grace time.Dur
 		return err
 	case <-ctx.Done():
 	}
+	// Flip readiness before shutting the listener down: load balancers
+	// polling /readyz stop routing while in-flight requests drain, and
+	// /healthz keeps answering 200 the whole time.
+	s.StartDraining()
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), grace)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil {

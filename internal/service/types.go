@@ -84,6 +84,12 @@ type CompileRequest struct {
 	// address: requests differing only in parallelism share one cache
 	// entry. Ignored by /v1/compile and /v1/simulate.
 	Parallelism int `json:"parallelism,omitempty"`
+	// TimeoutMS caps this request's pipeline budget in milliseconds. It
+	// is clamped to the server's configured timeout (a client may ask
+	// for less time, never more) and, like Parallelism, excluded from
+	// the content address: deadlines don't change results. 0 means the
+	// server default; negative values are rejected.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 }
 
 // ParsePolicy maps a wire policy name to the scheduler policy.
@@ -246,14 +252,41 @@ func SummarizeOptimize(usecase string, period int64, res *argo.OptimizeResult) *
 	return out
 }
 
+// FaultSpecJSON is the wire form of a fault-injection scenario (see
+// internal/fault): seed-driven, deterministic interference injected into
+// the platform simulation. Levels are fractions of the statically
+// analyzed worst-case budgets; exec_inflation > 1 is the negative-test
+// mode that deliberately exceeds the per-task bound and surfaces as
+// structured violations in the response.
+type FaultSpecJSON struct {
+	Seed          int64   `json:"seed,omitempty"`
+	AccessJitter  float64 `json:"access_jitter,omitempty"`
+	ExecInflation float64 `json:"exec_inflation,omitempty"`
+	NoCStall      float64 `json:"noc_stall,omitempty"`
+}
+
+// ToSpec converts the wire form to the simulator's fault spec.
+func (f FaultSpecJSON) ToSpec() argo.FaultSpec {
+	return argo.FaultSpec{
+		Seed:          f.Seed,
+		AccessJitter:  f.AccessJitter,
+		ExecInflation: f.ExecInflation,
+		NoCStall:      f.NoCStall,
+	}
+}
+
 // SimulateRequest is the body of POST /v1/simulate: a compile request
 // plus the input seeds to execute. Runs expands to seeds 1..Runs when
 // Seeds is empty; with both empty a single run with seed 1 executes.
 // Simulation needs a use case (the input generators live there).
+// Faults optionally injects deterministic platform interference into
+// every run; each run's fault pattern is re-seeded with the run's input
+// seed so a sweep over seeds also sweeps fault patterns.
 type SimulateRequest struct {
 	CompileRequest
-	Seeds []int64 `json:"seeds,omitempty"`
-	Runs  int     `json:"runs,omitempty"`
+	Seeds  []int64        `json:"seeds,omitempty"`
+	Runs   int            `json:"runs,omitempty"`
+	Faults *FaultSpecJSON `json:"faults,omitempty"`
 }
 
 // SimRun is one simulated execution.
@@ -271,6 +304,12 @@ type SimRun struct {
 	WithinBound bool `json:"within_bound"`
 	// BoundError is the soundness-violation detail, if any.
 	BoundError string `json:"bound_error,omitempty"`
+	// Faults reports what the run's fault injection actually did
+	// (omitted for fault-free runs).
+	Faults *argo.FaultStats `json:"faults,omitempty"`
+	// Violations lists every detected breach of the analytic bounds as
+	// structured records; in-budget injection must leave it empty.
+	Violations []argo.Violation `json:"violations,omitempty"`
 }
 
 // SimulateResponse is the body of a POST /v1/simulate reply.

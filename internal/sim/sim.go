@@ -17,6 +17,7 @@ import (
 	"fmt"
 
 	"argo/internal/adl"
+	"argo/internal/fault"
 	"argo/internal/ir"
 	"argo/internal/par"
 	"argo/internal/wcet"
@@ -75,8 +76,8 @@ type coreState struct {
 // arbiter models the shared-memory interconnect's arbitration.
 type arbiter interface {
 	// access serves one access requested by core at reqTime and returns
-	// its completion time.
-	access(core int, reqTime int64) int64
+	// its completion time plus the arbitration wait it suffered.
+	access(core int, reqTime int64) (done, wait int64)
 }
 
 // rrBus is a round-robin (FIFO under conservative event order) bus.
@@ -86,14 +87,14 @@ type rrBus struct {
 	waits    *int64
 }
 
-func (b *rrBus) access(core int, reqTime int64) int64 {
+func (b *rrBus) access(core int, reqTime int64) (int64, int64) {
 	grant := reqTime
 	if b.free > grant {
 		grant = b.free
 	}
 	*b.waits += grant - reqTime
 	b.free = grant + int64(b.platform.Bus.SlotCycles)
-	return grant + int64(b.platform.SharedAccessIsolated(core))
+	return grant + int64(b.platform.SharedAccessIsolated(core)), grant - reqTime
 }
 
 // tdmBus grants each core only its own periodic slot.
@@ -102,7 +103,7 @@ type tdmBus struct {
 	waits    *int64
 }
 
-func (b *tdmBus) access(core int, reqTime int64) int64 {
+func (b *tdmBus) access(core int, reqTime int64) (int64, int64) {
 	slot := int64(b.platform.Bus.SlotCycles)
 	k := int64(b.platform.NumCores())
 	period := slot * k
@@ -113,7 +114,7 @@ func (b *tdmBus) access(core int, reqTime int64) int64 {
 		grant += period
 	}
 	*b.waits += grant - reqTime
-	return grant + int64(b.platform.SharedAccessIsolated(core))
+	return grant + int64(b.platform.SharedAccessIsolated(core)), grant - reqTime
 }
 
 // nocPort models the shared-memory controller port of the mesh: WRR
@@ -124,14 +125,14 @@ type nocPort struct {
 	waits    *int64
 }
 
-func (b *nocPort) access(core int, reqTime int64) int64 {
+func (b *nocPort) access(core int, reqTime int64) (int64, int64) {
 	grant := reqTime
 	if b.free > grant {
 		grant = b.free
 	}
 	*b.waits += grant - reqTime
 	b.free = grant + int64(b.platform.NoC.WRRWeight*b.platform.NoC.LinkCycles)
-	return grant + int64(b.platform.SharedAccessIsolated(core))
+	return grant + int64(b.platform.SharedAccessIsolated(core)), grant - reqTime
 }
 
 // Report is the outcome of one simulation run.
@@ -149,6 +150,9 @@ type Report struct {
 	BusWaitCycles int64
 	// PrologueCycles / EpilogueCycles are the simulated DMA phases.
 	PrologueCycles, EpilogueCycles int64
+	// Faults reports what a fault-injected run actually injected (the
+	// zero value for uninjected runs).
+	Faults fault.Stats
 }
 
 // Run simulates the parallel program on the given inputs.
@@ -165,6 +169,22 @@ func Run(p *par.Program, args [][]float64) (*Report, error) {
 // cancelled or expired context aborts the simulation and returns
 // ctx.Err().
 func RunContext(ctx context.Context, p *par.Program, args [][]float64) (*Report, error) {
+	return run(ctx, p, args, nil)
+}
+
+// RunFaulty simulates the parallel program under deterministic fault
+// injection (see internal/fault): shared-memory access-latency jitter
+// within each access's modeled interference budget, and task execution
+// inflation within (or, in the negative-test mode, beyond) the per-task
+// WCET bound. A zero spec is bit-identical to RunContext.
+func RunFaulty(ctx context.Context, p *par.Program, args [][]float64, spec fault.Spec) (*Report, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	return run(ctx, p, args, fault.New(spec))
+}
+
+func run(ctx context.Context, p *par.Program, args [][]float64, inj *fault.Injector) (*Report, error) {
 	nTasks := len(p.Input.Tasks)
 	rep := &Report{
 		TaskStart:  make([]int64, nTasks),
@@ -209,6 +229,43 @@ func RunContext(ctx context.Context, p *par.Program, args [][]float64) (*Report,
 	}
 	ex.SetMeter(nil)
 	rep.Results = ex.Results()
+
+	// Fault injection: inflate task compute time within the code-level
+	// WCET headroom (or beyond the per-task bound in the negative-test
+	// mode). Cached traces are shared across runs, so inflation always
+	// works on a private copy; the extra cycles land in the final compute
+	// segment, leaving the access pattern untouched.
+	var perAccessBudget []int64
+	var accessIdx []int
+	if inj != nil {
+		if inj.Spec().ExecInflation > 0 {
+			for t := 0; t < nTasks; t++ {
+				core := p.Schedule.Placements[t].Core
+				isolatedAccess := int64(p.Platform.SharedAccessIsolated(core))
+				segs := traces[t]
+				isolated := int64(len(segs)-1) * isolatedAccess
+				for _, s := range segs {
+					isolated += s.Gap
+				}
+				extra := inj.ExecExtra(t, isolated, p.Input.Tasks[t].WCET[core], p.System.TaskBound[t])
+				if extra <= 0 {
+					continue
+				}
+				inflated := make([]segment, len(segs))
+				copy(inflated, segs)
+				inflated[len(inflated)-1].Gap += extra
+				traces[t] = inflated
+			}
+		}
+		// Per-access jitter budget: the analysis allows every shared
+		// access of task t an interference delay for its contender count;
+		// injection may consume whatever the arbitration wait left over.
+		perAccessBudget = make([]int64, nTasks)
+		for t := range perAccessBudget {
+			perAccessBudget[t] = int64(p.Platform.AccessInterferenceDelay(p.System.Contenders[t]))
+		}
+		accessIdx = make([]int, nTasks)
+	}
 
 	// Phase 1: DMA prologue (serialized on the shared DMA engine).
 	var dmaTime int64
@@ -276,7 +333,17 @@ func RunContext(ctx context.Context, p *par.Program, args [][]float64) (*Report,
 		if cs.inTask >= 0 {
 			if cs.pendingAccess {
 				// Serve the previously issued bus request.
-				cs.time = arb.access(best, cs.time)
+				done, wait := arb.access(best, cs.time)
+				if inj != nil {
+					// Jitter the access within its remaining modeled
+					// interference budget. Only this core's completion
+					// moves — arbiter state is untouched — so other cores
+					// never see interference beyond the model.
+					t := cs.inTask
+					done += inj.AccessDelay(t, accessIdx[t], perAccessBudget[t]-wait)
+					accessIdx[t]++
+				}
+				cs.time = done
 				cs.pendingAccess = false
 				cs.segIdx++
 				if cs.segIdx == len(cs.segs) {
@@ -338,7 +405,38 @@ func RunContext(ctx context.Context, p *par.Program, args [][]float64) (*Report,
 	}
 	rep.EpilogueCycles = epi
 	rep.Makespan = rep.PrologueCycles + rep.ExecSpan + rep.EpilogueCycles
+	if inj != nil {
+		rep.Faults = inj.Stats()
+	}
 	return rep, nil
+}
+
+// Violations returns every breach of the analytic bounds in a run as a
+// structured report (empty when the run is sound). CheckAgainstBounds is
+// the error-valued form that stops at the first breach; this one is what
+// fault-injection experiments use so over-bound injection is reported in
+// full rather than silently absorbed.
+func Violations(p *par.Program, rep *Report) []fault.Violation {
+	var out []fault.Violation
+	for t := range p.Input.Tasks {
+		if rep.TaskStart[t] < p.System.Start[t] {
+			out = append(out, fault.Violation{Kind: "task-start", Task: t,
+				Observed: rep.TaskStart[t], Bound: p.System.Start[t]})
+		}
+		if rep.TaskFinish[t] > p.System.Finish[t] {
+			out = append(out, fault.Violation{Kind: "task-finish", Task: t,
+				Observed: rep.TaskFinish[t], Bound: p.System.Finish[t]})
+		}
+	}
+	if rep.ExecSpan > p.System.Makespan {
+		out = append(out, fault.Violation{Kind: "exec-span", Task: -1,
+			Observed: rep.ExecSpan, Bound: p.System.Makespan})
+	}
+	if rep.Makespan > p.BoundMakespan() {
+		out = append(out, fault.Violation{Kind: "makespan", Task: -1,
+			Observed: rep.Makespan, Bound: p.BoundMakespan()})
+	}
+	return out
 }
 
 // CheckAgainstBounds verifies the soundness contract: every task ran

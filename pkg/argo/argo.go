@@ -24,6 +24,7 @@ import (
 
 	"argo/internal/adl"
 	"argo/internal/core"
+	"argo/internal/fault"
 	"argo/internal/ir"
 	"argo/internal/par"
 	"argo/internal/pass"
@@ -52,6 +53,13 @@ type (
 	UseCase = usecases.UseCase
 	// SimReport is a platform-simulation result.
 	SimReport = sim.Report
+	// FaultSpec selects a deterministic fault-injection scenario for a
+	// simulation run (zero value: no injection).
+	FaultSpec = fault.Spec
+	// FaultStats reports what one faulty run actually injected.
+	FaultStats = fault.Stats
+	// Violation is one detected breach of the analytic bounds.
+	Violation = fault.Violation
 	// ArgSpec describes one entry argument.
 	ArgSpec = ir.ArgSpec
 	// Diagram is an Xcos-style dataflow model.
@@ -206,6 +214,20 @@ func SimulateContext(ctx context.Context, a *Artifacts, inputs [][]float64) (*Si
 	return core.SimulateContext(ctx, a, inputs)
 }
 
+// SimulateFaulty executes the compiled program under deterministic,
+// seed-driven fault injection: shared-memory access jitter and NoC link
+// stalls within the statically analyzed interference budgets, and task
+// execution inflation within (or, for spec.ExecInflation > 1, beyond)
+// the per-task WCET bound. A zero spec is bit-identical to Simulate.
+func SimulateFaulty(a *Artifacts, inputs [][]float64, spec FaultSpec) (*SimReport, error) {
+	return core.SimulateFaultyContext(context.Background(), a, inputs, spec)
+}
+
+// SimulateFaultyContext is SimulateFaulty with cancellation.
+func SimulateFaultyContext(ctx context.Context, a *Artifacts, inputs [][]float64, spec FaultSpec) (*SimReport, error) {
+	return core.SimulateFaultyContext(ctx, a, inputs, spec)
+}
+
 // DescribePasses renders the registered pass pipeline the options
 // select as a fixed-width table (name, input/output artifact,
 // cacheability, feedback-loop membership) — the same listing
@@ -226,6 +248,14 @@ func PassNames(opt Options) []string { return core.PassNames(opt) }
 // for one simulation run.
 func CheckBounds(a *Artifacts, rep *SimReport) error {
 	return sim.CheckAgainstBounds(a.Parallel, rep)
+}
+
+// Violations reports every detected breach of the analytic bounds in a
+// simulation run as structured records (empty when the run is sound).
+// Under fault injection within the modeled worst case this must stay
+// empty; over-bound injection must surface here.
+func Violations(a *Artifacts, rep *SimReport) []Violation {
+	return sim.Violations(a.Parallel, rep)
 }
 
 // Explain renders the cross-layer report of a compilation.
