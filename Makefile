@@ -2,11 +2,11 @@
 
 GO ?= go
 
-.PHONY: all check fmt vet build test race bench benchsmoke profile passes fuzz cover clean
+.PHONY: all check fmt vet build test race bench benchsmoke profile passes fuzz cover soak clean
 
 all: check
 
-check: fmt vet build race benchsmoke
+check: fmt vet build race benchsmoke soak
 
 # gofmt must produce no output (no unformatted files).
 fmt:
@@ -28,11 +28,12 @@ race:
 	$(GO) test -race ./...
 
 # Full benchmark run; writes the machine-readable report to
-# BENCH_PR3.json, with BENCH_PR2.json (kept in-tree) as the baseline so
-# the per-benchmark speedup of this round of optimizations is recorded.
+# BENCH_PR6.json, with BENCH_PR3.json (kept in-tree) as the baseline so
+# the per-benchmark speedup of this round (interactive sessions) is
+# recorded on top of the previous round's numbers.
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ . | \
-		$(GO) run ./cmd/benchjson -baseline BENCH_PR2.json -o BENCH_PR3.json
+		$(GO) run ./cmd/benchjson -baseline BENCH_PR3.json -o BENCH_PR6.json
 
 # CPU/heap profiles of the two simulator-bound experiment benchmarks,
 # written under profiles/ (gitignored) for `go tool pprof`.
@@ -56,6 +57,12 @@ FUZZTIME ?= 10s
 fuzz:
 	$(GO) test -run=^$$ -fuzz='^FuzzParseSCIL$$' -fuzztime=$(FUZZTIME) ./internal/scil
 	$(GO) test -run=^$$ -fuzz='^FuzzADLPlatform$$' -fuzztime=$(FUZZTIME) ./internal/adl
+	$(GO) test -run=^$$ -fuzz='^FuzzSessionEdit$$' -fuzztime=$(FUZZTIME) ./internal/session
+
+# Session soak smoke: many sessions, many randomized edits, eviction and
+# TTL churn, differential verification — under the race detector.
+soak:
+	$(GO) test -race -run='^TestSessionSoak$$' -count=1 ./internal/session
 
 # Statement coverage over the full module; prints the total and leaves
 # cover.out (gitignored) for `go tool cover -html=cover.out`.

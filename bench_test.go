@@ -11,18 +11,21 @@
 package bench
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
 	"argo/internal/adl"
 	"argo/internal/core"
 	"argo/internal/experiments"
+	"argo/internal/fault"
 	"argo/internal/htg"
 	"argo/internal/ir"
 	"argo/internal/lp"
 	"argo/internal/noc"
 	"argo/internal/sched"
 	"argo/internal/scil"
+	"argo/internal/session"
 	"argo/internal/sim"
 	"argo/internal/syswcet"
 	"argo/internal/transform"
@@ -567,6 +570,91 @@ func BenchmarkSysWCETFull(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := syswcet.AnalyzeFull(in, s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// sessionBenchVariants builds the two what-if platform variants the
+// session-edit benchmarks alternate between (deep copies of a builtin,
+// differing in one ADL parameter).
+func sessionBenchVariants(b *testing.B, platName string) (*adl.Platform, *adl.Platform) {
+	b.Helper()
+	clone := func(v int) *adl.Platform {
+		data, err := adl.Encode(adl.Builtin(platName))
+		if err != nil {
+			b.Fatal(err)
+		}
+		p, err := adl.Decode(data)
+		if err != nil {
+			b.Fatal(err)
+		}
+		p.Shared.AccessCycles = v
+		return p
+	}
+	return clone(20), clone(40)
+}
+
+// BenchmarkSessionEdit measures the steady-state cost of one interactive
+// what-if edit (internal/session): the session alternates between two
+// ADL parameter values, so each edit re-runs only the dirty pass suffix
+// while the clean prefix and the previously analyzed variant restore
+// from the session's private pass cache. Compare against
+// BenchmarkSessionEditCold — the same alternation paid as full cold
+// compiles — for the incremental speedup interactive sessions deliver.
+func BenchmarkSessionEdit(b *testing.B) {
+	uc := usecases.ByName("polka")
+	opt := core.DefaultOptions(uc.Entry, uc.Args, adl.Builtin("xentium4"))
+	s, _, err := session.New(context.Background(), uc.Source, opt, fault.Spec{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	edits := []session.Edit{
+		{Op: session.OpSetParam, Param: "shared.access_cycles", Value: 20},
+		{Op: session.OpSetParam, Param: "shared.access_cycles", Value: 40},
+	}
+	// Warm both variants into the session cache (the steady state of an
+	// interactive loop revisiting configurations).
+	for _, e := range edits {
+		if _, err := s.Apply(context.Background(), e, session.ApplyOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	skipped, reran := 0, 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := s.Apply(context.Background(), edits[i%2], session.ApplyOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		skipped += res.PassesSkipped
+		reran += res.PassesReran
+	}
+	b.StopTimer()
+	if total := skipped + reran; total > 0 {
+		b.ReportMetric(float64(skipped)/float64(total), "skipped/pass")
+	}
+}
+
+// BenchmarkSessionEditCold is the no-session baseline for
+// BenchmarkSessionEdit: the identical what-if alternation paid as full
+// cold pipeline runs (pass caching off), the way a stateless client
+// re-submitting /v1/compile without a result-cache hit would.
+func BenchmarkSessionEditCold(b *testing.B) {
+	uc := usecases.ByName("polka")
+	pa, pb := sessionBenchVariants(b, "xentium4")
+	opts := []core.Options{
+		core.DefaultOptions(uc.Entry, uc.Args, pa),
+		core.DefaultOptions(uc.Entry, uc.Args, pb),
+	}
+	for i := range opts {
+		opts[i].Passes.NoCache = true
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.CompileSource(uc.Source, opts[i%2]); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -5,7 +5,11 @@
 // requests, a bounded worker pool with load shedding (429 +
 // Retry-After once the wait queue saturates), per-request deadlines
 // (timeout_ms), and deterministic fault injection for /v1/simulate
-// (faults); GET /v1/platforms and /v1/usecases enumerate the built-in
+// (faults); /v1/session hosts interactive what-if sessions — stateful
+// incremental re-analysis where each typed edit (replace-func,
+// set-param, toggle-transform, set-policy, set-faults) re-runs only the
+// dirty pass suffix, optionally streaming pass-by-pass progress over
+// SSE; GET /v1/platforms and /v1/usecases enumerate the built-in
 // targets and models; /healthz (liveness), /readyz (readiness: 503
 // while draining after SIGTERM), and /debug/vars expose health and
 // metrics. See docs/SERVICE.md.
@@ -31,18 +35,23 @@ import (
 	"syscall"
 	"time"
 
+	"argo/internal/pass"
 	"argo/internal/service"
+	"argo/pkg/argo"
 )
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8321", "listen address")
-		workers  = flag.Int("workers", runtime.NumCPU(), "max concurrent pipeline executions")
-		cache    = flag.Int("cache", 256, "result cache capacity in entries (-1: unbounded)")
-		timeout  = flag.Duration("timeout", 60*time.Second, "per-request pipeline budget")
-		grace    = flag.Duration("grace", 10*time.Second, "graceful shutdown budget")
-		maxBody  = flag.Int64("max-body", 4<<20, "max request body bytes")
-		maxQueue = flag.Int("max-queue", 0, "max queued requests before load shedding (0: 4x workers, -1: unbounded)")
+		addr         = flag.String("addr", ":8321", "listen address")
+		workers      = flag.Int("workers", runtime.NumCPU(), "max concurrent pipeline executions")
+		cache        = flag.Int("cache", 256, "result cache capacity in entries (-1: unbounded)")
+		timeout      = flag.Duration("timeout", 60*time.Second, "per-request pipeline budget")
+		grace        = flag.Duration("grace", 10*time.Second, "graceful shutdown budget")
+		maxBody      = flag.Int64("max-body", 4<<20, "max request body bytes")
+		maxQueue     = flag.Int("max-queue", 0, "max queued requests before load shedding (0: 4x workers, -1: unbounded)")
+		maxSessions  = flag.Int("max-sessions", argo.DefaultMaxSessions, "max live interactive sessions (LRU-evicted beyond)")
+		sessionTTL   = flag.Duration("session-ttl", argo.DefaultSessionTTL, "idle expiry of interactive sessions")
+		passCacheMax = flag.Int("pass-cache-max", 0, "max snapshots in the global pass cache (0: default bound)")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -54,6 +63,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, "argod: -workers, -timeout, -grace, and -max-body must be positive")
 		os.Exit(2)
 	}
+	if *maxSessions <= 0 || *sessionTTL <= 0 || *passCacheMax < 0 {
+		fmt.Fprintln(os.Stderr, "argod: -max-sessions and -session-ttl must be positive, -pass-cache-max non-negative")
+		os.Exit(2)
+	}
+	// Bound the process-wide pass cache; entry count and evictions are
+	// exported as argo_pass_cache_{entries,evictions} in /debug/vars.
+	pass.Global.SetMax(*passCacheMax)
 
 	srv := service.NewServer(service.Config{
 		Workers:      *workers,
@@ -61,6 +77,8 @@ func main() {
 		Timeout:      *timeout,
 		MaxBodyBytes: *maxBody,
 		MaxQueue:     *maxQueue,
+		MaxSessions:  *maxSessions,
+		SessionTTL:   *sessionTTL,
 	})
 	// Publish the service metrics into the process-global expvar
 	// registry too, so the stock expvar handler sees them.

@@ -1,0 +1,376 @@
+// Command argoedit is the interactive what-if client of the ARGO
+// analysis daemon (argod): it opens (or reuses) a /v1/session and
+// applies typed edits, printing per edit what the incremental
+// re-analysis changed — the WCET bound delta, the tasks that moved, and
+// how many pipeline passes were skipped vs re-ran.
+//
+// Edit operations (positional arguments, applied in order):
+//
+//	set-param:PATH=VALUE        change one ADL platform parameter
+//	toggle:PASS=off|on          disable / re-enable a transformation
+//	policy=aware|oblivious|exact switch the scheduling policy
+//	replace-func:NAME=@FILE     replace one scil function body
+//	faults:KEY=V[,KEY=V...]     set the fault spec (seed, access_jitter,
+//	                            exec_inflation, noc_stall)
+//
+// Exit codes: 0 on success, 1 on server/edit failure, 2 on flag misuse.
+//
+// Examples:
+//
+//	argoedit -usecase polka -platform xentium4 set-param:shared.access_cycles=30
+//	argoedit -session s-4f1d9f21ab03 toggle:fission=off policy=exact
+//	argoedit -usecase weaa -verify -stream replace-func:weaa_filter=@filter.sci
+//	argoedit -usecase polka -json set-param:bus.slot_cycles=12 | jq .bound_delta
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"argo/internal/service"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the whole client, separated from main so tests can exercise it
+// in-process against an httptest server.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("argoedit", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr     = fs.String("addr", "http://localhost:8321", "argod base URL")
+		sessID   = fs.String("session", "", "existing session id (default: create a new session)")
+		usecase  = fs.String("usecase", "", "built-in use case for a new session: egpws, weaa, polka")
+		source   = fs.String("source", "", "scil source file for a new session (needs -entry)")
+		entry    = fs.String("entry", "", "entry function of -source")
+		platform = fs.String("platform", "xentium4", "target platform of a new session")
+		policy   = fs.String("policy", "", "initial scheduling policy of a new session")
+		verify   = fs.Bool("verify", false, "differentially verify every edit against a cold compile")
+		stream   = fs.Bool("stream", false, "stream pass-by-pass progress (SSE) for each edit")
+		jsonOut  = fs.Bool("json", false, "emit each result as JSON instead of the summary line")
+		del      = fs.Bool("delete", false, "delete the session when done")
+		timeout  = fs.Duration("timeout", 2*time.Minute, "per-request client timeout")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	usagef := func(format string, a ...any) int {
+		fmt.Fprintf(stderr, "argoedit: "+format+"\n", a...)
+		return 2
+	}
+	fatalf := func(format string, a ...any) int {
+		fmt.Fprintf(stderr, "argoedit: "+format+"\n", a...)
+		return 1
+	}
+
+	edits := make([]service.SessionEditRequest, 0, fs.NArg())
+	for _, arg := range fs.Args() {
+		req, err := parseOp(arg)
+		if err != nil {
+			return usagef("%v", err)
+		}
+		req.Verify = *verify
+		req.Stream = *stream
+		edits = append(edits, req)
+	}
+
+	c := &client{base: strings.TrimRight(*addr, "/"), hc: &http.Client{Timeout: *timeout}}
+
+	id := *sessID
+	if id == "" {
+		create := service.SessionCreateRequest{Verify: *verify}
+		create.Platform = *platform
+		create.Policy = *policy
+		switch {
+		case *usecase != "" && *source != "":
+			return usagef("set exactly one of -usecase and -source")
+		case *usecase != "":
+			create.UseCase = *usecase
+		case *source != "":
+			if *entry == "" {
+				return usagef("-source needs -entry")
+			}
+			data, err := os.ReadFile(*source)
+			if err != nil {
+				return fatalf("%v", err)
+			}
+			create.Source = string(data)
+			create.Entry = *entry
+		default:
+			return usagef("need -session, -usecase, or -source")
+		}
+		sum, err := c.create(&create)
+		if err != nil {
+			return fatalf("create: %v", err)
+		}
+		id = sum.Session
+		report(stdout, "create", sum, *jsonOut)
+	}
+
+	for _, e := range edits {
+		var (
+			sum *service.SessionSummary
+			err error
+		)
+		if e.Stream {
+			sum, err = c.editStream(id, &e, stdout)
+		} else {
+			sum, err = c.edit(id, &e)
+		}
+		if err != nil {
+			return fatalf("%s: %v", opLabel(&e), err)
+		}
+		report(stdout, opLabel(&e), sum, *jsonOut)
+	}
+
+	if *del {
+		if err := c.delete(id); err != nil {
+			return fatalf("delete: %v", err)
+		}
+		fmt.Fprintf(stdout, "session %s deleted\n", id)
+	} else if *sessID == "" {
+		fmt.Fprintf(stdout, "session %s kept (reuse with -session %s)\n", id, id)
+	}
+	return 0
+}
+
+// parseOp parses one positional edit-operation argument.
+func parseOp(arg string) (service.SessionEditRequest, error) {
+	var r service.SessionEditRequest
+	switch {
+	case strings.HasPrefix(arg, "set-param:"):
+		path, val, ok := strings.Cut(arg[len("set-param:"):], "=")
+		if !ok {
+			return r, fmt.Errorf("set-param wants set-param:PATH=VALUE, got %q", arg)
+		}
+		v, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return r, fmt.Errorf("set-param %s: %v", path, err)
+		}
+		r.Op, r.Param, r.Value = "set-param", path, v
+	case strings.HasPrefix(arg, "toggle:"):
+		name, state, ok := strings.Cut(arg[len("toggle:"):], "=")
+		if !ok || (state != "on" && state != "off") {
+			return r, fmt.Errorf("toggle wants toggle:PASS=on|off, got %q", arg)
+		}
+		r.Op, r.Transform, r.Disable = "toggle-transform", name, state == "off"
+	case strings.HasPrefix(arg, "policy="):
+		r.Op, r.Policy = "set-policy", arg[len("policy="):]
+	case strings.HasPrefix(arg, "replace-func:"):
+		name, file, ok := strings.Cut(arg[len("replace-func:"):], "=")
+		if !ok || !strings.HasPrefix(file, "@") {
+			return r, fmt.Errorf("replace-func wants replace-func:NAME=@FILE, got %q", arg)
+		}
+		data, err := os.ReadFile(file[1:])
+		if err != nil {
+			return r, fmt.Errorf("replace-func %s: %v", name, err)
+		}
+		r.Op, r.Func, r.Source = "replace-func", name, string(data)
+	case strings.HasPrefix(arg, "faults:"):
+		spec := &service.FaultSpecJSON{}
+		for _, kv := range strings.Split(arg[len("faults:"):], ",") {
+			key, val, ok := strings.Cut(kv, "=")
+			if !ok {
+				return r, fmt.Errorf("faults wants faults:KEY=V[,KEY=V...], got %q", arg)
+			}
+			v, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return r, fmt.Errorf("faults %s: %v", key, err)
+			}
+			switch key {
+			case "seed":
+				spec.Seed = int64(v)
+			case "access_jitter":
+				spec.AccessJitter = v
+			case "exec_inflation":
+				spec.ExecInflation = v
+			case "noc_stall":
+				spec.NoCStall = v
+			default:
+				return r, fmt.Errorf("unknown fault key %q (seed, access_jitter, exec_inflation, noc_stall)", key)
+			}
+		}
+		r.Op, r.Faults = "set-faults", spec
+	default:
+		return r, fmt.Errorf("unknown edit op %q (set-param:, toggle:, policy=, replace-func:, faults:)", arg)
+	}
+	return r, nil
+}
+
+func opLabel(e *service.SessionEditRequest) string {
+	switch e.Op {
+	case "set-param":
+		return fmt.Sprintf("set-param %s=%v", e.Param, e.Value)
+	case "toggle-transform":
+		state := "on"
+		if e.Disable {
+			state = "off"
+		}
+		return fmt.Sprintf("toggle %s=%s", e.Transform, state)
+	case "set-policy":
+		return "policy " + e.Policy
+	case "replace-func":
+		return "replace-func " + e.Func
+	case "set-faults":
+		return "set-faults"
+	}
+	return e.Op
+}
+
+// report prints one edit result: the JSON summary or a one-line digest.
+func report(w io.Writer, label string, sum *service.SessionSummary, asJSON bool) {
+	if asJSON {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(sum)
+		return
+	}
+	verified := ""
+	if sum.Verified {
+		verified = " [verified]"
+	}
+	fmt.Fprintf(w, "%s: bound %d (%+d), %d tasks moved, passes %d skipped / %d reran, %.2fms%s\n",
+		label, sum.Compile.TotalBound, sum.BoundDelta, len(sum.ChangedTasks),
+		sum.PassesSkipped, sum.PassesReran, float64(sum.WallNS)/1e6, verified)
+}
+
+// --- HTTP plumbing ----------------------------------------------------------
+
+type client struct {
+	base string
+	hc   *http.Client
+}
+
+func (c *client) post(path string, body, into any) error {
+	data, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Post(c.base+path, "application/json", bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return decodeReply(resp, into)
+}
+
+func decodeReply(resp *http.Response, into any) error {
+	if resp.StatusCode/100 != 2 {
+		var e service.ErrorResponse
+		if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
+			return fmt.Errorf("%s: %s", resp.Status, e.Error)
+		}
+		return fmt.Errorf("%s", resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(into)
+}
+
+func (c *client) create(req *service.SessionCreateRequest) (*service.SessionSummary, error) {
+	var sum service.SessionSummary
+	if err := c.post("/v1/session", req, &sum); err != nil {
+		return nil, err
+	}
+	return &sum, nil
+}
+
+func (c *client) edit(id string, req *service.SessionEditRequest) (*service.SessionSummary, error) {
+	var sum service.SessionSummary
+	if err := c.post("/v1/session/"+id+"/edit", req, &sum); err != nil {
+		return nil, err
+	}
+	return &sum, nil
+}
+
+// editStream posts a streaming edit and renders the SSE events: one
+// progress line per completed pass, then the final result (or an error,
+// including the server's terminal shutdown event while draining).
+func (c *client) editStream(id string, req *service.SessionEditRequest, w io.Writer) (*service.SessionSummary, error) {
+	data, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Post(c.base+"/v1/session/"+id+"/edit", "application/json", bytes.NewReader(data))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/event-stream") {
+		// Error replies (404, 429, ...) come back as plain JSON.
+		var sum service.SessionSummary
+		if err := decodeReply(resp, &sum); err != nil {
+			return nil, err
+		}
+		return &sum, nil
+	}
+
+	var sum *service.SessionSummary
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 16<<20)
+	event := ""
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = line[len("event: "):]
+		case strings.HasPrefix(line, "data: "):
+			payload := []byte(line[len("data: "):])
+			switch event {
+			case "pass":
+				var ev service.SessionPassEvent
+				if json.Unmarshal(payload, &ev) == nil {
+					cache := ev.Cache
+					if cache == "" {
+						cache = "ran"
+					}
+					fmt.Fprintf(w, "  pass %-16s %-4s %8.3fms\n", ev.Pass, cache, float64(ev.WallNS)/1e6)
+				}
+			case "result":
+				var s service.SessionSummary
+				if err := json.Unmarshal(payload, &s); err != nil {
+					return nil, fmt.Errorf("bad result event: %v", err)
+				}
+				sum = &s
+			case "error":
+				var e service.ErrorResponse
+				_ = json.Unmarshal(payload, &e)
+				return nil, fmt.Errorf("%s", e.Error)
+			case "shutdown":
+				var e service.ErrorResponse
+				_ = json.Unmarshal(payload, &e)
+				return nil, fmt.Errorf("server shut down mid-edit: %s", e.Error)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if sum == nil {
+		return nil, fmt.Errorf("stream ended without a result")
+	}
+	return sum, nil
+}
+
+func (c *client) delete(id string) error {
+	req, err := http.NewRequest(http.MethodDelete, c.base+"/v1/session/"+id, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	var out map[string]string
+	return decodeReply(resp, &out)
+}

@@ -1,0 +1,130 @@
+package main
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"argo/internal/service"
+)
+
+func startServer(t *testing.T) string {
+	t.Helper()
+	ts := httptest.NewServer(service.NewServer(service.Config{}).Handler())
+	t.Cleanup(ts.Close)
+	return ts.URL
+}
+
+func runEdit(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestCreateEditDelete(t *testing.T) {
+	url := startServer(t)
+	code, out, errs := runEdit(t,
+		"-addr", url, "-usecase", "polka", "-platform", "xentium4", "-verify", "-delete",
+		"set-param:shared.access_cycles=30",
+		"toggle:fission=off",
+		"policy=oblivious",
+	)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errs)
+	}
+	for _, want := range []string{"create: bound", "set-param shared.access_cycles=30: bound",
+		"toggle fission=off", "policy oblivious", "[verified]", "deleted"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestReplaceFuncFromFileStreaming(t *testing.T) {
+	url := startServer(t)
+	// polka_smooth with an extra fresh-variable statement: a valid
+	// single-function replacement.
+	repl := `function s = polka_smooth(u)
+  h = size(u, 1)
+  w = size(u, 2)
+  s = zeros(h, w)
+  for i = 1:h
+    for j = 1:w
+      s(i, j) = u(i, j)
+    end
+  end
+  wif_cli = 1 + 2
+endfunction
+`
+	file := filepath.Join(t.TempDir(), "smooth.sci")
+	if err := os.WriteFile(file, []byte(repl), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, out, errs := runEdit(t,
+		"-addr", url, "-usecase", "polka", "-verify", "-stream",
+		"replace-func:polka_smooth=@"+file,
+	)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errs)
+	}
+	if !strings.Contains(out, "pass ") {
+		t.Errorf("streaming output has no pass lines:\n%s", out)
+	}
+	if !strings.Contains(out, "replace-func polka_smooth: bound") || !strings.Contains(out, "[verified]") {
+		t.Errorf("missing verified result line:\n%s", out)
+	}
+	if !strings.Contains(out, "session s-") || !strings.Contains(out, "kept") {
+		t.Errorf("missing kept-session hint:\n%s", out)
+	}
+}
+
+func TestSessionReuseAndJSON(t *testing.T) {
+	url := startServer(t)
+	code, out, errs := runEdit(t, "-addr", url, "-usecase", "polka")
+	if code != 0 {
+		t.Fatalf("create: exit %d, stderr: %s", code, errs)
+	}
+	// "session s-XXXX kept (reuse with -session s-XXXX)"
+	var id string
+	for _, f := range strings.Fields(out) {
+		if strings.HasPrefix(f, "s-") {
+			id = f
+			break
+		}
+	}
+	if id == "" {
+		t.Fatalf("no session id in output:\n%s", out)
+	}
+	code, out, errs = runEdit(t, "-addr", url, "-session", id, "-json",
+		"faults:seed=3,access_jitter=0.4", "set-param:core.op_cycles=2")
+	if code != 0 {
+		t.Fatalf("reuse: exit %d, stderr: %s", code, errs)
+	}
+	if !strings.Contains(out, `"session": "`+id+`"`) || !strings.Contains(out, `"bound_delta"`) {
+		t.Errorf("JSON output incomplete:\n%s", out)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	cases := [][]string{
+		{},                                    // no session source
+		{"-usecase", "polka", "bad-op:x=1"},   // unknown op
+		{"-usecase", "polka", "set-param:x"},  // malformed op
+		{"-usecase", "polka", "toggle:f=bad"}, // bad toggle state
+		{"-source", "m.sci"},                  // -source without -entry
+	}
+	for _, args := range cases {
+		if code, _, _ := runEdit(t, args...); code != 2 {
+			t.Errorf("args %v: exit %d, want 2", args, code)
+		}
+	}
+	// Server-side failure is exit 1.
+	url := startServer(t)
+	if code, _, _ := runEdit(t, "-addr", url, "-session", "s-nope", "policy=exact"); code != 1 {
+		t.Error("edit on unknown session should exit 1")
+	}
+}

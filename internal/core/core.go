@@ -60,6 +60,14 @@ type PassOptions struct {
 	// NoCache disables the content-addressed pass-level result cache.
 	// Outputs are bit-identical with and without it.
 	NoCache bool
+	// Cache, when non-nil, replaces the process-global pass cache for
+	// this execution (interactive sessions run on private caches so one
+	// session's artifact history cannot evict another's). Ignored when
+	// NoCache is set. Outputs are bit-identical for every cache choice.
+	Cache *pass.Cache
+	// OnTiming, when set, observes every completed pass's timing record
+	// as soon as it is recorded (sessions stream one event per pass).
+	OnTiming func(pass.Timing)
 	// MeasureAllocs additionally records per-pass heap-allocation deltas
 	// in the trace (process-wide counter delta: approximate under
 	// concurrent executions).
@@ -182,8 +190,12 @@ func newFrontEnd(ctx context.Context, src *scil.Program, entry string, args []ir
 
 // newManager builds the pass manager one pipeline execution uses.
 func newManager(popt PassOptions) *pass.Manager {
-	m := &pass.Manager{MeasureAllocs: popt.MeasureAllocs}
-	if !popt.NoCache {
+	m := &pass.Manager{MeasureAllocs: popt.MeasureAllocs, OnTiming: popt.OnTiming}
+	switch {
+	case popt.NoCache:
+	case popt.Cache != nil:
+		m.Cache = popt.Cache
+	default:
 		m.Cache = pass.Global
 	}
 	dump := popt.DumpAfter != "" && popt.DumpWriter != nil

@@ -2,7 +2,9 @@ package pass
 
 import (
 	"crypto/sha256"
+	"expvar"
 	"sync"
+	"sync/atomic"
 )
 
 // The pass cache is content-addressed: a key is the SHA-256 of the pass
@@ -12,8 +14,8 @@ import (
 // snapshot. Like the code-level bound cache in internal/wcet, the cache
 // is an accelerator, not a correctness mechanism: it is sharded to keep
 // contention low under parallel candidate evaluation and bounded so a
-// long-running argod cannot grow it without limit (a full shard is
-// simply reset).
+// long-running argod cannot grow it without limit (at capacity, one
+// arbitrary entry is evicted per insert).
 
 type cacheAddr [sha256.Size]byte
 
@@ -31,9 +33,9 @@ func cacheAddress(passName string, fp []byte) cacheAddr {
 const (
 	cacheShardBits = 5
 	cacheShards    = 1 << cacheShardBits
-	// cacheShardMax bounds entries per shard. Snapshots can be whole
-	// cloned IR programs, so the bound is much smaller than the
-	// wcet bound cache's.
+	// cacheShardMax is the default bound on entries per shard. Snapshots
+	// can be whole cloned IR programs, so the bound is much smaller than
+	// the wcet bound cache's.
 	cacheShardMax = 128
 )
 
@@ -44,15 +46,55 @@ type cacheShard struct {
 
 // Cache is a sharded, bounded, content-addressed pass-result store.
 // Snapshots stored in it must be immutable (the Snapshot/Restore
-// contract deep-copies anything mutable).
+// contract deep-copies anything mutable). The zero value is ready to
+// use with the default per-shard bound.
 type Cache struct {
 	shards [cacheShards]cacheShard
+	// maxPerShard overrides cacheShardMax when positive (set via
+	// NewCache or SetMax).
+	maxPerShard int
+
+	evictions atomic.Int64
 }
 
 // Global is the process-wide pass cache shared by every pipeline
 // execution (candidates of one optimizer ladder, feedback rounds, and
-// argod requests all reuse each other's pass results).
+// argod requests all reuse each other's pass results). Its entry count
+// and eviction total are exported as the expvars
+// argo_pass_cache_entries and argo_pass_cache_evictions.
 var Global = &Cache{}
+
+// NewCache returns a private pass cache bounded to at most maxEntries
+// snapshots (maxEntries <= 0: the default bound). Interactive sessions
+// use private caches so one session's artifact history cannot evict
+// another's, and evicting the session frees its snapshots.
+func NewCache(maxEntries int) *Cache {
+	c := &Cache{}
+	c.SetMax(maxEntries)
+	return c
+}
+
+// SetMax rebounds the cache to at most maxEntries snapshots across all
+// shards (maxEntries <= 0 restores the default bound). Shards already
+// above the new bound shrink lazily as inserts arrive.
+func (c *Cache) SetMax(maxEntries int) {
+	if maxEntries <= 0 {
+		c.maxPerShard = 0
+		return
+	}
+	per := maxEntries / cacheShards
+	if per < 1 {
+		per = 1
+	}
+	c.maxPerShard = per
+}
+
+func (c *Cache) shardMax() int {
+	if c.maxPerShard > 0 {
+		return c.maxPerShard
+	}
+	return cacheShardMax
+}
 
 func (c *Cache) shard(a cacheAddr) *cacheShard {
 	return &c.shards[a[0]>>(8-cacheShardBits)]
@@ -68,16 +110,30 @@ func (c *Cache) get(a cacheAddr) (any, bool) {
 
 func (c *Cache) put(a cacheAddr, v any) {
 	s := c.shard(a)
+	max := c.shardMax()
 	s.mu.Lock()
-	if s.m == nil || len(s.m) >= cacheShardMax {
+	if s.m == nil {
 		s.m = make(map[cacheAddr]any)
+	}
+	if _, exists := s.m[a]; !exists {
+		// Evict arbitrary entries down to the bound. The cache is a pure
+		// accelerator: which snapshot survives never affects results,
+		// only which future executions hit.
+		for len(s.m) >= max {
+			for k := range s.m {
+				delete(s.m, k)
+				c.evictions.Add(1)
+				globalEvictions.Add(1)
+				break
+			}
+		}
 	}
 	s.m[a] = v
 	s.mu.Unlock()
 }
 
 // Reset drops every cached pass result (tests and benchmarks measuring
-// the cold path).
+// the cold path). Eviction counters are preserved.
 func (c *Cache) Reset() {
 	for i := range c.shards {
 		s := &c.shards[i]
@@ -97,4 +153,27 @@ func (c *Cache) Len() int {
 		s.mu.RUnlock()
 	}
 	return n
+}
+
+// CacheStats is a point-in-time snapshot of one cache's size counters
+// (hit/miss totals are process-wide, see CacheCounters).
+type CacheStats struct {
+	Entries   int   `json:"entries"`
+	Evictions int64 `json:"evictions"`
+}
+
+// Stats snapshots the cache's entry count and eviction total.
+func (c *Cache) Stats() CacheStats {
+	return CacheStats{Entries: c.Len(), Evictions: c.evictions.Load()}
+}
+
+// Process-wide pass-cache growth observability: entries currently held
+// by the Global cache and cumulative evictions across all caches
+// (session-private caches included), served by argod's /debug/vars.
+var globalEvictions = expvar.NewInt("argo_pass_cache_evictions")
+
+func init() {
+	expvar.Publish("argo_pass_cache_entries", expvar.Func(func() any {
+		return Global.Len()
+	}))
 }

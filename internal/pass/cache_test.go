@@ -1,0 +1,65 @@
+package pass
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestCacheBoundEvictsPerInsert(t *testing.T) {
+	c := NewCache(cacheShards) // one entry per shard
+	for i := 0; i < 10*cacheShards; i++ {
+		c.put(cacheAddress("p", []byte(fmt.Sprintf("fp-%d", i))), i)
+	}
+	if n := c.Len(); n > cacheShards {
+		t.Fatalf("cache holds %d entries, bound is %d", n, cacheShards)
+	}
+	st := c.Stats()
+	if st.Evictions == 0 {
+		t.Fatal("inserts beyond the bound evicted nothing")
+	}
+	if st.Entries != c.Len() {
+		t.Fatalf("Stats.Entries %d != Len %d", st.Entries, c.Len())
+	}
+
+	// Re-inserting an existing key replaces in place: no eviction.
+	a := cacheAddress("p", []byte("stable"))
+	c.put(a, 1)
+	before := c.Stats().Evictions
+	c.put(a, 2)
+	if got := c.Stats().Evictions; got != before {
+		t.Fatalf("overwrite evicted: %d -> %d", before, got)
+	}
+	if v, ok := c.get(a); !ok || v.(int) != 2 {
+		t.Fatalf("overwrite lost the entry: %v %v", v, ok)
+	}
+}
+
+func TestCacheSetMaxAndReset(t *testing.T) {
+	c := &Cache{}
+	if c.shardMax() != cacheShardMax {
+		t.Fatalf("zero-value shard bound %d, want default %d", c.shardMax(), cacheShardMax)
+	}
+	c.SetMax(5 * cacheShards)
+	if c.shardMax() != 5 {
+		t.Fatalf("shard bound %d after SetMax, want 5", c.shardMax())
+	}
+	c.SetMax(1) // below one per shard: clamps to 1
+	if c.shardMax() != 1 {
+		t.Fatalf("shard bound %d, want 1", c.shardMax())
+	}
+	c.SetMax(0) // restores the default
+	if c.shardMax() != cacheShardMax {
+		t.Fatalf("shard bound %d after SetMax(0), want default", c.shardMax())
+	}
+
+	for i := 0; i < 64; i++ {
+		c.put(cacheAddress("p", []byte(fmt.Sprintf("%d", i))), i)
+	}
+	if c.Len() == 0 {
+		t.Fatal("nothing cached")
+	}
+	c.Reset()
+	if c.Len() != 0 {
+		t.Fatalf("Reset left %d entries", c.Len())
+	}
+}

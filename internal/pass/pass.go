@@ -174,6 +174,25 @@ type Trace struct {
 	Passes []Timing
 }
 
+// CacheCounts sums a trace's cache outcomes: skipped is the number of
+// executions served by snapshot restore (the clean prefix/suffix an
+// incremental re-analysis did not re-run), reran the number that
+// actually executed (cache misses plus uncacheable passes). This is the
+// per-edit dirty-suffix accounting interactive sessions report.
+func (t *Trace) CacheCounts() (skipped, reran int) {
+	if t == nil {
+		return 0, 0
+	}
+	for _, tm := range t.Passes {
+		if tm.Cache == CacheHit {
+			skipped++
+		} else {
+			reran++
+		}
+	}
+	return skipped, reran
+}
+
 // Aggregate is the per-pass rollup of a trace.
 type Aggregate struct {
 	Pass        string
@@ -243,6 +262,10 @@ type Manager struct {
 	// AfterPass, when set, observes every completed pass (argocc
 	// -dump-after and tests hook here).
 	AfterPass func(p *Pass, c *Context)
+	// OnTiming, when set, observes every completed pass's timing record
+	// as soon as it is appended to the trace. Interactive sessions hook
+	// here to stream one event per completed pass.
+	OnTiming func(tm Timing)
 }
 
 // Run executes the passes in order against c. It returns ctx.Err()
@@ -285,6 +308,9 @@ func (m *Manager) runOne(c *Context, p *Pass) error {
 	passNS.Add(p.Name, tm.Wall.Nanoseconds())
 	passRuns.Add(p.Name, 1)
 	c.trace.Passes = append(c.trace.Passes, tm)
+	if m.OnTiming != nil {
+		m.OnTiming(tm)
+	}
 	// A cancellation that arrived while the pass ran aborts here, one
 	// pass boundary after the cancel, before any later pass starts.
 	if err := c.ctx.Err(); err != nil {

@@ -33,6 +33,13 @@ type Config struct {
 	// before new arrivals are shed with 429 + Retry-After (default
 	// 4x Workers; <0 disables shedding).
 	MaxQueue int
+	// MaxSessions bounds live interactive sessions; the least recently
+	// used session is evicted when a creation would exceed it (default
+	// argo.DefaultMaxSessions).
+	MaxSessions int
+	// SessionTTL expires sessions idle longer than this (default
+	// argo.DefaultSessionTTL).
+	SessionTTL time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -64,20 +71,28 @@ func (c Config) withDefaults() Config {
 // simulate pipeline behind an HTTP/JSON API with caching, deduplication,
 // admission control, and metrics.
 type Server struct {
-	cfg     Config
-	cache   *Cache
-	pool    *Pool
-	metrics *Metrics
-	mux     *http.ServeMux
+	cfg      Config
+	cache    *Cache
+	pool     *Pool
+	metrics  *Metrics
+	mux      *http.ServeMux
+	sessions *argo.SessionManager
 
 	// draining flips once shutdown begins: /readyz turns 503 so load
 	// balancers stop routing, while /healthz stays 200 (the process is
-	// alive and still finishing in-flight requests).
+	// alive and still finishing in-flight requests). drainCh closes at
+	// the same moment so long-lived streams (SSE session edits) can
+	// terminate with an explicit final event instead of blocking the
+	// graceful shutdown until the grace budget expires.
 	draining atomic.Bool
+	drainCh  chan struct{}
 
 	// compile runs one pipeline execution; tests may replace it to
 	// count or delay executions.
 	compile func(ctx context.Context, job *compileJob) (*argo.Artifacts, error)
+	// sessionApply routes one session edit; tests may replace it to
+	// block an edit mid-flight (drain-under-stream coverage).
+	sessionApply func(ctx context.Context, id string, e argo.SessionEdit, aopt argo.SessionApplyOptions) (*argo.SessionEditResult, error)
 }
 
 // NewServer builds a server from cfg (zero values take defaults).
@@ -86,16 +101,25 @@ func NewServer(cfg Config) *Server {
 	cache := NewCache(cfg.CacheEntries)
 	pool := NewPool(cfg.Workers, cfg.MaxQueue)
 	s := &Server{
-		cfg:     cfg,
-		cache:   cache,
-		pool:    pool,
-		metrics: NewMetrics(cache, pool, time.Now()),
+		cfg:      cfg,
+		cache:    cache,
+		pool:     pool,
+		metrics:  NewMetrics(cache, pool, time.Now()),
+		sessions: argo.NewSessionManager(cfg.MaxSessions, cfg.SessionTTL),
+		drainCh:  make(chan struct{}),
 	}
 	s.compile = s.runCompile
+	s.sessionApply = s.sessions.Apply
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/compile", s.handleCompile)
 	s.mux.HandleFunc("POST /v1/optimize", s.handleOptimize)
 	s.mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
+	s.mux.HandleFunc("POST /v1/session", s.handleSessionCreate)
+	s.mux.HandleFunc("GET /v1/session", s.handleSessionList)
+	s.mux.HandleFunc("GET /v1/session/{id}", s.handleSessionGet)
+	s.mux.HandleFunc("DELETE /v1/session/{id}", s.handleSessionDelete)
+	s.mux.HandleFunc("POST /v1/session/{id}/edit", s.handleSessionEdit)
+	s.mux.HandleFunc("POST /v1/session/{id}/simulate", s.handleSessionSimulate)
 	s.mux.HandleFunc("GET /v1/platforms", s.handlePlatforms)
 	s.mux.HandleFunc("GET /v1/usecases", s.handleUseCases)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -171,8 +195,14 @@ func badRequest(format string, args ...any) *httpError {
 // requestTimeout resolves a request's pipeline budget: the server
 // default, lowered (never raised) by a positive timeout_ms.
 func (s *Server) requestTimeout(req *CompileRequest) time.Duration {
-	if req.TimeoutMS > 0 {
-		if d := time.Duration(req.TimeoutMS) * time.Millisecond; d < s.cfg.Timeout {
+	return s.clampTimeout(req.TimeoutMS)
+}
+
+// clampTimeout lowers (never raises) the server's pipeline budget by a
+// positive per-request timeout in milliseconds.
+func (s *Server) clampTimeout(ms int64) time.Duration {
+	if ms > 0 {
+		if d := time.Duration(ms) * time.Millisecond; d < s.cfg.Timeout {
 			return d
 		}
 	}
@@ -510,10 +540,15 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, OutcomeMiss, map[string]any{"status": "ready"})
 }
 
-// StartDraining marks the server not-ready (see handleReadyz). It is
-// idempotent and does not interrupt in-flight requests; ListenAndServe
-// calls it when shutdown begins.
-func (s *Server) StartDraining() { s.draining.Store(true) }
+// StartDraining marks the server not-ready (see handleReadyz) and
+// closes the drain channel so active session streams flush a terminal
+// event and return. It is idempotent and does not interrupt in-flight
+// plain requests; ListenAndServe calls it when shutdown begins.
+func (s *Server) StartDraining() {
+	if s.draining.CompareAndSwap(false, true) {
+		close(s.drainCh)
+	}
+}
 
 // handleVars serves the process-global expvar registry plus this
 // server's metrics under the "service" key, in the standard /debug/vars
@@ -577,6 +612,8 @@ func (s *Server) writeErr(w http.ResponseWriter, err error) {
 	switch {
 	case errors.As(err, &he):
 		status = he.status
+	case errors.Is(err, argo.ErrSessionNotFound):
+		status = http.StatusNotFound
 	case IsShed(err):
 		// Queue at capacity: tell well-behaved clients when to retry.
 		status = http.StatusTooManyRequests
@@ -607,6 +644,28 @@ func (s *Server) ListenAndServe(ctx context.Context, addr string, grace time.Dur
 		Handler:           s.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
+	// Expire idle sessions in the background for the server's lifetime
+	// (Create also sweeps inline, so the interval only bounds how long
+	// an idle process pins expired sessions).
+	sweepEvery := s.sessions.TTL() / 4
+	if sweepEvery > time.Minute {
+		sweepEvery = time.Minute
+	}
+	if sweepEvery < time.Second {
+		sweepEvery = time.Second
+	}
+	go func() {
+		t := time.NewTicker(sweepEvery)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				s.sessions.Sweep()
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 	select {

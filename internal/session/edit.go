@@ -1,0 +1,285 @@
+package session
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"argo/internal/adl"
+	"argo/internal/fault"
+	"argo/internal/sched"
+	"argo/internal/scil"
+	"argo/internal/transform"
+)
+
+// Edit operation names (the wire `op` discriminator).
+const (
+	// OpReplaceFunc swaps one scil function body: Source must hold
+	// exactly one function...endfunction definition whose name matches
+	// Func (or, when Func is empty, names the function to replace).
+	OpReplaceFunc = "replace-func"
+	// OpSetParam changes one ADL platform parameter on the session's
+	// private platform copy (see ParamNames for the paths).
+	OpSetParam = "set-param"
+	// OpToggleTransform disables (Disable=true) or re-enables one
+	// predictability transformation pass by name.
+	OpToggleTransform = "toggle-transform"
+	// OpSetPolicy switches the scheduling policy.
+	OpSetPolicy = "set-policy"
+	// OpSetFaults replaces the session's fault-injection spec. The spec
+	// only affects subsequent Simulate calls, so this edit does not
+	// trigger re-analysis.
+	OpSetFaults = "set-faults"
+)
+
+// Edit is one typed what-if operation against a session. Exactly the
+// fields of the selected Op are read; the rest are ignored.
+type Edit struct {
+	Op string
+
+	// OpReplaceFunc
+	Func   string
+	Source string
+
+	// OpSetParam
+	Param string
+	Value float64
+
+	// OpToggleTransform
+	Transform string
+	Disable   bool
+
+	// OpSetPolicy
+	Policy sched.Policy
+
+	// OpSetFaults
+	Faults fault.Spec
+}
+
+// String renders the edit for logs and error messages.
+func (e Edit) String() string {
+	switch e.Op {
+	case OpReplaceFunc:
+		return fmt.Sprintf("replace-func %s (%d bytes)", e.Func, len(e.Source))
+	case OpSetParam:
+		return fmt.Sprintf("set-param %s=%v", e.Param, e.Value)
+	case OpToggleTransform:
+		state := "on"
+		if e.Disable {
+			state = "off"
+		}
+		return fmt.Sprintf("toggle-transform %s=%s", e.Transform, state)
+	case OpSetPolicy:
+		return "set-policy " + e.Policy.String()
+	case OpSetFaults:
+		return "set-faults"
+	}
+	return "edit " + e.Op
+}
+
+// Reanalyzes reports whether applying the edit changes analysis inputs
+// (everything except a fault-spec swap does).
+func (e Edit) Reanalyzes() bool { return e.Op != OpSetFaults }
+
+// applyReplaceFunc splices the replacement function into source and
+// returns the new canonical source text. The session's source is
+// re-rendered through the formatter so that the differential contract —
+// session result ≡ cold compile of Session.Source() — holds by
+// construction: the analyzed program IS Parse(Source()).
+func applyReplaceFunc(source string, e Edit) (string, error) {
+	prog, err := scil.Parse(source)
+	if err != nil {
+		return "", fmt.Errorf("session source no longer parses: %v", err)
+	}
+	repl, err := scil.Parse(e.Source)
+	if err != nil {
+		return "", fmt.Errorf("replacement source: %v", err)
+	}
+	if len(repl.Funcs) != 1 {
+		return "", fmt.Errorf("replacement source must hold exactly one function, got %d", len(repl.Funcs))
+	}
+	decl := repl.Funcs[0]
+	name := e.Func
+	if name == "" {
+		name = decl.Name
+	}
+	if decl.Name != name {
+		return "", fmt.Errorf("replacement defines %q, edit names %q", decl.Name, name)
+	}
+	replaced := false
+	for i, f := range prog.Funcs {
+		if f.Name == name {
+			prog.Funcs[i] = decl
+			replaced = true
+			break
+		}
+	}
+	if !replaced {
+		return "", fmt.Errorf("no function %q in session source (functions: %s)", name, strings.Join(funcNames(prog), ", "))
+	}
+	if errs := scil.Check(prog, scil.CheckWCET); len(errs) > 0 {
+		return "", fmt.Errorf("edited model fails check: %v", errs[0])
+	}
+	return scil.Format(prog), nil
+}
+
+func funcNames(p *scil.Program) []string {
+	names := make([]string, len(p.Funcs))
+	for i, f := range p.Funcs {
+		names[i] = f.Name
+	}
+	return names
+}
+
+// paramSetter writes one ADL parameter; integer parameters reject
+// fractional values.
+type paramSetter func(p *adl.Platform, v float64) error
+
+func intSetter(name string, set func(p *adl.Platform, v int)) paramSetter {
+	return func(p *adl.Platform, v float64) error {
+		if v != math.Trunc(v) {
+			return fmt.Errorf("parameter %s takes an integer, got %v", name, v)
+		}
+		set(p, int(v))
+		return nil
+	}
+}
+
+// paramSetters maps ADL parameter paths to their setters. Core-level
+// parameters apply to every core (per-core what-ifs would change the
+// platform shape, not a parameter).
+var paramSetters = map[string]paramSetter{
+	"shared.access_cycles": intSetter("shared.access_cycles", func(p *adl.Platform, v int) { p.Shared.AccessCycles = v }),
+	"shared.size_bytes":    intSetter("shared.size_bytes", func(p *adl.Platform, v int) { p.Shared.SizeBytes = v }),
+	"core.op_cycles": intSetter("core.op_cycles", func(p *adl.Platform, v int) {
+		for i := range p.Cores {
+			p.Cores[i].OpCycles = v
+		}
+	}),
+	"core.spm.size_bytes": intSetter("core.spm.size_bytes", func(p *adl.Platform, v int) {
+		for i := range p.Cores {
+			p.Cores[i].SPM.SizeBytes = v
+		}
+	}),
+	"core.spm.latency_cycles": intSetter("core.spm.latency_cycles", func(p *adl.Platform, v int) {
+		for i := range p.Cores {
+			p.Cores[i].SPM.LatencyCycles = v
+		}
+	}),
+	"bus.slot_cycles": intSetter("bus.slot_cycles", func(p *adl.Platform, v int) {
+		if p.Bus != nil {
+			p.Bus.SlotCycles = v
+		}
+	}),
+	"noc.link_cycles": intSetter("noc.link_cycles", func(p *adl.Platform, v int) {
+		if p.NoC != nil {
+			p.NoC.LinkCycles = v
+		}
+	}),
+	"noc.router_cycles": intSetter("noc.router_cycles", func(p *adl.Platform, v int) {
+		if p.NoC != nil {
+			p.NoC.RouterCycles = v
+		}
+	}),
+	"noc.wrr_weight": intSetter("noc.wrr_weight", func(p *adl.Platform, v int) {
+		if p.NoC != nil {
+			p.NoC.WRRWeight = v
+		}
+	}),
+	"dma.setup_cycles": intSetter("dma.setup_cycles", func(p *adl.Platform, v int) { p.DMA.SetupCycles = v }),
+	"dma.cycles_per_byte": func(p *adl.Platform, v float64) error {
+		p.DMA.CyclesPerByte = v
+		return nil
+	},
+}
+
+// ParamNames lists the editable ADL parameter paths, sorted.
+func ParamNames() []string {
+	names := make([]string, 0, len(paramSetters))
+	for n := range paramSetters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// applySetParam mutates the (session-private) platform and re-validates
+// it. Interconnect parameters require the matching interconnect.
+func applySetParam(p *adl.Platform, e Edit) error {
+	set, ok := paramSetters[e.Param]
+	if !ok {
+		return fmt.Errorf("unknown ADL parameter %q (parameters: %s)", e.Param, strings.Join(ParamNames(), ", "))
+	}
+	if strings.HasPrefix(e.Param, "bus.") && p.Bus == nil {
+		return fmt.Errorf("platform %s has no bus", p.Name)
+	}
+	if strings.HasPrefix(e.Param, "noc.") && p.NoC == nil {
+		return fmt.Errorf("platform %s has no NoC", p.Name)
+	}
+	if err := set(p, e.Value); err != nil {
+		return err
+	}
+	if err := p.Validate(); err != nil {
+		return fmt.Errorf("edit leaves platform invalid: %v", err)
+	}
+	return nil
+}
+
+// applyToggleTransform rewrites the disabled-pass list. Disabling is
+// idempotent; enabling a never-disabled pass is a no-op.
+func applyToggleTransform(disabled []string, e Edit) ([]string, error) {
+	known := false
+	for _, n := range transform.PassNames() {
+		if n == e.Transform {
+			known = true
+			break
+		}
+	}
+	if !known {
+		return nil, fmt.Errorf("unknown transformation pass %q (passes: %s)", e.Transform, strings.Join(transform.PassNames(), ", "))
+	}
+	out := make([]string, 0, len(disabled)+1)
+	for _, n := range disabled {
+		if n != e.Transform {
+			out = append(out, n)
+		}
+	}
+	if e.Disable {
+		out = append(out, e.Transform)
+		sort.Strings(out)
+	}
+	return out, nil
+}
+
+// validate rejects malformed edits before any state is touched.
+func (e Edit) validate() error {
+	switch e.Op {
+	case OpReplaceFunc:
+		if e.Source == "" {
+			return fmt.Errorf("replace-func needs source")
+		}
+	case OpSetParam:
+		if e.Param == "" {
+			return fmt.Errorf("set-param needs param")
+		}
+	case OpToggleTransform:
+		if e.Transform == "" {
+			return fmt.Errorf("toggle-transform needs transform")
+		}
+	case OpSetPolicy:
+		switch e.Policy {
+		case sched.ListOblivious, sched.ListContentionAware, sched.BranchBound:
+		default:
+			return fmt.Errorf("unknown policy %v", e.Policy)
+		}
+	case OpSetFaults:
+		if err := e.Faults.Validate(); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown edit op %q (ops: %s, %s, %s, %s, %s)", e.Op,
+			OpReplaceFunc, OpSetParam, OpToggleTransform, OpSetPolicy, OpSetFaults)
+	}
+	return nil
+}

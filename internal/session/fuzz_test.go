@@ -1,0 +1,103 @@
+package session
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+
+	"argo/internal/adl"
+	"argo/internal/core"
+	"argo/internal/fault"
+	"argo/internal/sched"
+	"argo/internal/scil"
+	"argo/internal/transform"
+	"argo/internal/usecases"
+)
+
+// FuzzSessionEdit drives a session through an arbitrary byte-derived
+// edit sequence with the differential verifier armed: every applied
+// edit's incremental result must be bit-identical to a cold compile of
+// the edited source, and the final session state is re-checked
+// independently. Rejected edits are fine (they must leave the session
+// untouched); a verify mismatch is the bug this target hunts.
+func FuzzSessionEdit(f *testing.F) {
+	f.Add([]byte{0x00})
+	f.Add([]byte{0x01, 0x20})
+	f.Add([]byte{0x06, 0x11, 0x03, 0xff, 0x04, 0x02})
+	f.Add([]byte{0x07, 0x40, 0x00, 0x00, 0x05, 0x01, 0x02, 0x7f})
+	f.Add([]byte{0x04, 0x01, 0x04, 0x01, 0x06, 0x22, 0x01, 0x08})
+
+	uc := usecases.ByName("polka")
+	plat := adl.Builtin("xentium4")
+	names := transform.PassNames()
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		opt := core.DefaultOptions(uc.Entry, uc.Args, plat)
+		s, _, err := New(context.Background(), uc.Source, opt, fault.Spec{})
+		if err != nil {
+			t.Fatalf("create: %v", err)
+		}
+		varN := 0
+		// Two bytes per edit (op selector, value), at most 5 edits.
+		for i := 0; i+1 < len(data) && i < 10; i += 2 {
+			op, val := data[i]%8, data[i+1]
+			var e Edit
+			switch op {
+			case 0:
+				e = Edit{Op: OpSetParam, Param: "shared.access_cycles", Value: float64(val) - 8}
+			case 1:
+				e = Edit{Op: OpSetParam, Param: "core.op_cycles", Value: float64(1 + val%8)}
+			case 2:
+				e = Edit{Op: OpSetParam, Param: "dma.cycles_per_byte", Value: float64(val) / 32}
+			case 3:
+				e = Edit{Op: OpSetParam, Param: "bus.slot_cycles", Value: float64(val) - 8}
+			case 4:
+				e = Edit{Op: OpToggleTransform, Transform: names[int(val)%len(names)], Disable: val&0x80 == 0}
+			case 5:
+				pol := sched.ListContentionAware
+				if val%2 == 0 {
+					pol = sched.ListOblivious
+				}
+				e = Edit{Op: OpSetPolicy, Policy: pol}
+			case 6:
+				prog, err := scil.Parse(s.Source())
+				if err != nil {
+					t.Fatalf("session source stopped parsing: %v", err)
+				}
+				fn := prog.Funcs[int(val)%len(prog.Funcs)]
+				text := scil.Format(&scil.Program{Funcs: []*scil.FuncDecl{fn}})
+				varN++
+				stmt := fmt.Sprintf("  wif%d = %d + 1\nendfunction", varN, int(val)%13)
+				text = strings.Replace(text, "endfunction", stmt, 1)
+				e = Edit{Op: OpReplaceFunc, Func: fn.Name, Source: text}
+			case 7:
+				e = Edit{Op: OpSetFaults, Faults: fault.Spec{Seed: int64(val), AccessJitter: float64(val%100) / 100}}
+			}
+			before := s.Fingerprint()
+			if _, err := s.Apply(context.Background(), e, ApplyOptions{Verify: true}); err != nil {
+				if strings.Contains(err.Error(), "verify FAILED") {
+					t.Fatalf("edit %s: %v", e, err)
+				}
+				if got := s.Fingerprint(); got != before {
+					t.Fatalf("rejected edit %s changed the session: %s -> %s", e, before[:16], got[:16])
+				}
+			}
+		}
+		// Independent final check: a cold compile of the canonical source
+		// reproduces the session state bit for bit.
+		opt = s.Options()
+		opt.Passes.Cache = nil
+		opt.Passes.NoCache = true
+		art, err := core.CompileSourceContext(context.Background(), s.Source(), opt)
+		if err != nil {
+			t.Fatalf("cold compile of session source: %v", err)
+		}
+		if got, want := ResultFingerprint(art), s.Fingerprint(); got != want {
+			t.Fatalf("final state diverged: cold %s != session %s", got[:16], want[:16])
+		}
+	})
+}

@@ -1,0 +1,38 @@
+package syswcet
+
+// DiffTasks returns the ids of tasks whose analyzed window, bound,
+// interference, or contender count differs between two Results — the
+// dirty-task set an interactive edit actually moved. Interactive
+// sessions report it per edit so a what-if client can highlight exactly
+// the tasks an edit affected instead of re-rendering everything.
+//
+// Results of different sizes (the edit changed the task graph shape)
+// diff as "everything changed": every id of the larger result is
+// returned. A nil prev (first analysis) likewise marks all tasks.
+func DiffTasks(prev, next *Result) []int {
+	if next == nil {
+		return nil
+	}
+	n := len(next.TaskBound)
+	if prev != nil && len(prev.TaskBound) > n {
+		n = len(prev.TaskBound)
+	}
+	if prev == nil || len(prev.TaskBound) != len(next.TaskBound) {
+		all := make([]int, n)
+		for i := range all {
+			all[i] = i
+		}
+		return all
+	}
+	var out []int
+	for t := 0; t < n; t++ {
+		if prev.Start[t] != next.Start[t] ||
+			prev.Finish[t] != next.Finish[t] ||
+			prev.TaskBound[t] != next.TaskBound[t] ||
+			prev.InterferencePerTask[t] != next.InterferencePerTask[t] ||
+			prev.Contenders[t] != next.Contenders[t] {
+			out = append(out, t)
+		}
+	}
+	return out
+}
