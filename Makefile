@@ -28,12 +28,12 @@ race:
 	$(GO) test -race ./...
 
 # Full benchmark run; writes the machine-readable report to
-# BENCH_PR6.json, with BENCH_PR3.json (kept in-tree) as the baseline so
-# the per-benchmark speedup of this round (interactive sessions) is
-# recorded on top of the previous round's numbers.
+# BENCH_PR7.json, with BENCH_PR6.json (kept in-tree) as the baseline so
+# the per-benchmark speedup of this round (the bytecode VM) is recorded
+# on top of the previous round's numbers.
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ . | \
-		$(GO) run ./cmd/benchjson -baseline BENCH_PR3.json -o BENCH_PR6.json
+		$(GO) run ./cmd/benchjson -baseline BENCH_PR6.json -o BENCH_PR7.json
 
 # CPU/heap profiles of the two simulator-bound experiment benchmarks,
 # written under profiles/ (gitignored) for `go tool pprof`.
@@ -58,6 +58,7 @@ fuzz:
 	$(GO) test -run=^$$ -fuzz='^FuzzParseSCIL$$' -fuzztime=$(FUZZTIME) ./internal/scil
 	$(GO) test -run=^$$ -fuzz='^FuzzADLPlatform$$' -fuzztime=$(FUZZTIME) ./internal/adl
 	$(GO) test -run=^$$ -fuzz='^FuzzSessionEdit$$' -fuzztime=$(FUZZTIME) ./internal/session
+	$(GO) test -run=^$$ -fuzz='^FuzzVMExec$$' -fuzztime=$(FUZZTIME) ./internal/ir/vm
 
 # Session soak smoke: many sessions, many randomized edits, eviction and
 # TTL churn, differential verification — under the race detector.

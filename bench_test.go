@@ -21,6 +21,7 @@ import (
 	"argo/internal/fault"
 	"argo/internal/htg"
 	"argo/internal/ir"
+	"argo/internal/ir/vm"
 	"argo/internal/lp"
 	"argo/internal/noc"
 	"argo/internal/sched"
@@ -403,6 +404,123 @@ func BenchmarkE9Deployment(b *testing.B) {
 			b.Fatal("not schedulable")
 		}
 		b.ReportMetric(rows[0].Utilization, "utilization")
+	}
+}
+
+// BenchmarkE10Faults regenerates (a slice of) the E10 table — bound
+// soundness under deterministic fault injection — and reports how many
+// injected runs were checked. Fault injection re-executes the simulator
+// per (platform, use case, level, seed) cell, so this is the
+// heaviest simulator-bound experiment and the headline E10 wall time.
+func BenchmarkE10Faults(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, rows, neg, _, err := experiments.E10([]string{"xentium4", "leon3-2x2"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Violations != 0 {
+				b.Fatalf("%s/%s unsound under in-budget injection", r.Platform, r.UseCase)
+			}
+		}
+		for _, r := range neg {
+			if !r.Flagged {
+				b.Fatalf("%s over-bound injection not detected", r.UseCase)
+			}
+		}
+		b.ReportMetric(float64(len(rows)), "cells")
+	}
+}
+
+// vmBenchProgram lowers the POLKA use case — the program the interpreter
+// micro-benchmarks execute.
+func vmBenchProgram(b *testing.B) *ir.Program {
+	b.Helper()
+	u := usecases.POLKA()
+	p, err := u.Program()
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, err := ir.Lower(p, u.Entry, u.Args)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return prog
+}
+
+// BenchmarkVMExec measures one full IR execution (init, entry body,
+// results) through the compiled register-bytecode VM; compilation
+// happens once outside the loop — the compile-once/execute-per-run
+// contract the simulator relies on.
+func BenchmarkVMExec(b *testing.B) {
+	prog := vmBenchProgram(b)
+	cp, err := vm.Compile(prog)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := vm.NewMachine(cp, nil)
+	in := usecases.POLKA().Inputs(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.Init(in); err != nil {
+			b.Fatal(err)
+		}
+		if err := m.ExecEntry(); err != nil {
+			b.Fatal(err)
+		}
+		if got := m.Results(); len(got) == 0 {
+			b.Fatal("no results")
+		}
+	}
+}
+
+// BenchmarkTreeExec is BenchmarkVMExec through the tree-walking oracle —
+// the before/after pair quantifying the VM speedup.
+func BenchmarkTreeExec(b *testing.B) {
+	prog := vmBenchProgram(b)
+	ex := ir.NewExec(prog, nil)
+	in := usecases.POLKA().Inputs(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := ex.Init(in); err != nil {
+			b.Fatal(err)
+		}
+		if err := ex.ExecBlock(prog.Entry.Body); err != nil {
+			b.Fatal(err)
+		}
+		if got := ex.Results(); len(got) == 0 {
+			b.Fatal("no results")
+		}
+	}
+}
+
+// BenchmarkSimulate measures end-to-end simulator runs/sec with the
+// bytecode VM on the functional phase (the default engine).
+func BenchmarkSimulate(b *testing.B) {
+	benchSimulate(b, sim.InterpVM)
+}
+
+// BenchmarkSimulateTree is BenchmarkSimulate under -interp=tree.
+func BenchmarkSimulateTree(b *testing.B) {
+	benchSimulate(b, sim.InterpTree)
+}
+
+func benchSimulate(b *testing.B, interp sim.Interp) {
+	u := usecases.POLKA()
+	art, err := argo.CompileUseCase(u, argo.Platform("xentium4"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Rotate the input seed so the steady state is the production
+		// shape: fresh inputs per run, segment traces warm in the cache.
+		if _, err := sim.RunInterp(art.Parallel, u.Inputs(int64(i%8)), interp); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

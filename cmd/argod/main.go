@@ -14,6 +14,11 @@
 // while draining after SIGTERM), and /debug/vars expose health and
 // metrics. See docs/SERVICE.md.
 //
+// -interp selects the simulator execution engine for every request: the
+// compiled register-bytecode VM (default) or the tree-walking oracle.
+// The engines are bit-identical, so the choice is deliberately not part
+// of the result-cache keys.
+//
 // Examples:
 //
 //	argod                              # listen on :8321
@@ -27,6 +32,7 @@ import (
 	"expvar"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"os"
@@ -37,49 +43,89 @@ import (
 
 	"argo/internal/pass"
 	"argo/internal/service"
+	"argo/internal/sim"
 	"argo/pkg/argo"
 )
 
-func main() {
+// config is the validated daemon configuration produced by parseFlags.
+type config struct {
+	addr         string
+	grace        time.Duration
+	passCacheMax int
+	interp       sim.Interp
+	service      service.Config
+}
+
+// parseFlags parses and validates the command line. On failure it
+// reports the usage error on stderr and returns a nil config with the
+// process exit code (always 2, matching the other CLIs).
+func parseFlags(args []string, stderr io.Writer) (*config, int) {
+	fs := flag.NewFlagSet("argod", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		addr         = flag.String("addr", ":8321", "listen address")
-		workers      = flag.Int("workers", runtime.NumCPU(), "max concurrent pipeline executions")
-		cache        = flag.Int("cache", 256, "result cache capacity in entries (-1: unbounded)")
-		timeout      = flag.Duration("timeout", 60*time.Second, "per-request pipeline budget")
-		grace        = flag.Duration("grace", 10*time.Second, "graceful shutdown budget")
-		maxBody      = flag.Int64("max-body", 4<<20, "max request body bytes")
-		maxQueue     = flag.Int("max-queue", 0, "max queued requests before load shedding (0: 4x workers, -1: unbounded)")
-		maxSessions  = flag.Int("max-sessions", argo.DefaultMaxSessions, "max live interactive sessions (LRU-evicted beyond)")
-		sessionTTL   = flag.Duration("session-ttl", argo.DefaultSessionTTL, "idle expiry of interactive sessions")
-		passCacheMax = flag.Int("pass-cache-max", 0, "max snapshots in the global pass cache (0: default bound)")
+		addr         = fs.String("addr", ":8321", "listen address")
+		workers      = fs.Int("workers", runtime.NumCPU(), "max concurrent pipeline executions")
+		cache        = fs.Int("cache", 256, "result cache capacity in entries (-1: unbounded)")
+		timeout      = fs.Duration("timeout", 60*time.Second, "per-request pipeline budget")
+		grace        = fs.Duration("grace", 10*time.Second, "graceful shutdown budget")
+		maxBody      = fs.Int64("max-body", 4<<20, "max request body bytes")
+		maxQueue     = fs.Int("max-queue", 0, "max queued requests before load shedding (0: 4x workers, -1: unbounded)")
+		maxSessions  = fs.Int("max-sessions", argo.DefaultMaxSessions, "max live interactive sessions (LRU-evicted beyond)")
+		sessionTTL   = fs.Duration("session-ttl", argo.DefaultSessionTTL, "idle expiry of interactive sessions")
+		passCacheMax = fs.Int("pass-cache-max", 0, "max snapshots in the global pass cache (0: default bound)")
+		interp       = fs.String("interp", "vm", "simulator execution engine: vm (bytecode) or tree (oracle)")
 	)
-	flag.Parse()
-	if flag.NArg() > 0 {
-		fmt.Fprintf(os.Stderr, "argod: unexpected arguments: %v\n", flag.Args())
-		flag.Usage()
-		os.Exit(2)
+	if err := fs.Parse(args); err != nil {
+		return nil, 2
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "argod: unexpected arguments: %v\n", fs.Args())
+		fs.Usage()
+		return nil, 2
+	}
+	engine, err := sim.ParseInterp(*interp)
+	if err != nil {
+		fmt.Fprintf(stderr, "argod: %v\n", err)
+		return nil, 2
 	}
 	if *workers <= 0 || *timeout <= 0 || *grace <= 0 || *maxBody <= 0 {
-		fmt.Fprintln(os.Stderr, "argod: -workers, -timeout, -grace, and -max-body must be positive")
-		os.Exit(2)
+		fmt.Fprintln(stderr, "argod: -workers, -timeout, -grace, and -max-body must be positive")
+		return nil, 2
 	}
 	if *maxSessions <= 0 || *sessionTTL <= 0 || *passCacheMax < 0 {
-		fmt.Fprintln(os.Stderr, "argod: -max-sessions and -session-ttl must be positive, -pass-cache-max non-negative")
-		os.Exit(2)
+		fmt.Fprintln(stderr, "argod: -max-sessions and -session-ttl must be positive, -pass-cache-max non-negative")
+		return nil, 2
 	}
+	return &config{
+		addr:         *addr,
+		grace:        *grace,
+		passCacheMax: *passCacheMax,
+		interp:       engine,
+		service: service.Config{
+			Workers:      *workers,
+			CacheEntries: *cache,
+			Timeout:      *timeout,
+			MaxBodyBytes: *maxBody,
+			MaxQueue:     *maxQueue,
+			MaxSessions:  *maxSessions,
+			SessionTTL:   *sessionTTL,
+		},
+	}, 0
+}
+
+func main() {
+	cfg, code := parseFlags(os.Args[1:], os.Stderr)
+	if cfg == nil {
+		os.Exit(code)
+	}
+	// The engine is a process-wide default: every simulation the daemon
+	// runs resolves InterpAuto to this choice.
+	sim.SetInterp(cfg.interp)
 	// Bound the process-wide pass cache; entry count and evictions are
 	// exported as argo_pass_cache_{entries,evictions} in /debug/vars.
-	pass.Global.SetMax(*passCacheMax)
+	pass.Global.SetMax(cfg.passCacheMax)
 
-	srv := service.NewServer(service.Config{
-		Workers:      *workers,
-		CacheEntries: *cache,
-		Timeout:      *timeout,
-		MaxBodyBytes: *maxBody,
-		MaxQueue:     *maxQueue,
-		MaxSessions:  *maxSessions,
-		SessionTTL:   *sessionTTL,
-	})
+	srv := service.NewServer(cfg.service)
 	// Publish the service metrics into the process-global expvar
 	// registry too, so the stock expvar handler sees them.
 	expvar.Publish("service", srv.Metrics())
@@ -89,9 +135,9 @@ func main() {
 
 	log.SetPrefix("argod: ")
 	log.SetFlags(log.LstdFlags)
-	log.Printf("listening on %s (workers %d, cache %d entries, timeout %v)",
-		*addr, *workers, *cache, *timeout)
-	if err := srv.ListenAndServe(ctx, *addr, *grace); err != nil && err != http.ErrServerClosed {
+	log.Printf("listening on %s (workers %d, cache %d entries, timeout %v, interp %s)",
+		cfg.addr, cfg.service.Workers, cfg.service.CacheEntries, cfg.service.Timeout, cfg.interp)
+	if err := srv.ListenAndServe(ctx, cfg.addr, cfg.grace); err != nil && err != http.ErrServerClosed {
 		log.Printf("serve: %v", err)
 		os.Exit(1)
 	}

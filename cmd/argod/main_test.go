@@ -1,0 +1,66 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"argo/internal/sim"
+)
+
+func parseCLI(t *testing.T, args ...string) (*config, int, string) {
+	t.Helper()
+	var errb bytes.Buffer
+	cfg, code := parseFlags(args, &errb)
+	return cfg, code, errb.String()
+}
+
+func TestParseFlagsDefaults(t *testing.T) {
+	cfg, code, errb := parseCLI(t)
+	if cfg == nil || code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, errb)
+	}
+	if cfg.addr != ":8321" {
+		t.Errorf("addr = %q, want :8321", cfg.addr)
+	}
+	if cfg.interp != sim.InterpVM {
+		t.Errorf("interp = %v, want vm", cfg.interp)
+	}
+	if cfg.service.Workers <= 0 || cfg.service.CacheEntries != 256 {
+		t.Errorf("unexpected service config: %+v", cfg.service)
+	}
+}
+
+func TestParseFlagsInterp(t *testing.T) {
+	cfg, code, errb := parseCLI(t, "-interp", "tree")
+	if cfg == nil || code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, errb)
+	}
+	if cfg.interp != sim.InterpTree {
+		t.Errorf("interp = %v, want tree", cfg.interp)
+	}
+}
+
+func TestParseFlagsUsageErrorsExitTwo(t *testing.T) {
+	for _, args := range [][]string{
+		{"-nosuchflag"},           // flag misuse
+		{"positional"},            // unexpected arguments
+		{"-interp", "jit"},        // unknown engine
+		{"-workers", "0"},         // non-positive worker pool
+		{"-timeout", "-1s"},       // non-positive budget
+		{"-max-sessions", "0"},    // non-positive session cap
+		{"-pass-cache-max", "-1"}, // negative cache bound
+	} {
+		cfg, code, _ := parseCLI(t, args...)
+		if cfg != nil || code != 2 {
+			t.Errorf("args %v: cfg=%v exit %d, want nil, 2", args, cfg, code)
+		}
+	}
+}
+
+func TestParseFlagsUnknownInterpMessage(t *testing.T) {
+	_, _, errb := parseCLI(t, "-interp", "jit")
+	if !strings.Contains(errb, "unknown interpreter") {
+		t.Fatalf("missing interpreter error:\n%s", errb)
+	}
+}

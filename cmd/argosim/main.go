@@ -11,6 +11,10 @@
 // -exec-inflation above 1 deliberately breaks the bound and the tool
 // reports the structured violations and exits non-zero.
 //
+// -interp selects the simulator's execution engine: the compiled
+// register-bytecode VM (default) or the tree-walking oracle. Both are
+// bit-identical, so the flag only affects speed.
+//
 // Examples:
 //
 //	argosim -usecase polka -platform xentium4 -runs 25
@@ -21,6 +25,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"argo/internal/report"
@@ -29,18 +34,32 @@ import (
 )
 
 func main() {
-	var (
-		usecase  = flag.String("usecase", "", "built-in use case: egpws, weaa, polka")
-		platform = flag.String("platform", "xentium4", "target platform name")
-		runs     = flag.Int("runs", 10, "number of deterministic input variants")
-		gantt    = flag.Bool("gantt", false, "draw an ASCII timeline of the first run")
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-		faultSeed = flag.Int64("fault-seed", 0, "fault-injection seed (re-seeded per run with the input seed)")
-		jitter    = flag.Float64("access-jitter", 0, "share [0,1] of per-access interference budget injected as stall")
-		inflation = flag.Float64("exec-inflation", 0, "task compute inflation (<=1: within WCET headroom, >1: break bounds)")
-		nocStall  = flag.Float64("noc-stall", 0, "share [0,1] of per-hop NoC waiting allowance injected as stalls")
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("argosim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		usecase  = fs.String("usecase", "", "built-in use case: egpws, weaa, polka")
+		platform = fs.String("platform", "xentium4", "target platform name")
+		runs     = fs.Int("runs", 10, "number of deterministic input variants")
+		gantt    = fs.Bool("gantt", false, "draw an ASCII timeline of the first run")
+		interp   = fs.String("interp", "vm", "execution engine: vm (bytecode) or tree (oracle)")
+
+		faultSeed = fs.Int64("fault-seed", 0, "fault-injection seed (re-seeded per run with the input seed)")
+		jitter    = fs.Float64("access-jitter", 0, "share [0,1] of per-access interference budget injected as stall")
+		inflation = fs.Float64("exec-inflation", 0, "task compute inflation (<=1: within WCET headroom, >1: break bounds)")
+		nocStall  = fs.Float64("noc-stall", 0, "share [0,1] of per-hop NoC waiting allowance injected as stalls")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	engine, err := sim.ParseInterp(*interp)
+	if err != nil {
+		fmt.Fprintf(stderr, "argosim: %v\n", err)
+		return 2
+	}
 	faults := argo.FaultSpec{
 		Seed:          *faultSeed,
 		AccessJitter:  *jitter,
@@ -48,25 +67,27 @@ func main() {
 		NoCStall:      *nocStall,
 	}
 	if err := faults.Validate(); err != nil {
-		fmt.Fprintf(os.Stderr, "argosim: %v\n", err)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "argosim: %v\n", err)
+		return 2
 	}
 	uc := argo.UseCaseByName(*usecase)
 	if uc == nil {
-		fmt.Fprintln(os.Stderr, "argosim: unknown or missing -usecase (egpws, weaa, polka)")
-		os.Exit(2)
+		fmt.Fprintln(stderr, "argosim: unknown or missing -usecase (egpws, weaa, polka)")
+		return 2
 	}
 	plat := argo.Platform(*platform)
 	if plat == nil {
-		fmt.Fprintf(os.Stderr, "argosim: unknown platform %q (%v)\n", *platform, argo.PlatformNames())
-		os.Exit(2)
+		fmt.Fprintf(stderr, "argosim: unknown platform %q (%v)\n", *platform, argo.PlatformNames())
+		return 2
 	}
-	art, err := argo.CompileSource(uc.Source, argo.DefaultOptions(uc.Entry, uc.Args, plat))
+	opt := argo.DefaultOptions(uc.Entry, uc.Args, plat)
+	opt.Interp = engine
+	art, err := argo.CompileSource(uc.Source, opt)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "argosim: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "argosim: %v\n", err)
+		return 1
 	}
-	fmt.Println(argo.Describe(art))
+	fmt.Fprintln(stdout, argo.Describe(art))
 	injecting := faults.Enabled()
 	cols := []string{"seed", "makespan", "exec-span", "bus-wait", "bound-used", "ok"}
 	if injecting {
@@ -88,20 +109,20 @@ func main() {
 			rep, err = argo.Simulate(art, uc.Inputs(int64(seed)))
 		}
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "argosim: seed %d: %v\n", seed, err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "argosim: seed %d: %v\n", seed, err)
+			return 1
 		}
 		if *gantt && seed == 0 {
-			fmt.Println()
-			fmt.Print(sim.RenderGantt(art.Parallel, rep, 100))
-			fmt.Println()
+			fmt.Fprintln(stdout)
+			fmt.Fprint(stdout, sim.RenderGantt(art.Parallel, rep, 100))
+			fmt.Fprintln(stdout)
 		}
 		ok := "yes"
 		if err := argo.CheckBounds(art, rep); err != nil {
 			ok = "VIOLATION"
 			sound = false
 			for _, v := range argo.Violations(art, rep) {
-				fmt.Fprintf(os.Stderr, "argosim: seed %d: %v\n", seed, v)
+				fmt.Fprintf(stderr, "argosim: seed %d: %v\n", seed, v)
 			}
 		}
 		if rep.Makespan > worst {
@@ -114,11 +135,12 @@ func main() {
 		}
 		tab.Add(row...)
 	}
-	fmt.Print(tab)
-	fmt.Printf("\nworst observed: %d cycles; bound: %d; tightness %.3f\n",
+	fmt.Fprint(stdout, tab)
+	fmt.Fprintf(stdout, "\nworst observed: %d cycles; bound: %d; tightness %.3f\n",
 		worst, art.Bound(), float64(art.Bound())/float64(worst))
 	if !sound {
-		fmt.Fprintln(os.Stderr, "argosim: SOUNDNESS VIOLATION — a run exceeded its WCET bound")
-		os.Exit(1)
+		fmt.Fprintln(stderr, "argosim: SOUNDNESS VIOLATION — a run exceeded its WCET bound")
+		return 1
 	}
+	return 0
 }

@@ -18,6 +18,7 @@ import (
 	"argo/internal/pass"
 	"argo/internal/sched"
 	"argo/internal/scil"
+	"argo/internal/sim"
 	"argo/internal/syswcet"
 	"argo/internal/transform"
 	"argo/internal/wcet"
@@ -46,6 +47,11 @@ type Options struct {
 	// evaluates concurrently (0: GOMAXPROCS, 1: serial). Results are
 	// bit-identical at every setting.
 	Parallelism int
+	// Interp selects the simulator's execution engine: the compiled
+	// register-bytecode VM (default) or the tree-walking oracle. Both
+	// are observably bit-identical, so the choice is excluded from
+	// result-cache keys.
+	Interp sim.Interp
 	// Passes configures the pass manager that executes the pipeline.
 	Passes PassOptions
 }

@@ -469,7 +469,7 @@ func SimulateContext(ctx context.Context, a *Artifacts, inputs [][]float64) (*si
 	p := &pass.Pass{
 		Name: "simulate", Input: "par-program", Output: "sim-report",
 		Run: func(c *pass.Context) error {
-			r, err := sim.RunContext(c.Ctx(), a.Parallel, inputs)
+			r, err := sim.RunContextInterp(c.Ctx(), a.Parallel, inputs, a.Options.Interp)
 			if err != nil {
 				return err
 			}
@@ -492,7 +492,7 @@ func SimulateFaultyContext(ctx context.Context, a *Artifacts, inputs [][]float64
 	p := &pass.Pass{
 		Name: "simulate-faulty", Input: "par-program", Output: "sim-report",
 		Run: func(c *pass.Context) error {
-			r, err := sim.RunFaulty(c.Ctx(), a.Parallel, inputs, spec)
+			r, err := sim.RunFaultyInterp(c.Ctx(), a.Parallel, inputs, spec, a.Options.Interp)
 			if err != nil {
 				return err
 			}

@@ -210,6 +210,11 @@ func (ex *Exec) Init(args [][]float64) error {
 // SetMeter swaps the meter (used to meter each task region separately).
 func (ex *Exec) SetMeter(m Meter) { ex.meter = m }
 
+// SetFuel overrides the remaining execution budget (ExecFuel after
+// Init). Differential fuzzing uses a small budget so adversarial
+// programs stay cheap in both the tree walker and the bytecode VM.
+func (ex *Exec) SetFuel(n int) { ex.fuel = n }
+
 // Reset rebinds the interpreter to a (possibly different) program and
 // clears the meter, so pooled instances can be reused across runs; call
 // Init afterwards to bind arguments.

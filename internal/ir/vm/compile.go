@@ -1,0 +1,896 @@
+// Package vm is a register-based bytecode virtual machine for the ARGO
+// IR: Compile lowers an ir.Program once into flat instruction streams
+// (register-addressed scalars, direct matrix offsets, fused
+// scalar-intrinsic opcodes, structured loops flattened to branches) that
+// a Machine then executes per run without any tree dispatch.
+//
+// The VM is a drop-in replacement for the tree-walking ir.Exec on the
+// simulator hot path (internal/sim phase 0 and the experiment sweeps).
+// Its contract is bit-identical observable behaviour: for every program
+// and input, the VM produces the same results, the same error (message
+// included), the same fuel consumption, and — crucially for the
+// segment-trace and WCET layers — the same ir.Meter event sequence
+// (every Ops/Read/Write call, in order, with the same amounts) as
+// ir.Exec. The tree walker stays in place as the differential oracle
+// (the SolveMIPReference pattern); FuzzVMExec and the internal/sim
+// golden diffs enforce the equivalence continuously.
+package vm
+
+import (
+	"fmt"
+	"math"
+
+	"argo/internal/ir"
+	"argo/internal/scil"
+)
+
+// op enumerates the bytecode instructions.
+type op uint8
+
+const (
+	opHalt op = iota
+	// opConst: regs[a] = consts[b]
+	opConst
+	// opMov: regs[a] = regs[b]
+	opMov
+	// Arithmetic (the four direct operators of the tree walker's inline
+	// path): regs[a] = regs[b] <op> regs[c]
+	opAdd
+	opSub
+	opMul
+	opDiv
+	// Comparison/logical/power operators, inlined with FoldBin's exact
+	// semantics (comparisons and logic yield 1/0):
+	// regs[a] = regs[b] <op> regs[c]
+	opPow
+	opEq
+	opNe
+	opLt
+	opLe
+	opGt
+	opGe
+	opAnd
+	opOr
+	// opFold: regs[a] = ir.FoldBin(BinOp(d), regs[b], regs[c]) — the
+	// fallback for operators without a dedicated opcode; keeps FoldBin's
+	// panic on an unknown BinOp, like the tree walker.
+	opFold
+	// opNeg / opNot: regs[a] = -regs[b] / regs[a] = (regs[b]==0 ? 1 : 0)
+	opNeg
+	opNot
+	// opIntr1 / opIntr2: fused scalar-intrinsic fast paths mirroring
+	// scil.Builtin.Scalar1/2: regs[a] = fns[b].Scalar1(regs[c]) (resp.
+	// Scalar2(regs[c], regs[d])).
+	opIntr1
+	opIntr2
+	// opIntrN: boxed builtin call: regs[a] = fns[b].Eval(regs[c..c+d)).
+	opIntrN
+	// opToInt: regs[a] = float64 of the validated integer index value of
+	// regs[b] (tolerant rounding, "not an integer" error) — the toInt
+	// step of the tree walker's offset resolution. Only emitted for
+	// compound subscript expressions, to keep their evaluation and
+	// conversion interleaved per subscript; simple subscripts convert
+	// inside the load/offset op itself.
+	opToInt
+	// opLoad1 / opLoad2: matrix element load: tolerant integer
+	// conversion of each subscript register (in subscript order), range
+	// check, meter.Read: regs[a] = mats[b][offset(regs[c])] (linear,
+	// column-major) resp. mats[b][offset(regs[c], regs[d])].
+	opLoad1
+	opLoad2
+	// opIdx1 / opIdx2: validated row-major offset computation (no load),
+	// converting subscripts like the loads: regs[a] = offset into mat b
+	// from regs[c] (and regs[d]). Used by stores, where the tree walker
+	// validates the target offset before evaluating the source.
+	opIdx1
+	opIdx2
+	// opStore: mats[a][int(regs[b])] = regs[c]; meter.Write.
+	opStore
+	// opBurn: consume one unit of execution fuel (statement entry and
+	// while-check charging, exactly as Exec.burn).
+	opBurn
+	// opOps: meter.Ops(a).
+	opOps
+	// opJmp: pc = a. opJz: if regs[b] == 0 { pc = a }.
+	opJmp
+	opJz
+	// opLoopPrep: iters[a] = 0 (while-loop entry).
+	opLoopPrep
+	// opForPrep: iters[a] = 0; error if regs[b] (the step) is zero.
+	opForPrep
+	// opForCond: for-loop head for loops[a] with control registers
+	// (cur, hi, step) at b, b+1, b+2: test the continuation condition
+	// (exit to c when false), burn fuel, count the iteration against the
+	// static trip bound, publish cur into the induction variable, and
+	// charge the per-iteration increment+branch units.
+	opForCond
+	// opWhileTest: while-loop check for loops[a] on condition regs[b]:
+	// exit to c on zero, else count the check against the @bound.
+	opWhileTest
+	// opErr: return errs[a] (statically known runtime errors: unknown
+	// intrinsic, bad subscript arity, unknown statement/expression).
+	opErr
+	// opForNext: fused for-loop back edge at the bottom of every for
+	// body: step the control register triple at b, then run opForCond's
+	// test for loops[a] — jump to the body start d when continuing, to
+	// the exit c when done. One dispatch per iteration instead of a
+	// separate step + jump back to the head's opForCond (which still
+	// exists to handle the first iteration, un-stepped).
+	opForNext
+)
+
+// Burn fusion: opBurn followed by a pure single-instruction operation
+// is collapsed by fuseBurns into one instruction whose opcode is the
+// base op plus burnDelta. The dispatch loop peels the fuel charge off
+// any opcode >= burnDelta before the switch, so every case body exists
+// once. All base opcodes are < burnDelta.
+const burnDelta op = 64
+
+// burnFusible marks the opcodes that may absorb a preceding opBurn:
+// pure register-to-register operations whose only side effects (index
+// conversion errors, meter.Read) happen after the fuel charge in the
+// tree walker too (burn at statement entry, then evaluation).
+var burnFusible = [burnDelta]bool{
+	opConst: true, opMov: true,
+	opAdd: true, opSub: true, opMul: true, opDiv: true,
+	opPow: true, opEq: true, opNe: true, opLt: true, opLe: true,
+	opGt: true, opGe: true, opAnd: true, opOr: true, opFold: true,
+	opNeg: true, opNot: true,
+	opIntr1: true, opIntr2: true,
+	opToInt: true, opLoad1: true, opLoad2: true, opIdx1: true, opIdx2: true,
+	opLoopPrep: true,
+}
+
+// instr is one bytecode instruction; operand meaning depends on op.
+type instr struct {
+	op         op
+	a, b, c, d int32
+}
+
+// loopInfo is the static side table of one loop in a Code.
+type loopInfo struct {
+	// ivar is the induction variable's register (for loops; -1 for while).
+	ivar int32
+	// limit is the static trip count (for) or the @bound (while).
+	limit int
+	// isFor selects the trip-count vs @bound error message.
+	isFor bool
+}
+
+// matInfo is the static side table of one matrix variable.
+type matInfo struct {
+	v     *ir.Var
+	rows  int
+	cols  int
+	elems int
+}
+
+// Code is one compiled statement region (a task region or the whole
+// entry body): a flat instruction stream plus its constant pool, loop
+// table, and preformatted static errors.
+type Code struct {
+	ins    []instr
+	consts []float64
+	loops  []loopInfo
+	errs   []error
+	// unmetered is this stream with every opOps removed and jump
+	// targets remapped. opOps is a pure no-op when no meter is attached,
+	// so the variant is observationally identical there with fewer
+	// dispatches; exec selects it whenever m.meter == nil (the warm
+	// trace-cache path in the simulator).
+	unmetered *Code
+}
+
+// binding resolves one entry parameter or result: a scalar register or
+// a matrix id.
+type binding struct {
+	scalar bool
+	idx    int32 // register (scalar) or matrix id
+	v      *ir.Var
+}
+
+// Program is a compiled ir.Program: shared register/matrix layout plus
+// one Code per compiled region (and optionally the whole entry body).
+// A Program is immutable after compilation and safe for concurrent use
+// by any number of Machines.
+type Program struct {
+	ir       *ir.Program
+	nRegs    int // scalar variable registers + constants + temporaries
+	nVarRegs int
+	mats     []matInfo
+	fns      []*scil.Builtin
+	maxLoops int
+
+	// Constant registers: every literal appearing in an expression gets a
+	// dedicated register at constBase+i, preloaded by Machine.Init, so
+	// operand positions reference constants with no load instruction.
+	constBase int32
+	constVals []float64
+
+	entry   *Code
+	regions []*Code
+
+	params  []binding
+	results []binding
+}
+
+// IR returns the source program the code was compiled from.
+func (p *Program) IR() *ir.Program { return p.ir }
+
+// NumRegions returns how many regions were compiled.
+func (p *Program) NumRegions() int { return len(p.regions) }
+
+// compileLimit caps the register file and instruction stream so a
+// pathological program falls back to the tree walker instead of
+// exhausting memory on compilation.
+const compileLimit = 1 << 22
+
+// Compile lowers the program's entry body into bytecode.
+func Compile(p *ir.Program) (*Program, error) {
+	return compile(p, nil, true)
+}
+
+// CompileRegions lowers each statement region into its own Code sharing
+// one register/matrix layout, so scalar state flows region to region
+// exactly as in one continuous execution (the internal/sim phase-0
+// shape: one region per task, executed in graph order). A nil region
+// compiles to an empty Code.
+func CompileRegions(p *ir.Program, regions [][]ir.Stmt) (*Program, error) {
+	return compile(p, regions, false)
+}
+
+func compile(p *ir.Program, regions [][]ir.Stmt, entry bool) (prog *Program, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if ce, ok := r.(compileError); ok {
+				prog, err = nil, error(ce)
+				return
+			}
+			panic(r)
+		}
+	}()
+	c := &compiler{
+		prog:     &Program{ir: p},
+		varReg:   make(map[*ir.Var]int32),
+		matID:    make(map[*ir.Var]int32),
+		fnID:     make(map[*scil.Builtin]int32),
+		constReg: make(map[uint64]int32),
+	}
+	// Register every variable the program can touch before any
+	// temporaries are numbered: the registered table first (dense,
+	// deterministic), then any unregistered stragglers reachable from
+	// the entry signature or the compiled statements.
+	for _, v := range p.Vars {
+		c.regVar(v)
+	}
+	for _, v := range p.Entry.Params {
+		c.regVar(v)
+	}
+	for _, v := range p.Entry.Results {
+		c.regVar(v)
+	}
+	c.scanVars(p.Entry.Body)
+	for _, r := range regions {
+		c.scanVars(r)
+	}
+	c.prog.nVarRegs = int(c.nextReg)
+	// Constant registers come after the variables and before any
+	// temporaries; they must all be assigned before the first compileCode
+	// so per-Code temporary watermarks never overlap them.
+	c.prog.constBase = c.nextReg
+	c.scanConsts(p.Entry.Body)
+	for _, r := range regions {
+		c.scanConsts(r)
+	}
+
+	if entry {
+		c.prog.entry = c.compileCode(p.Entry.Body)
+	}
+	c.prog.regions = make([]*Code, len(regions))
+	for i, r := range regions {
+		c.prog.regions[i] = c.compileCode(r)
+	}
+	c.prog.nRegs = int(c.nextReg) + c.maxTemps
+	if c.prog.nRegs > compileLimit {
+		return nil, fmt.Errorf("vm: register file too large (%d)", c.prog.nRegs)
+	}
+
+	c.prog.params = make([]binding, len(p.Entry.Params))
+	for i, v := range p.Entry.Params {
+		c.prog.params[i] = c.binding(v)
+	}
+	c.prog.results = make([]binding, len(p.Entry.Results))
+	for i, v := range p.Entry.Results {
+		c.prog.results[i] = c.binding(v)
+	}
+	return c.prog, nil
+}
+
+// compileError carries a compilation failure through the recursive
+// compiler without error plumbing on every emit.
+type compileError error
+
+func fail(format string, args ...any) {
+	panic(compileError(fmt.Errorf("vm: "+format, args...)))
+}
+
+// compiler holds the cross-region compilation state.
+type compiler struct {
+	prog     *Program
+	varReg   map[*ir.Var]int32
+	matID    map[*ir.Var]int32
+	fnID     map[*scil.Builtin]int32
+	constReg map[uint64]int32 // Float64bits -> constant register
+	nextReg  int32
+
+	// Per-Code state.
+	code     *Code
+	tempBase int32 // watermark: temporaries live in [nVarRegs+?, tempBase)
+	maxTemps int
+	nextLoop int32
+	// Loop compile context: jump targets for break/continue, patched at
+	// loop end; haltJumps are loop-less break/continue jumps patched to
+	// the final opHalt (the tree walker's ExecBlock drops the control
+	// signal, ending the region).
+	loopStack []*loopCtx
+	haltJumps []int
+}
+
+type loopCtx struct {
+	breaks    []int // instruction indices whose a-operand jumps to loop exit
+	continues []int // ... to the continue point (for: step; while: head)
+}
+
+// regVar assigns v its register (scalar) or matrix id (first come).
+func (c *compiler) regVar(v *ir.Var) {
+	if v == nil {
+		return
+	}
+	if v.Scalar {
+		if _, ok := c.varReg[v]; !ok {
+			c.varReg[v] = c.nextReg
+			c.nextReg++
+		}
+		return
+	}
+	if _, ok := c.matID[v]; !ok {
+		c.matID[v] = int32(len(c.prog.mats))
+		c.prog.mats = append(c.prog.mats, matInfo{v: v, rows: v.Rows, cols: v.Cols, elems: v.Elems()})
+	}
+}
+
+// scanVars registers every variable syntactically reachable from stmts.
+func (c *compiler) scanVars(stmts []ir.Stmt) {
+	ir.WalkStmts(stmts, func(s ir.Stmt) bool {
+		switch st := s.(type) {
+		case *ir.AssignScalar:
+			c.regVar(st.Dst)
+		case *ir.Store:
+			c.regVar(st.Dst)
+		case *ir.For:
+			c.regVar(st.IVar)
+		}
+		for _, e := range ir.StmtExprs(s) {
+			ir.WalkExprs(e, func(sub ir.Expr) {
+				switch x := sub.(type) {
+				case *ir.VarRef:
+					c.regVar(x.V)
+				case *ir.Index:
+					c.regVar(x.V)
+				}
+			})
+		}
+		return true
+	})
+}
+
+// scanConsts assigns every expression literal its constant register.
+func (c *compiler) scanConsts(stmts []ir.Stmt) {
+	ir.WalkStmts(stmts, func(s ir.Stmt) bool {
+		for _, e := range ir.StmtExprs(s) {
+			ir.WalkExprs(e, func(sub ir.Expr) {
+				if x, ok := sub.(*ir.Const); ok {
+					c.regConst(x.Val)
+				}
+			})
+		}
+		return true
+	})
+}
+
+// regConst assigns v a preloaded constant register (bit-exact dedup).
+func (c *compiler) regConst(v float64) int32 {
+	bits := math.Float64bits(v)
+	if r, ok := c.constReg[bits]; ok {
+		return r
+	}
+	r := c.nextReg
+	c.nextReg++
+	c.constReg[bits] = r
+	c.prog.constVals = append(c.prog.constVals, v)
+	return r
+}
+
+func (c *compiler) binding(v *ir.Var) binding {
+	if v.Scalar {
+		return binding{scalar: true, idx: c.varReg[v], v: v}
+	}
+	return binding{scalar: false, idx: c.matID[v], v: v}
+}
+
+// --- per-Code compilation ---------------------------------------------------
+
+func (c *compiler) compileCode(stmts []ir.Stmt) *Code {
+	c.code = &Code{}
+	c.tempBase = c.nextReg
+	c.nextLoop = 0
+	c.loopStack = c.loopStack[:0]
+	c.haltJumps = c.haltJumps[:0]
+	c.block(stmts)
+	halt := c.here()
+	c.emit(instr{op: opHalt})
+	for _, j := range c.haltJumps {
+		c.code.ins[j].a = halt
+	}
+	if len(c.code.ins) > compileLimit {
+		fail("instruction stream too large (%d)", len(c.code.ins))
+	}
+	if int(c.nextLoop) > c.prog.maxLoops {
+		c.prog.maxLoops = int(c.nextLoop)
+	}
+	fused := fuseBurns(c.code)
+	fused.unmetered = stripOps(fused)
+	return fused
+}
+
+// jumpTargets marks every pc that some instruction jumps to.
+func jumpTargets(ins []instr) []bool {
+	tgt := make([]bool, len(ins)+1)
+	for i := range ins {
+		switch ins[i].op {
+		case opJmp, opJz:
+			tgt[ins[i].a] = true
+		case opForCond, opWhileTest:
+			tgt[ins[i].c] = true
+		case opForNext:
+			tgt[ins[i].c] = true
+			tgt[ins[i].d] = true
+		}
+	}
+	return tgt
+}
+
+// remapJumps rewrites every absolute jump target through remap.
+func remapJumps(ins []instr, remap []int32) {
+	for i := range ins {
+		switch ins[i].op {
+		case opJmp, opJz:
+			ins[i].a = remap[ins[i].a]
+		case opForCond, opWhileTest:
+			ins[i].c = remap[ins[i].c]
+		case opForNext:
+			ins[i].c = remap[ins[i].c]
+			ins[i].d = remap[ins[i].d]
+		}
+	}
+}
+
+// fuseBurns collapses opBurn + fusible-op pairs into the op's burn twin
+// (base op + burnDelta), cutting one dispatch per statement. A pair is
+// left alone when the successor is a jump target: a jump landing there
+// must execute the op without the fuel charge. Equivalence holds
+// because the twin charges fuel (and can exhaust it) before the op's
+// own work, exactly as the separate opBurn did.
+func fuseBurns(code *Code) *Code {
+	tgt := jumpTargets(code.ins)
+	ins := make([]instr, 0, len(code.ins))
+	remap := make([]int32, len(code.ins))
+	for i := 0; i < len(code.ins); i++ {
+		remap[i] = int32(len(ins))
+		in := code.ins[i]
+		if in.op == opBurn && i+1 < len(code.ins) && !tgt[i+1] && burnFusible[code.ins[i+1].op] {
+			fused := code.ins[i+1]
+			fused.op += burnDelta
+			ins = append(ins, fused)
+			i++
+			remap[i] = int32(len(ins) - 1)
+			continue
+		}
+		ins = append(ins, in)
+	}
+	remapJumps(ins, remap)
+	return &Code{ins: ins, consts: code.consts, loops: code.loops, errs: code.errs}
+}
+
+// stripOps builds the unmetered variant of code: every opOps is dropped
+// and absolute jump targets (opJmp/opJz/opForStep destinations,
+// opForCond/opWhileTest exits) are remapped. The tables are shared with
+// the metered stream. Returns code itself when it has no opOps.
+func stripOps(code *Code) *Code {
+	n := 0
+	for i := range code.ins {
+		if code.ins[i].op == opOps {
+			n++
+		}
+	}
+	if n == 0 {
+		return code
+	}
+	remap := make([]int32, len(code.ins))
+	ins := make([]instr, 0, len(code.ins)-n)
+	for i := range code.ins {
+		remap[i] = int32(len(ins))
+		if code.ins[i].op != opOps {
+			ins = append(ins, code.ins[i])
+		}
+	}
+	remapJumps(ins, remap)
+	return &Code{ins: ins, consts: code.consts, loops: code.loops, errs: code.errs}
+}
+
+func (c *compiler) emit(in instr) int {
+	c.code.ins = append(c.code.ins, in)
+	return len(c.code.ins) - 1
+}
+
+func (c *compiler) here() int32 { return int32(len(c.code.ins)) }
+
+// temp allocates a temporary register; release by restoring the
+// watermark returned by mark().
+func (c *compiler) temp() int32 {
+	r := c.tempBase
+	c.tempBase++
+	if n := int(c.tempBase - c.nextReg); n > c.maxTemps {
+		c.maxTemps = n
+	}
+	return r
+}
+
+func (c *compiler) mark() int32        { return c.tempBase }
+func (c *compiler) release(mark int32) { c.tempBase = mark }
+
+func (c *compiler) constIdx(v float64) int32 {
+	// Constant pools are small; bit-exact dedup keeps them smaller.
+	for i, x := range c.code.consts {
+		if math.Float64bits(x) == math.Float64bits(v) {
+			return int32(i)
+		}
+	}
+	c.code.consts = append(c.code.consts, v)
+	return int32(len(c.code.consts) - 1)
+}
+
+func (c *compiler) errIdx(err error) int32 {
+	c.code.errs = append(c.code.errs, err)
+	return int32(len(c.code.errs) - 1)
+}
+
+func (c *compiler) fn(b *scil.Builtin) int32 {
+	if id, ok := c.fnID[b]; ok {
+		return id
+	}
+	id := int32(len(c.prog.fns))
+	c.prog.fns = append(c.prog.fns, b)
+	c.fnID[b] = id
+	return id
+}
+
+// ops emits the meter charge n, mirroring Exec.ops (no-op when n <= 0).
+func (c *compiler) ops(n int) {
+	if n > 0 {
+		c.emit(instr{op: opOps, a: int32(n)})
+	}
+}
+
+func (c *compiler) block(stmts []ir.Stmt) {
+	for _, s := range stmts {
+		c.stmt(s)
+	}
+}
+
+func (c *compiler) stmt(s ir.Stmt) {
+	switch st := s.(type) {
+	case *ir.AssignScalar:
+		c.emit(instr{op: opBurn})
+		m := c.mark()
+		c.expr(st.Src, c.varReg[st.Dst])
+		c.release(m)
+		c.ops(ir.ExprOpUnits(st.Src) + 1)
+	case *ir.Store:
+		c.emit(instr{op: opBurn})
+		units := 1 + ir.ExprOpUnits(st.Src)
+		for _, ix := range st.Idx {
+			units += ir.ExprOpUnits(ix)
+		}
+		mat, ok := c.matID[st.Dst]
+		if !ok {
+			fail("store to unregistered matrix %s", st.Dst)
+		}
+		m := c.mark()
+		off := c.storeOffset(mat, st.Dst, st.Idx)
+		src := c.temp()
+		c.expr(st.Src, src)
+		c.ops(units)
+		c.emit(instr{op: opStore, a: mat, b: off, c: src})
+		c.release(m)
+	case *ir.For:
+		c.forLoop(st)
+	case *ir.While:
+		c.whileLoop(st)
+	case *ir.If:
+		c.emit(instr{op: opBurn})
+		m := c.mark()
+		cond := c.temp()
+		c.expr(st.Cond, cond)
+		c.release(m)
+		c.ops(ir.ExprOpUnits(st.Cond) + 1)
+		jz := c.emit(instr{op: opJz, b: cond})
+		c.block(st.Then)
+		if len(st.Else) > 0 {
+			j := c.emit(instr{op: opJmp})
+			c.code.ins[jz].a = c.here()
+			c.block(st.Else)
+			c.code.ins[j].a = c.here()
+		} else {
+			c.code.ins[jz].a = c.here()
+		}
+	case *ir.Break:
+		c.emit(instr{op: opBurn})
+		j := c.emit(instr{op: opJmp})
+		if n := len(c.loopStack); n > 0 {
+			lc := c.loopStack[n-1]
+			lc.breaks = append(lc.breaks, j)
+		} else {
+			c.haltJumps = append(c.haltJumps, j)
+		}
+	case *ir.Continue:
+		c.emit(instr{op: opBurn})
+		j := c.emit(instr{op: opJmp})
+		if n := len(c.loopStack); n > 0 {
+			lc := c.loopStack[n-1]
+			lc.continues = append(lc.continues, j)
+		} else {
+			c.haltJumps = append(c.haltJumps, j)
+		}
+	default:
+		c.emit(instr{op: opBurn})
+		c.emit(instr{op: opErr, a: c.errIdx(fmt.Errorf("ir: unknown statement %T", s))})
+	}
+}
+
+func (c *compiler) forLoop(st *ir.For) {
+	c.emit(instr{op: opBurn})
+	base := c.temp() // cur
+	hi := c.temp()
+	step := c.temp()
+	if hi != base+1 || step != base+2 {
+		fail("non-contiguous loop registers")
+	}
+	m := c.mark()
+	c.expr(st.Lo, base)
+	c.expr(st.Hi, hi)
+	c.expr(st.Step, step)
+	c.release(m)
+	c.ops(ir.ExprOpUnits(st.Lo) + ir.ExprOpUnits(st.Hi) + ir.ExprOpUnits(st.Step))
+	loop := c.nextLoop
+	c.nextLoop++
+	c.code.loops = append(c.code.loops, loopInfo{ivar: c.varReg[st.IVar], limit: st.Trip, isFor: true})
+	c.emit(instr{op: opForPrep, a: loop, b: base + 2})
+	head := c.here()
+	cond := c.emit(instr{op: opForCond, a: loop, b: base})
+	lc := &loopCtx{}
+	c.loopStack = append(c.loopStack, lc)
+	c.block(st.Body)
+	c.loopStack = c.loopStack[:len(c.loopStack)-1]
+	stepPC := c.here()
+	next := c.emit(instr{op: opForNext, a: loop, b: base, d: head + 1})
+	exit := c.here()
+	c.code.ins[cond].c = exit
+	c.code.ins[next].c = exit
+	for _, j := range lc.breaks {
+		c.code.ins[j].a = exit
+	}
+	for _, j := range lc.continues {
+		c.code.ins[j].a = stepPC
+	}
+	// The loop control registers stay reserved for the whole loop; free
+	// them now.
+	c.release(base)
+}
+
+func (c *compiler) whileLoop(st *ir.While) {
+	c.emit(instr{op: opBurn})
+	loop := c.nextLoop
+	c.nextLoop++
+	c.code.loops = append(c.code.loops, loopInfo{ivar: -1, limit: st.Bound})
+	c.emit(instr{op: opLoopPrep, a: loop})
+	head := c.here()
+	c.emit(instr{op: opBurn}) // per-check fuel, as Exec's while loop
+	m := c.mark()
+	cond := c.temp()
+	c.expr(st.Cond, cond)
+	c.release(m)
+	c.ops(ir.ExprOpUnits(st.Cond) + 1)
+	test := c.emit(instr{op: opWhileTest, a: loop, b: cond})
+	lc := &loopCtx{}
+	c.loopStack = append(c.loopStack, lc)
+	c.block(st.Body)
+	c.loopStack = c.loopStack[:len(c.loopStack)-1]
+	c.emit(instr{op: opJmp, a: head})
+	exit := c.here()
+	c.code.ins[test].c = exit
+	for _, j := range lc.breaks {
+		c.code.ins[j].a = exit
+	}
+	for _, j := range lc.continues {
+		c.code.ins[j].a = head
+	}
+}
+
+// storeOffset compiles the validated target-offset computation of a
+// store (index conversion per subscript in evaluation order, then the
+// combined range check), returning the register holding the offset.
+func (c *compiler) storeOffset(mat int32, v *ir.Var, idx []ir.Expr) int32 {
+	switch len(idx) {
+	case 2:
+		i := c.index(idx[0])
+		j := c.index(idx[1])
+		off := c.temp()
+		c.emit(instr{op: opIdx2, a: off, b: mat, c: i, d: j})
+		return off
+	case 1:
+		k := c.index(idx[0])
+		off := c.temp()
+		c.emit(instr{op: opIdx1, a: off, b: mat, c: k})
+		return off
+	}
+	// The tree walker reports bad subscript arity when the statement
+	// executes, before evaluating anything.
+	c.emit(instr{op: opErr, a: c.errIdx(fmt.Errorf("ir: %d subscripts", len(idx)))})
+	return c.temp()
+}
+
+// index compiles one subscript expression. Loads and offset ops apply
+// the tree walker's tolerant integer conversion inline, so a VarRef or
+// Const subscript forwards its home register with no instruction at all
+// — exactly the fast path Exec.offset takes (no eval step, conversion
+// only), so evaluation order and error order coincide. Any other
+// expression keeps the standalone opToInt so that its evaluation and
+// conversion stay interleaved per subscript as in the tree walker; the
+// load's own re-conversion of the already-integral result is the
+// identity and unobservable.
+func (c *compiler) index(e ir.Expr) int32 {
+	switch e.(type) {
+	case *ir.VarRef, *ir.Const:
+		return c.operand(e)
+	}
+	src := c.operand(e)
+	r := c.temp()
+	c.emit(instr{op: opToInt, a: r, b: src})
+	return r
+}
+
+// operand compiles e as a read-only operand and returns the register
+// holding its value: scalar variables and constants forward their home
+// register with no instruction at all (the dominant case — this is what
+// keeps the dispatch count per statement low); anything else
+// materializes into a fresh temporary released by the caller's mark.
+// Forwarding is safe because expressions are pure: no instruction
+// emitted for a sibling operand can write a variable or constant
+// register.
+func (c *compiler) operand(e ir.Expr) int32 {
+	switch x := e.(type) {
+	case *ir.VarRef:
+		if r, ok := c.varReg[x.V]; ok {
+			return r
+		}
+	case *ir.Const:
+		if r, ok := c.constReg[math.Float64bits(x.Val)]; ok {
+			return r
+		}
+	}
+	r := c.temp()
+	c.expr(e, r)
+	return r
+}
+
+// expr compiles e so its value lands in dst. Temporaries allocated for
+// operands are released by the caller's mark.
+func (c *compiler) expr(e ir.Expr, dst int32) {
+	switch x := e.(type) {
+	case *ir.Const:
+		c.emit(instr{op: opConst, a: dst, b: c.constIdx(x.Val)})
+	case *ir.VarRef:
+		c.emit(instr{op: opMov, a: dst, b: c.varReg[x.V]})
+	case *ir.Index:
+		mat, ok := c.matID[x.V]
+		if !ok {
+			fail("load from unregistered matrix %s", x.V)
+		}
+		m := c.mark()
+		switch len(x.Idx) {
+		case 2:
+			i := c.index(x.Idx[0])
+			j := c.index(x.Idx[1])
+			c.emit(instr{op: opLoad2, a: dst, b: mat, c: i, d: j})
+		case 1:
+			k := c.index(x.Idx[0])
+			c.emit(instr{op: opLoad1, a: dst, b: mat, c: k})
+		default:
+			c.emit(instr{op: opErr, a: c.errIdx(fmt.Errorf("ir: %d subscripts", len(x.Idx)))})
+		}
+		c.release(m)
+	case *ir.Bin:
+		m := c.mark()
+		a := c.operand(x.X)
+		b := c.operand(x.Y)
+		switch x.Op {
+		case ir.OpAdd:
+			c.emit(instr{op: opAdd, a: dst, b: a, c: b})
+		case ir.OpSub:
+			c.emit(instr{op: opSub, a: dst, b: a, c: b})
+		case ir.OpMul:
+			c.emit(instr{op: opMul, a: dst, b: a, c: b})
+		case ir.OpDiv:
+			c.emit(instr{op: opDiv, a: dst, b: a, c: b})
+		case ir.OpPow:
+			c.emit(instr{op: opPow, a: dst, b: a, c: b})
+		case ir.OpEq:
+			c.emit(instr{op: opEq, a: dst, b: a, c: b})
+		case ir.OpNe:
+			c.emit(instr{op: opNe, a: dst, b: a, c: b})
+		case ir.OpLt:
+			c.emit(instr{op: opLt, a: dst, b: a, c: b})
+		case ir.OpLe:
+			c.emit(instr{op: opLe, a: dst, b: a, c: b})
+		case ir.OpGt:
+			c.emit(instr{op: opGt, a: dst, b: a, c: b})
+		case ir.OpGe:
+			c.emit(instr{op: opGe, a: dst, b: a, c: b})
+		case ir.OpAnd:
+			c.emit(instr{op: opAnd, a: dst, b: a, c: b})
+		case ir.OpOr:
+			c.emit(instr{op: opOr, a: dst, b: a, c: b})
+		default:
+			c.emit(instr{op: opFold, a: dst, b: a, c: b, d: int32(x.Op)})
+		}
+		c.release(m)
+	case *ir.Un:
+		m := c.mark()
+		a := c.operand(x.X)
+		if x.Op == ir.OpNeg {
+			c.emit(instr{op: opNeg, a: dst, b: a})
+		} else {
+			c.emit(instr{op: opNot, a: dst, b: a})
+		}
+		c.release(m)
+	case *ir.Intrinsic:
+		b := scil.LookupBuiltin(x.Name)
+		if b == nil {
+			// The tree walker errors at evaluation time, before the
+			// arguments are evaluated.
+			c.emit(instr{op: opErr, a: c.errIdx(fmt.Errorf("ir: unknown intrinsic %q", x.Name))})
+			return
+		}
+		m := c.mark()
+		switch {
+		case len(x.Args) == 1 && b.Scalar1 != nil:
+			a := c.operand(x.Args[0])
+			c.emit(instr{op: opIntr1, a: dst, b: c.fn(b), c: a})
+		case len(x.Args) == 2 && b.Scalar2 != nil:
+			a := c.operand(x.Args[0])
+			bb := c.operand(x.Args[1])
+			c.emit(instr{op: opIntr2, a: dst, b: c.fn(b), c: a, d: bb})
+		default:
+			base := c.tempBase
+			for _, arg := range x.Args {
+				r := c.temp()
+				c.expr(arg, r)
+			}
+			c.emit(instr{op: opIntrN, a: dst, b: c.fn(b), c: base, d: int32(len(x.Args))})
+		}
+		c.release(m)
+	default:
+		c.emit(instr{op: opErr, a: c.errIdx(fmt.Errorf("ir: unknown expression %T", e))})
+	}
+}

@@ -1,0 +1,141 @@
+package vm_test
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"argo/internal/ir"
+	"argo/internal/ir/vm"
+	"argo/internal/scil"
+	"argo/internal/usecases"
+)
+
+// fuzzFuel bounds execution in both engines so adversarial loop nests
+// stay cheap; exhaustion itself is a differential outcome (both engines
+// must run out at the same statement with the same meter prefix).
+const fuzzFuel = 100_000
+
+// FuzzVMExec is the differential fuzzer for the bytecode VM: any source
+// the front end accepts is lowered and executed through both the tree
+// walker (the oracle) and the compiled VM, which must agree exactly on
+// results (bit-for-bit), error strings, and the complete meter event
+// sequence. It extends the FuzzParseSCIL corpus — anything the parser
+// fuzzer finds interesting is a candidate execution here.
+//
+// Run the full fuzzer with: go test -fuzz=FuzzVMExec ./internal/ir/vm
+func FuzzVMExec(f *testing.F) {
+	seeds := []string{
+		"function r = f(a)\n  r = a\nendfunction",
+		"function r = f(x)\n  r = 0\n  for i = 1:20\n    r = r + i * x\n  end\nendfunction",
+		"//@entry\nfunction r = h(x)\n  //@bound 64\n  while x > 1\n    x = x / 2\n  end\n  r = x\nendfunction",
+		"function r = f(m)\n  r = 0\n  for i = 1:2\n    for j = 1:2\n      r = r + m(i, j)\n    end\n  end\nendfunction",
+		"function q = g(m)\n  q = m(5)\nendfunction", // runtime index error on a 2x2 argument
+		"function r = f(a, b)\n  if a > b then\n    r = max(a, b)\n  else\n    r = atan(a, b)\n  end\nendfunction",
+		"function r = f(x)\n  r = x / 0 + sqrt(-x)\nendfunction", // inf/nan propagation
+	}
+	for _, u := range usecases.All() {
+		seeds = append(seeds, u.Source)
+	}
+	for s := int64(0); s < 6; s++ {
+		seeds = append(seeds, scil.GenerateSource(rand.New(rand.NewSource(s)), scil.DefaultGenConfig()))
+	}
+	for i, s := range seeds {
+		f.Add(s, int64(i))
+	}
+	f.Fuzz(func(t *testing.T, src string, seed int64) {
+		p, err := scil.Parse(src)
+		if err != nil {
+			return
+		}
+		if errs := scil.Check(p, scil.CheckWCET); len(errs) > 0 {
+			return
+		}
+		for _, fn := range p.Funcs {
+			// Two argument shapes per entry: all scalars and all 2x2
+			// matrices. Lowering rejects the shape/usage mismatches;
+			// whatever it accepts must execute identically.
+			for shape := 0; shape < 2; shape++ {
+				specs := make([]ir.ArgSpec, len(fn.Params))
+				for i := range specs {
+					if shape == 0 {
+						specs[i] = ir.ScalarArg()
+					} else {
+						specs[i] = ir.MatrixArg(2, 2)
+					}
+				}
+				prog, err := ir.Lower(p, fn.Name, specs)
+				if err != nil {
+					continue
+				}
+				cp, err := vm.Compile(prog)
+				if err != nil {
+					t.Fatalf("%s/%d: vm compile failed on lowered program: %v\n%s", fn.Name, shape, err, src)
+				}
+				rng := rand.New(rand.NewSource(seed))
+				inputs := make([][]float64, len(specs))
+				for i, sp := range specs {
+					vals := make([]float64, sp.Rows*sp.Cols)
+					for j := range vals {
+						vals[j] = math.Round(rng.Float64()*40-20) / 2
+					}
+					inputs[i] = vals
+				}
+				diffExec(t, prog, cp, inputs, src)
+			}
+		}
+	})
+}
+
+// diffExec runs one (program, inputs) pair through both engines under
+// the fuzz fuel budget and reports any observable divergence.
+func diffExec(t *testing.T, prog *ir.Program, cp *vm.Program, inputs [][]float64, src string) {
+	t.Helper()
+	tm := &recMeter{}
+	ex := ir.NewExec(prog, tm)
+	var treeOut [][]float64
+	treeErr := ex.Init(inputs)
+	if treeErr == nil {
+		ex.SetFuel(fuzzFuel)
+		treeErr = ex.ExecBlock(prog.Entry.Body)
+	}
+	if treeErr == nil {
+		treeOut = ex.Results()
+	}
+
+	vmMeter := &recMeter{}
+	m := vm.NewMachine(cp, vmMeter)
+	var vmOut [][]float64
+	vmErr := m.Init(inputs)
+	if vmErr == nil {
+		m.SetFuel(fuzzFuel)
+		vmErr = m.ExecEntry()
+	}
+	if vmErr == nil {
+		vmOut = m.Results()
+	}
+
+	if (treeErr == nil) != (vmErr == nil) ||
+		(treeErr != nil && treeErr.Error() != vmErr.Error()) {
+		t.Fatalf("error mismatch: tree=%v vm=%v\n%s", treeErr, vmErr, src)
+	}
+	if treeErr == nil {
+		if len(treeOut) != len(vmOut) {
+			t.Fatalf("result arity: tree=%d vm=%d\n%s", len(treeOut), len(vmOut), src)
+		}
+		for i := range treeOut {
+			if len(treeOut[i]) != len(vmOut[i]) {
+				t.Fatalf("result %d length: tree=%d vm=%d\n%s", i, len(treeOut[i]), len(vmOut[i]), src)
+			}
+			for j := range treeOut[i] {
+				if math.Float64bits(treeOut[i][j]) != math.Float64bits(vmOut[i][j]) {
+					t.Fatalf("result[%d][%d]: tree=%v vm=%v\n%s", i, j, treeOut[i][j], vmOut[i][j], src)
+				}
+			}
+		}
+	}
+	if strings.Join(tm.events, ";") != strings.Join(vmMeter.events, ";") {
+		t.Fatalf("meter divergence:\ntree tail: %v\nvm tail:   %v\n%s", tail(tm.events), tail(vmMeter.events), src)
+	}
+}

@@ -1,0 +1,95 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+
+	"argo/internal/fault"
+	"argo/internal/par"
+)
+
+// Interp selects the execution engine for the simulator's functional
+// phase (phase 0). Both engines are observably identical — results,
+// traces, meter charges, and errors are bit-for-bit the same (enforced
+// by the differential tests and FuzzVMExec) — so the choice only affects
+// speed; it is deliberately excluded from result-cache keys.
+type Interp int
+
+const (
+	// InterpAuto defers to the package default (SetInterp; the bytecode
+	// VM unless overridden).
+	InterpAuto Interp = iota
+	// InterpVM executes compiled register bytecode (internal/ir/vm),
+	// falling back to the tree walker if compilation fails.
+	InterpVM
+	// InterpTree executes the ir.Exec tree walker — the differential
+	// oracle and the -interp=tree escape hatch.
+	InterpTree
+)
+
+// String returns the flag spelling of the mode.
+func (i Interp) String() string {
+	switch i {
+	case InterpVM:
+		return "vm"
+	case InterpTree:
+		return "tree"
+	}
+	return "auto"
+}
+
+// ParseInterp parses a -interp flag value ("vm" or "tree").
+func ParseInterp(s string) (Interp, error) {
+	switch s {
+	case "vm":
+		return InterpVM, nil
+	case "tree":
+		return InterpTree, nil
+	case "auto", "":
+		return InterpAuto, nil
+	}
+	return InterpAuto, fmt.Errorf("sim: unknown interpreter %q (want vm or tree)", s)
+}
+
+// defaultInterp is the process-wide engine used when a run passes
+// InterpAuto; the zero value means InterpVM.
+var defaultInterp atomic.Int32
+
+// SetInterp sets the process-wide default execution engine (what
+// InterpAuto resolves to). Passing InterpAuto restores the built-in
+// default (the VM).
+func SetInterp(i Interp) { defaultInterp.Store(int32(i)) }
+
+// DefaultInterp reports what InterpAuto currently resolves to.
+func DefaultInterp() Interp {
+	if d := Interp(defaultInterp.Load()); d == InterpVM || d == InterpTree {
+		return d
+	}
+	return InterpVM
+}
+
+func (i Interp) resolve() Interp {
+	if i == InterpVM || i == InterpTree {
+		return i
+	}
+	return DefaultInterp()
+}
+
+// RunInterp is Run with an explicit execution engine.
+func RunInterp(p *par.Program, args [][]float64, interp Interp) (*Report, error) {
+	return RunContextInterp(context.Background(), p, args, interp)
+}
+
+// RunContextInterp is RunContext with an explicit execution engine.
+func RunContextInterp(ctx context.Context, p *par.Program, args [][]float64, interp Interp) (*Report, error) {
+	return run(ctx, p, args, nil, interp)
+}
+
+// RunFaultyInterp is RunFaulty with an explicit execution engine.
+func RunFaultyInterp(ctx context.Context, p *par.Program, args [][]float64, spec fault.Spec, interp Interp) (*Report, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	return run(ctx, p, args, fault.New(spec), interp)
+}

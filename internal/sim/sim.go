@@ -15,10 +15,12 @@ package sim
 import (
 	"context"
 	"fmt"
+	"math"
 
 	"argo/internal/adl"
 	"argo/internal/fault"
 	"argo/internal/ir"
+	"argo/internal/ir/vm"
 	"argo/internal/par"
 	"argo/internal/wcet"
 )
@@ -169,7 +171,7 @@ func Run(p *par.Program, args [][]float64) (*Report, error) {
 // cancelled or expired context aborts the simulation and returns
 // ctx.Err().
 func RunContext(ctx context.Context, p *par.Program, args [][]float64) (*Report, error) {
-	return run(ctx, p, args, nil)
+	return run(ctx, p, args, nil, InterpAuto)
 }
 
 // RunFaulty simulates the parallel program under deterministic fault
@@ -181,54 +183,117 @@ func RunFaulty(ctx context.Context, p *par.Program, args [][]float64, spec fault
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
-	return run(ctx, p, args, fault.New(spec))
+	return run(ctx, p, args, fault.New(spec), InterpAuto)
 }
 
-func run(ctx context.Context, p *par.Program, args [][]float64, inj *fault.Injector) (*Report, error) {
+func run(ctx context.Context, p *par.Program, args [][]float64, inj *fault.Injector, interp Interp) (*Report, error) {
 	nTasks := len(p.Input.Tasks)
 	rep := &Report{
 		TaskStart:  make([]int64, nTasks),
 		TaskFinish: make([]int64, nTasks),
 	}
 
-	rs := runPool.Get().(*runState)
-	defer runPool.Put(rs)
-	rs.prepare(p)
-
 	// Phase 0: functional execution in dependence (program) order to
 	// compute results and extract each task's isolated trace. Tasks with
 	// an input-invariant trace replay the program's cached trace and run
 	// un-metered (the fast interpreter path); the rest are re-metered.
+	//
+	// The execution engine is the compiled bytecode VM by default, with
+	// the tree walker as the oracle/escape hatch — both produce the same
+	// traces, results, and errors, so the trace cache is shared between
+	// modes.
 	cache := cacheFor(p)
-	ex := rs.ex
-	if err := ex.Init(args); err != nil {
-		return nil, err
+	var cp *vm.Program
+	if interp.resolve() == InterpVM {
+		cp = cache.vmProgram(p)
 	}
+
+	rs := runPool.Get().(*runState)
+	defer runPool.Put(rs)
+	rs.prepare(p, cp)
+
 	traces := rs.traces
-	var tm traceMeter
-	for _, n := range p.Graph.Nodes {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		if tr := cache.lookup(n.ID); tr != nil {
-			ex.SetMeter(nil)
-			if err := ex.ExecBlock(n.Stmts); err != nil {
-				return nil, fmt.Errorf("sim: task %d: %v", n.ID, err)
+	// Trace-variant tasks are re-executed and re-metered per run —
+	// unless this exact input set ran before in VM mode. Execution is
+	// deterministic in the entry inputs, so a memo hit supplies both the
+	// variant traces and the results; with the invariant traces coming
+	// from the trace cache, the whole phase needs no execution at all.
+	var memoTraces [][]segment
+	var memoResults [][]float64
+	var memoKey uint64
+	if cp != nil {
+		memoTraces, memoResults, memoKey = cache.lookupVariant(args)
+	}
+	if memoResults != nil {
+		for _, n := range p.Graph.Nodes {
+			tr := memoTraces[n.ID]
+			if tr == nil {
+				tr = cache.lookup(n.ID)
+			}
+			if tr == nil {
+				// An invariant trace not yet published (only possible
+				// under unusual interleavings): execute normally.
+				memoResults = nil
+				break
 			}
 			traces[n.ID] = tr
-			continue
 		}
-		core := p.Schedule.Placements[n.ID].Core
-		tm.model = wcet.ModelFor(p.Platform, core)
-		ex.SetMeter(&tm)
-		if err := ex.ExecBlock(n.Stmts); err != nil {
-			return nil, fmt.Errorf("sim: task %d: %v", n.ID, err)
-		}
-		traces[n.ID] = tm.finish()
-		cache.store(n.ID, traces[n.ID])
 	}
-	ex.SetMeter(nil)
-	rep.Results = ex.Results()
+	if memoResults != nil {
+		rep.Results = cloneResults(memoResults)
+	} else {
+		var initErr error
+		if cp != nil {
+			initErr = rs.vm.Init(args)
+		} else {
+			initErr = rs.ex.Init(args)
+		}
+		if initErr != nil {
+			return nil, initErr
+		}
+		var tm traceMeter
+		for _, n := range p.Graph.Nodes {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			var meter ir.Meter
+			tr := cache.lookup(n.ID)
+			if tr == nil && memoTraces != nil {
+				tr = memoTraces[n.ID]
+			}
+			if tr == nil {
+				core := p.Schedule.Placements[n.ID].Core
+				tm.model = wcet.ModelFor(p.Platform, core)
+				meter = &tm
+			}
+			var err error
+			if cp != nil {
+				rs.vm.SetMeter(meter)
+				err = rs.vm.ExecRegion(n.ID)
+			} else {
+				rs.ex.SetMeter(meter)
+				err = rs.ex.ExecBlock(n.Stmts)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("sim: task %d: %v", n.ID, err)
+			}
+			if tr == nil {
+				tr = tm.finish()
+				cache.store(n.ID, tr)
+			}
+			traces[n.ID] = tr
+		}
+		if cp != nil {
+			rs.vm.SetMeter(nil)
+			rep.Results = rs.vm.Results()
+		} else {
+			rs.ex.SetMeter(nil)
+			rep.Results = rs.ex.Results()
+		}
+		if cp != nil && memoTraces == nil {
+			cache.storeVariant(memoKey, args, traces, rep.Results)
+		}
+	}
 
 	// Fault injection: inflate task compute time within the code-level
 	// WCET headroom (or beyond the per-task bound in the negative-test
@@ -292,15 +357,17 @@ func run(ctx context.Context, p *par.Program, args [][]float64, inj *fault.Injec
 	}
 	signalTime := rs.signalTime
 	posted := rs.posted
-	for events := 0; ; events++ {
-		if events%4096 == 0 {
-			if err := ctx.Err(); err != nil {
-				return nil, err
-			}
-		}
-		// Pick the runnable core with minimal time (conservative DES).
+	events := 0
+	for {
+		// Pick the runnable core with minimal time (conservative DES),
+		// and remember the runner-up's time: the chosen core can then
+		// step repeatedly without a rescan while it stays strictly below
+		// every other eligible core (no other core could have been
+		// picked, and blocked cores only wake on a signal post, which
+		// forces a rescan below).
 		best := -1
-		var bestTime int64
+		bestTime := int64(math.MaxInt64)
+		second := int64(math.MaxInt64)
 		for c := range cores {
 			cs := &cores[c]
 			if cs.idx >= len(cs.entries) && cs.inTask < 0 {
@@ -311,9 +378,12 @@ func run(ctx context.Context, p *par.Program, args [][]float64, inj *fault.Injec
 					continue // blocked
 				}
 			}
-			if best < 0 || cs.time < bestTime {
+			if cs.time < bestTime {
+				second = bestTime
 				best = c
 				bestTime = cs.time
+			} else if cs.time < second {
+				second = cs.time
 			}
 		}
 		if best < 0 {
@@ -329,66 +399,89 @@ func run(ctx context.Context, p *par.Program, args [][]float64, inj *fault.Injec
 			}
 			break
 		}
+		// Step the chosen core until its time reaches the runner-up's
+		// (another core could then hold the minimum, or tie with a lower
+		// index), it blocks or finishes, or it posts a signal (which may
+		// wake a core whose time is below ours). Every exit rescans, so
+		// the step order is identical to a scan per event.
 		cs := &cores[best]
-		if cs.inTask >= 0 {
-			if cs.pendingAccess {
-				// Serve the previously issued bus request.
-				done, wait := arb.access(best, cs.time)
-				if inj != nil {
-					// Jitter the access within its remaining modeled
-					// interference budget. Only this core's completion
-					// moves — arbiter state is untouched — so other cores
-					// never see interference beyond the model.
-					t := cs.inTask
-					done += inj.AccessDelay(t, accessIdx[t], perAccessBudget[t]-wait)
-					accessIdx[t]++
+	step:
+		for {
+			events++
+			if events%4096 == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
 				}
-				cs.time = done
-				cs.pendingAccess = false
-				cs.segIdx++
-				if cs.segIdx == len(cs.segs) {
-					rep.TaskFinish[cs.inTask] = cs.time
-					cs.inTask = -1
+			}
+			if cs.inTask >= 0 {
+				if cs.pendingAccess {
+					// Serve the previously issued bus request.
+					done, wait := arb.access(best, cs.time)
+					if inj != nil {
+						// Jitter the access within its remaining modeled
+						// interference budget. Only this core's completion
+						// moves — arbiter state is untouched — so other cores
+						// never see interference beyond the model.
+						t := cs.inTask
+						done += inj.AccessDelay(t, accessIdx[t], perAccessBudget[t]-wait)
+						accessIdx[t]++
+					}
+					cs.time = done
+					cs.pendingAccess = false
+					cs.segIdx++
+					if cs.segIdx == len(cs.segs) {
+						rep.TaskFinish[cs.inTask] = cs.time
+						cs.inTask = -1
+					}
+				} else {
+					// Execute one compute segment; a trailing access
+					// becomes a pending request at the segment's end time.
+					seg := cs.segs[cs.segIdx]
+					cs.time += seg.Gap
+					if seg.Access {
+						cs.pendingAccess = true
+					} else {
+						cs.segIdx++
+						if cs.segIdx == len(cs.segs) {
+							rep.TaskFinish[cs.inTask] = cs.time
+							cs.inTask = -1
+						}
+					}
 				}
-				continue
+			} else if cs.idx >= len(cs.entries) {
+				break step // finished
+			} else {
+				e := cs.entries[cs.idx]
+				switch e.Kind {
+				case par.EntryWait:
+					if !posted[e.Sig] {
+						break step // blocked until another core posts
+					}
+					if t := signalTime[e.Sig]; t > cs.time {
+						cs.time = t
+					}
+					cs.idx++
+				case par.EntrySignal:
+					posted[e.Sig] = true
+					if cs.time > signalTime[e.Sig] {
+						signalTime[e.Sig] = cs.time
+					}
+					cs.idx++
+					break step // may wake an earlier-time core
+				case par.EntryCompute:
+					if e.Release > cs.time {
+						cs.time = e.Release // time-triggered release
+					}
+					rep.TaskStart[e.Task] = cs.time
+					cs.inTask = e.Task
+					cs.segs = traces[e.Task]
+					cs.segIdx = 0
+					cs.idx++
+				}
 			}
-			// Execute one compute segment; a trailing access becomes a
-			// pending request at the segment's end time.
-			seg := cs.segs[cs.segIdx]
-			cs.time += seg.Gap
-			if seg.Access {
-				cs.pendingAccess = true
-				continue
+			if cs.time >= second {
+				break
 			}
-			cs.segIdx++
-			if cs.segIdx == len(cs.segs) {
-				rep.TaskFinish[cs.inTask] = cs.time
-				cs.inTask = -1
-			}
-			continue
-		}
-		e := cs.entries[cs.idx]
-		switch e.Kind {
-		case par.EntryWait:
-			if t := signalTime[e.Sig]; t > cs.time {
-				cs.time = t
-			}
-			cs.idx++
-		case par.EntrySignal:
-			posted[e.Sig] = true
-			if cs.time > signalTime[e.Sig] {
-				signalTime[e.Sig] = cs.time
-			}
-			cs.idx++
-		case par.EntryCompute:
-			if e.Release > cs.time {
-				cs.time = e.Release // time-triggered release
-			}
-			rep.TaskStart[e.Task] = cs.time
-			cs.inTask = e.Task
-			cs.segs = traces[e.Task]
-			cs.segIdx = 0
-			cs.idx++
 		}
 	}
 	for c := range cores {

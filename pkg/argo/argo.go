@@ -82,6 +82,21 @@ type (
 	PassTrace = pass.Trace
 	// PassTiming is one entry of a PassTrace.
 	PassTiming = pass.Timing
+	// Interp selects the simulator execution engine (Options.Interp):
+	// the compiled register-bytecode VM or the tree-walking oracle.
+	Interp = sim.Interp
+)
+
+// Simulator execution engines. Both are observably bit-identical —
+// results, traces, meter charges, and errors — so the choice only
+// affects speed.
+const (
+	// InterpAuto defers to the process default (SetInterp).
+	InterpAuto = sim.InterpAuto
+	// InterpVM executes compiled register bytecode (the default).
+	InterpVM = sim.InterpVM
+	// InterpTree executes the tree-walking oracle.
+	InterpTree = sim.InterpTree
 )
 
 // Scheduling policies.
@@ -227,6 +242,24 @@ func SimulateFaulty(a *Artifacts, inputs [][]float64, spec FaultSpec) (*SimRepor
 func SimulateFaultyContext(ctx context.Context, a *Artifacts, inputs [][]float64, spec FaultSpec) (*SimReport, error) {
 	return core.SimulateFaultyContext(ctx, a, inputs, spec)
 }
+
+// SetInterp selects the process-wide simulator execution engine by flag
+// spelling: "vm" (compiled register bytecode, the default), "tree" (the
+// tree-walking oracle), or "auto"/"" to restore the default. It governs
+// what InterpAuto resolves to; per-run choice goes through
+// Options.Interp instead. Returns an error for unknown modes.
+func SetInterp(mode string) error {
+	i, err := sim.ParseInterp(mode)
+	if err != nil {
+		return err
+	}
+	sim.SetInterp(i)
+	return nil
+}
+
+// InterpMode reports the engine simulation runs currently default to
+// ("vm" or "tree").
+func InterpMode() string { return sim.DefaultInterp().String() }
 
 // DescribePasses renders the registered pass pipeline the options
 // select as a fixed-width table (name, input/output artifact,
