@@ -24,6 +24,7 @@ import (
 	"argo/internal/ir/vm"
 	"argo/internal/lp"
 	"argo/internal/noc"
+	"argo/internal/pass"
 	"argo/internal/sched"
 	"argo/internal/scil"
 	"argo/internal/session"
@@ -773,6 +774,114 @@ func BenchmarkSessionEditCold(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := core.CompileSource(uc.Source, opts[i%2]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkVMExecSuperOff is BenchmarkVMExec with the multiply-
+// accumulate superinstructions disabled at compile time — the A-B
+// column isolating the fused-dispatch win (results are bit-identical
+// either way; only the dispatch count differs).
+func BenchmarkVMExecSuperOff(b *testing.B) {
+	prog := vmBenchProgram(b)
+	vm.SetSuperinstructions(false)
+	cp, err := vm.Compile(prog)
+	vm.SetSuperinstructions(true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := vm.NewMachine(cp, nil)
+	in := usecases.POLKA().Inputs(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.Init(in); err != nil {
+			b.Fatal(err)
+		}
+		if err := m.ExecEntry(); err != nil {
+			b.Fatal(err)
+		}
+		if got := m.Results(); len(got) == 0 {
+			b.Fatal("no results")
+		}
+	}
+}
+
+// BenchmarkCompileFresh measures what a fresh compilation of an
+// already-seen configuration costs now that the structural passes
+// (build-htg through par-build) snapshot into the process-wide pass
+// cache: one cold compile warms pass.Global, then every iteration is a
+// brand-new core.Compile (distinct pass.Context, as a new argod request
+// presents) restored from the shared tier. Compare
+// BenchmarkCompileFreshCold for the unwarmed cost.
+func BenchmarkCompileFresh(b *testing.B) {
+	u := usecases.EGPWS()
+	p, err := u.Program()
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt := core.DefaultOptions(u.Entry, u.Args, adl.XentiumPlatform(4))
+	pass.Global.Reset()
+	if _, err := core.Compile(p, opt); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Compile(p, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCompileFreshCold is the cold-path baseline for
+// BenchmarkCompileFresh: the identical compilation with the pass cache
+// disabled, so every structural pass re-executes each iteration.
+func BenchmarkCompileFreshCold(b *testing.B) {
+	u := usecases.EGPWS()
+	p, err := u.Program()
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt := core.DefaultOptions(u.Entry, u.Args, adl.XentiumPlatform(4))
+	opt.Passes.NoCache = true
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Compile(p, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSessionEditFresh measures interactive-session bootstrap over
+// a warm process: every iteration creates a brand-new session (private
+// pass cache, falling back to the warmed pass.Global) and applies one
+// edit. The initial full analysis restores its structural ladder from
+// the Global tier instead of recomputing it — the cost a second client
+// pays to open a what-if session on a configuration the daemon has
+// already compiled.
+func BenchmarkSessionEditFresh(b *testing.B) {
+	uc := usecases.ByName("polka")
+	opt := core.DefaultOptions(uc.Entry, uc.Args, adl.Builtin("xentium4"))
+	pass.Global.Reset()
+	warm, _, err := session.New(context.Background(), uc.Source, opt, fault.Spec{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	edit := session.Edit{Op: session.OpSetParam, Param: "shared.access_cycles", Value: 30}
+	if _, err := warm.Apply(context.Background(), edit, session.ApplyOptions{}); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, _, err := session.New(context.Background(), uc.Source, opt, fault.Spec{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.Apply(context.Background(), edit, session.ApplyOptions{}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -41,6 +41,7 @@ import (
 	"syscall"
 	"time"
 
+	"argo/internal/ir/vm"
 	"argo/internal/pass"
 	"argo/internal/service"
 	"argo/internal/sim"
@@ -52,6 +53,7 @@ type config struct {
 	addr         string
 	grace        time.Duration
 	passCacheMax int
+	vmCacheMax   int
 	interp       sim.Interp
 	service      service.Config
 }
@@ -73,6 +75,7 @@ func parseFlags(args []string, stderr io.Writer) (*config, int) {
 		maxSessions  = fs.Int("max-sessions", argo.DefaultMaxSessions, "max live interactive sessions (LRU-evicted beyond)")
 		sessionTTL   = fs.Duration("session-ttl", argo.DefaultSessionTTL, "idle expiry of interactive sessions")
 		passCacheMax = fs.Int("pass-cache-max", 0, "max snapshots in the global pass cache (0: default bound)")
+		vmCacheMax   = fs.Int("vm-cache-max", 0, "max compiled programs in the shared VM code cache (0: default bound)")
 		interp       = fs.String("interp", "vm", "simulator execution engine: vm (bytecode) or tree (oracle)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -92,14 +95,15 @@ func parseFlags(args []string, stderr io.Writer) (*config, int) {
 		fmt.Fprintln(stderr, "argod: -workers, -timeout, -grace, and -max-body must be positive")
 		return nil, 2
 	}
-	if *maxSessions <= 0 || *sessionTTL <= 0 || *passCacheMax < 0 {
-		fmt.Fprintln(stderr, "argod: -max-sessions and -session-ttl must be positive, -pass-cache-max non-negative")
+	if *maxSessions <= 0 || *sessionTTL <= 0 || *passCacheMax < 0 || *vmCacheMax < 0 {
+		fmt.Fprintln(stderr, "argod: -max-sessions and -session-ttl must be positive, -pass-cache-max and -vm-cache-max non-negative")
 		return nil, 2
 	}
 	return &config{
 		addr:         *addr,
 		grace:        *grace,
 		passCacheMax: *passCacheMax,
+		vmCacheMax:   *vmCacheMax,
 		interp:       engine,
 		service: service.Config{
 			Workers:      *workers,
@@ -124,6 +128,9 @@ func main() {
 	// Bound the process-wide pass cache; entry count and evictions are
 	// exported as argo_pass_cache_{entries,evictions} in /debug/vars.
 	pass.Global.SetMax(cfg.passCacheMax)
+	// Bound the shared VM code cache likewise; observable as
+	// argo_vm_shared_{entries,evictions} in /debug/vars.
+	vm.SetSharedMax(cfg.vmCacheMax)
 
 	srv := service.NewServer(cfg.service)
 	// Publish the service metrics into the process-global expvar

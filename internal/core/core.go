@@ -329,7 +329,7 @@ func backEnd(ctx context.Context, prog *ir.Program, opt Options, feTrace []pass.
 
 	art.IR = pass.Need(c, keyIR)
 	art.Transform = *rep
-	art.Graph = pass.Need(c, keyGraph)
+	art.Graph = annGraph(c)
 	art.Input = pass.Need(c, keyInput)
 	art.Schedule = pass.Need(c, keySched)
 	art.System = pass.Need(c, keySys)

@@ -8,6 +8,7 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"sync"
 
 	"argo/internal/adl"
 	"argo/internal/fault"
@@ -29,21 +30,33 @@ import (
 // passes (HTG extraction, scheduling, parallel program construction,
 // validation) together with their cache contracts.
 //
-// Cacheability is decided by pointer discipline, not by ambition:
+// Every pass in the ladder is cacheable; what differs is the freeze
+// discipline each output needs:
 //
-//   - Transformation passes are cacheable. Their input is fully
-//     described by the whole-program fingerprint plus the pass's
-//     encoded parameters, and their output snapshot is a deep clone of
-//     the rewritten program (re-cloned again on restore), so no cached
-//     state ever aliases a live pipeline's IR.
-//   - The schedule pass is cacheable. Its input (task WCET vectors,
-//     dependence volumes, platform, policy) and its output
-//     (*sched.Schedule, *syswcet.Result) are pointer-free value data,
-//     deep-copied on both freeze and thaw.
-//   - HTG construction/annotation and parallel program construction are
-//     NOT cacheable: their outputs hold pointers into one specific
-//     ir.Program's statements and variables, which cannot be restored
-//     into a different program instance.
+//   - Transformation passes snapshot a deep clone of the rewritten
+//     program (re-cloned again on restore), so no cached state ever
+//     aliases a live pipeline's IR.
+//   - The schedule pass's input (task WCET vectors, dependence volumes,
+//     platform, policy) and output (*sched.Schedule, *syswcet.Result)
+//     are pointer-free value data, deep-copied on both freeze and thaw.
+//   - The structural passes (build-htg, annotate, coarsen, sched-input,
+//     par-build) produce artifacts that hold live *ir.Var/ir.Stmt
+//     pointers. They freeze through the remap-on-restore snapshot codec
+//     (ir.SnapshotIndex/ir.SnapshotTable: vars by registration index,
+//     stmts by traversal order — the transformSnap trick generalized)
+//     and thaw against whichever equal-fingerprint program the
+//     restoring pipeline holds.
+//
+// The structural fingerprints lean on one determinism chain: given the
+// IR content (including variable storage, which wcet.FingerprintProgram
+// covers), the canonical platform encoding, the coarsening bound, and
+// the scheduling policy, every pass of the ladder is a deterministic
+// function — so those four values content-address each pass's output.
+// Feedback rounds key distinctly for free: par-build's demotions mutate
+// variable storage between rounds, which changes the IR fingerprint,
+// and a restored par-build replays the identical mutations (see
+// par.Snapshot.Thaw), so cached replays reproduce the round sequence
+// bit-identically.
 
 // Typed artifact slots of the pipeline.
 var (
@@ -58,8 +71,8 @@ var (
 	// keyCanon is the canonical ADL encoding of the target platform
 	// (part of the schedule pass's cache key).
 	keyCanon = pass.NewKey[string]("platform-canon")
-	keyBase  = pass.NewKey[*htg.Graph]("htg")
-	keyGraph = pass.NewKey[*htg.Graph]("htg-annotated")
+	keyBase  = pass.NewKey[*graphCell]("htg")
+	keyGraph = pass.NewKey[*graphCell]("htg-annotated")
 	keyInput = pass.NewKey[*sched.Input]("sched-input")
 	keySched = pass.NewKey[*sched.Schedule]("schedule")
 	keySys   = pass.NewKey[*syswcet.Result]("syswcet")
@@ -68,6 +81,88 @@ var (
 )
 
 func dumpIR(c *pass.Context) string { return pass.Need(c, keyIR).Dump() }
+
+// irMemo caches, per pipeline execution, the derived views of the live
+// IR that the cache machinery rebuilds constantly: its content
+// fingerprint (one full-program walk per structural-pass key without
+// the memo) and the snapshot codec's freeze index / thaw table (one
+// statement traversal per freeze/restore). All three are pure functions
+// of the program's current state, so the memo is keyed to the program
+// pointer AND explicitly invalidated by every pass that mutates the
+// program in place (transform runs, label-loops, par-build's storage
+// side effect on both Run and Restore) — the pointer check alone cannot
+// see in-place mutation.
+type irMemo struct {
+	prog *ir.Program
+	fp   wcet.Fingerprint
+	idx  *ir.SnapshotIndex
+	tab  *ir.SnapshotTable
+}
+
+var keyIRMemo = pass.NewKey[*irMemo]("ir-memo")
+
+func irMemoOf(c *pass.Context) *irMemo {
+	prog := pass.Need(c, keyIR)
+	if m, ok := pass.Get(c, keyIRMemo); ok && m != nil && m.prog == prog {
+		return m
+	}
+	m := &irMemo{prog: prog, fp: wcet.FingerprintProgram(prog)}
+	pass.Put(c, keyIRMemo, m)
+	return m
+}
+
+func irMemoIndex(c *pass.Context) *ir.SnapshotIndex {
+	m := irMemoOf(c)
+	if m.idx == nil {
+		m.idx = ir.NewSnapshotIndex(m.prog)
+	}
+	return m.idx
+}
+
+func irMemoTable(c *pass.Context) *ir.SnapshotTable {
+	m := irMemoOf(c)
+	if m.tab == nil {
+		m.tab = ir.NewSnapshotTable(m.prog)
+	}
+	return m.tab
+}
+
+// invalidateIRMemo must be called by any code that mutates the live IR
+// program in place; the next memo access recomputes against the mutated
+// state.
+func invalidateIRMemo(c *pass.Context) { pass.Put(c, keyIRMemo, nil) }
+
+// graphCell holds a task graph artifact, optionally as a deferred thaw.
+// On a fully warm compile, build-htg's and annotate's restores are
+// overwritten by the next pass's restore before any Run reads them —
+// deferring the thaw to first use means those intermediate restores
+// never pay it, and only the ladder's final graph is materialized.
+// Deferral is sound: thaw resolves variables and statements purely by
+// position, which later in-place IR mutations (par-build's storage side
+// effect) don't disturb. The cell memoizes, so every reader sees one
+// graph instance, exactly as with an eager Put.
+type graphCell struct {
+	once sync.Once
+	thaw func() *htg.Graph
+	g    *htg.Graph
+}
+
+func liveGraph(g *htg.Graph) *graphCell           { return &graphCell{g: g} }
+func lazyGraph(thaw func() *htg.Graph) *graphCell { return &graphCell{thaw: thaw} }
+
+func (gc *graphCell) graph() *htg.Graph {
+	gc.once.Do(func() {
+		if gc.thaw != nil {
+			gc.g = gc.thaw()
+		}
+	})
+	return gc.g
+}
+
+// baseGraph / annGraph materialize the structural and annotated graph
+// artifacts.
+func baseGraph(c *pass.Context) *htg.Graph { return pass.Need(c, keyBase).graph() }
+func annGraph(c *pass.Context) *htg.Graph  { return pass.Need(c, keyGraph).graph() }
 
 // --- front-end passes -------------------------------------------------------
 
@@ -109,10 +204,16 @@ type transformSnap struct {
 	prog     *ir.Program
 	rep      transform.Report
 	promoted []int
+	// fp is the content fingerprint of prog, recorded at freeze time.
+	// Clone preserves content fingerprints (registration and traversal
+	// order are invariant — the same property the whole snapshot codec
+	// rests on), so a restore can seed the pipeline's irMemo with it and
+	// the next pass's cache key costs no program walk.
+	fp wcet.Fingerprint
 }
 
-func freezeTransform(live *ir.Program, delta transform.Report) *transformSnap {
-	s := &transformSnap{prog: live.Clone(), rep: delta}
+func freezeTransform(live *ir.Program, delta transform.Report, fp wcet.Fingerprint) *transformSnap {
+	s := &transformSnap{prog: live.Clone(), rep: delta, fp: fp}
 	if n := len(delta.SPM.Promoted); n > 0 {
 		idx := make(map[*ir.Var]int, len(live.Vars))
 		for i, v := range live.Vars {
@@ -155,24 +256,29 @@ func transformPasses(tOpt transform.Options, disabled map[string]bool) []*pass.P
 			Run: func(c *pass.Context) error {
 				var delta transform.Report
 				spec.Run(pass.Need(c, keyIR), tOpt, &delta)
+				invalidateIRMemo(c)
 				pass.Need(c, keyReport).Merge(delta)
 				pass.Put(c, keyDelta, &delta)
 				return nil
 			},
 			Fingerprint: func(c *pass.Context) ([]byte, bool) {
-				fp := wcet.FingerprintProgram(pass.Need(c, keyIR))
+				fp := irMemoOf(c).fp
 				return append(fp[:], spec.Params(tOpt)...), true
 			},
 			Snapshot: func(c *pass.Context) any {
-				s := freezeTransform(pass.Need(c, keyIR), *pass.Need(c, keyDelta))
+				// irMemoOf also warms the memo for the next pass's
+				// Fingerprint (Run just invalidated it).
+				s := freezeTransform(pass.Need(c, keyIR), *pass.Need(c, keyDelta), irMemoOf(c).fp)
 				if s == nil {
 					return nil
 				}
 				return s
 			},
 			Restore: func(c *pass.Context, snap any) {
-				prog, delta := snap.(*transformSnap).thaw()
+				ts := snap.(*transformSnap)
+				prog, delta := ts.thaw()
 				pass.Put(c, keyIR, prog)
+				pass.Put(c, keyIRMemo, &irMemo{prog: prog, fp: ts.fp})
 				pass.Need(c, keyReport).Merge(delta)
 			},
 			Dump: dumpIR,
@@ -183,11 +289,55 @@ func transformPasses(tOpt transform.Options, disabled map[string]bool) []*pass.P
 
 // --- structural passes ------------------------------------------------------
 
+// irFingerprint content-addresses the live IR alone (structure, names,
+// storage classes, temp counter) — the complete input of build-htg.
+func irFingerprint(c *pass.Context) ([]byte, bool) {
+	fp := irMemoOf(c).fp
+	return fp[:], true
+}
+
+// structuralFingerprint content-addresses the structural ladder's input
+// chain: the live IR, the canonical platform encoding, and any
+// pass-specific tuning values (coarsening bound, policy). ok is false
+// when the platform has no canonical encoding.
+func structuralFingerprint(c *pass.Context, extras ...uint64) ([]byte, bool) {
+	canon := pass.Need(c, keyCanon)
+	if canon == "" {
+		return nil, false
+	}
+	fp := irMemoOf(c).fp
+	out := make([]byte, 0, len(fp)+len(canon)+1+8*len(extras))
+	out = append(out, fp[:]...)
+	out = append(out, canon...)
+	out = append(out, 0)
+	var b [8]byte
+	for _, e := range extras {
+		binary.LittleEndian.PutUint64(b[:], e)
+		out = append(out, b[:]...)
+	}
+	return out, true
+}
+
+// freezeGraph / thawGraphInto adapt the htg freeze/thaw forms to the
+// pass Snapshot/Restore contract against the live IR.
+func freezeGraph(c *pass.Context, g *htg.Graph) any {
+	f, ok := g.Freeze(irMemoIndex(c))
+	if !ok {
+		return nil
+	}
+	return f
+}
+
+func thawGraph(c *pass.Context, snap any) *htg.Graph {
+	return snap.(*htg.FrozenGraph).Thaw(irMemoTable(c))
+}
+
 func labelLoopsPass() *pass.Pass {
 	return &pass.Pass{
 		Name: "label-loops", Input: "ir", Output: "ir",
 		Run: func(c *pass.Context) error {
 			transform.LabelLoops(pass.Need(c, keyIR))
+			invalidateIRMemo(c)
 			return nil
 		},
 		Dump: dumpIR,
@@ -198,10 +348,17 @@ func buildHTGPass() *pass.Pass {
 	return &pass.Pass{
 		Name: "build-htg", Input: "ir", Output: "htg",
 		Run: func(c *pass.Context) error {
-			pass.Put(c, keyBase, htg.Build(pass.Need(c, keyIR)))
+			pass.Put(c, keyBase, liveGraph(htg.Build(pass.Need(c, keyIR))))
 			return nil
 		},
-		Dump: func(c *pass.Context) string { return pass.Need(c, keyBase).Dump() },
+		Fingerprint: irFingerprint,
+		Snapshot: func(c *pass.Context) any {
+			return freezeGraph(c, baseGraph(c))
+		},
+		Restore: func(c *pass.Context, snap any) {
+			pass.Put(c, keyBase, lazyGraph(func() *htg.Graph { return thawGraph(c, snap) }))
+		},
+		Dump: func(c *pass.Context) string { return baseGraph(c).Dump() },
 	}
 }
 
@@ -213,12 +370,21 @@ func annotatePass() *pass.Pass {
 		Run: func(c *pass.Context) error {
 			// Storage classes change between rounds (demotions), so each
 			// round re-annotates a fresh clone of the structural graph.
-			g := pass.Need(c, keyBase).Clone()
+			g := baseGraph(c).Clone()
 			htg.Annotate(g, pass.Need(c, keyModels))
-			pass.Put(c, keyGraph, g)
+			pass.Put(c, keyGraph, liveGraph(g))
 			return nil
 		},
-		Dump: func(c *pass.Context) string { return pass.Need(c, keyGraph).Dump() },
+		Fingerprint: func(c *pass.Context) ([]byte, bool) {
+			return structuralFingerprint(c)
+		},
+		Snapshot: func(c *pass.Context) any {
+			return freezeGraph(c, annGraph(c))
+		},
+		Restore: func(c *pass.Context, snap any) {
+			pass.Put(c, keyGraph, lazyGraph(func() *htg.Graph { return thawGraph(c, snap) }))
+		},
+		Dump: func(c *pass.Context) string { return annGraph(c).Dump() },
 	}
 }
 
@@ -226,23 +392,58 @@ func coarsenPass(maxTasks int) *pass.Pass {
 	return &pass.Pass{
 		Name: "coarsen", Input: "htg-annotated", Output: "htg-annotated",
 		Run: func(c *pass.Context) error {
-			if g := pass.Need(c, keyGraph); maxTasks > 0 && len(g.Nodes) > maxTasks {
+			if g := annGraph(c); maxTasks > 0 && len(g.Nodes) > maxTasks {
 				g.MergeUntil(maxTasks)
 			}
 			return nil
 		},
-		Dump: func(c *pass.Context) string { return pass.Need(c, keyGraph).Dump() },
+		Fingerprint: func(c *pass.Context) ([]byte, bool) {
+			return structuralFingerprint(c, uint64(maxTasks))
+		},
+		Snapshot: func(c *pass.Context) any {
+			return freezeGraph(c, annGraph(c))
+		},
+		Restore: func(c *pass.Context, snap any) {
+			pass.Put(c, keyGraph, lazyGraph(func() *htg.Graph { return thawGraph(c, snap) }))
+		},
+		Dump: func(c *pass.Context) string { return annGraph(c).Dump() },
 	}
 }
 
-func schedInputPass(platform *adl.Platform) *pass.Pass {
+func schedInputPass(platform *adl.Platform, maxTasks int) *pass.Pass {
 	return &pass.Pass{
 		Name: "sched-input", Input: "htg-annotated", Output: "sched-input",
 		Run: func(c *pass.Context) error {
-			pass.Put(c, keyInput, sched.FromHTG(pass.Need(c, keyGraph), platform))
+			pass.Put(c, keyInput, sched.FromHTG(annGraph(c), platform))
 			return nil
 		},
+		Fingerprint: func(c *pass.Context) ([]byte, bool) {
+			return structuralFingerprint(c, uint64(maxTasks))
+		},
+		Snapshot: func(c *pass.Context) any {
+			// The task/dependence tables are pointer-free value data; the
+			// platform is rebound on restore (equal canonical encoding).
+			return cloneSchedInput(pass.Need(c, keyInput))
+		},
+		Restore: func(c *pass.Context, snap any) {
+			in := cloneSchedInput(snap.(*sched.Input))
+			in.Platform = platform
+			pass.Put(c, keyInput, in)
+		},
 	}
+}
+
+// cloneSchedInput deep-copies a scheduling problem (Platform pointer
+// shared; callers rebind it as needed).
+func cloneSchedInput(in *sched.Input) *sched.Input {
+	out := &sched.Input{Platform: in.Platform}
+	out.Tasks = make([]sched.Task, len(in.Tasks))
+	for i, t := range in.Tasks {
+		t.WCET = append([]int64(nil), t.WCET...)
+		out.Tasks[i] = t
+	}
+	out.Deps = append([]sched.Dep(nil), in.Deps...)
+	return out
 }
 
 // schedSnap is the frozen (schedule, system analysis) pair; both are
@@ -342,17 +543,42 @@ func schedulePass(policy sched.Policy) *pass.Pass {
 	}
 }
 
-func parBuildPass(platform *adl.Platform) *pass.Pass {
+func parBuildPass(platform *adl.Platform, maxTasks int, policy sched.Policy) *pass.Pass {
 	return &pass.Pass{
 		Name: "par-build", Input: "schedule+syswcet", Output: "par-program",
 		Run: func(c *pass.Context) error {
-			pp, err := par.Build(pass.Need(c, keyIR), pass.Need(c, keyGraph),
+			pp, err := par.Build(pass.Need(c, keyIR), annGraph(c),
 				pass.Need(c, keyInput), pass.Need(c, keySched), pass.Need(c, keySys), platform)
+			// Build mutates variable storage (shared-buffer assignment)
+			// even on error paths, so the memo is stale either way.
+			invalidateIRMemo(c)
 			if err != nil {
 				return err
 			}
 			pass.Put(c, keyPar, pp)
 			return nil
+		},
+		Fingerprint: func(c *pass.Context) ([]byte, bool) {
+			// The fingerprint is taken before Run mutates variable storage,
+			// so it addresses the round's input state; the snapshot's thaw
+			// replays the mutations (see par.Snapshot.Thaw).
+			return structuralFingerprint(c, uint64(maxTasks), uint64(policy))
+		},
+		Snapshot: func(c *pass.Context) any {
+			s, ok := pass.Need(c, keyPar).Freeze(irMemoIndex(c))
+			if !ok {
+				return nil
+			}
+			return s
+		},
+		Restore: func(c *pass.Context, snap any) {
+			tab := irMemoTable(c)
+			pp := snap.(*par.Snapshot).Thaw(tab,
+				platform, pass.Need(c, keyIR), annGraph(c),
+				pass.Need(c, keyInput), pass.Need(c, keySched), pass.Need(c, keySys))
+			// Thaw replays Build's storage mutations on the live program.
+			invalidateIRMemo(c)
+			pass.Put(c, keyPar, pp)
 		},
 		Dump: func(c *pass.Context) string {
 			pp := pass.Need(c, keyPar)
@@ -381,7 +607,7 @@ func seqWCETPass() *pass.Pass {
 	return &pass.Pass{
 		Name: "seq-wcet", Input: "htg-annotated", Output: "seq-wcet",
 		Run: func(c *pass.Context) error {
-			pass.Put(c, keySeq, pass.Need(c, keyGraph).SequentialWCET(0))
+			pass.Put(c, keySeq, annGraph(c).SequentialWCET(0))
 			return nil
 		},
 		Dump: func(c *pass.Context) string {
@@ -402,7 +628,7 @@ type pipeline struct {
 func buildPipeline(opt Options, tOpt transform.Options, disabled map[string]bool) pipeline {
 	return pipeline{
 		pre:  append(transformPasses(tOpt, disabled), labelLoopsPass(), buildHTGPass()),
-		loop: []*pass.Pass{annotatePass(), coarsenPass(opt.MaxTasks), schedInputPass(opt.Platform), schedulePass(opt.Policy), parBuildPass(opt.Platform)},
+		loop: []*pass.Pass{annotatePass(), coarsenPass(opt.MaxTasks), schedInputPass(opt.Platform, opt.MaxTasks), schedulePass(opt.Policy), parBuildPass(opt.Platform, opt.MaxTasks, opt.Policy)},
 		post: []*pass.Pass{validatePass(), seqWCETPass()},
 	}
 }

@@ -176,8 +176,10 @@ func TestDescribePipeline(t *testing.T) {
 	if !byName["fold"].Cacheable || !byName["schedule"].Cacheable {
 		t.Fatal("fold and schedule must be cacheable")
 	}
-	if byName["par-build"].Cacheable || byName["build-htg"].Cacheable {
-		t.Fatal("passes holding IR pointers must not be cacheable")
+	for _, name := range []string{"build-htg", "annotate", "coarsen", "sched-input", "par-build"} {
+		if !byName[name].Cacheable {
+			t.Fatalf("structural pass %s must be cacheable (remap-on-restore snapshots)", name)
+		}
 	}
 	if !byName["schedule"].Loop || byName["build-htg"].Loop {
 		t.Fatal("loop markers wrong")

@@ -1,0 +1,248 @@
+package vm
+
+import (
+	"expvar"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Profile-guided superinstructions. The compiler can fuse the two hot
+// multiply-accumulate shapes (Add/Sub with a Mul operand, in either
+// position) into single opcodes, halving the dispatch count of inner-
+// product style statements. Which fusions are enabled is a process-wide
+// mask: all on by default (the fusions are always profitable when the
+// shape occurs), switchable off wholesale for A-B measurement, or tuned
+// from a recorded opcode-pair profile so only pairs that actually
+// dominate a workload's dispatch stream pay the (tiny) compile-time
+// matching cost.
+//
+// Soundness does not depend on the mask: every superinstruction is
+// bit-identical to the pair it replaces. The dispatch cases convert the
+// product through an explicit float64() conversion, which the Go spec
+// defines as rounding to float64 precision — this forbids the compiler
+// from contracting the multiply-add into a hardware FMA (a real hazard
+// on arm64/ppc64), so the fused form performs exactly the two roundings
+// the separate opMul + opAdd/opSub pair performs. Operand evaluation
+// order, meter event order, fuel, and error order are preserved (see
+// fuseSuper); the elided intermediate register was a pure single-use
+// temporary no other instruction could observe.
+
+// Fusion mask bits, one per superinstruction shape.
+const (
+	SuperMulAdd uint32 = 1 << iota // Add(Mul(p,q), z)
+	SuperAddMul                    // Add(z, Mul(p,q))
+	SuperMulSub                    // Sub(Mul(p,q), z)
+	SuperSubMul                    // Sub(z, Mul(p,q))
+
+	// SuperAll enables every fusion (the default).
+	SuperAll = SuperMulAdd | SuperAddMul | SuperMulSub | SuperSubMul
+)
+
+var superMask atomic.Uint32
+
+func init() { superMask.Store(SuperAll) }
+
+// SuperMask returns the active fusion mask. The mask is read at compile
+// time only; already-compiled Programs keep the fusions they were built
+// with (callers caching compiled code across mask changes must key by
+// the mask — internal/sim's shared code cache does).
+func SuperMask() uint32 { return superMask.Load() }
+
+// SetSuperMask installs an explicit fusion mask.
+func SetSuperMask(m uint32) { superMask.Store(m & SuperAll) }
+
+// SetSuperinstructions switches every fusion on or off — the A-B lever
+// for benchmarks and for recording an unfused pair profile.
+func SetSuperinstructions(on bool) {
+	if on {
+		superMask.Store(SuperAll)
+	} else {
+		superMask.Store(0)
+	}
+}
+
+// numOps is the number of base opcodes (burn twins peel to base before
+// profiling records them).
+const numOps = int(opSubMul) + 1
+
+// PairProfile counts dynamically dispatched opcode pairs. Attach one to
+// a Machine (SetPairProfile) to record; merge per-Machine profiles into
+// an aggregate with Merge. Recording costs one predictable branch plus
+// one counter increment per dispatch, cheap enough to leave on in a
+// profiling build; a nil profile costs the branch only. A PairProfile
+// is not safe for concurrent recording — profile per Machine and merge.
+type PairProfile struct {
+	counts [numOps][numOps]uint64
+}
+
+// Merge adds other's counts into p.
+func (p *PairProfile) Merge(other *PairProfile) {
+	for i := range other.counts {
+		for j, n := range other.counts[i] {
+			if n != 0 {
+				p.counts[i][j] += n
+			}
+		}
+	}
+}
+
+// Total returns the number of recorded pairs.
+func (p *PairProfile) Total() uint64 {
+	var t uint64
+	for i := range p.counts {
+		for _, n := range p.counts[i] {
+			t += n
+		}
+	}
+	return t
+}
+
+// Pair returns the recorded count of first immediately followed by
+// second (base opcodes, as named in the bytecode listing).
+func (p *PairProfile) pair(first, second op) uint64 {
+	return p.counts[first][second]
+}
+
+// PairCount is one entry of TopPairs.
+type PairCount struct {
+	First, Second string
+	Count         uint64
+}
+
+// TopPairs returns the n most frequent dispatched pairs, descending,
+// ties broken by opcode order for determinism.
+func (p *PairProfile) TopPairs(n int) []PairCount {
+	type idxPair struct {
+		i, j int
+		n    uint64
+	}
+	var all []idxPair
+	for i := range p.counts {
+		for j, c := range p.counts[i] {
+			if c != 0 {
+				all = append(all, idxPair{i, j, c})
+			}
+		}
+	}
+	sort.Slice(all, func(a, b int) bool {
+		if all[a].n != all[b].n {
+			return all[a].n > all[b].n
+		}
+		if all[a].i != all[b].i {
+			return all[a].i < all[b].i
+		}
+		return all[a].j < all[b].j
+	})
+	if n > len(all) {
+		n = len(all)
+	}
+	out := make([]PairCount, n)
+	for k := 0; k < n; k++ {
+		out[k] = PairCount{opName(op(all[k].i)), opName(op(all[k].j)), all[k].n}
+	}
+	return out
+}
+
+// opName gives stable human-readable opcode names for profile output.
+func opName(o op) string {
+	names := [...]string{
+		opHalt: "halt", opConst: "const", opMov: "mov",
+		opAdd: "add", opSub: "sub", opMul: "mul", opDiv: "div",
+		opPow: "pow", opEq: "eq", opNe: "ne", opLt: "lt", opLe: "le",
+		opGt: "gt", opGe: "ge", opAnd: "and", opOr: "or", opFold: "fold",
+		opNeg: "neg", opNot: "not",
+		opIntr1: "intr1", opIntr2: "intr2", opIntrN: "intrN",
+		opToInt: "toint", opLoad1: "load1", opLoad2: "load2",
+		opIdx1: "idx1", opIdx2: "idx2", opStore: "store",
+		opBurn: "burn", opOps: "ops", opJmp: "jmp", opJz: "jz",
+		opLoopPrep: "loopprep", opForPrep: "forprep", opForCond: "forcond",
+		opWhileTest: "whiletest", opErr: "err", opForNext: "fornext",
+		opMulAdd: "muladd", opAddMul: "addmul",
+		opMulSub: "mulsub", opSubMul: "submul",
+	}
+	if int(o) < len(names) && names[o] != "" {
+		return names[o]
+	}
+	return "op?"
+}
+
+// Global profile aggregation: Machines record privately, RecordProfile
+// folds a finished Machine's profile into the process-wide aggregate
+// that TuneFromProfile reads.
+var (
+	globalProfMu sync.Mutex
+	globalProf   PairProfile
+)
+
+// RecordProfile merges p into the process-wide aggregate profile.
+func RecordProfile(p *PairProfile) {
+	globalProfMu.Lock()
+	globalProf.Merge(p)
+	globalProfMu.Unlock()
+}
+
+// GlobalProfile returns a copy of the process-wide aggregate.
+func GlobalProfile() *PairProfile {
+	globalProfMu.Lock()
+	cp := globalProf
+	globalProfMu.Unlock()
+	return &cp
+}
+
+// ResetGlobalProfile clears the aggregate (tests, re-profiling).
+func ResetGlobalProfile() {
+	globalProfMu.Lock()
+	globalProf = PairProfile{}
+	globalProfMu.Unlock()
+}
+
+// TuneFromProfile installs the fusion mask implied by a recorded pair
+// profile (typically collected with superinstructions off, so the raw
+// mul→add / mul→sub pairs are visible in the dispatch stream): a fusion
+// pair is enabled when it accounts for at least minShare of all
+// recorded pairs (minShare <= 0 enables any pair seen at all). The
+// mul→add frequency drives both Mul+Add shapes (which of the two
+// operand orders occurs is a compile-time syntactic detail the dynamic
+// stream cannot distinguish), likewise mul→sub. Returns the installed
+// mask. Pass nil to tune from the process-wide aggregate.
+func TuneFromProfile(p *PairProfile, minShare float64) uint32 {
+	if p == nil {
+		p = GlobalProfile()
+	}
+	total := p.Total()
+	var mask uint32
+	enable := func(n uint64) bool {
+		if n == 0 {
+			return false
+		}
+		if minShare <= 0 {
+			return true
+		}
+		return float64(n) >= minShare*float64(total)
+	}
+	if enable(p.pair(opMul, opAdd)) {
+		mask |= SuperMulAdd | SuperAddMul
+	}
+	if enable(p.pair(opMul, opSub)) {
+		mask |= SuperMulSub | SuperSubMul
+	}
+	superMask.Store(mask)
+	return mask
+}
+
+// Superinstruction observability, served by argod's /debug/vars:
+// argo_superinst_fused counts fusions emitted at compile time (one per
+// superinstruction in compiled code, cold path), and
+// argo_superinst_dispatched counts superinstruction executions (batched
+// per Machine run and flushed at exec exit, so the hot loop pays one
+// field increment, not an atomic).
+var (
+	superFused      = expvar.NewInt("argo_superinst_fused")
+	superDispatched = expvar.NewInt("argo_superinst_dispatched")
+)
+
+// SuperCounters returns the cumulative (fused, dispatched) totals.
+func SuperCounters() (fused, dispatched int64) {
+	return superFused.Value(), superDispatched.Value()
+}

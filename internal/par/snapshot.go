@@ -1,0 +1,150 @@
+package par
+
+import (
+	"argo/internal/adl"
+	"argo/internal/htg"
+	"argo/internal/ir"
+	"argo/internal/sched"
+	"argo/internal/syswcet"
+)
+
+// Index-based freeze/thaw of a Program, which makes the par-build pass
+// cacheable: the frozen form holds buffer placements, synchronization
+// programs, and DMA staging by variable registration index instead of
+// live *ir.Var pointers, so a thaw can rebind it to whichever
+// equal-fingerprint IR/graph/schedule the restoring pipeline holds.
+//
+// Build has one side effect on the live IR — placeBuffers sets
+// v.Storage = StorageShared for every variable it places in shared
+// memory (the demotion feedback the transformation stage consumes).
+// Thaw replays exactly that mutation from the frozen placements, so a
+// restored round leaves the IR in the bit-identical state a fresh Build
+// would, and the feedback loop's round sequence is reproduced.
+
+// Snapshot is the pointer-free form of a Program.
+type Snapshot struct {
+	CoreEntries    [][]Entry
+	Buffers        []frozenBuffer
+	Demoted        []int32
+	Signals        int
+	PrologueCycles int64
+	EpilogueCycles int64
+	DMAIns         []frozenDMA
+	DMAOuts        []frozenDMA
+}
+
+type frozenBuffer struct {
+	V       int32
+	Spc     Space
+	Core    int
+	Addr    int
+	Replica bool
+}
+
+type frozenDMA struct {
+	V     int32
+	Core  int
+	Bytes int
+	In    bool
+}
+
+// Freeze encodes the program against idx. ok is false when any placed
+// or demoted variable is not registered in the source program's Vars
+// table, in which case the program must not be cached.
+func (p *Program) Freeze(idx *ir.SnapshotIndex) (*Snapshot, bool) {
+	s := &Snapshot{
+		CoreEntries:    make([][]Entry, len(p.CoreEntries)),
+		Buffers:        make([]frozenBuffer, len(p.Buffers)),
+		Signals:        p.Signals,
+		PrologueCycles: p.PrologueCycles,
+		EpilogueCycles: p.EpilogueCycles,
+	}
+	for c, entries := range p.CoreEntries {
+		s.CoreEntries[c] = append([]Entry(nil), entries...)
+	}
+	for i, b := range p.Buffers {
+		j, ok := idx.Var(b.V)
+		if !ok {
+			return nil, false
+		}
+		s.Buffers[i] = frozenBuffer{V: j, Spc: b.Spc, Core: b.Core, Addr: b.Addr, Replica: b.Replica}
+	}
+	if p.Demoted != nil {
+		s.Demoted = make([]int32, len(p.Demoted))
+		for i, v := range p.Demoted {
+			j, ok := idx.Var(v)
+			if !ok {
+				return nil, false
+			}
+			s.Demoted[i] = j
+		}
+	}
+	freezeDMA := func(ops []DMAOp) ([]frozenDMA, bool) {
+		if ops == nil {
+			return nil, true
+		}
+		out := make([]frozenDMA, len(ops))
+		for i, op := range ops {
+			j, ok := idx.Var(op.V)
+			if !ok {
+				return nil, false
+			}
+			out[i] = frozenDMA{V: j, Core: op.Core, Bytes: op.Bytes, In: op.In}
+		}
+		return out, true
+	}
+	var ok bool
+	if s.DMAIns, ok = freezeDMA(p.DMAIns); !ok {
+		return nil, false
+	}
+	if s.DMAOuts, ok = freezeDMA(p.DMAOuts); !ok {
+		return nil, false
+	}
+	return s, true
+}
+
+// Thaw rebuilds a live Program bound to the restoring pipeline's
+// artifacts, replaying Build's storage side effect on irProg (every
+// shared-placed buffer's variable is set to StorageShared — the exact
+// set Build's placement loop mutates). The result carries a fresh cache
+// slot: downstream consumers re-derive their per-program state.
+func (s *Snapshot) Thaw(tab *ir.SnapshotTable, platform *adl.Platform, irProg *ir.Program,
+	g *htg.Graph, in *sched.Input, sc *sched.Schedule, sys *syswcet.Result) *Program {
+	p := &Program{
+		Platform: platform, IR: irProg, Graph: g, Input: in, Schedule: sc, System: sys,
+		CoreEntries:    make([][]Entry, len(s.CoreEntries)),
+		Buffers:        make([]Buffer, len(s.Buffers)),
+		Signals:        s.Signals,
+		PrologueCycles: s.PrologueCycles,
+		EpilogueCycles: s.EpilogueCycles,
+	}
+	for c, entries := range s.CoreEntries {
+		p.CoreEntries[c] = append([]Entry(nil), entries...)
+	}
+	for i, b := range s.Buffers {
+		v := tab.Var(b.V)
+		p.Buffers[i] = Buffer{V: v, Spc: b.Spc, Core: b.Core, Addr: b.Addr, Replica: b.Replica}
+		if b.Spc == SpaceShared {
+			v.Storage = ir.StorageShared
+		}
+	}
+	if s.Demoted != nil {
+		p.Demoted = make([]*ir.Var, len(s.Demoted))
+		for i, j := range s.Demoted {
+			p.Demoted[i] = tab.Var(j)
+		}
+	}
+	thawDMA := func(ops []frozenDMA) []DMAOp {
+		if ops == nil {
+			return nil
+		}
+		out := make([]DMAOp, len(ops))
+		for i, op := range ops {
+			out[i] = DMAOp{V: tab.Var(op.V), Core: op.Core, Bytes: op.Bytes, In: op.In}
+		}
+		return out
+	}
+	p.DMAIns = thawDMA(s.DMAIns)
+	p.DMAOuts = thawDMA(s.DMAOuts)
+	return p
+}

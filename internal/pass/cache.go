@@ -54,7 +54,16 @@ type Cache struct {
 	// NewCache or SetMax).
 	maxPerShard int
 
+	// fallback is an optional read-through tier consulted on a local
+	// miss (session-private caches fall back to Global). Stores dedupe
+	// against it: a snapshot the fallback already holds is not stored
+	// again locally — the same content-addressed key yields the same
+	// immutable snapshot, so double-storing it only wastes memory and
+	// pressures the local bound into needless evictions.
+	fallback *Cache
+
 	evictions atomic.Int64
+	deferrals atomic.Int64
 }
 
 // Global is the process-wide pass cache shared by every pipeline
@@ -100,15 +109,37 @@ func (c *Cache) shard(a cacheAddr) *cacheShard {
 	return &c.shards[a[0]>>(8-cacheShardBits)]
 }
 
+// SetFallback chains a read-through tier behind c: gets consult it on a
+// local miss, puts skip snapshots it already holds. Both are counted as
+// deferrals — requests this cache deferred to the shared tier instead
+// of holding its own copy. Safe because snapshots are immutable and
+// restores deep-clone — the tiers can share entries freely.
+func (c *Cache) SetFallback(f *Cache) { c.fallback = f }
+
+// Deferrals returns how many requests were deferred to the fallback
+// tier (local misses it served, plus stores it made redundant).
+func (c *Cache) Deferrals() int64 { return c.deferrals.Load() }
+
 func (c *Cache) get(a cacheAddr) (any, bool) {
 	s := c.shard(a)
 	s.mu.RLock()
 	v, ok := s.m[a]
 	s.mu.RUnlock()
+	if !ok && c.fallback != nil {
+		if v, ok = c.fallback.get(a); ok {
+			c.deferrals.Add(1)
+		}
+	}
 	return v, ok
 }
 
 func (c *Cache) put(a cacheAddr, v any) {
+	if c.fallback != nil {
+		if _, held := c.fallback.get(a); held {
+			c.deferrals.Add(1)
+			return
+		}
+	}
 	s := c.shard(a)
 	max := c.shardMax()
 	s.mu.Lock()
@@ -160,11 +191,15 @@ func (c *Cache) Len() int {
 type CacheStats struct {
 	Entries   int   `json:"entries"`
 	Evictions int64 `json:"evictions"`
+	// Deferrals counts stores deduplicated against the fallback tier
+	// (zero for caches without one).
+	Deferrals int64 `json:"deferrals,omitempty"`
 }
 
-// Stats snapshots the cache's entry count and eviction total.
+// Stats snapshots the cache's entry count, eviction total, and
+// fallback-deferral total.
 func (c *Cache) Stats() CacheStats {
-	return CacheStats{Entries: c.Len(), Evictions: c.evictions.Load()}
+	return CacheStats{Entries: c.Len(), Evictions: c.evictions.Load(), Deferrals: c.deferrals.Load()}
 }
 
 // Process-wide pass-cache growth observability: entries currently held

@@ -248,6 +248,17 @@ func CacheCounters() (hits, misses int64) {
 	return cacheHits.Value(), cacheMisses.Value()
 }
 
+// Runs returns the cumulative number of actual executions of the named
+// pass (cache hits excluded), as exported per pass in argo_pass_runs.
+// Acceptance tests use the delta across a compilation to prove a pass
+// was served entirely from cache.
+func Runs(name string) int64 {
+	if v, ok := passRuns.Get(name).(*expvar.Int); ok {
+		return v.Value()
+	}
+	return 0
+}
+
 // Manager executes passes: it checks cancellation at every pass
 // boundary, serves cacheable passes from the content-addressed cache,
 // records per-pass timings into the context's trace and the process
@@ -306,7 +317,14 @@ func (m *Manager) runOne(c *Context, p *Pass) error {
 		tm.AllocBytes = int64(mem1.TotalAlloc - mem0.TotalAlloc)
 	}
 	passNS.Add(p.Name, tm.Wall.Nanoseconds())
-	passRuns.Add(p.Name, 1)
+	// argo_pass_runs counts actual executions only: a cache hit restores
+	// a snapshot without running the pass, and the warm-path contract
+	// ("a second identical compile reruns zero structural passes") is
+	// asserted against exactly this counter. Hits are visible separately
+	// as argo_pass_cache_hits.
+	if tm.Cache != CacheHit {
+		passRuns.Add(p.Name, 1)
+	}
 	c.trace.Passes = append(c.trace.Passes, tm)
 	if m.OnTiming != nil {
 		m.OnTiming(tm)

@@ -154,6 +154,12 @@ func newSession(ctx context.Context, source string, opt core.Options, faults fau
 		cache:  pass.NewCache(sessionCacheEntries),
 		memo:   make(map[string]memoEntry),
 	}
+	// Tier the private cache over the process-wide one: a configuration
+	// the global tier already analyzed (an argod compile request, another
+	// session, a prior compile of the same cell) restores read-through,
+	// and its snapshots are not double-stored into the session's bounded
+	// private cache (they'd only displace session-local history).
+	s.cache.SetFallback(pass.Global)
 	s.opt.Platform = clonePlatform(opt.Platform)
 	res, err := s.analyzeLocked(ctx, s.source, s.opt, aopt)
 	if err != nil {

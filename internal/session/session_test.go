@@ -420,6 +420,18 @@ func TestSessionSoak(t *testing.T) {
 	ctx := context.Background()
 	g := &editGen{rng: rand.New(rand.NewSource(42))}
 
+	// Warm the process-wide pass cache with this exact configuration:
+	// session compiles must then defer to the Global tier (read through
+	// it instead of holding private copies), which the Deferrals counter
+	// asserts below.
+	prog, err := scil.Parse(uc.Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := core.Compile(prog, opt); err != nil {
+		t.Fatal(err)
+	}
+
 	var ids []string
 	for i := 0; i < 5; i++ {
 		s, _, err := m.Create(ctx, uc.Source, opt, fault.Spec{}, ApplyOptions{})
@@ -452,13 +464,19 @@ func TestSessionSoak(t *testing.T) {
 		t.Fatal("soak applied no edits")
 	}
 	t.Logf("soak: %d applied, %d rejected, %d on dead sessions; cache stats per live session:", applied, rejected, gone)
+	var deferrals int64
 	for _, in := range m.List() {
 		s, ok := m.Get(in.ID)
 		if !ok {
 			continue
 		}
 		coldCheck(t, s)
-		t.Logf("  %s: %d edits, %d cached snapshots", in.ID, in.Edits, in.CacheLen)
+		st := s.CacheStats()
+		deferrals += st.Deferrals
+		t.Logf("  %s: %d edits, %d cached snapshots, %d deferred to Global", in.ID, in.Edits, st.Entries, st.Deferrals)
+	}
+	if deferrals == 0 {
+		t.Error("no session deferred to the warmed Global tier (double-store dedupe broken)")
 	}
 }
 

@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
 	"expvar"
 	"math"
 	"sync"
@@ -9,6 +11,7 @@ import (
 	"argo/internal/ir"
 	"argo/internal/ir/vm"
 	"argo/internal/par"
+	"argo/internal/wcet"
 )
 
 // Trace cache hit/miss counters, exported on /debug/vars (argod) next to
@@ -271,9 +274,39 @@ func (c *traceCache) storeVariant(h uint64, args [][]float64, traces [][]segment
 	c.memoAt = (c.memoAt + 1) % memoCap
 }
 
-// vmProgram returns the program's compiled bytecode, compiling it on the
-// first VM-mode run. A nil return means this run must fall back to the
-// tree walker.
+// vmSharedKey content-addresses the compiled bytecode of p for the
+// process-wide code cache: the whole-program IR fingerprint (variable
+// table with storage classes in registration order, entry body — equal
+// fingerprints imply structurally identical programs), the region
+// partition in task order, and the superinstruction mask the code would
+// be compiled under. CompileRegions reads nothing else, so equal keys
+// yield behaviourally identical compiled Programs; sharing the Program
+// value is safe because compiled code is immutable and the meter-facing
+// surface only reads per-variable data the fingerprint covers.
+func vmSharedKey(p *par.Program, regions [][]ir.Stmt) vm.CacheKey {
+	h := sha256.New()
+	fp := wcet.FingerprintProgram(p.IR)
+	h.Write(fp[:])
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(len(regions)))
+	h.Write(b[:])
+	for _, stmts := range regions {
+		rfp := wcet.FingerprintRegion(stmts)
+		h.Write(rfp[:])
+	}
+	binary.LittleEndian.PutUint64(b[:], uint64(vm.SuperMask()))
+	h.Write(b[:])
+	var k vm.CacheKey
+	h.Sum(k[:0])
+	return k
+}
+
+// vmProgram returns the program's compiled bytecode, resolving it on the
+// first VM-mode run: first from the process-wide shared code cache
+// (another par.Program with identical IR and partition already paid the
+// compile — sessions, feedback rounds, and argod requests share), else
+// by compiling and publishing the result. A nil return means this run
+// must fall back to the tree walker.
 func (c *traceCache) vmProgram(p *par.Program) *vm.Program {
 	if c.vmReady.Load() {
 		if c.vmProg == nil {
@@ -285,13 +318,20 @@ func (c *traceCache) vmProgram(p *par.Program) *vm.Program {
 	}
 	vmCacheMisses.Add(1)
 	c.vmOnce.Do(func() {
-		vmCompiles.Add(1)
 		regions := make([][]ir.Stmt, len(p.Input.Tasks))
 		for _, n := range p.Graph.Nodes {
 			regions[n.ID] = n.Stmts
 		}
+		key := vmSharedKey(p, regions)
+		if cp, ok := vm.SharedLookup(key); ok {
+			c.vmProg = cp
+			c.vmReady.Store(true)
+			return
+		}
+		vmCompiles.Add(1)
 		if cp, err := vm.CompileRegions(p.IR, regions); err == nil {
 			c.vmProg = cp
+			vm.SharedStore(key, cp)
 		}
 		c.vmReady.Store(true)
 	})

@@ -14,6 +14,7 @@ import (
 	"argo/internal/adl"
 	"argo/internal/core"
 	"argo/internal/fault"
+	"argo/internal/ir/vm"
 	"argo/internal/sim"
 	"argo/internal/usecases"
 )
@@ -211,6 +212,9 @@ func TestVMCountersMove(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// A shared-cache hit would legitimately skip the compile; empty the
+	// shared code cache so this compilation is observable.
+	vm.SharedReset()
 	c0, h0, m0, _ := sim.VMCounters()
 	for i := 0; i < 3; i++ {
 		if _, err := sim.RunInterp(art.Parallel, u.Inputs(1), sim.InterpVM); err != nil {
