@@ -28,13 +28,13 @@ race:
 	$(GO) test -race ./...
 
 # Full benchmark run; writes the machine-readable report to
-# BENCH_PR8.json, with BENCH_PR7.json (kept in-tree) as the baseline so
-# the per-benchmark speedup of this round (warm-compile snapshot
-# restores, the shared VM code cache, and superinstructions) is recorded
+# BENCH_PR9.json, with BENCH_PR8.json (kept in-tree) as the baseline so
+# the per-benchmark delta of this round (pluggable WCET engines: the
+# timing-relevant slicer and the exact mc engine vs IPET) is recorded
 # on top of the previous round's numbers.
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ . | \
-		$(GO) run ./cmd/benchjson -baseline BENCH_PR7.json -o BENCH_PR8.json
+		$(GO) run ./cmd/benchjson -baseline BENCH_PR8.json -o BENCH_PR9.json
 
 # CPU/heap profiles of the two simulator-bound experiment benchmarks,
 # written under profiles/ (gitignored) for `go tool pprof`.
@@ -61,6 +61,7 @@ fuzz:
 	$(GO) test -run=^$$ -fuzz='^FuzzSessionEdit$$' -fuzztime=$(FUZZTIME) ./internal/session
 	$(GO) test -run=^$$ -fuzz='^FuzzVMExec$$' -fuzztime=$(FUZZTIME) ./internal/ir/vm
 	$(GO) test -run=^$$ -fuzz='^FuzzSnapshotRemap$$' -fuzztime=$(FUZZTIME) ./internal/core
+	$(GO) test -run=^$$ -fuzz='^FuzzSlice$$' -fuzztime=$(FUZZTIME) ./internal/ir/slice
 
 # Session soak smoke: many sessions, many randomized edits, eviction and
 # TTL churn, differential verification — under the race detector.

@@ -21,6 +21,7 @@ import (
 	"argo/internal/fault"
 	"argo/internal/htg"
 	"argo/internal/ir"
+	"argo/internal/ir/slice"
 	"argo/internal/ir/vm"
 	"argo/internal/lp"
 	"argo/internal/noc"
@@ -33,6 +34,7 @@ import (
 	"argo/internal/transform"
 	"argo/internal/usecases"
 	"argo/internal/wcet"
+	"argo/internal/wcet/mc"
 	"argo/pkg/argo"
 )
 
@@ -883,6 +885,64 @@ func BenchmarkSessionEditFresh(b *testing.B) {
 		}
 		if _, err := s.Apply(context.Background(), edit, session.ApplyOptions{}); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// wcetBenchRegion lowers the EGPWS entry region once — the shared
+// fixture of the engine benchmarks below, so their numbers compare
+// per-engine analysis cost on identical input.
+func wcetBenchRegion(b *testing.B) ([]ir.Stmt, wcet.CostModel) {
+	b.Helper()
+	u := usecases.EGPWS()
+	p, err := u.Program()
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, err := ir.Lower(p, u.Entry, u.Args)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return prog.Entry.Body, wcet.ModelFor(adl.XentiumPlatform(4), 0)
+}
+
+// BenchmarkWCETIPET measures one uncached run of the default engine
+// (structural bound + access counting) on the EGPWS entry region.
+func BenchmarkWCETIPET(b *testing.B) {
+	stmts, m := wcetBenchRegion(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rep := wcet.IPETEngine.Analyze(stmts, m); rep.Cycles <= 0 {
+			b.Fatal("zero bound")
+		}
+	}
+}
+
+// BenchmarkWCETMC measures one uncached run of the exact engine (slice +
+// abstract timed-state exploration) on the same region — the price of a
+// tighter bound relative to BenchmarkWCETIPET.
+func BenchmarkWCETMC(b *testing.B) {
+	stmts, m := wcetBenchRegion(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rep := mc.Default.Analyze(stmts, m); rep.Cycles <= 0 {
+			b.Fatal("zero bound")
+		}
+	}
+}
+
+// BenchmarkSlice measures the timing-relevant slicer alone (the mc
+// engine's first stage).
+func BenchmarkSlice(b *testing.B) {
+	stmts, _ := wcetBenchRegion(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sl := slice.Analyze(stmts)
+		if len(sl.Scalars)+len(sl.Mats) == 0 {
+			b.Fatal("empty slice")
 		}
 	}
 }

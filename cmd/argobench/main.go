@@ -3,8 +3,9 @@
 // E2 bound tightness, E3 contention-aware scheduling, E4 transformation
 // ablation, E5 NoC latency guarantees, E6 exact-vs-heuristic mapping,
 // E7 iterative cross-layer optimization, E8 bus arbitration policies,
-// E9 multi-application deployment schedulability, and E10 bound
-// soundness under deterministic fault injection.
+// E9 multi-application deployment schedulability, E10 bound soundness
+// under deterministic fault injection, and E11 the tightness gap between
+// the IPET and exact WCET engines.
 //
 // Examples:
 //
@@ -23,19 +24,19 @@ import (
 
 func main() {
 	var (
-		which   = flag.String("e", "all", "comma-separated experiment ids (e1..e10) or 'all'")
+		which   = flag.String("e", "all", "comma-separated experiment ids (e1..e11) or 'all'")
 		workers = flag.Int("j", 0, "experiment cell evaluation parallelism (0: GOMAXPROCS, 1: serial)")
 	)
 	flag.Parse()
 	experiments.Parallelism = *workers
 	known := map[string]bool{"all": true, "e1": true, "e2": true, "e3": true,
 		"e4": true, "e5": true, "e6": true, "e7": true, "e8": true, "e9": true,
-		"e10": true}
+		"e10": true, "e11": true}
 	sel := map[string]bool{}
 	for _, s := range strings.Split(strings.ToLower(*which), ",") {
 		id := strings.TrimSpace(s)
 		if !known[id] {
-			fmt.Fprintf(os.Stderr, "argobench: unknown experiment id %q (e1..e10, all)\n", id)
+			fmt.Fprintf(os.Stderr, "argobench: unknown experiment id %q (e1..e11, all)\n", id)
 			os.Exit(2)
 		}
 		sel[id] = true
@@ -62,4 +63,5 @@ func main() {
 	run("e8", func() (*experiments.Result, error) { r, _, err := experiments.E8(0); return r, err })
 	run("e9", func() (*experiments.Result, error) { r, _, err := experiments.E9(nil); return r, err })
 	run("e10", func() (*experiments.Result, error) { r, _, _, _, err := experiments.E10(nil); return r, err })
+	run("e11", func() (*experiments.Result, error) { r, _, _, err := experiments.E11(nil); return r, err })
 }

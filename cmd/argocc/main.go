@@ -51,6 +51,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		passesOnly = fs.Bool("passes", false, "print the registered pass pipeline and exit")
 		dumpAfter  = fs.String("dump-after", "", "dump the named pass's output artifact (to stderr) after each execution")
 		disable    = fs.String("disable-pass", "", "comma-separated transformation passes to skip (see -passes)")
+		wcetEngine = fs.String("wcet-engine", "", "code-level WCET engine: ipet (default), mc, or both (cross-checked)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -105,6 +106,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	default:
 		return usagef("unknown policy %q (aware, oblivious, exact)", *policy)
 	}
+	if err := argo.ParseWCETEngine(*wcetEngine); err != nil {
+		return usagef("%v", err)
+	}
+	opt.WCETEngine = *wcetEngine
 	opt.Parallelism = *workers
 	opt.Passes = passOpt
 	if *disable != "" {

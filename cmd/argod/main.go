@@ -77,6 +77,7 @@ func parseFlags(args []string, stderr io.Writer) (*config, int) {
 		passCacheMax = fs.Int("pass-cache-max", 0, "max snapshots in the global pass cache (0: default bound)")
 		vmCacheMax   = fs.Int("vm-cache-max", 0, "max compiled programs in the shared VM code cache (0: default bound)")
 		interp       = fs.String("interp", "vm", "simulator execution engine: vm (bytecode) or tree (oracle)")
+		wcetEngine   = fs.String("wcet-engine", "", "code-level WCET engine: ipet (default), mc, or both (cross-checked)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return nil, 2
@@ -88,6 +89,10 @@ func parseFlags(args []string, stderr io.Writer) (*config, int) {
 	}
 	engine, err := sim.ParseInterp(*interp)
 	if err != nil {
+		fmt.Fprintf(stderr, "argod: %v\n", err)
+		return nil, 2
+	}
+	if err := argo.ParseWCETEngine(*wcetEngine); err != nil {
 		fmt.Fprintf(stderr, "argod: %v\n", err)
 		return nil, 2
 	}
@@ -113,6 +118,7 @@ func parseFlags(args []string, stderr io.Writer) (*config, int) {
 			MaxQueue:     *maxQueue,
 			MaxSessions:  *maxSessions,
 			SessionTTL:   *sessionTTL,
+			WCETEngine:   *wcetEngine,
 		},
 	}, 0
 }

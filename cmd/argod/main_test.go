@@ -46,6 +46,7 @@ func TestParseFlagsUsageErrorsExitTwo(t *testing.T) {
 		{"-nosuchflag"},           // flag misuse
 		{"positional"},            // unexpected arguments
 		{"-interp", "jit"},        // unknown engine
+		{"-wcet-engine", "tree"},  // unknown WCET engine
 		{"-workers", "0"},         // non-positive worker pool
 		{"-timeout", "-1s"},       // non-positive budget
 		{"-max-sessions", "0"},    // non-positive session cap
@@ -55,6 +56,16 @@ func TestParseFlagsUsageErrorsExitTwo(t *testing.T) {
 		if cfg != nil || code != 2 {
 			t.Errorf("args %v: cfg=%v exit %d, want nil, 2", args, cfg, code)
 		}
+	}
+}
+
+func TestParseFlagsWCETEngine(t *testing.T) {
+	cfg, code, errb := parseCLI(t, "-wcet-engine", "both")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, errb)
+	}
+	if cfg.service.WCETEngine != "both" {
+		t.Errorf("service.WCETEngine = %q, want both", cfg.service.WCETEngine)
 	}
 }
 

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestUsageErrorsExitTwo(t *testing.T) {
+	for _, args := range [][]string{
+		{},                                  // -usecase missing
+		{"-usecase", "nonesuch"},            // unknown use case
+		{"-usecase", "weaa", "-nosuchflag"}, // flag misuse
+		{"-usecase", "weaa", "-platform", "does-not-exist"}, // unknown platform
+		{"-usecase", "weaa", "-engine", "nonesuch"},         // unknown engine
+	} {
+		if code, _, _ := runCLI(t, args...); code != 2 {
+			t.Errorf("args %v: exit %d, want 2", args, code)
+		}
+	}
+}
+
+func TestUnknownEngineListsValidSelectors(t *testing.T) {
+	_, _, errb := runCLI(t, "-usecase", "weaa", "-engine", "nonesuch")
+	for _, want := range []string{"nonesuch", "ipet", "mc", "both"} {
+		if !strings.Contains(errb, want) {
+			t.Fatalf("engine error missing %q:\n%s", want, errb)
+		}
+	}
+}
+
+// TestEngineModes runs the analysis under all three engine selections
+// and pins the table shape each one produces: "ipet" has no mc column,
+// "mc" adds it, "both" adds the per-task tightness gap and the
+// cross-check confirmation line.
+func TestEngineModes(t *testing.T) {
+	for _, tc := range []struct {
+		engine       string
+		wantCols     []string
+		rejectedCols []string
+	}{
+		{"ipet", []string{"structural", "ipet", "agree"}, []string{" mc ", " gap "}},
+		{"mc", []string{"structural", "ipet", " mc "}, []string{" gap "}},
+		{"both", []string{"structural", "ipet", " mc ", " gap ", "mc cross-check"}, nil},
+	} {
+		code, out, errb := runCLI(t, "-usecase", "weaa", "-platform", "xentium2", "-engine", tc.engine)
+		if code != 0 {
+			t.Fatalf("-engine %s: exit %d, stderr:\n%s", tc.engine, code, errb)
+		}
+		for _, want := range append([]string{"sequential bound", "system bound", "IPET cross-check:  all tasks agree"}, tc.wantCols...) {
+			if !strings.Contains(out, want) {
+				t.Fatalf("-engine %s: output missing %q:\n%s", tc.engine, want, out)
+			}
+		}
+		for _, reject := range tc.rejectedCols {
+			if strings.Contains(out, reject) {
+				t.Fatalf("-engine %s: output must not contain %q:\n%s", tc.engine, reject, out)
+			}
+		}
+	}
+}

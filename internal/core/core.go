@@ -22,6 +22,9 @@ import (
 	"argo/internal/syswcet"
 	"argo/internal/transform"
 	"argo/internal/wcet"
+	// Register the exact model-checking WCET engine so "mc" and "both"
+	// resolve in every build that links the driver.
+	_ "argo/internal/wcet/mc"
 )
 
 // Options configures one compilation.
@@ -52,6 +55,13 @@ type Options struct {
 	// are observably bit-identical, so the choice is excluded from
 	// result-cache keys.
 	Interp sim.Interp
+	// WCETEngine selects the code-level WCET engine: "ipet" (or empty,
+	// the default), "mc" (exact slicing+model-checking bounds), or
+	// "both" (IPET bounds downstream with the exact engine cross-checked
+	// on every region — compilation fails if exact > IPET). Unlike
+	// Interp, engines legitimately produce different bounds, so the
+	// selection is part of every WCET-derived cache key.
+	WCETEngine string
 	// Passes configures the pass manager that executes the pipeline.
 	Passes PassOptions
 }
@@ -274,6 +284,10 @@ func backEnd(ctx context.Context, prog *ir.Program, opt Options, feTrace []pass.
 	if err != nil {
 		return nil, err
 	}
+	sel, err := wcet.ParseSelection(opt.WCETEngine)
+	if err != nil {
+		return nil, err
+	}
 	pl := buildPipeline(opt, tOpt, disabled)
 
 	mgr := newManager(opt.Passes)
@@ -292,6 +306,7 @@ func backEnd(ctx context.Context, prog *ir.Program, opt Options, feTrace []pass.
 		models[i] = wcet.ModelFor(opt.Platform, i)
 	}
 	pass.Put(c, keyModels, models)
+	pass.Put(c, keyEngine, sel)
 
 	// Pre-loop passes: transformations, loop labeling, HTG extraction.
 	// Graph structure (task regions, dependences, access ranges) depends

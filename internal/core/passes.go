@@ -78,6 +78,11 @@ var (
 	keySys   = pass.NewKey[*syswcet.Result]("syswcet")
 	keyPar   = pass.NewKey[*par.Program]("par-program")
 	keySeq   = pass.NewKey[int64]("seq-wcet")
+	// keyEngine is the resolved WCET engine selection. Its Spec is part
+	// of every structural fingerprint: engines legitimately produce
+	// different bounds, and "both" must key separately from "ipet" so a
+	// cached annotate can never skip the cross-check.
+	keyEngine = pass.NewKey[wcet.Selection]("wcet-engine")
 )
 
 func dumpIR(c *pass.Context) string { return pass.Need(c, keyIR).Dump() }
@@ -297,18 +302,21 @@ func irFingerprint(c *pass.Context) ([]byte, bool) {
 }
 
 // structuralFingerprint content-addresses the structural ladder's input
-// chain: the live IR, the canonical platform encoding, and any
-// pass-specific tuning values (coarsening bound, policy). ok is false
-// when the platform has no canonical encoding.
+// chain: the live IR, the canonical platform encoding, the WCET engine
+// selection, and any pass-specific tuning values (coarsening bound,
+// policy). ok is false when the platform has no canonical encoding.
 func structuralFingerprint(c *pass.Context, extras ...uint64) ([]byte, bool) {
 	canon := pass.Need(c, keyCanon)
 	if canon == "" {
 		return nil, false
 	}
+	spec := pass.Need(c, keyEngine).Spec
 	fp := irMemoOf(c).fp
-	out := make([]byte, 0, len(fp)+len(canon)+1+8*len(extras))
+	out := make([]byte, 0, len(fp)+len(canon)+1+len(spec)+1+8*len(extras))
 	out = append(out, fp[:]...)
 	out = append(out, canon...)
+	out = append(out, 0)
+	out = append(out, spec...)
 	out = append(out, 0)
 	var b [8]byte
 	for _, e := range extras {
@@ -371,7 +379,9 @@ func annotatePass() *pass.Pass {
 			// Storage classes change between rounds (demotions), so each
 			// round re-annotates a fresh clone of the structural graph.
 			g := baseGraph(c).Clone()
-			htg.Annotate(g, pass.Need(c, keyModels))
+			if err := htg.AnnotateWith(g, pass.Need(c, keyModels), pass.Need(c, keyEngine)); err != nil {
+				return err
+			}
 			pass.Put(c, keyGraph, liveGraph(g))
 			return nil
 		},

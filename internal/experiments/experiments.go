@@ -698,5 +698,10 @@ func All() ([]*Result, error) {
 		return nil, err
 	}
 	out = append(out, r10)
+	r11, _, _, err := E11(nil)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, r11)
 	return out, nil
 }

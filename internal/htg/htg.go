@@ -362,14 +362,26 @@ func (g *Graph) Clone() *Graph {
 }
 
 // Annotate fills per-core WCET bounds and shared access counts for every
-// node, using the platform cost models. Each node's region is
-// fingerprinted once and every unique cost model is analyzed through the
-// content-addressed bound cache, so re-annotation across feedback rounds
-// and optimizer candidates only pays for regions whose content (or
-// variable storage) actually changed. The access counts ride along in
-// the same cached report — they are model-independent, so the first
-// core's report supplies them.
+// node, using the platform cost models and the default (IPET) engine.
+// Each node's region is fingerprinted once and every unique cost model
+// is analyzed through the content-addressed bound cache, so
+// re-annotation across feedback rounds and optimizer candidates only
+// pays for regions whose content (or variable storage) actually
+// changed. The access counts ride along in the same cached report —
+// they are model-independent, so the first core's report supplies them.
 func Annotate(g *Graph, models []wcet.CostModel) {
+	// The default selection has no cross-check engine, so no error path.
+	_ = AnnotateWith(g, models, wcet.DefaultSelection())
+}
+
+// AnnotateWith is Annotate under an explicit engine selection. Bounds
+// used downstream come from sel.Primary; when sel.Check is set (the
+// "both" selector), every (region, model) pair is additionally analyzed
+// by the check engine and an exact bound exceeding the primary bound
+// fails the annotation loudly — that invariant breaking means one of
+// the two analyses is unsound, and no schedule built on it can be
+// trusted.
+func AnnotateWith(g *Graph, models []wcet.CostModel, sel wcet.Selection) error {
 	for _, n := range g.Nodes {
 		n.WCET = make([]int64, len(models))
 		fp := wcet.FingerprintRegion(n.Stmts)
@@ -388,7 +400,14 @@ func Annotate(g *Graph, models []wcet.CostModel) {
 				n.WCET[c] = n.WCET[dup]
 				continue
 			}
-			rep := wcet.AnalyzeFP(fp, n.Stmts, m)
+			rep := wcet.AnalyzeFP(sel.Primary, fp, n.Stmts, m)
+			if sel.Check != nil {
+				chk := wcet.AnalyzeFP(sel.Check, fp, n.Stmts, m)
+				if chk.Cycles > rep.Cycles {
+					return fmt.Errorf("htg: wcet cross-check failed for task %q core %d: %s bound %d exceeds %s bound %d",
+						n.Label, c, sel.Check.Name(), chk.Cycles, sel.Primary.Name(), rep.Cycles)
+				}
+			}
 			if c == 0 {
 				rep0 = rep
 			}
@@ -396,9 +415,12 @@ func Annotate(g *Graph, models []wcet.CostModel) {
 		}
 		n.SharedAccesses = rep0.SharedAccesses
 		if n.Children != nil {
-			Annotate(n.Children, models)
+			if err := AnnotateWith(n.Children, models, sel); err != nil {
+				return err
+			}
 		}
 	}
+	return nil
 }
 
 // Validate checks the graph is a DAG consistent with program order.

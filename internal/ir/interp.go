@@ -229,6 +229,44 @@ func (ex *Exec) ExecBlock(stmts []Stmt) error {
 	return err
 }
 
+// The methods below are the timing-slice executor's window into
+// interpreter state (internal/ir/slice drives control flow itself and
+// replays the meter effects of sliced-away statements, so it needs the
+// exact eval, fuel, and meter primitives statement execution uses).
+
+// EvalScalar evaluates an expression against the current state,
+// emitting meter Read events exactly as statement execution would.
+func (ex *Exec) EvalScalar(e Expr) (float64, error) { return ex.eval(e) }
+
+// Burn consumes one unit of execution fuel — the per-statement (and
+// per-loop-check) budget charge.
+func (ex *Exec) Burn() error { return ex.burn() }
+
+// Fuel returns the remaining execution budget.
+func (ex *Exec) Fuel() int { return ex.fuel }
+
+// SetScalarValue writes a scalar register directly.
+func (ex *Exec) SetScalarValue(v *Var, x float64) { ex.setScalar(v, x) }
+
+// MeterOps forwards an ALU charge to the attached meter (nil-safe,
+// zero charges suppressed — the same filtering statement execution
+// applies).
+func (ex *Exec) MeterOps(n int) { ex.ops(n) }
+
+// MeterRead forwards an element-load event to the attached meter.
+func (ex *Exec) MeterRead(v *Var) {
+	if ex.meter != nil {
+		ex.meter.Read(v)
+	}
+}
+
+// MeterWrite forwards an element-store event to the attached meter.
+func (ex *Exec) MeterWrite(v *Var) {
+	if ex.meter != nil {
+		ex.meter.Write(v)
+	}
+}
+
 // Results extracts the entry function's results from the current state.
 func (ex *Exec) Results() [][]float64 {
 	f := ex.prog.Entry

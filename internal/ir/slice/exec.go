@@ -1,0 +1,222 @@
+package slice
+
+import (
+	"fmt"
+
+	"argo/internal/ir"
+)
+
+// Executor runs a region's timing-relevant slice against an ir.Exec,
+// reproducing the full region's fuel consumption and complete meter
+// event sequence without computing any sliced-away value: relevant
+// statements execute for real (their values feed control flow), while
+// irrelevant assignments and stores only replay their meter effects —
+// element reads in evaluation order, the ALU charge, the element write.
+//
+// The equivalence the differential fuzzer (FuzzSlice) enforces: for any
+// region whose full execution succeeds, the sliced execution consumes
+// the same fuel and emits the bit-identical meter event sequence. (A
+// full execution that fails — index out of range inside a sliced-away
+// store, say — has no such guarantee: the slice cannot observe errors
+// in values it never computes.)
+type Executor struct {
+	ex  *ir.Exec
+	sl  *Slice
+	one [1]ir.Stmt // scratch for single-statement interpreter dispatch
+}
+
+// NewExecutor pairs a slice with the interpreter holding the region's
+// state and meter.
+func NewExecutor(ex *ir.Exec, sl *Slice) *Executor {
+	return &Executor{ex: ex, sl: sl}
+}
+
+type ctrl int
+
+const (
+	ctrlNone ctrl = iota
+	ctrlBreak
+	ctrlContinue
+)
+
+// ExecBlock executes the region's slice against the interpreter state.
+func (e *Executor) ExecBlock(stmts []ir.Stmt) error {
+	_, err := e.block(stmts)
+	return err
+}
+
+func (e *Executor) block(stmts []ir.Stmt) (ctrl, error) {
+	for _, s := range stmts {
+		c, err := e.stmt(s)
+		if err != nil {
+			return ctrlNone, err
+		}
+		if c != ctrlNone {
+			return c, nil
+		}
+	}
+	return ctrlNone, nil
+}
+
+func (e *Executor) stmt(s ir.Stmt) (ctrl, error) {
+	switch st := s.(type) {
+	case *ir.AssignScalar, *ir.Store:
+		if e.sl.Relevant(s) {
+			// Relevant leaf statements go through the interpreter
+			// verbatim: it burns fuel, meters, and assigns exactly as a
+			// full execution would.
+			e.one[0] = s
+			return ctrlNone, e.ex.ExecBlock(e.one[:])
+		}
+		if err := e.ex.Burn(); err != nil {
+			return ctrlNone, err
+		}
+		e.ghost(s)
+		return ctrlNone, nil
+	case *ir.For:
+		if err := e.ex.Burn(); err != nil {
+			return ctrlNone, err
+		}
+		return e.forStmt(st)
+	case *ir.While:
+		if err := e.ex.Burn(); err != nil {
+			return ctrlNone, err
+		}
+		return e.whileStmt(st)
+	case *ir.If:
+		if err := e.ex.Burn(); err != nil {
+			return ctrlNone, err
+		}
+		c, err := e.ex.EvalScalar(st.Cond)
+		if err != nil {
+			return ctrlNone, err
+		}
+		e.ex.MeterOps(ir.ExprOpUnits(st.Cond) + 1)
+		if c != 0 {
+			return e.block(st.Then)
+		}
+		return e.block(st.Else)
+	case *ir.Break:
+		if err := e.ex.Burn(); err != nil {
+			return ctrlNone, err
+		}
+		return ctrlBreak, nil
+	case *ir.Continue:
+		if err := e.ex.Burn(); err != nil {
+			return ctrlNone, err
+		}
+		return ctrlContinue, nil
+	}
+	return ctrlNone, fmt.Errorf("slice: unknown statement %T", s)
+}
+
+// forStmt mirrors the interpreter's for semantics exactly — evaluation
+// order (lo, hi, step), the float continuation tolerance, the local
+// iteration counter (body writes to the induction variable do not
+// affect the sequence), the per-iteration fuel and increment+branch
+// charges, and the trip-count guard.
+func (e *Executor) forStmt(st *ir.For) (ctrl, error) {
+	lo, err := e.ex.EvalScalar(st.Lo)
+	if err != nil {
+		return ctrlNone, err
+	}
+	hi, err := e.ex.EvalScalar(st.Hi)
+	if err != nil {
+		return ctrlNone, err
+	}
+	step, err := e.ex.EvalScalar(st.Step)
+	if err != nil {
+		return ctrlNone, err
+	}
+	e.ex.MeterOps(ir.ExprOpUnits(st.Lo) + ir.ExprOpUnits(st.Hi) + ir.ExprOpUnits(st.Step))
+	if step == 0 {
+		return ctrlNone, fmt.Errorf("ir: for loop with zero step")
+	}
+	iters := 0
+	for v := lo; (step > 0 && v <= hi+1e-12) || (step < 0 && v >= hi-1e-12); v += step {
+		if err := e.ex.Burn(); err != nil {
+			return ctrlNone, err
+		}
+		iters++
+		if iters > st.Trip {
+			return ctrlNone, fmt.Errorf("ir: for loop exceeded its static trip count %d", st.Trip)
+		}
+		e.ex.SetScalarValue(st.IVar, v)
+		e.ex.MeterOps(2) // increment + branch
+		c, err := e.block(st.Body)
+		if err != nil {
+			return ctrlNone, err
+		}
+		if c == ctrlBreak {
+			break
+		}
+	}
+	return ctrlNone, nil
+}
+
+func (e *Executor) whileStmt(st *ir.While) (ctrl, error) {
+	for iter := 0; ; iter++ {
+		if err := e.ex.Burn(); err != nil {
+			return ctrlNone, err
+		}
+		c, err := e.ex.EvalScalar(st.Cond)
+		if err != nil {
+			return ctrlNone, err
+		}
+		e.ex.MeterOps(ir.ExprOpUnits(st.Cond) + 1)
+		if c == 0 {
+			return ctrlNone, nil
+		}
+		if iter >= st.Bound {
+			return ctrlNone, fmt.Errorf("ir: while loop exceeded its @bound %d", st.Bound)
+		}
+		ctl, err := e.block(st.Body)
+		if err != nil {
+			return ctrlNone, err
+		}
+		if ctl == ctrlBreak {
+			return ctrlNone, nil
+		}
+	}
+}
+
+// ghost replays the meter effects of a sliced-away leaf statement
+// without computing its value: element reads in evaluation order, the
+// statement's ALU charge, and (for stores) the element write.
+func (e *Executor) ghost(s ir.Stmt) {
+	switch st := s.(type) {
+	case *ir.AssignScalar:
+		e.ghostExpr(st.Src)
+		e.ex.MeterOps(ir.ExprOpUnits(st.Src) + 1)
+	case *ir.Store:
+		units := 1 + ir.ExprOpUnits(st.Src)
+		for _, ix := range st.Idx {
+			e.ghostExpr(ix)
+			units += ir.ExprOpUnits(ix)
+		}
+		e.ghostExpr(st.Src)
+		e.ex.MeterOps(units)
+		e.ex.MeterWrite(st.Dst)
+	}
+}
+
+// ghostExpr emits the Read events one evaluation of x would emit, in
+// evaluation order: an Index resolves its subscripts first, then loads.
+func (e *Executor) ghostExpr(x ir.Expr) {
+	switch ex := x.(type) {
+	case *ir.Index:
+		for _, ix := range ex.Idx {
+			e.ghostExpr(ix)
+		}
+		e.ex.MeterRead(ex.V)
+	case *ir.Bin:
+		e.ghostExpr(ex.X)
+		e.ghostExpr(ex.Y)
+	case *ir.Un:
+		e.ghostExpr(ex.X)
+	case *ir.Intrinsic:
+		for _, a := range ex.Args {
+			e.ghostExpr(a)
+		}
+	}
+}

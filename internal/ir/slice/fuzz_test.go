@@ -1,0 +1,144 @@
+package slice_test
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"argo/internal/ir"
+	"argo/internal/ir/slice"
+	"argo/internal/scil"
+	"argo/internal/usecases"
+)
+
+// fuzzFuel bounds execution in both the full interpreter and the slice
+// executor so adversarial loop nests stay cheap; exhaustion itself is a
+// differential outcome (both must run out with the same meter prefix
+// and the same remaining fuel).
+const fuzzFuel = 100_000
+
+// recMeter records the full meter event sequence. Sequence equality
+// (not just totals) is the differential property: the slice executor
+// must replay the exact trace of the full execution.
+type recMeter struct {
+	events []string
+}
+
+func (m *recMeter) Ops(n int)      { m.events = append(m.events, fmt.Sprintf("ops %d", n)) }
+func (m *recMeter) Read(v *ir.Var) { m.events = append(m.events, "read "+v.Name) }
+func (m *recMeter) Write(v *ir.Var) {
+	m.events = append(m.events, "write "+v.Name)
+}
+
+func tail(ev []string) []string {
+	if len(ev) > 12 {
+		return ev[len(ev)-12:]
+	}
+	return ev
+}
+
+// FuzzSlice is the differential fuzzer for the timing-relevant slicer:
+// for any program the front end accepts, executing the region's slice
+// must consume the same fuel and emit the bit-identical meter event
+// sequence as executing the full region. Divergence means the slicer
+// dropped a statement that could affect timing — exactly the soundness
+// bug the mc engine would then inherit.
+//
+// Run the full fuzzer with: go test -fuzz=FuzzSlice ./internal/ir/slice
+func FuzzSlice(f *testing.F) {
+	seeds := []string{
+		"function r = f(a)\n  r = a\nendfunction",
+		"function r = f(x)\n  r = 0\n  for i = 1:20\n    r = r + i * x\n  end\nendfunction",
+		"//@entry\nfunction r = h(x)\n  //@bound 64\n  while x > 1\n    x = x / 2\n  end\n  r = x\nendfunction",
+		"function r = f(m)\n  r = 0\n  for i = 1:2\n    for j = 1:2\n      r = r + m(i, j)\n    end\n  end\nendfunction",
+		// The loop bound flows through a matrix element: the store to n
+		// is timing-relevant even though n never reaches a result.
+		"function r = f(m)\n  n = m(1, 1)\n  r = 0\n  for i = 1:8\n    if i < n then\n      r = r + 1\n    end\n  end\nendfunction",
+		"function r = f(a, b)\n  if a > b then\n    r = max(a, b)\n  else\n    r = atan(a, b)\n  end\nendfunction",
+		"function r = f(x)\n  r = x / 0 + sqrt(-x)\nendfunction",
+	}
+	for _, u := range usecases.All() {
+		seeds = append(seeds, u.Source)
+	}
+	for s := int64(0); s < 6; s++ {
+		seeds = append(seeds, scil.GenerateSource(rand.New(rand.NewSource(s)), scil.DefaultGenConfig()))
+	}
+	for i, s := range seeds {
+		f.Add(s, int64(i))
+	}
+	f.Fuzz(func(t *testing.T, src string, seed int64) {
+		p, err := scil.Parse(src)
+		if err != nil {
+			return
+		}
+		if errs := scil.Check(p, scil.CheckWCET); len(errs) > 0 {
+			return
+		}
+		for _, fn := range p.Funcs {
+			// Two argument shapes per entry: all scalars and all 2x2
+			// matrices; whatever lowering accepts must slice-execute
+			// identically.
+			for shape := 0; shape < 2; shape++ {
+				specs := make([]ir.ArgSpec, len(fn.Params))
+				for i := range specs {
+					if shape == 0 {
+						specs[i] = ir.ScalarArg()
+					} else {
+						specs[i] = ir.MatrixArg(2, 2)
+					}
+				}
+				prog, err := ir.Lower(p, fn.Name, specs)
+				if err != nil {
+					continue
+				}
+				rng := rand.New(rand.NewSource(seed))
+				inputs := make([][]float64, len(specs))
+				for i, sp := range specs {
+					vals := make([]float64, sp.Rows*sp.Cols)
+					for j := range vals {
+						vals[j] = math.Round(rng.Float64()*40-20) / 2
+					}
+					inputs[i] = vals
+				}
+				diffSlice(t, prog, inputs, src)
+			}
+		}
+	})
+}
+
+// diffSlice runs one (program, inputs) pair through the full
+// interpreter and through the slice executor and reports any observable
+// timing divergence. A failing full execution is skipped: errors inside
+// sliced-away computation are unobservable by design.
+func diffSlice(t *testing.T, prog *ir.Program, inputs [][]float64, src string) {
+	t.Helper()
+	full := &recMeter{}
+	ex := ir.NewExec(prog, full)
+	if err := ex.Init(inputs); err != nil {
+		return
+	}
+	ex.SetFuel(fuzzFuel)
+	if err := ex.ExecBlock(prog.Entry.Body); err != nil {
+		return
+	}
+
+	sliced := &recMeter{}
+	sx := ir.NewExec(prog, sliced)
+	if err := sx.Init(inputs); err != nil {
+		t.Fatalf("slice init diverged: %v\n%s", err, src)
+	}
+	sx.SetFuel(fuzzFuel)
+	sl := slice.Analyze(prog.Entry.Body)
+	if err := slice.NewExecutor(sx, sl).ExecBlock(prog.Entry.Body); err != nil {
+		t.Fatalf("slice execution failed where full execution succeeded: %v\n%s", err, src)
+	}
+
+	if ex.Fuel() != sx.Fuel() {
+		t.Fatalf("fuel divergence: full=%d sliced=%d\n%s", ex.Fuel(), sx.Fuel(), src)
+	}
+	if strings.Join(full.events, ";") != strings.Join(sliced.events, ";") {
+		t.Fatalf("meter divergence:\nfull tail:   %v\nsliced tail: %v\n%s", tail(full.events), tail(sliced.events), src)
+	}
+}

@@ -1,0 +1,136 @@
+// Package slice computes the timing-relevant slice of an IR region:
+// the subset of statements whose values can affect timing-relevant
+// control flow — loop headers (trip sequences), while/if conditions,
+// and therefore which statements execute and how much fuel and meter
+// traffic they consume.
+//
+// The slice is the shared substrate of the second WCET engine
+// (internal/wcet/mc tracks abstract values only for relevant scalars)
+// and of the differential slice executor (Executor), which replays a
+// region's exact meter trace while skipping all sliced-away value
+// computation. It belongs to the same conservative-dataflow family as
+// ir.TraceEnv's input-invariance analysis: both over-approximate in the
+// safe direction ("relevant"/"varying" is claimed unless the opposite
+// is provable), and both close effects over loop bodies with a monotone
+// fixpoint.
+//
+// Relevance is flow-insensitive and per-variable: control statements
+// are always relevant (they are the control flow); an AssignScalar is
+// relevant iff its destination scalar can reach a control expression;
+// a Store is relevant iff its destination matrix can be loaded by a
+// relevant expression. Everything else only contributes its fixed,
+// path-independent meter charge.
+package slice
+
+import "argo/internal/ir"
+
+// Slice is the timing-relevance classification of one region.
+type Slice struct {
+	// Scalars holds the scalars whose values can affect timing-relevant
+	// control flow (directly in a control expression, or transitively
+	// through assignments and relevant matrix stores).
+	Scalars map[*ir.Var]bool
+	// Mats holds the matrices whose element values can flow into a
+	// relevant scalar or control expression.
+	Mats map[*ir.Var]bool
+}
+
+// Analyze computes the timing-relevant slice of a region by a backward
+// closure: control expressions seed the relevant sets, and a monotone
+// fixpoint pulls in the definitions feeding them (assignments to
+// relevant scalars, stores to relevant matrices — including their index
+// expressions, which must be computed for real when the statement
+// executes).
+func Analyze(stmts []ir.Stmt) *Slice {
+	sl := &Slice{Scalars: map[*ir.Var]bool{}, Mats: map[*ir.Var]bool{}}
+	// Seed: everything a control expression reads is timing-relevant.
+	ir.WalkStmts(stmts, func(s ir.Stmt) bool {
+		switch st := s.(type) {
+		case *ir.For:
+			sl.markExpr(st.Lo)
+			sl.markExpr(st.Step)
+			sl.markExpr(st.Hi)
+		case *ir.While:
+			sl.markExpr(st.Cond)
+		case *ir.If:
+			sl.markExpr(st.Cond)
+		}
+		return true
+	})
+	// Closure: definitions of relevant variables make their operands
+	// relevant. Marks are only ever added, so the fixpoint terminates.
+	for {
+		changed := false
+		ir.WalkStmts(stmts, func(s ir.Stmt) bool {
+			switch st := s.(type) {
+			case *ir.AssignScalar:
+				if sl.Scalars[st.Dst] && sl.markExpr(st.Src) {
+					changed = true
+				}
+			case *ir.Store:
+				if sl.Mats[st.Dst] {
+					if sl.markExpr(st.Src) {
+						changed = true
+					}
+					for _, ix := range st.Idx {
+						if sl.markExpr(ix) {
+							changed = true
+						}
+					}
+				}
+			}
+			return true
+		})
+		if !changed {
+			break
+		}
+	}
+	return sl
+}
+
+// markExpr marks every variable e reads as relevant and reports whether
+// any mark is new.
+func (sl *Slice) markExpr(e ir.Expr) bool {
+	changed := false
+	ir.WalkExprs(e, func(sub ir.Expr) {
+		switch x := sub.(type) {
+		case *ir.VarRef:
+			if !sl.Scalars[x.V] {
+				sl.Scalars[x.V] = true
+				changed = true
+			}
+		case *ir.Index:
+			if !sl.Mats[x.V] {
+				sl.Mats[x.V] = true
+				changed = true
+			}
+		}
+	})
+	return changed
+}
+
+// Relevant reports whether a statement belongs to the timing-relevant
+// slice. Control statements always do; assignments and stores only when
+// their destination is relevant.
+func (sl *Slice) Relevant(s ir.Stmt) bool {
+	switch st := s.(type) {
+	case *ir.AssignScalar:
+		return sl.Scalars[st.Dst]
+	case *ir.Store:
+		return sl.Mats[st.Dst]
+	}
+	return true
+}
+
+// Stats counts the region's statements and how many are in the slice
+// (control statements included in both counts).
+func (sl *Slice) Stats(stmts []ir.Stmt) (total, relevant int) {
+	ir.WalkStmts(stmts, func(s ir.Stmt) bool {
+		total++
+		if sl.Relevant(s) {
+			relevant++
+		}
+		return true
+	})
+	return total, relevant
+}

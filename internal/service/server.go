@@ -40,6 +40,11 @@ type Config struct {
 	// SessionTTL expires sessions idle longer than this (default
 	// argo.DefaultSessionTTL).
 	SessionTTL time.Duration
+	// WCETEngine is the code-level WCET engine every compile uses:
+	// "" or "ipet" (default), "mc", or "both" (IPET bounds with the
+	// exact engine cross-checked on every region). Part of each job's
+	// cache key — engines legitimately produce different bounds.
+	WCETEngine string
 }
 
 func (c Config) withDefaults() Config {
@@ -153,6 +158,9 @@ type compileJob struct {
 	// cache key: optimization results are deterministic across
 	// parallelism degrees.
 	parallelism int
+	// wcetEngine is the server-wide engine selection (Config.WCETEngine).
+	// Part of the cache key: bounds differ between engines.
+	wcetEngine string
 }
 
 // key is the job's content address: SHA-256 over the canonicalized
@@ -163,7 +171,7 @@ func (j *compileJob) key(kind string) string {
 		args[i] = FromArgSpec(a)
 	}
 	return HashKey("argo/v1", kind, j.source, j.entry, args,
-		j.canonicalADL, j.policy.String(), j.maxTasks)
+		j.canonicalADL, j.policy.String(), j.maxTasks, j.wcetEngine)
 }
 
 func (j *compileJob) usecaseName() string {
@@ -217,7 +225,7 @@ func (s *Server) resolve(req *CompileRequest) (*compileJob, error) {
 	if req.TimeoutMS < 0 {
 		return nil, badRequest("timeout_ms must be >= 0")
 	}
-	j := &compileJob{maxTasks: req.MaxTasks, parallelism: req.Parallelism}
+	j := &compileJob{maxTasks: req.MaxTasks, parallelism: req.Parallelism, wcetEngine: s.cfg.WCETEngine}
 	switch {
 	case req.UseCase != "" && req.Source != "":
 		return nil, badRequest("set exactly one of usecase and source")
@@ -284,6 +292,7 @@ func (j *compileJob) options() argo.Options {
 	opt := argo.DefaultOptions(j.entry, j.args, j.plat)
 	opt.Policy = j.policy
 	opt.MaxTasks = j.maxTasks
+	opt.WCETEngine = j.wcetEngine
 	return opt
 }
 

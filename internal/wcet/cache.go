@@ -33,9 +33,13 @@ var (
 	cacheMisses = expvar.NewInt("argo_wcet_cache_misses")
 )
 
+// cacheKey includes the engine identity: two engines may legitimately
+// produce different bounds for the same (region, model), so no cache
+// tier may ever serve one engine's bound as another's.
 type cacheKey struct {
-	fp Fingerprint
-	m  CostModel
+	fp     Fingerprint
+	m      CostModel
+	engine string
 }
 
 // The cache is sharded to keep contention low when parallel candidate
@@ -218,16 +222,19 @@ func FingerprintProgram(prog *ir.Program) Fingerprint {
 	return fp
 }
 
-// AnalyzeMemo is Analyze backed by the process-wide content-addressed
-// bound cache.
-func AnalyzeMemo(stmts []ir.Stmt, m CostModel) Report {
-	return AnalyzeFP(FingerprintRegion(stmts), stmts, m)
+// AnalyzeMemo is e.Analyze backed by the process-wide content-addressed
+// bound cache. A nil engine means the default IPET engine.
+func AnalyzeMemo(e Engine, stmts []ir.Stmt, m CostModel) Report {
+	return AnalyzeFP(e, FingerprintRegion(stmts), stmts, m)
 }
 
 // AnalyzeFP is AnalyzeMemo for callers that already hold the region's
 // fingerprint.
-func AnalyzeFP(fp Fingerprint, stmts []ir.Stmt, m CostModel) Report {
-	key := cacheKey{fp: fp, m: m}
+func AnalyzeFP(e Engine, fp Fingerprint, stmts []ir.Stmt, m CostModel) Report {
+	if e == nil {
+		e = IPETEngine
+	}
+	key := cacheKey{fp: fp, m: m, engine: e.Name()}
 	shard := &boundCache[fp[0]>>(8-cacheShardBits)]
 	shard.mu.RLock()
 	rep, ok := shard.m[key]
@@ -237,7 +244,7 @@ func AnalyzeFP(fp Fingerprint, stmts []ir.Stmt, m CostModel) Report {
 		return rep
 	}
 	cacheMisses.Add(1)
-	rep = Analyze(stmts, m)
+	rep = e.Analyze(stmts, m)
 	shard.mu.Lock()
 	if shard.m == nil || len(shard.m) >= cacheShardMax {
 		shard.m = make(map[cacheKey]Report)

@@ -100,6 +100,16 @@ func (m CostModel) stmtSelfCost(s ir.Stmt) int64 {
 // loopIterOverhead is the per-iteration increment+branch cost of a For.
 func (m CostModel) loopIterOverhead() int64 { return 2 * int64(m.OpCycles) }
 
+// StmtSelfCost exposes the per-execution self cost of one statement
+// (assignment/store: the full metered cost; loop/branch: one header or
+// condition evaluation) for engines outside this package that charge
+// statements individually, such as internal/wcet/mc.
+func (m CostModel) StmtSelfCost(s ir.Stmt) int64 { return m.stmtSelfCost(s) }
+
+// LoopIterOverhead exposes the per-iteration increment+branch charge of
+// a counted loop.
+func (m CostModel) LoopIterOverhead() int64 { return m.loopIterOverhead() }
+
 // Structural computes the code-level WCET bound of a statement region by
 // bottom-up structural analysis.
 func Structural(stmts []ir.Stmt, m CostModel) int64 {

@@ -33,6 +33,7 @@ import (
 	"argo/internal/sim"
 	"argo/internal/transform"
 	"argo/internal/usecases"
+	"argo/internal/wcet"
 	"argo/internal/xcos"
 )
 
@@ -260,6 +261,19 @@ func SetInterp(mode string) error {
 // InterpMode reports the engine simulation runs currently default to
 // ("vm" or "tree").
 func InterpMode() string { return sim.DefaultInterp().String() }
+
+// WCETEngines lists the valid Options.WCETEngine spellings: every
+// registered code-level WCET engine plus "both" (IPET bounds with the
+// exact engine cross-checked on every region).
+func WCETEngines() []string { return wcet.SelectionNames() }
+
+// ParseWCETEngine validates an Options.WCETEngine spelling ("", "ipet",
+// "mc", "both") without compiling anything — tools use it to reject bad
+// flag values before doing work.
+func ParseWCETEngine(spec string) error {
+	_, err := wcet.ParseSelection(spec)
+	return err
+}
 
 // DescribePasses renders the registered pass pipeline the options
 // select as a fixed-width table (name, input/output artifact,
