@@ -28,13 +28,13 @@ race:
 	$(GO) test -race ./...
 
 # Full benchmark run; writes the machine-readable report to
-# BENCH_PR9.json, with BENCH_PR8.json (kept in-tree) as the baseline so
-# the per-benchmark delta of this round (pluggable WCET engines: the
-# timing-relevant slicer and the exact mc engine vs IPET) is recorded
-# on top of the previous round's numbers.
+# BENCH_PR10.json, with BENCH_PR9.json (kept in-tree) as the baseline so
+# the per-benchmark delta of this round (the sharded cluster tier:
+# hash-ring placement, coordinator forwarding, batch) is recorded on
+# top of the previous round's numbers.
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ . | \
-		$(GO) run ./cmd/benchjson -baseline BENCH_PR8.json -o BENCH_PR9.json
+		$(GO) run ./cmd/benchjson -baseline BENCH_PR9.json -o BENCH_PR10.json
 
 # CPU/heap profiles of the two simulator-bound experiment benchmarks,
 # written under profiles/ (gitignored) for `go tool pprof`.
@@ -62,11 +62,16 @@ fuzz:
 	$(GO) test -run=^$$ -fuzz='^FuzzVMExec$$' -fuzztime=$(FUZZTIME) ./internal/ir/vm
 	$(GO) test -run=^$$ -fuzz='^FuzzSnapshotRemap$$' -fuzztime=$(FUZZTIME) ./internal/core
 	$(GO) test -run=^$$ -fuzz='^FuzzSlice$$' -fuzztime=$(FUZZTIME) ./internal/ir/slice
+	$(GO) test -run=^$$ -fuzz='^FuzzHashRing$$' -fuzztime=$(FUZZTIME) ./internal/cluster
 
-# Session soak smoke: many sessions, many randomized edits, eviction and
-# TTL churn, differential verification — under the race detector.
+# Soak smokes, under the race detector: session churn (many sessions,
+# randomized edits, eviction/TTL, differential verification) and the
+# cluster scale-out check (2-replica coordinator must beat one
+# constrained replica by >=1.5x on a cache-miss workload; skipped on
+# single-core hosts).
 soak:
 	$(GO) test -race -run='^TestSessionSoak$$' -count=1 ./internal/session
+	$(GO) test -race -run='^TestClusterSoakThroughput$$' -count=1 -v ./internal/service
 
 # Statement coverage over the full module; prints the total and leaves
 # cover.out (gitignored) for `go tool cover -html=cover.out`.

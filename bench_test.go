@@ -12,10 +12,15 @@ package bench
 
 import (
 	"context"
+	"fmt"
+	"io"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
 	"testing"
 
 	"argo/internal/adl"
+	"argo/internal/cluster"
 	"argo/internal/core"
 	"argo/internal/experiments"
 	"argo/internal/fault"
@@ -943,6 +948,52 @@ func BenchmarkSlice(b *testing.B) {
 		sl := slice.Analyze(stmts)
 		if len(sl.Scalars)+len(sl.Mats) == 0 {
 			b.Fatal("empty slice")
+		}
+	}
+}
+
+// BenchmarkHashRingOwner measures one rendezvous-hash placement
+// decision over a 5-member ring — the per-request cost a coordinator
+// pays to pick a key's replica.
+func BenchmarkHashRingOwner(b *testing.B) {
+	members := make([]string, 5)
+	for i := range members {
+		members[i] = fmt.Sprintf("http://replica-%d:8321", i)
+	}
+	ring := cluster.NewRing(members)
+	ks := make([]string, 256)
+	for i := range ks {
+		ks[i] = fmt.Sprintf("sha256:%08x-job-key", i*2654435761)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if ring.Owner(ks[i%len(ks)]) == "" {
+			b.Fatal("no owner")
+		}
+	}
+}
+
+// BenchmarkClusterForwardHit measures the coordinator's full forwarding
+// path (placement, HTTP hop, hot-set recording) against an in-process
+// replica that answers instantly — the wire overhead the cluster adds
+// on top of the analysis itself.
+func BenchmarkClusterForwardHit(b *testing.B) {
+	replica := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = io.Copy(io.Discard, r.Body)
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(`{"ok":true}`))
+	}))
+	defer replica.Close()
+	c := cluster.New(cluster.Options{Peers: []string{replica.URL}})
+	body := []byte(`{"usecase":"polka","platform":"xentium4"}`)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := c.Forward(ctx, fmt.Sprintf("key-%d", i), "/v1/compile", body)
+		if err != nil || res.Status != http.StatusOK {
+			b.Fatalf("forward: %v %+v", err, res)
 		}
 	}
 }

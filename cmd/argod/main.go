@@ -19,10 +19,20 @@
 // The engines are bit-identical, so the choice is deliberately not part
 // of the result-cache keys.
 //
+// -peers puts the daemon in coordinator mode: compile and optimize
+// requests are consistent-hash sharded across the listed argod replicas
+// (rendezvous hashing with a bounded-load fallback via
+// -max-per-replica), /v1/optimize fans optimizer-ladder candidates out
+// to the replicas as remote candidate workers, POST /v1/batch evaluates
+// many use-case×platform cells with per-cell status, and GET /v1/cluster
+// + POST /v1/cluster/members expose and change the topology. Results are
+// bit-identical to a single-process argod at any replica count.
+//
 // Examples:
 //
 //	argod                              # listen on :8321
 //	argod -addr :8080 -workers 8 -timeout 30s
+//	argod -peers http://n1:8321,http://n2:8321   # coordinator
 //	curl -s localhost:8321/v1/compile \
 //	  -d '{"usecase":"polka","platform":"xentium4"}'
 package main
@@ -38,6 +48,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
@@ -78,6 +89,10 @@ func parseFlags(args []string, stderr io.Writer) (*config, int) {
 		vmCacheMax   = fs.Int("vm-cache-max", 0, "max compiled programs in the shared VM code cache (0: default bound)")
 		interp       = fs.String("interp", "vm", "simulator execution engine: vm (bytecode) or tree (oracle)")
 		wcetEngine   = fs.String("wcet-engine", "", "code-level WCET engine: ipet (default), mc, or both (cross-checked)")
+		peers        = fs.String("peers", "", "comma-separated replica base URLs; non-empty enables coordinator mode")
+		coordinator  = fs.Bool("coordinator", false, "run as cluster coordinator (requires -peers; implied by -peers)")
+		maxPerRep    = fs.Int("max-per-replica", 0, "bounded-load fallback: max in-flight forwards per replica (0: unbounded)")
+		fwdTimeout   = fs.Duration("forward-timeout", 30*time.Second, "per-attempt budget for forwarded cluster requests")
 	)
 	if err := fs.Parse(args); err != nil {
 		return nil, 2
@@ -104,6 +119,19 @@ func parseFlags(args []string, stderr io.Writer) (*config, int) {
 		fmt.Fprintln(stderr, "argod: -max-sessions and -session-ttl must be positive, -pass-cache-max and -vm-cache-max non-negative")
 		return nil, 2
 	}
+	peerList, err := parsePeers(*peers)
+	if err != nil {
+		fmt.Fprintf(stderr, "argod: %v\n", err)
+		return nil, 2
+	}
+	if *coordinator && len(peerList) == 0 {
+		fmt.Fprintln(stderr, "argod: -coordinator requires -peers")
+		return nil, 2
+	}
+	if *maxPerRep < 0 || *fwdTimeout <= 0 {
+		fmt.Fprintln(stderr, "argod: -max-per-replica must be >= 0 and -forward-timeout positive")
+		return nil, 2
+	}
 	return &config{
 		addr:         *addr,
 		grace:        *grace,
@@ -111,16 +139,42 @@ func parseFlags(args []string, stderr io.Writer) (*config, int) {
 		vmCacheMax:   *vmCacheMax,
 		interp:       engine,
 		service: service.Config{
-			Workers:      *workers,
-			CacheEntries: *cache,
-			Timeout:      *timeout,
-			MaxBodyBytes: *maxBody,
-			MaxQueue:     *maxQueue,
-			MaxSessions:  *maxSessions,
-			SessionTTL:   *sessionTTL,
-			WCETEngine:   *wcetEngine,
+			Workers:        *workers,
+			CacheEntries:   *cache,
+			Timeout:        *timeout,
+			MaxBodyBytes:   *maxBody,
+			MaxQueue:       *maxQueue,
+			MaxSessions:    *maxSessions,
+			SessionTTL:     *sessionTTL,
+			WCETEngine:     *wcetEngine,
+			Peers:          peerList,
+			ForwardTimeout: *fwdTimeout,
+			MaxPerReplica:  *maxPerRep,
 		},
 	}, 0
+}
+
+// parsePeers splits and validates the -peers list: comma-separated
+// http(s) base URLs, empty entries ignored, nil for an empty flag.
+func parsePeers(s string) ([]string, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var peers []string
+	for _, p := range strings.Split(s, ",") {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		if !strings.HasPrefix(p, "http://") && !strings.HasPrefix(p, "https://") {
+			return nil, fmt.Errorf("-peers: %q is not an http(s) URL", p)
+		}
+		peers = append(peers, strings.TrimRight(p, "/"))
+	}
+	if len(peers) == 0 {
+		return nil, fmt.Errorf("-peers: no usable URLs in %q", s)
+	}
+	return peers, nil
 }
 
 func main() {
@@ -148,6 +202,9 @@ func main() {
 
 	log.SetPrefix("argod: ")
 	log.SetFlags(log.LstdFlags)
+	if len(cfg.service.Peers) > 0 {
+		log.Printf("coordinator over %d replicas: %v", len(cfg.service.Peers), cfg.service.Peers)
+	}
 	log.Printf("listening on %s (workers %d, cache %d entries, timeout %v, interp %s)",
 		cfg.addr, cfg.service.Workers, cfg.service.CacheEntries, cfg.service.Timeout, cfg.interp)
 	if err := srv.ListenAndServe(ctx, cfg.addr, cfg.grace); err != nil && err != http.ErrServerClosed {

@@ -75,3 +75,41 @@ func TestParseFlagsUnknownInterpMessage(t *testing.T) {
 		t.Fatalf("missing interpreter error:\n%s", errb)
 	}
 }
+
+func TestParseFlagsClusterMode(t *testing.T) {
+	cfg, code, errb := parseCLI(t,
+		"-peers", " http://n1:8321, http://n2:8321/ ,", "-coordinator",
+		"-max-per-replica", "3", "-forward-timeout", "5s")
+	if cfg == nil || code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, errb)
+	}
+	want := []string{"http://n1:8321", "http://n2:8321"}
+	if len(cfg.service.Peers) != 2 || cfg.service.Peers[0] != want[0] || cfg.service.Peers[1] != want[1] {
+		t.Errorf("peers = %v, want %v (trimmed, slash-stripped, empties dropped)", cfg.service.Peers, want)
+	}
+	if cfg.service.MaxPerReplica != 3 || cfg.service.ForwardTimeout.Seconds() != 5 {
+		t.Errorf("cluster knobs: %+v", cfg.service)
+	}
+	// -peers alone implies coordinator mode; no peers means single mode.
+	if cfg, code, _ = parseCLI(t, "-peers", "http://n1:8321"); cfg == nil || code != 0 || len(cfg.service.Peers) != 1 {
+		t.Errorf("-peers without -coordinator rejected")
+	}
+	if cfg, code, _ = parseCLI(t); cfg == nil || code != 0 || cfg.service.Peers != nil {
+		t.Errorf("default config has peers: %+v", cfg)
+	}
+}
+
+func TestParseFlagsClusterUsageErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-coordinator"},      // coordinator without peers
+		{"-peers", "n1:8321"}, // not an http(s) URL
+		{"-peers", " , ,"},    // no usable URLs
+		{"-peers", "http://n1", "-max-per-replica", "-1"}, // negative bound
+		{"-peers", "http://n1", "-forward-timeout", "0s"}, // non-positive budget
+	} {
+		cfg, code, _ := parseCLI(t, args...)
+		if cfg != nil || code != 2 {
+			t.Errorf("args %v: cfg=%v exit %d, want nil, 2", args, cfg, code)
+		}
+	}
+}

@@ -1,0 +1,116 @@
+// Command argoload is the closed-loop load generator and soak harness
+// for argod (and argod clusters): a fixed number of workers each issue
+// the next request as soon as the previous one completes, and the run
+// reports throughput, latency percentiles (p50/p95/p99), shed rate
+// (429s), and errors.
+//
+// Two workload shapes:
+//
+//   - -unique generates a distinct scil source per request, so every
+//     compile is a guaranteed cache miss all the way down — the shape
+//     that measures pipeline throughput and cluster scaling.
+//   - the default replays one use-case compile, so after the first
+//     request the run measures cache-hit serving capacity.
+//
+// Examples:
+//
+//	argoload -addr http://localhost:8321 -requests 100 -unique
+//	argoload -addr http://localhost:8321 -duration 10s -concurrency 8 -json
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"argo/internal/cluster"
+)
+
+// config is the validated load-run configuration produced by parseFlags.
+type config struct {
+	load    cluster.LoadConfig
+	jsonOut bool
+}
+
+// parseFlags parses and validates the command line. On failure it
+// reports the usage error on stderr and returns a nil config with the
+// process exit code (always 2, matching the other CLIs).
+func parseFlags(args []string, stderr io.Writer) (*config, int) {
+	fs := flag.NewFlagSet("argoload", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr        = fs.String("addr", "http://localhost:8321", "target base URL (an argod or a coordinator)")
+		requests    = fs.Int("requests", 0, "total request budget (0: run for -duration)")
+		duration    = fs.Duration("duration", 0, "time budget when -requests is 0")
+		concurrency = fs.Int("concurrency", 4, "closed-loop worker count")
+		unique      = fs.Bool("unique", false, "generate a distinct source per request (cache-miss workload)")
+		usecase     = fs.String("usecase", "polka", "use case replayed by the cache-hit workload")
+		platform    = fs.String("platform", "xentium4", "target platform")
+		jsonOut     = fs.Bool("json", false, "emit the report as JSON")
+	)
+	if err := fs.Parse(args); err != nil {
+		return nil, 2
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "argoload: unexpected arguments: %v\n", fs.Args())
+		fs.Usage()
+		return nil, 2
+	}
+	if *requests <= 0 && *duration <= 0 {
+		fmt.Fprintln(stderr, "argoload: set -requests or -duration")
+		return nil, 2
+	}
+	if *concurrency <= 0 {
+		fmt.Fprintln(stderr, "argoload: -concurrency must be positive")
+		return nil, 2
+	}
+	body := func(i int) []byte { return cluster.UseCaseCompileBody(*usecase, *platform) }
+	if *unique {
+		body = func(i int) []byte { return cluster.UniqueCompileBody(i, *platform) }
+	}
+	return &config{
+		load: cluster.LoadConfig{
+			URL:         *addr,
+			Concurrency: *concurrency,
+			Requests:    *requests,
+			Duration:    *duration,
+			Body:        body,
+		},
+		jsonOut: *jsonOut,
+	}, 0
+}
+
+func run(ctx context.Context, cfg *config, stdout io.Writer) int {
+	rep, err := cluster.RunLoad(ctx, cfg.load)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "argoload: %v\n", err)
+		return 2
+	}
+	if cfg.jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(rep)
+	} else {
+		fmt.Fprintln(stdout, rep)
+	}
+	if rep.OK == 0 {
+		// Nothing succeeded: the target is down or every request failed.
+		return 1
+	}
+	return 0
+}
+
+func main() {
+	cfg, code := parseFlags(os.Args[1:], os.Stderr)
+	if cfg == nil {
+		os.Exit(code)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, cfg, os.Stdout))
+}

@@ -1,0 +1,132 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"argo/internal/cluster"
+)
+
+func parseCLI(t *testing.T, args ...string) (*config, int, string) {
+	t.Helper()
+	var errb bytes.Buffer
+	cfg, code := parseFlags(args, &errb)
+	return cfg, code, errb.String()
+}
+
+func TestParseFlagsDefaults(t *testing.T) {
+	cfg, code, errb := parseCLI(t, "-requests", "10")
+	if cfg == nil || code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, errb)
+	}
+	if cfg.load.URL != "http://localhost:8321" || cfg.load.Concurrency != 4 ||
+		cfg.load.Requests != 10 || cfg.jsonOut {
+		t.Errorf("unexpected config: %+v", cfg)
+	}
+	// Default workload replays one use case: identical bodies.
+	if !bytes.Equal(cfg.load.Body(0), cfg.load.Body(7)) {
+		t.Error("cache-hit workload produced distinct bodies")
+	}
+	if !bytes.Contains(cfg.load.Body(0), []byte(`"polka"`)) {
+		t.Errorf("default body %s does not target polka", cfg.load.Body(0))
+	}
+}
+
+func TestParseFlagsUniqueWorkload(t *testing.T) {
+	cfg, code, errb := parseCLI(t, "-requests", "5", "-unique", "-platform", "xentium2")
+	if cfg == nil || code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, errb)
+	}
+	a, b := cfg.load.Body(0), cfg.load.Body(1)
+	if bytes.Equal(a, b) {
+		t.Error("cache-miss workload repeated a body")
+	}
+	if !bytes.Contains(a, []byte(`"xentium2"`)) {
+		t.Errorf("body %s does not target xentium2", a)
+	}
+}
+
+func TestParseFlagsUsageErrorsExitTwo(t *testing.T) {
+	for _, args := range [][]string{
+		{},                                      // neither -requests nor -duration
+		{"-nosuchflag"},                         // flag misuse
+		{"positional"},                          // unexpected arguments
+		{"-requests", "5", "-concurrency", "0"}, // non-positive workers
+		{"-duration", "-1s"},                    // negative budget, no requests
+	} {
+		cfg, code, _ := parseCLI(t, args...)
+		if cfg != nil || code != 2 {
+			t.Errorf("args %v: cfg=%v exit %d, want nil, 2", args, cfg, code)
+		}
+	}
+}
+
+// stubTarget serves canned statuses and counts hits.
+func stubTarget(t *testing.T, status int) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.WriteHeader(status)
+		_, _ = w.Write([]byte(`{}`))
+	}))
+	t.Cleanup(ts.Close)
+	return ts, &hits
+}
+
+func TestRunAgainstStub(t *testing.T) {
+	ts, hits := stubTarget(t, http.StatusOK)
+	cfg, code, errb := parseCLI(t, "-addr", ts.URL, "-requests", "9", "-concurrency", "3")
+	if cfg == nil || code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, errb)
+	}
+	var out bytes.Buffer
+	if code := run(context.Background(), cfg, &out); code != 0 {
+		t.Fatalf("run exit %d, output:\n%s", code, out.String())
+	}
+	if hits.Load() != 9 {
+		t.Errorf("stub saw %d requests, want 9", hits.Load())
+	}
+	if !strings.Contains(out.String(), "ok 9") {
+		t.Errorf("report output %q missing ok count", out.String())
+	}
+}
+
+func TestRunJSONOutput(t *testing.T) {
+	ts, _ := stubTarget(t, http.StatusOK)
+	cfg, code, _ := parseCLI(t, "-addr", ts.URL, "-requests", "4", "-json")
+	if cfg == nil || code != 0 {
+		t.Fatal("parse failed")
+	}
+	var out bytes.Buffer
+	if code := run(context.Background(), cfg, &out); code != 0 {
+		t.Fatalf("run exit %d", code)
+	}
+	var rep cluster.LoadReport
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("output is not a JSON LoadReport: %v\n%s", err, out.String())
+	}
+	if rep.OK != 4 || rep.Requests != 4 {
+		t.Errorf("report %+v, want 4 ok of 4", rep)
+	}
+}
+
+// A target that never succeeds must exit 1 (soak scripts alert on it),
+// distinct from usage errors (2).
+func TestRunAllFailedExitsOne(t *testing.T) {
+	ts, _ := stubTarget(t, http.StatusInternalServerError)
+	cfg, code, _ := parseCLI(t, "-addr", ts.URL, "-requests", "3")
+	if cfg == nil || code != 0 {
+		t.Fatal("parse failed")
+	}
+	var out bytes.Buffer
+	if code := run(context.Background(), cfg, &out); code != 1 {
+		t.Fatalf("run exit %d against an all-500 target, want 1", code)
+	}
+}

@@ -1,0 +1,387 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// stubReplica is one fake analysis replica: counts hits and serves a
+// configurable status/body.
+type stubReplica struct {
+	srv    *httptest.Server
+	hits   atomic.Int64
+	status atomic.Int64
+	block  chan struct{} // non-nil: handler waits until closed
+}
+
+func newStubReplica(t *testing.T) *stubReplica {
+	t.Helper()
+	s := &stubReplica{}
+	s.status.Store(http.StatusOK)
+	s.srv = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.hits.Add(1)
+		if s.block != nil {
+			<-s.block
+		}
+		st := int(s.status.Load())
+		w.Header().Set("X-Argo-Cache", "miss")
+		w.WriteHeader(st)
+		fmt.Fprintf(w, `{"served_by":%q}`, s.srv.URL)
+	}))
+	t.Cleanup(s.srv.Close)
+	return s
+}
+
+// stubs starts n replicas and returns them keyed by URL.
+func stubs(t *testing.T, n int) (urls []string, byURL map[string]*stubReplica) {
+	t.Helper()
+	byURL = make(map[string]*stubReplica, n)
+	for i := 0; i < n; i++ {
+		s := newStubReplica(t)
+		urls = append(urls, s.srv.URL)
+		byURL[s.srv.URL] = s
+	}
+	return urls, byURL
+}
+
+func TestForwardRoutesToOwner(t *testing.T) {
+	urls, byURL := stubs(t, 3)
+	c := New(Options{Peers: urls})
+	for _, key := range keys(20) {
+		owner := c.Ring().Owner(key)
+		res, err := c.Forward(context.Background(), key, "/v1/compile", []byte("{}"))
+		if err != nil {
+			t.Fatalf("forward: %v", err)
+		}
+		if res.Replica != owner {
+			t.Fatalf("key %q served by %q, owner is %q", key, res.Replica, owner)
+		}
+		if res.Outcome != "miss" || res.Status != http.StatusOK {
+			t.Fatalf("unexpected result %+v", res)
+		}
+	}
+	var total int64
+	for _, s := range byURL {
+		total += s.hits.Load()
+	}
+	if total != 20 {
+		t.Fatalf("replicas saw %d requests, want 20", total)
+	}
+	if st := c.Stats(); st.Forwards != 20 || st.ReplicaErrors != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestForwardRoutesAroundFailingReplica(t *testing.T) {
+	urls, byURL := stubs(t, 3)
+	c := New(Options{Peers: urls, Quarantine: time.Hour})
+	key := keys(1)[0]
+	order := c.Ring().Order(key)
+	byURL[order[0]].status.Store(http.StatusInternalServerError)
+
+	res, err := c.Forward(context.Background(), key, "/v1/compile", []byte("{}"))
+	if err != nil {
+		t.Fatalf("forward: %v", err)
+	}
+	if res.Replica != order[1] {
+		t.Fatalf("served by %q, want second preference %q", res.Replica, order[1])
+	}
+	if st := c.Stats(); st.ReplicaErrors != 1 {
+		t.Fatalf("replica errors = %d, want 1", st.ReplicaErrors)
+	}
+
+	// The failed owner is quarantined: the next forward for the same key
+	// goes straight to the fallback without probing it again.
+	before := byURL[order[0]].hits.Load()
+	if _, err := c.Forward(context.Background(), key, "/v1/compile", []byte("{}")); err != nil {
+		t.Fatalf("second forward: %v", err)
+	}
+	if got := byURL[order[0]].hits.Load(); got != before {
+		t.Fatalf("quarantined replica probed again (%d -> %d hits)", before, got)
+	}
+}
+
+func TestForwardPassesThrough4xx(t *testing.T) {
+	urls, byURL := stubs(t, 2)
+	c := New(Options{Peers: urls})
+	key := keys(1)[0]
+	owner := c.Ring().Owner(key)
+	byURL[owner].status.Store(http.StatusUnprocessableEntity)
+
+	res, err := c.Forward(context.Background(), key, "/v1/compile", []byte("{}"))
+	if err != nil {
+		t.Fatalf("forward: %v", err)
+	}
+	if res.Status != http.StatusUnprocessableEntity || res.Replica != owner {
+		t.Fatalf("result %+v; want 422 from owner %q (no retry on 4xx)", res, owner)
+	}
+	if st := c.Stats(); st.ReplicaErrors != 0 {
+		t.Fatalf("4xx counted as replica error: %+v", st)
+	}
+	// A deterministic client error must not poison the hot set either.
+	if n := c.HotKeys(); n != 0 {
+		t.Fatalf("4xx recorded in hot set (%d entries)", n)
+	}
+}
+
+func TestForwardAllReplicasDown(t *testing.T) {
+	urls, byURL := stubs(t, 2)
+	for _, s := range byURL {
+		s.status.Store(http.StatusInternalServerError)
+	}
+	c := New(Options{Peers: urls})
+	if _, err := c.Forward(context.Background(), keys(1)[0], "/v1/compile", []byte("{}")); err == nil {
+		t.Fatal("forward succeeded with every replica failing")
+	}
+	if st := c.Stats(); st.ReplicaErrors < 2 {
+		t.Fatalf("replica errors = %d, want >= 2", st.ReplicaErrors)
+	}
+}
+
+func TestForwardBoundedLoadFallsThrough(t *testing.T) {
+	a, b := newStubReplica(t), newStubReplica(t)
+	a.block = make(chan struct{})
+	b.block = make(chan struct{})
+	c := New(Options{Peers: []string{a.srv.URL, b.srv.URL}, MaxInflight: 1})
+	key := keys(1)[0]
+	order := c.Ring().Order(key)
+	st := map[string]*stubReplica{a.srv.URL: a, b.srv.URL: b}
+
+	// Park one request on the owner, filling its load bound.
+	first := make(chan error, 1)
+	go func() {
+		_, err := c.Forward(context.Background(), key, "/v1/compile", []byte("{}"))
+		first <- err
+	}()
+	waitFor(t, func() bool { return st[order[0]].hits.Load() == 1 })
+
+	// The second forward must skip the loaded owner for the fallback.
+	second := make(chan *Result, 1)
+	go func() {
+		res, err := c.Forward(context.Background(), key, "/v1/compile", []byte("{}"))
+		if err != nil {
+			t.Errorf("second forward: %v", err)
+		}
+		second <- res
+	}()
+	waitFor(t, func() bool { return st[order[1]].hits.Load() == 1 })
+	close(st[order[1]].block)
+	if res := <-second; res.Replica != order[1] {
+		t.Fatalf("second request served by %q, want fallback %q", res.Replica, order[1])
+	}
+	close(st[order[0]].block)
+	if err := <-first; err != nil {
+		t.Fatalf("first forward: %v", err)
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached in 5s")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestHangingReplicaTimesOutAndFallsThrough(t *testing.T) {
+	hang, ok := newStubReplica(t), newStubReplica(t)
+	hang.block = make(chan struct{}) // never closed: the replica hangs
+	defer close(hang.block)
+	c := New(Options{Peers: []string{hang.srv.URL, ok.srv.URL}, ForwardTimeout: 50 * time.Millisecond})
+
+	// Pick a key owned by the hanging replica so the timeout path runs.
+	var key string
+	for _, k := range keys(100) {
+		if c.Ring().Owner(k) == hang.srv.URL {
+			key = k
+			break
+		}
+	}
+	if key == "" {
+		t.Fatal("no key owned by hanging replica in sample")
+	}
+	t0 := time.Now()
+	res, err := c.Forward(context.Background(), key, "/v1/compile", []byte("{}"))
+	if err != nil {
+		t.Fatalf("forward: %v", err)
+	}
+	if res.Replica != ok.srv.URL {
+		t.Fatalf("served by %q, want healthy fallback %q", res.Replica, ok.srv.URL)
+	}
+	if e := time.Since(t0); e > 2*time.Second {
+		t.Fatalf("fallback took %v; per-attempt timeout not honored", e)
+	}
+	if st := c.Stats(); st.ReplicaErrors != 1 {
+		t.Fatalf("replica errors = %d, want 1 (the timeout)", st.ReplicaErrors)
+	}
+}
+
+func TestWarmReplicationOnMembershipChange(t *testing.T) {
+	urls, _ := stubs(t, 2)
+	grown := newStubReplica(t)
+	c := New(Options{Peers: urls, WarmWorkers: 2})
+
+	// Serve enough keys that some must move to the new member.
+	allKeys := keys(32)
+	for _, k := range allKeys {
+		if _, err := c.Forward(context.Background(), k, "/v1/compile", []byte(`{"k":"`+k+`"}`)); err != nil {
+			t.Fatalf("forward: %v", err)
+		}
+	}
+	if got := c.HotKeys(); got != len(allKeys) {
+		t.Fatalf("hot set has %d keys, want %d", got, len(allKeys))
+	}
+
+	old := c.Ring()
+	c.SetMembers(append(append([]string{}, urls...), grown.srv.URL))
+	next := c.Ring()
+	var moved int64
+	for _, k := range allKeys {
+		if old.Owner(k) != next.Owner(k) {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("no key moved on scale-up; fixture broken")
+	}
+	waitFor(t, func() bool { return !c.Rebalancing() })
+	if got := c.Stats().Rebalances; got != moved {
+		t.Fatalf("rebalances = %d, want %d (every moved hot key replayed)", got, moved)
+	}
+	// Every warm replay landed on the member now owning the key — for
+	// moved keys that is overwhelmingly the new replica.
+	if grown.hits.Load() == 0 {
+		t.Fatal("new replica received no warm traffic")
+	}
+}
+
+func TestSetMembersNoMovesNoRebalance(t *testing.T) {
+	urls, _ := stubs(t, 2)
+	c := New(Options{Peers: urls})
+	if _, err := c.Forward(context.Background(), keys(1)[0], "/v1/compile", []byte("{}")); err != nil {
+		t.Fatalf("forward: %v", err)
+	}
+	c.SetMembers(urls) // identical membership: nothing moves
+	if c.Rebalancing() {
+		t.Fatal("rebalancing flagged for a no-op membership change")
+	}
+	if got := c.Stats().Rebalances; got != 0 {
+		t.Fatalf("rebalances = %d, want 0", got)
+	}
+}
+
+func TestHotSetBounded(t *testing.T) {
+	urls, _ := stubs(t, 1)
+	c := New(Options{Peers: urls, HotSet: 8})
+	for _, k := range keys(50) {
+		if _, err := c.Forward(context.Background(), k, "/v1/compile", []byte("{}")); err != nil {
+			t.Fatalf("forward: %v", err)
+		}
+	}
+	if got := c.HotKeys(); got != 8 {
+		t.Fatalf("hot set has %d keys, want the 8-entry bound", got)
+	}
+}
+
+func TestHealthReportsQuarantine(t *testing.T) {
+	urls, byURL := stubs(t, 2)
+	c := New(Options{Peers: urls, Quarantine: time.Hour})
+	key := keys(1)[0]
+	owner := c.Ring().Owner(key)
+	byURL[owner].status.Store(http.StatusInternalServerError)
+	if _, err := c.Forward(context.Background(), key, "/v1/compile", []byte("{}")); err != nil {
+		t.Fatalf("forward: %v", err)
+	}
+	downSeen := false
+	for _, h := range c.Health() {
+		if h.URL == owner && h.Down {
+			downSeen = true
+		}
+	}
+	if !downSeen {
+		t.Fatalf("health does not report quarantined owner %q as down: %+v", owner, c.Health())
+	}
+}
+
+// --- load generator ---------------------------------------------------------
+
+func TestRunLoadReport(t *testing.T) {
+	var n atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch n.Add(1) % 5 {
+		case 0:
+			w.WriteHeader(http.StatusTooManyRequests)
+		case 1:
+			w.WriteHeader(http.StatusInternalServerError)
+		default:
+			w.WriteHeader(http.StatusOK)
+		}
+	}))
+	defer srv.Close()
+
+	rep, err := RunLoad(context.Background(), LoadConfig{
+		URL:         srv.URL,
+		Concurrency: 3,
+		Requests:    50,
+		Body:        func(i int) []byte { return []byte("{}") },
+	})
+	if err != nil {
+		t.Fatalf("RunLoad: %v", err)
+	}
+	if rep.Requests != 50 {
+		t.Fatalf("requests = %d, want 50", rep.Requests)
+	}
+	if rep.OK+rep.Shed+rep.Errors != rep.Requests {
+		t.Fatalf("counts don't add up: %+v", rep)
+	}
+	if rep.Shed == 0 || rep.Errors == 0 || rep.OK == 0 {
+		t.Fatalf("expected a mix of outcomes: %+v", rep)
+	}
+	if rep.RPS <= 0 || rep.P50 <= 0 || rep.P99 < rep.P50 || rep.MaxLatency < rep.P99 {
+		t.Fatalf("implausible latency stats: %+v", rep)
+	}
+	if got := rep.StatusCounts[http.StatusTooManyRequests]; got != rep.Shed {
+		t.Fatalf("status counts inconsistent: %+v", rep)
+	}
+	if rep.ShedRate() <= 0 || rep.ShedRate() >= 1 {
+		t.Fatalf("shed rate = %v", rep.ShedRate())
+	}
+	if s := rep.String(); !strings.Contains(s, "requests 50") {
+		t.Fatalf("report string %q", s)
+	}
+}
+
+func TestRunLoadValidation(t *testing.T) {
+	ctx := context.Background()
+	if _, err := RunLoad(ctx, LoadConfig{}); err == nil {
+		t.Fatal("no URL accepted")
+	}
+	if _, err := RunLoad(ctx, LoadConfig{URL: "http://x"}); err == nil {
+		t.Fatal("no body generator accepted")
+	}
+	if _, err := RunLoad(ctx, LoadConfig{URL: "http://x", Body: func(int) []byte { return nil }}); err == nil {
+		t.Fatal("no budget accepted")
+	}
+}
+
+func TestUniqueCompileBodiesDistinct(t *testing.T) {
+	a, b := UniqueCompileBody(1, ""), UniqueCompileBody(2, "")
+	if string(a) == string(b) {
+		t.Fatal("unique bodies identical")
+	}
+	if !strings.Contains(string(a), `"platform":"xentium4"`) {
+		t.Fatalf("default platform missing: %s", a)
+	}
+	if string(UseCaseCompileBody("polka", "p")) != string(UseCaseCompileBody("polka", "p")) {
+		t.Fatal("use-case body not constant")
+	}
+}

@@ -1,0 +1,31 @@
+package cluster
+
+// Pinned owners for TestMembershipFixture: the 5 -> 4 -> 6 membership
+// walk over the fixed key list. Generated once from this implementation
+// and frozen — a diff here means the placement function changed and
+// every deployed cluster's shards would silently remap.
+//
+// The walk shows minimal remap concretely: dropping replica-4 moves
+// only "juliett" (its sole key) to replica-2; growing to six members
+// moves only "charlie" and "delta" to the new replica-5 while "juliett"
+// returns to replica-4.
+var (
+	goldenOwners5 = []string{
+		"http://replica-3:8321", "http://replica-1:8321", "http://replica-1:8321",
+		"http://replica-0:8321", "http://replica-1:8321", "http://replica-1:8321",
+		"http://replica-1:8321", "http://replica-2:8321", "http://replica-2:8321",
+		"http://replica-4:8321",
+	}
+	goldenOwners4 = []string{
+		"http://replica-3:8321", "http://replica-1:8321", "http://replica-1:8321",
+		"http://replica-0:8321", "http://replica-1:8321", "http://replica-1:8321",
+		"http://replica-1:8321", "http://replica-2:8321", "http://replica-2:8321",
+		"http://replica-2:8321",
+	}
+	goldenOwners6 = []string{
+		"http://replica-3:8321", "http://replica-1:8321", "http://replica-5:8321",
+		"http://replica-5:8321", "http://replica-1:8321", "http://replica-1:8321",
+		"http://replica-1:8321", "http://replica-2:8321", "http://replica-2:8321",
+		"http://replica-4:8321",
+	}
+)

@@ -1,0 +1,236 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// LoadConfig describes one closed-loop load run: Concurrency workers
+// each issue the next request as soon as the previous one completes,
+// until Requests have been sent (or Duration has elapsed when Requests
+// is 0). Body generates the i-th request body — returning distinct
+// bodies per index produces a cache-miss workload, a constant body a
+// cache-hit workload.
+type LoadConfig struct {
+	// URL is the target base URL (e.g. the coordinator).
+	URL string
+	// Path is the endpoint, default "/v1/compile".
+	Path string
+	// Concurrency is the closed-loop worker count (default 4).
+	Concurrency int
+	// Requests is the total request budget (with Duration unset, it
+	// must be > 0).
+	Requests int
+	// Duration bounds the run in time when Requests is 0.
+	Duration time.Duration
+	// Body generates the i-th request body.
+	Body func(i int) []byte
+	// Client issues the requests (default http.DefaultClient).
+	Client *http.Client
+}
+
+// LoadReport is the outcome of one load run.
+type LoadReport struct {
+	Requests int `json:"requests"`
+	// OK counts 2xx replies.
+	OK int `json:"ok"`
+	// Shed counts 429 load-shed replies.
+	Shed int `json:"shed"`
+	// Errors counts transport failures and non-2xx/non-429 replies.
+	Errors int `json:"errors"`
+	// StatusCounts maps HTTP status to reply count (0 = transport
+	// failure).
+	StatusCounts map[int]int `json:"status_counts"`
+	// Elapsed is the run's wall-clock time.
+	Elapsed time.Duration `json:"elapsed_ns"`
+	// RPS is completed requests per second.
+	RPS float64 `json:"rps"`
+	// P50/P95/P99 are latency percentiles over all completed requests.
+	P50 time.Duration `json:"p50_ns"`
+	P95 time.Duration `json:"p95_ns"`
+	P99 time.Duration `json:"p99_ns"`
+	// MaxLatency is the slowest observed request.
+	MaxLatency time.Duration `json:"max_ns"`
+}
+
+// ShedRate is the fraction of requests shed (0 when none completed).
+func (r *LoadReport) ShedRate() float64 {
+	if r.Requests == 0 {
+		return 0
+	}
+	return float64(r.Shed) / float64(r.Requests)
+}
+
+// String renders the report as a one-run summary table.
+func (r *LoadReport) String() string {
+	return fmt.Sprintf(
+		"requests %d  ok %d  shed %d  errors %d  elapsed %v  rps %.1f  p50 %v  p95 %v  p99 %v  max %v",
+		r.Requests, r.OK, r.Shed, r.Errors, r.Elapsed.Round(time.Millisecond), r.RPS,
+		r.P50.Round(time.Microsecond), r.P95.Round(time.Microsecond),
+		r.P99.Round(time.Microsecond), r.MaxLatency.Round(time.Microsecond))
+}
+
+// RunLoad executes one closed-loop load run and aggregates the report.
+// It returns an error only for invalid configuration; request-level
+// failures are counted in the report.
+func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
+	if cfg.URL == "" {
+		return nil, fmt.Errorf("loadgen: no target URL")
+	}
+	if cfg.Body == nil {
+		return nil, fmt.Errorf("loadgen: no body generator")
+	}
+	if cfg.Requests <= 0 && cfg.Duration <= 0 {
+		return nil, fmt.Errorf("loadgen: set requests or duration")
+	}
+	path := cfg.Path
+	if path == "" {
+		path = "/v1/compile"
+	}
+	workers := cfg.Concurrency
+	if workers <= 0 {
+		workers = 4
+	}
+	client := cfg.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	if cfg.Duration > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.Duration)
+		defer cancel()
+	}
+
+	type sample struct {
+		status  int // 0 = transport failure
+		latency time.Duration
+	}
+	var (
+		next    atomic.Int64
+		mu      sync.Mutex
+		samples []sample
+	)
+	next.Store(-1)
+	start := time.Now()
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				i := int(next.Add(1))
+				if cfg.Requests > 0 && i >= cfg.Requests {
+					return
+				}
+				t0 := time.Now()
+				status := 0
+				req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+					cfg.URL+path, bytes.NewReader(cfg.Body(i)))
+				if err == nil {
+					req.Header.Set("Content-Type", "application/json")
+					var resp *http.Response
+					if resp, err = client.Do(req); err == nil {
+						_, _ = io.Copy(io.Discard, resp.Body)
+						resp.Body.Close()
+						status = resp.StatusCode
+					}
+				}
+				if err != nil && ctx.Err() != nil {
+					return // run ended mid-request; don't count the cancellation
+				}
+				mu.Lock()
+				samples = append(samples, sample{status, time.Since(t0)})
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := &LoadReport{
+		Requests:     len(samples),
+		StatusCounts: make(map[int]int),
+		Elapsed:      elapsed,
+	}
+	lats := make([]time.Duration, 0, len(samples))
+	for _, s := range samples {
+		rep.StatusCounts[s.status]++
+		switch {
+		case s.status >= 200 && s.status < 300:
+			rep.OK++
+		case s.status == http.StatusTooManyRequests:
+			rep.Shed++
+		default:
+			rep.Errors++
+		}
+		lats = append(lats, s.latency)
+		if s.latency > rep.MaxLatency {
+			rep.MaxLatency = s.latency
+		}
+	}
+	if elapsed > 0 {
+		rep.RPS = float64(len(samples)) / elapsed.Seconds()
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	pct := func(p float64) time.Duration {
+		if len(lats) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(lats)-1))
+		return lats[i]
+	}
+	rep.P50, rep.P95, rep.P99 = pct(0.50), pct(0.95), pct(0.99)
+	return rep, nil
+}
+
+// uniqueSourceTemplate is a small but non-trivial scil model whose text
+// embeds a distinct constant per request, so every generated compile is
+// a guaranteed cache miss all the way down (request keys, pass caches,
+// and WCET memos all hash the source text).
+const uniqueSourceTemplate = `
+function [outa, outb] = bench(img)
+  h = size(img, 1)
+  w = size(img, 2)
+  tmp = zeros(h, w)
+  outa = zeros(h, w)
+  outb = zeros(h, w)
+  for i = 1:h
+    for j = 1:w
+      g = img(i, j) * %d.0
+      tmp(i, j) = g + 1
+    end
+  end
+  for i = 1:h
+    for j = 1:w
+      outa(i, j) = tmp(i, j) * 2
+      outb(i, j) = tmp(i, j) - 3
+    end
+  end
+endfunction`
+
+// UniqueCompileBody builds the i-th cache-miss compile request for
+// RunLoad: a raw-source compile whose source text embeds i, targeting
+// platform (default xentium4). Distinct i ⇒ distinct content address ⇒
+// the full pipeline runs.
+func UniqueCompileBody(i int, platform string) []byte {
+	if platform == "" {
+		platform = "xentium4"
+	}
+	src := fmt.Sprintf(uniqueSourceTemplate, i+2)
+	body := fmt.Sprintf(`{"source":%q,"entry":"bench","args":[{"kind":"matrix","rows":8,"cols":8}],"platform":%q}`,
+		src, platform)
+	return []byte(body)
+}
+
+// UseCaseCompileBody builds a fixed compile request (a cache-hit
+// workload once the first request has populated the cache).
+func UseCaseCompileBody(usecase, platform string) []byte {
+	return []byte(fmt.Sprintf(`{"usecase":%q,"platform":%q}`, usecase, platform))
+}

@@ -11,6 +11,7 @@ package conc
 import (
 	"context"
 	"expvar"
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -76,6 +77,61 @@ func ForEach(ctx context.Context, p, n int, fn func(i int)) error {
 				atomic.AddInt64(&done, 1)
 			}
 		}()
+	}
+	wg.Wait()
+	if atomic.LoadInt64(&done) == int64(n) {
+		return nil
+	}
+	return ctx.Err()
+}
+
+// ForEachOn is the heterogeneous-worker variant of ForEach — the seam
+// remote candidate workers plug into. widths[w] goroutines run on
+// behalf of worker w (a worker is typically one analysis replica, its
+// width that replica's fan-out slots; a zero or negative width
+// contributes no goroutines). Every goroutine claims indices from one
+// shared atomic counter in ascending order and calls fn(w, i), so work
+// spreads across workers by availability while callers still reduce
+// deterministically by storing results at index i — the reduction, and
+// therefore every published result, is bit-identical at any worker
+// count or width.
+//
+// Cancellation matches ForEach: once ctx is cancelled no new indices
+// start, in-flight calls finish, and ForEachOn reports ctx.Err() unless
+// every index already ran.
+func ForEachOn(ctx context.Context, widths []int, n int, fn func(worker, i int)) error {
+	if n <= 0 {
+		return nil
+	}
+	total := 0
+	for _, w := range widths {
+		if w > 0 {
+			total += w
+		}
+	}
+	if total == 0 {
+		return fmt.Errorf("conc: no worker slots")
+	}
+	var done int64
+	next := int64(-1)
+	var wg sync.WaitGroup
+	for w, width := range widths {
+		for s := 0; s < width; s++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for ctx.Err() == nil {
+					i := int(atomic.AddInt64(&next, 1))
+					if i >= n {
+						return
+					}
+					InFlight.Add(1)
+					fn(w, i)
+					InFlight.Add(-1)
+					atomic.AddInt64(&done, 1)
+				}
+			}(w)
+		}
 	}
 	wg.Wait()
 	if atomic.LoadInt64(&done) == int64(n) {

@@ -91,3 +91,94 @@ func TestInFlightGaugeReturnsToZero(t *testing.T) {
 		t.Fatalf("InFlight = %d after ForEach returned", v)
 	}
 }
+
+func TestForEachOnCoversEveryIndexOnce(t *testing.T) {
+	var counts [40]atomic.Int64
+	workerSeen := make([]atomic.Int64, 3)
+	err := ForEachOn(context.Background(), []int{2, 1, 3}, len(counts), func(w, i int) {
+		counts[i].Add(1)
+		workerSeen[w].Add(1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range counts {
+		if got := counts[i].Load(); got != 1 {
+			t.Fatalf("index %d ran %d times", i, got)
+		}
+	}
+	var total int64
+	for w := range workerSeen {
+		total += workerSeen[w].Load()
+	}
+	if total != int64(len(counts)) {
+		t.Fatalf("workers ran %d items, want %d", total, len(counts))
+	}
+}
+
+func TestForEachOnSkipsNonPositiveWidths(t *testing.T) {
+	err := ForEachOn(context.Background(), []int{0, 2, -1}, 10, func(w, i int) {
+		if w != 1 {
+			t.Errorf("worker %d ran despite width <= 0", w)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForEachOnNoSlots(t *testing.T) {
+	if err := ForEachOn(context.Background(), []int{0, -2}, 5, func(int, int) {}); err == nil {
+		t.Fatal("no worker slots accepted")
+	}
+	if err := ForEachOn(context.Background(), nil, 5, func(int, int) {}); err == nil {
+		t.Fatal("empty widths accepted")
+	}
+	// Zero items succeed trivially, even with no slots.
+	if err := ForEachOn(context.Background(), nil, 0, func(int, int) { t.Error("fn ran") }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForEachOnCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var started atomic.Int64
+	err := ForEachOn(ctx, []int{1, 1}, 1000, func(w, i int) {
+		if started.Add(1) == 10 {
+			cancel()
+		}
+	})
+	if err == nil {
+		t.Fatal("cancelled run reported nil")
+	}
+	if n := started.Load(); n >= 1000 {
+		t.Fatalf("all %d items ran despite cancellation", n)
+	}
+	if v := InFlight.Value(); v != 0 {
+		t.Fatalf("InFlight = %d after cancelled ForEachOn", v)
+	}
+}
+
+// The reduction contract: results stored by index are identical at any
+// worker/width shape.
+func TestForEachOnDeterministicByIndex(t *testing.T) {
+	shapes := [][]int{{1}, {4}, {1, 1, 1}, {2, 3}, {1, 0, 5}}
+	var want []int
+	for _, widths := range shapes {
+		out := make([]int, 64)
+		if err := ForEachOn(context.Background(), widths, len(out), func(w, i int) {
+			out[i] = i * i
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if want == nil {
+			want = out
+			continue
+		}
+		for i := range out {
+			if out[i] != want[i] {
+				t.Fatalf("widths %v: out[%d] = %d, want %d", widths, i, out[i], want[i])
+			}
+		}
+	}
+}

@@ -152,6 +152,31 @@ func (c *Cache) insert(key string, val any) {
 	}
 }
 
+// Get returns the cached value for key without computing anything (a
+// peek — it still counts as a hit and refreshes the entry's LRU
+// position). The coordinator uses it to serve its forwarded-response
+// tier before routing.
+func (c *Cache) Get(key string) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	c.lru.MoveToFront(el)
+	c.hits.Add(1)
+	return el.Value.(*cacheEntry).val, true
+}
+
+// Put stores val under key directly, bypassing singleflight (the
+// coordinator uses it to retain forwarded replica responses; the value
+// was computed remotely, so there is no local call to deduplicate).
+func (c *Cache) Put(key string, val any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.insert(key, val)
+}
+
 // Len returns the number of cached entries.
 func (c *Cache) Len() int {
 	c.mu.Lock()

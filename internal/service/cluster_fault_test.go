@@ -1,0 +1,194 @@
+package service
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestClusterRoutesAroundKilledReplica kills one replica mid-batch (its
+// handler starts returning 500 after two requests) and requires the
+// coordinator to route around it with zero silent drops: every cell
+// still succeeds and every fingerprint is still the single-process
+// oracle's, because retried work is recomputed deterministically on a
+// surviving replica.
+func TestClusterRoutesAroundKilledReplica(t *testing.T) {
+	_, oracleURL := startCoordinatorlessOracle(t)
+
+	var killedHits atomic.Int64
+	wrap := func(i int, h http.Handler) http.Handler {
+		if i != 0 {
+			return h
+		}
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if killedHits.Add(1) > 2 {
+				http.Error(w, "replica down", http.StatusInternalServerError)
+				return
+			}
+			h.ServeHTTP(w, r)
+		})
+	}
+	// Unbounded queues: a routed-around replica death concentrates the
+	// whole batch on the survivors, and shedding is not under test here.
+	peers, _ := startReplicas(t, 3, Config{MaxQueue: -1}, wrap)
+	coord, coordURL := startCoordinator(t, peers, Config{MaxQueue: -1})
+
+	usecases, platforms := matrixCells()
+	var req BatchRequest
+	for _, u := range usecases {
+		for _, p := range platforms {
+			req.Cells = append(req.Cells, BatchCell{
+				CompileRequest: CompileRequest{UseCase: u, Platform: p},
+			})
+		}
+	}
+	got := postBatch(t, coordURL, &req)
+	if got.Failed != 0 || got.OK != len(req.Cells) {
+		t.Fatalf("ok/failed = %d/%d with a dead replica, want %d/0",
+			got.OK, got.Failed, len(req.Cells))
+	}
+	for i, res := range got.Cells {
+		cell := req.Cells[i]
+		want := compileCell(t, oracleURL, cell.UseCase, cell.Platform)
+		if res.Compile == nil || res.Compile.Fingerprint != want.Fingerprint {
+			t.Errorf("%s x %s: fingerprint diverged after replica death: %+v",
+				cell.UseCase, cell.Platform, res)
+		}
+	}
+	// The dead replica was actually consulted, marked down, and the
+	// failures were counted.
+	if killedHits.Load() <= 2 {
+		t.Fatalf("killed replica saw only %d requests; the kill never fired", killedHits.Load())
+	}
+	// Quarantine timing itself is pinned in internal/cluster (the 1s
+	// window can expire before a slow -race batch finishes, so Down is
+	// not asserted here).
+	if st := coord.Cluster().Stats(); st.ReplicaErrors == 0 {
+		t.Errorf("no replica errors recorded: %+v", st)
+	}
+}
+
+// TestClusterHangingReplicaTimesOut wedges one replica (its handler
+// blocks until the test ends) and requires forwards to time out after
+// ForwardTimeout and retry on the next preference — still returning
+// the oracle result, never hanging the client.
+func TestClusterHangingReplicaTimesOut(t *testing.T) {
+	_, oracleURL := startCoordinatorlessOracle(t)
+
+	release := make(chan struct{})
+	defer close(release)
+	wrap := func(i int, h http.Handler) http.Handler {
+		if i != 1 {
+			return h
+		}
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			<-release
+		})
+	}
+	peers, _ := startReplicas(t, 3, Config{}, wrap)
+	_, coordURL := startCoordinator(t, peers, Config{ForwardTimeout: 100 * time.Millisecond})
+
+	usecases, platforms := matrixCells()
+	start := time.Now()
+	for _, u := range usecases {
+		for _, p := range platforms[:3] {
+			want := compileCell(t, oracleURL, u, p)
+			got := compileCell(t, coordURL, u, p)
+			if got.Fingerprint != want.Fingerprint {
+				t.Errorf("%s x %s: fingerprint diverged with a hung replica", u, p)
+			}
+		}
+	}
+	// 9 cells, at most one 100ms timeout before the hung replica is
+	// quarantined (plus a possible re-probe after quarantine expiry):
+	// nothing here may block for the full client default.
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("compiles took %v with a hung replica; timeout/retry is not working", elapsed)
+	}
+}
+
+// TestClusterReadinessFlipsDuringRebalance grows the membership while
+// the new replica is unreachable-slow, and checks the documented
+// lifecycle: /readyz flips to 503 {"status":"rebalancing"} while hot
+// entries are being replicated, traffic keeps being served during the
+// rebalance, and readiness returns once warm replication drains.
+func TestClusterReadinessFlipsDuringRebalance(t *testing.T) {
+	peers, _ := startReplicas(t, 2, Config{}, nil)
+	coord, coordURL := startCoordinator(t, peers, Config{ForwardTimeout: 200 * time.Millisecond})
+
+	// Build a hot set worth replicating.
+	usecases, platforms := matrixCells()
+	for _, u := range usecases {
+		for _, p := range platforms {
+			compileCell(t, coordURL, u, p)
+		}
+	}
+	if coord.Cluster().HotKeys() == 0 {
+		t.Fatal("no hot keys after the warm-up pass")
+	}
+
+	// The new member is gated: warm replication to it stalls until we
+	// open it, holding the cluster in the rebalancing state.
+	gate := make(chan struct{})
+	gated := func(i int, h http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			<-gate
+			h.ServeHTTP(w, r)
+		})
+	}
+	newPeer, _ := startReplicas(t, 1, Config{}, gated)
+
+	body, _ := json.Marshal(&MembersRequest{Members: append(append([]string{}, peers...), newPeer[0])})
+	resp, data := post(t, coordURL+"/v1/cluster/members", string(body))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("members swap: status %d: %s", resp.StatusCode, data)
+	}
+	var swap struct {
+		Members     []string `json:"members"`
+		Rebalancing bool     `json:"rebalancing"`
+	}
+	if err := json.Unmarshal(data, &swap); err != nil {
+		t.Fatal(err)
+	}
+	if len(swap.Members) != 3 {
+		t.Fatalf("membership after swap: %v", swap.Members)
+	}
+
+	// While the gate is closed the coordinator must report not-ready
+	// with the rebalancing status...
+	resp, data = get(t, coordURL+"/readyz")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz during rebalance: status %d: %s", resp.StatusCode, data)
+	}
+	var ready map[string]string
+	if err := json.Unmarshal(data, &ready); err != nil {
+		t.Fatal(err)
+	}
+	if ready["status"] != "rebalancing" {
+		t.Fatalf("readyz status %q, want \"rebalancing\"", ready["status"])
+	}
+	// ...while continuing to serve analysis traffic (the gated member is
+	// routed around via its timeout).
+	if sum := compileCell(t, coordURL, "polka", "xentium4"); sum.Fingerprint == "" {
+		t.Fatal("compile failed during rebalance")
+	}
+
+	// Open the gate: warm replication drains and readiness returns.
+	close(gate)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, _ = get(t, coordURL+"/readyz")
+		if resp.StatusCode == http.StatusOK {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("still not ready after rebalance: status %d", resp.StatusCode)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if reb := coord.Cluster().Stats().Rebalances; reb == 0 {
+		t.Error("no rebalance moves counted for a membership change with a hot set")
+	}
+}

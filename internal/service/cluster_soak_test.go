@@ -1,0 +1,76 @@
+package service
+
+import (
+	"context"
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"argo/internal/cluster"
+)
+
+// soakIndex hands out globally unique request indices so every compile
+// in every phase is a genuine cache miss (the generated sources embed
+// the index as a constant, which flows into the content-addressed job
+// key and the IR fingerprints the pass cache is keyed by).
+var soakIndex atomic.Int64
+
+// runSoakPhase drives a closed-loop unique-compile load against url and
+// returns the report.
+func runSoakPhase(t *testing.T, url string, requests, concurrency int) *cluster.LoadReport {
+	t.Helper()
+	rep, err := cluster.RunLoad(context.Background(), cluster.LoadConfig{
+		URL:         url,
+		Concurrency: concurrency,
+		Requests:    requests,
+		Body: func(int) []byte {
+			return cluster.UniqueCompileBody(int(soakIndex.Add(1)), "xentium4")
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK != requests || rep.Shed != 0 || rep.Errors != 0 {
+		t.Fatalf("soak phase against %s: %s", url, rep)
+	}
+	return rep
+}
+
+// TestClusterSoakThroughput is the scale-out smoke: on a cache-miss
+// workload (every request a unique source), a coordinator over two
+// single-worker replicas must beat one single-worker replica by >= 1.5x
+// requests/second — the sharding actually buys parallel capacity, not
+// just correctness. Constrained replicas (Workers: 1) make the
+// comparison about topology rather than the host's core count; the
+// whole test is skipped on single-core hosts where no speedup is
+// physically available.
+func TestClusterSoakThroughput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak: skipped in -short mode")
+	}
+	if runtime.GOMAXPROCS(0) < 2 {
+		t.Skip("soak: needs >= 2 CPUs for a scale-out signal")
+	}
+	const requests = 24
+	replicaCfg := Config{Workers: 1, MaxQueue: 64}
+
+	single, _ := startReplicas(t, 1, replicaCfg, nil)
+	duo, _ := startReplicas(t, 2, replicaCfg, nil)
+	_, coordURL := startCoordinator(t, duo, Config{})
+
+	// One retry absorbs scheduler noise on busy CI hosts; the ratio must
+	// clear the bar on at least one attempt.
+	const want = 1.5
+	var ratio float64
+	for attempt := 0; attempt < 2; attempt++ {
+		rep1 := runSoakPhase(t, single[0], requests, 4)
+		rep2 := runSoakPhase(t, coordURL, requests, 4)
+		ratio = rep2.RPS / rep1.RPS
+		t.Logf("attempt %d: single %.1f rps, 2-replica cluster %.1f rps (%.2fx)",
+			attempt, rep1.RPS, rep2.RPS, ratio)
+		if ratio >= want {
+			return
+		}
+	}
+	t.Fatalf("2-replica cluster is %.2fx a single replica on a cache-miss workload; want >= %.1fx", ratio, want)
+}

@@ -114,7 +114,16 @@ type Metrics struct {
 	cache     *Cache
 	pool      *Pool
 	started   time.Time
+
+	// cluster, when set, contributes the coordinator's counters to the
+	// snapshot under the "cluster" key.
+	cluster func() any
 }
+
+// SetCluster installs a cluster-stats source (coordinator mode only).
+// Call before the server starts serving; the snapshot reads it without
+// further synchronization.
+func (m *Metrics) SetCluster(fn func() any) { m.cluster = fn }
 
 // NewMetrics returns metrics bound to a cache and pool.
 func NewMetrics(cache *Cache, pool *Pool, started time.Time) *Metrics {
@@ -180,7 +189,7 @@ func (m *Metrics) snapshot() map[string]any {
 		latencies[k] = h.snapshot()
 	}
 	m.mu.Unlock()
-	return map[string]any{
+	snap := map[string]any{
 		"uptime_s":   int64(time.Since(m.started).Seconds()),
 		"requests":   requests,
 		"errors":     errors,
@@ -189,6 +198,10 @@ func (m *Metrics) snapshot() map[string]any {
 		"pool":       m.pool.Stats(),
 		"latency_us": latencies,
 	}
+	if m.cluster != nil {
+		snap["cluster"] = m.cluster()
+	}
+	return snap
 }
 
 // String implements expvar.Var.

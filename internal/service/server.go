@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"argo/internal/cluster"
 	"argo/internal/sched"
 	"argo/pkg/argo"
 )
@@ -45,6 +46,18 @@ type Config struct {
 	// exact engine cross-checked on every region). Part of each job's
 	// cache key — engines legitimately produce different bounds.
 	WCETEngine string
+	// Peers are replica base URLs. Non-empty puts the server in
+	// coordinator mode: compile and optimize work is consistent-hash
+	// sharded across the peers (see internal/cluster) while sessions and
+	// simulation stay local.
+	Peers []string
+	// ForwardTimeout bounds each forwarded attempt in coordinator mode
+	// (default 30s).
+	ForwardTimeout time.Duration
+	// MaxPerReplica is the coordinator's bounded-load fallback: a replica
+	// with this many forwards in flight is skipped for the next one in
+	// preference order (0: unbounded).
+	MaxPerReplica int
 }
 
 func (c Config) withDefaults() Config {
@@ -83,6 +96,11 @@ type Server struct {
 	mux      *http.ServeMux
 	sessions *argo.SessionManager
 
+	// cluster is non-nil in coordinator mode: compile/optimize keys are
+	// consistent-hash sharded across the replica set and misses forwarded
+	// to the owning replica (see cluster.go in this package).
+	cluster *cluster.Cluster
+
 	// draining flips once shutdown begins: /readyz turns 503 so load
 	// balancers stop routing, while /healthz stays 200 (the process is
 	// alive and still finishing in-flight requests). drainCh closes at
@@ -115,10 +133,22 @@ func NewServer(cfg Config) *Server {
 	}
 	s.compile = s.runCompile
 	s.sessionApply = s.sessions.Apply
+	if len(cfg.Peers) > 0 {
+		s.cluster = cluster.New(cluster.Options{
+			Peers:          cfg.Peers,
+			ForwardTimeout: cfg.ForwardTimeout,
+			MaxInflight:    cfg.MaxPerReplica,
+		})
+		s.metrics.SetCluster(func() any { return s.cluster.Stats() })
+	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/compile", s.handleCompile)
 	s.mux.HandleFunc("POST /v1/optimize", s.handleOptimize)
 	s.mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
+	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	s.mux.HandleFunc("POST /v1/candidate", s.handleCandidate)
+	s.mux.HandleFunc("GET /v1/cluster", s.handleClusterInfo)
+	s.mux.HandleFunc("POST /v1/cluster/members", s.handleClusterMembers)
 	s.mux.HandleFunc("POST /v1/session", s.handleSessionCreate)
 	s.mux.HandleFunc("GET /v1/session", s.handleSessionList)
 	s.mux.HandleFunc("GET /v1/session/{id}", s.handleSessionGet)
@@ -135,6 +165,9 @@ func NewServer(cfg Config) *Server {
 
 // Handler returns the service's HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
+
+// Cluster returns the coordinator state, or nil in single-process mode.
+func (s *Server) Cluster() *cluster.Cluster { return s.cluster }
 
 // Metrics exposes the server's metrics (an expvar.Var) so embedders can
 // publish them into the process-global expvar registry.
@@ -161,6 +194,11 @@ type compileJob struct {
 	// wcetEngine is the server-wide engine selection (Config.WCETEngine).
 	// Part of the cache key: bounds differ between engines.
 	wcetEngine string
+	// candidate, when non-nil, overrides the transform/mapping knobs the
+	// optimizer ladder varies — exactly the overrides OptimizeContext
+	// applies per candidate, so a remote candidate worker compiles the
+	// same configuration the in-process ladder would.
+	candidate *argo.Candidate
 }
 
 // key is the job's content address: SHA-256 over the canonicalized
@@ -293,6 +331,14 @@ func (j *compileJob) options() argo.Options {
 	opt.Policy = j.policy
 	opt.MaxTasks = j.maxTasks
 	opt.WCETEngine = j.wcetEngine
+	if c := j.candidate; c != nil {
+		// Mirror core.OptimizeContext's per-candidate overrides so the
+		// result is bit-identical to the in-process ladder's evaluation.
+		opt.Transforms = c.Transforms
+		opt.AutoSPM = c.AutoSPM
+		opt.Policy = c.Policy
+		opt.MaxTasks = c.MaxTasks
+	}
 	return opt
 }
 
@@ -349,6 +395,14 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.requestTimeout(&req))
 	defer cancel()
+	if s.cluster != nil {
+		if f, err := s.clusterRoute(ctx, "compile", "/v1/compile", &req, job); err == nil {
+			s.writeForwarded(w, f)
+			return
+		}
+		// Every replica failed: fall through to local execution so the
+		// request is served, never dropped.
+	}
 	res, outcome, err := s.cachedCompile(ctx, job)
 	if err != nil {
 		s.writeErr(w, err)
@@ -371,6 +425,27 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.requestTimeout(&req))
 	defer cancel()
+	if s.cluster != nil {
+		resp, outcome, err := s.distributedOptimize(ctx, &req, job)
+		if err != nil {
+			s.writeErr(w, err)
+			return
+		}
+		s.writeJSON(w, outcome, resp)
+		return
+	}
+	resp, outcome, err := s.optimizeLocal(ctx, job)
+	if err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	s.writeJSON(w, outcome, resp)
+}
+
+// optimizeLocal runs the in-process optimizer ladder through cache,
+// singleflight, and the worker pool (the single-process /v1/optimize
+// path, and a batch cell's optimize op).
+func (s *Server) optimizeLocal(ctx context.Context, job *compileJob) (*OptimizeResponse, Outcome, error) {
 	val, outcome, err := retryTransient(ctx, s.metrics, func() (any, Outcome, error) {
 		return s.cache.Do(ctx, job.key("optimize"), func() (any, error) {
 			if err := s.pool.Acquire(ctx); err != nil {
@@ -389,10 +464,9 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		})
 	})
 	if err != nil {
-		s.writeErr(w, err)
-		return
+		return nil, outcome, err
 	}
-	s.writeJSON(w, outcome, val.(*OptimizeResponse))
+	return val.(*OptimizeResponse), outcome, nil
 }
 
 // maxSimRuns bounds the number of simulated input variants per request.
@@ -538,12 +612,22 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleReadyz is readiness: 503 once draining so load balancers stop
-// routing new requests while in-flight ones finish.
+// routing new requests while in-flight ones finish, and 503 while a
+// coordinator is warm-replicating moved shards after a membership change
+// (requests are still served — readiness only pauses new routing until
+// the moved shards are warm).
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
-	if s.draining.Load() {
+	notReady := func(status string) {
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
 		w.WriteHeader(http.StatusServiceUnavailable)
-		_ = json.NewEncoder(w).Encode(map[string]any{"status": "draining"})
+		_ = json.NewEncoder(w).Encode(map[string]any{"status": status})
+	}
+	if s.draining.Load() {
+		notReady("draining")
+		return
+	}
+	if s.cluster != nil && s.cluster.Rebalancing() {
+		notReady("rebalancing")
 		return
 	}
 	s.writeJSON(w, OutcomeMiss, map[string]any{"status": "ready"})
@@ -615,29 +699,36 @@ func (s *Server) writeJSON(w http.ResponseWriter, outcome Outcome, v any) {
 	}
 }
 
-func (s *Server) writeErr(w http.ResponseWriter, err error) {
-	status := http.StatusInternalServerError
+// statusFor maps a request-handling error to its HTTP status. Batch
+// cells use it too, so a cell fails with the same status its request
+// would have gotten stand-alone.
+func statusFor(err error) int {
 	var he *httpError
 	switch {
 	case errors.As(err, &he):
-		status = he.status
+		return he.status
 	case errors.Is(err, argo.ErrSessionNotFound):
-		status = http.StatusNotFound
+		return http.StatusNotFound
 	case IsShed(err):
-		// Queue at capacity: tell well-behaved clients when to retry.
-		status = http.StatusTooManyRequests
-		w.Header().Set("Retry-After", "1")
+		return http.StatusTooManyRequests
 	case IsSaturated(err):
-		status = http.StatusServiceUnavailable
+		return http.StatusServiceUnavailable
 	case errors.Is(err, context.DeadlineExceeded):
-		status = http.StatusGatewayTimeout
+		return http.StatusGatewayTimeout
 	case errors.Is(err, context.Canceled):
 		// Client went away; 499-style, use 408 from the standard set.
-		status = http.StatusRequestTimeout
-	default:
-		// Pipeline rejections (bad model, unschedulable, ...) are
-		// client errors: the request was well-formed but unanalyzable.
-		status = http.StatusUnprocessableEntity
+		return http.StatusRequestTimeout
+	}
+	// Pipeline rejections (bad model, unschedulable, ...) are client
+	// errors: the request was well-formed but unanalyzable.
+	return http.StatusUnprocessableEntity
+}
+
+func (s *Server) writeErr(w http.ResponseWriter, err error) {
+	status := statusFor(err)
+	if status == http.StatusTooManyRequests {
+		// Queue at capacity: tell well-behaved clients when to retry.
+		w.Header().Set("Retry-After", "1")
 	}
 	s.metrics.Error(fmt.Sprintf("%dxx", status/100))
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")

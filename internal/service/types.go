@@ -147,6 +147,13 @@ type CompileSummary struct {
 	TotalBound int64 `json:"total_bound"`
 	// WCETSpeedup is SequentialWCET / TotalBound.
 	WCETSpeedup float64 `json:"wcet_speedup"`
+	// Fingerprint content-addresses everything the compilation decided
+	// (schedule, bounds, parallel program, transformed IR). Equal
+	// fingerprints mean bit-identical results for every value above —
+	// the equality the cluster equivalence suite is stated in: any
+	// replica, and the single-process oracle, must produce the same
+	// fingerprint for the same request.
+	Fingerprint string `json:"fingerprint"`
 	// PeriodBudget is the use case's activation period (0 if none).
 	PeriodBudget int64 `json:"period_budget,omitempty"`
 	// FeedbackRounds is how many placement/analysis rounds ran.
@@ -190,6 +197,7 @@ func Summarize(usecase string, period int64, art *argo.Artifacts) *CompileSummar
 		EpilogueCycles:   art.Parallel.EpilogueCycles,
 		TotalBound:       art.Bound(),
 		WCETSpeedup:      art.WCETSpeedup(),
+		Fingerprint:      argo.SessionResultFingerprint(art),
 		PeriodBudget:     period,
 		FeedbackRounds:   art.FeedbackRounds,
 	}

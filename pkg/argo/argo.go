@@ -100,6 +100,9 @@ const (
 	InterpTree = sim.InterpTree
 )
 
+// Policy selects the multi-core scheduling strategy.
+type Policy = sched.Policy
+
 // Scheduling policies.
 const (
 	PolicyOblivious       = sched.ListOblivious
@@ -181,6 +184,12 @@ func CompileDiagram(d *Diagram, args []ArgSpec, platform *PlatformDesc) (*Artifa
 	}
 	return core.Compile(prog, core.DefaultOptions(entry, args, platform))
 }
+
+// DefaultCandidates returns the default optimizer ladder for a platform
+// with the given core count — the candidate list Optimize evaluates when
+// cands is nil. It is exported so distributed coordinators can fan the
+// same ladder out to remote candidate workers and reduce identically.
+func DefaultCandidates(cores int) []Candidate { return core.DefaultCandidates(cores) }
 
 // Optimize runs the iterative cross-layer optimization over the default
 // candidate ladder (or cands when non-nil). Candidates are evaluated
